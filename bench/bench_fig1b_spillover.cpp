@@ -1,0 +1,62 @@
+/// \file bench_fig1b_spillover.cpp
+/// Reproduces paper Figure 1(b): the histogram of MACs by the number of
+/// floors on which they are detected, in an 8-floor shopping mall carrying
+/// ~168 MAC addresses. The paper's shape: most MACs are confined to few
+/// adjacent floors (strong spillover locality), with a small long tail of
+/// atrium-visible MACs detected on many floors.
+
+#include <cstdlib>
+#include <exception>
+#include <iostream>
+
+#include "sim/building_generator.hpp"
+#include "util/cli.hpp"
+#include "util/table_printer.hpp"
+
+int main(int argc, char** argv) try {
+    const fisone::util::cli_args args(argc, argv);
+
+    fisone::sim::building_spec spec;
+    spec.name = "fig1b-mall";
+    spec.num_floors = static_cast<std::size_t>(args.get_int("floors", 8));
+    spec.aps_per_floor = static_cast<std::size_t>(args.get_int("aps-per-floor", 21));
+    spec.samples_per_floor = static_cast<std::size_t>(args.get_int("samples-per-floor", 200));
+    spec.floor_width_m = 120.0;
+    spec.floor_depth_m = 80.0;
+    spec.atrium = true;
+    spec.atrium_radius_m = 15.0;
+    // This specific mall is shop-partitioned (unlike the open-space "Ours"
+    // corpus): higher in-floor path loss and slab attenuation, plus a wide
+    // per-AP power spread, reproduce Fig. 1(b)'s concentration of MACs on
+    // 1-3 floors with the atrium long tail. Note one semantic difference
+    // with the paper: our histogram is the union over *all* scans, so the
+    // symmetric ±1-floor bridge makes the 3-floor bin slightly heavier.
+    spec.model.path_loss_exponent = 3.7;
+    spec.model.floor_attenuation_db = 28.0;
+    spec.ap_power_sigma_db = 12.0;
+    spec.seed = static_cast<std::uint64_t>(args.get_int("seed", 88));
+
+    const auto sim = fisone::sim::generate_building(spec);
+    const auto hist = fisone::sim::spillover_histogram(sim.building);
+
+    std::size_t detected = 0;
+    for (const std::size_t c : hist) detected += c;
+    std::cout << "Figure 1(b) — signal spillover in an " << spec.num_floors
+              << "-floor mall (" << detected << " MACs detected of " << sim.building.num_macs
+              << " deployed)\n\n";
+
+    fisone::util::table_printer table;
+    table.header({"floors detected", "number of MACs", "histogram"});
+    for (std::size_t f = 0; f < hist.size(); ++f) {
+        table.row({std::to_string(f + 1), std::to_string(hist[f]),
+                   std::string(hist[f] / 2 + (hist[f] > 0 ? 1 : 0), '#')});
+    }
+    table.print(std::cout);
+
+    std::cout << "\nPaper shape check: counts should peak at 1-3 floors and decay,\n"
+                 "with a non-empty tail (atrium MACs) reaching many floors.\n";
+    return EXIT_SUCCESS;
+} catch (const std::exception& e) {
+    std::cerr << "bench_fig1b_spillover: " << e.what() << '\n';
+    return EXIT_FAILURE;
+}

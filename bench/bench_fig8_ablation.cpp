@@ -1,0 +1,74 @@
+/// \file bench_fig8_ablation.cpp
+/// Reproduces paper Figure 8 — two ablations of FIS-ONE on both corpora:
+///  (a,b) RF-GNN *without* the attention mechanism (uniform neighbour
+///        sampling + mean aggregation) vs full FIS-ONE;
+///  (c,d) k-means replacing the hierarchical clusterer vs full FIS-ONE.
+/// The paper reports attention as the largest single contributor (up to
+/// 80% ARI improvement) and hierarchical clustering as a smaller but
+/// consistent gain (~4-6%). The attention result reproduces; the
+/// clustering one diverges on synthetic data (see the footer note and
+/// EXPERIMENTS.md).
+
+#include <cstdlib>
+#include <exception>
+#include <iostream>
+
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace fisone;
+
+void print_block(const char* title, const bench::aggregate& full,
+                 const bench::aggregate& ablated, const char* ablated_name) {
+    util::table_printer table(title);
+    table.header({"variant", "ARI", "NMI", "Edit Distance"});
+    table.row({"FIS-ONE", util::table_printer::mean_std(full.ari.mean(), full.ari.stddev()),
+               util::table_printer::mean_std(full.nmi.mean(), full.nmi.stddev()),
+               util::table_printer::mean_std(full.edit.mean(), full.edit.stddev())});
+    table.row({ablated_name,
+               util::table_printer::mean_std(ablated.ari.mean(), ablated.ari.stddev()),
+               util::table_printer::mean_std(ablated.nmi.mean(), ablated.nmi.stddev()),
+               util::table_printer::mean_std(ablated.edit.mean(), ablated.edit.stddev())});
+    table.print(std::cout);
+    std::cout << '\n';
+}
+
+}  // namespace
+
+int main(int argc, char** argv) try {
+    const util::cli_args args(argc, argv);
+    const auto corpora = bench::make_corpora(args);
+
+    const auto baseline_cfg = [](core::fis_one_config&, std::uint64_t) {};
+    const auto no_attention = [](core::fis_one_config& cfg, std::uint64_t) {
+        cfg.gnn.use_attention = false;
+    };
+    const auto kmeans = [](core::fis_one_config& cfg, std::uint64_t) {
+        cfg.clustering = core::clustering_algorithm::kmeans;
+    };
+
+    std::cout << "Figure 8 — ablation study of FIS-ONE, mean(std)\n\n";
+    for (const data::corpus* corpus : {&corpora.microsoft, &corpora.ours}) {
+        const auto full = bench::run_fis_one_over(*corpus, baseline_cfg);
+        const auto no_att = bench::run_fis_one_over(*corpus, no_attention);
+        const auto km = bench::run_fis_one_over(*corpus, kmeans);
+
+        print_block(("(a/b) " + corpus->name + ": with vs without attention").c_str(), full,
+                    no_att, "FIS-ONE (without attention)");
+        print_block(("(c/d) " + corpus->name + ": hierarchical vs k-means").c_str(), full, km,
+                    "FIS-ONE (K-means)");
+    }
+    std::cout
+        << "Paper shape check: removing attention costs the most (paper: up to 80%\n"
+           "relative ARI) — reproduced on both corpora.\n"
+           "Known divergence (see EXPERIMENTS.md): on these synthetic corpora k-means\n"
+           "matches or beats UPGMA. The paper's ~4% hierarchical advantage relied on\n"
+           "multi-modal per-floor signal distributions in its real buildings; the\n"
+           "simulator's floors form compact unimodal clusters in embedding space,\n"
+           "which is k-means' best case.\n";
+    return EXIT_SUCCESS;
+} catch (const std::exception& e) {
+    std::cerr << "bench_fig8_ablation: " << e.what() << '\n';
+    return EXIT_FAILURE;
+}

@@ -1,0 +1,62 @@
+/// \file bench_fig9_ablation.cpp
+/// Reproduces paper Figure 9 — indexing ablations on both corpora:
+///  (a,b) plain Jaccard similarity replacing the adapted Jaccard (eq. 3);
+///  (c,d) 2-opt approximate TSP replacing exact Held–Karp.
+/// The paper reports the adapted coefficient improving edit distance with
+/// lower variance, and 2-opt costing only ~3%.
+
+#include <cstdlib>
+#include <exception>
+#include <iostream>
+
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace fisone;
+
+void print_block(const char* title, const bench::aggregate& a, const char* name_a,
+                 const bench::aggregate& b, const char* name_b) {
+    util::table_printer table(title);
+    table.header({"variant", "ARI", "NMI", "Edit Distance"});
+    for (const auto& [agg, name] : {std::pair{&a, name_a}, std::pair{&b, name_b}}) {
+        table.row({name, util::table_printer::mean_std(agg->ari.mean(), agg->ari.stddev()),
+                   util::table_printer::mean_std(agg->nmi.mean(), agg->nmi.stddev()),
+                   util::table_printer::mean_std(agg->edit.mean(), agg->edit.stddev())});
+    }
+    table.print(std::cout);
+    std::cout << '\n';
+}
+
+}  // namespace
+
+int main(int argc, char** argv) try {
+    const util::cli_args args(argc, argv);
+    const auto corpora = bench::make_corpora(args);
+
+    const auto adapted = [](core::fis_one_config&, std::uint64_t) {};
+    const auto plain = [](core::fis_one_config& cfg, std::uint64_t) {
+        cfg.similarity = indexing::similarity_kind::jaccard;
+    };
+    const auto approx = [](core::fis_one_config& cfg, std::uint64_t) {
+        cfg.solver = indexing::tsp_solver::two_opt;
+    };
+
+    std::cout << "Figure 9 — indexing ablations of FIS-ONE, mean(std)\n\n";
+    for (const data::corpus* corpus : {&corpora.microsoft, &corpora.ours}) {
+        const auto with_adapted = bench::run_fis_one_over(*corpus, adapted);
+        const auto with_plain = bench::run_fis_one_over(*corpus, plain);
+        const auto with_2opt = bench::run_fis_one_over(*corpus, approx);
+
+        print_block(("(a/b) " + corpus->name + ": adapted vs plain Jaccard").c_str(),
+                    with_adapted, "Adapted Jaccard", with_plain, "Jaccard");
+        print_block(("(c/d) " + corpus->name + ": exact vs 2-opt TSP").c_str(), with_adapted,
+                    "Exact (Held-Karp)", with_2opt, "Approximation (2-opt)");
+    }
+    std::cout << "Paper shape check: adapted Jaccard wins edit distance with lower std;\n"
+                 "the 2-opt approximation degrades results by only a few percent.\n";
+    return EXIT_SUCCESS;
+} catch (const std::exception& e) {
+    std::cerr << "bench_fig9_ablation: " << e.what() << '\n';
+    return EXIT_FAILURE;
+}

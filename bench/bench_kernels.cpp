@@ -1,0 +1,160 @@
+/// \file bench_kernels.cpp
+/// google-benchmark micro-benchmarks for the library's computational
+/// kernels: propagation + building synthesis, bipartite-graph build,
+/// RF-GNN training epochs, UPGMA, k-means, Held–Karp vs 2-opt, adapted
+/// Jaccard, and the metrics. These quantify where pipeline time goes and
+/// back the complexity claims in DESIGN.md (e.g. O(N²·2^N) Held–Karp).
+
+#include <benchmark/benchmark.h>
+
+#include "cluster/hierarchical.hpp"
+#include "cluster/kmeans.hpp"
+#include "core/fis_one.hpp"
+#include "eval/metrics.hpp"
+#include "gnn/rf_gnn.hpp"
+#include "graph/bipartite_graph.hpp"
+#include "indexing/similarity.hpp"
+#include "sim/building_generator.hpp"
+#include "tsp/tsp.hpp"
+
+namespace {
+
+using namespace fisone;
+
+data::building cached_building(std::size_t floors, std::size_t samples_per_floor) {
+    sim::building_spec spec;
+    spec.num_floors = floors;
+    spec.samples_per_floor = samples_per_floor;
+    spec.aps_per_floor = 16;
+    spec.model.path_loss_exponent = 3.3;
+    spec.floor_width_m = 60.0;
+    spec.floor_depth_m = 40.0;
+    spec.seed = 17;
+    return sim::generate_building(spec).building;
+}
+
+void bm_building_synthesis(benchmark::State& state) {
+    sim::building_spec spec;
+    spec.num_floors = static_cast<std::size_t>(state.range(0));
+    spec.samples_per_floor = 100;
+    spec.seed = 1;
+    for (auto _ : state) {
+        spec.seed++;
+        benchmark::DoNotOptimize(sim::generate_building(spec));
+    }
+}
+BENCHMARK(bm_building_synthesis)->Arg(3)->Arg(6)->Arg(10)->Unit(benchmark::kMillisecond);
+
+void bm_graph_construction(benchmark::State& state) {
+    const auto b = cached_building(5, static_cast<std::size_t>(state.range(0)));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(graph::bipartite_graph::from_building(b));
+}
+BENCHMARK(bm_graph_construction)->Arg(50)->Arg(150)->Arg(400)->Unit(benchmark::kMillisecond);
+
+void bm_gnn_train_epoch(benchmark::State& state) {
+    const auto b = cached_building(5, static_cast<std::size_t>(state.range(0)));
+    const auto g = graph::bipartite_graph::from_building(b);
+    gnn::rf_gnn_config cfg;
+    cfg.seed = 3;
+    gnn::rf_gnn model(g, cfg);
+    for (auto _ : state) benchmark::DoNotOptimize(model.train_epoch());
+}
+BENCHMARK(bm_gnn_train_epoch)->Arg(50)->Arg(150)->Unit(benchmark::kMillisecond);
+
+void bm_gnn_inference(benchmark::State& state) {
+    const auto b = cached_building(5, 150);
+    const auto g = graph::bipartite_graph::from_building(b);
+    gnn::rf_gnn_config cfg;
+    cfg.seed = 3;
+    cfg.epochs = 1;
+    gnn::rf_gnn model(g, cfg);
+    model.train();
+    const auto& obs = b.samples[7].observations;
+    (void)model.embed_new_sample(obs);  // warm the layer cache
+    for (auto _ : state) benchmark::DoNotOptimize(model.embed_new_sample(obs));
+}
+BENCHMARK(bm_gnn_inference)->Unit(benchmark::kMicrosecond);
+
+void bm_upgma(benchmark::State& state) {
+    util::rng gen(5);
+    const std::size_t n = static_cast<std::size_t>(state.range(0));
+    linalg::matrix pts(n, 16);
+    for (double& x : pts.flat()) x = gen.normal();
+    for (auto _ : state) benchmark::DoNotOptimize(cluster::upgma_cluster(pts, 5));
+}
+BENCHMARK(bm_upgma)->Arg(250)->Arg(500)->Arg(1000)->Unit(benchmark::kMillisecond);
+
+void bm_kmeans(benchmark::State& state) {
+    util::rng gen(6);
+    const std::size_t n = static_cast<std::size_t>(state.range(0));
+    linalg::matrix pts(n, 16);
+    for (double& x : pts.flat()) x = gen.normal();
+    for (auto _ : state) benchmark::DoNotOptimize(cluster::kmeans(pts, 5, gen));
+}
+BENCHMARK(bm_kmeans)->Arg(250)->Arg(1000)->Unit(benchmark::kMillisecond);
+
+linalg::matrix random_distances(std::size_t n, util::rng& gen) {
+    linalg::matrix d(n, n, 0.0);
+    for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t j = i + 1; j < n; ++j) {
+            const double w = gen.uniform(0.1, 1.0);
+            d(i, j) = w;
+            d(j, i) = w;
+        }
+    return d;
+}
+
+void bm_held_karp(benchmark::State& state) {
+    util::rng gen(7);
+    const auto d = random_distances(static_cast<std::size_t>(state.range(0)), gen);
+    for (auto _ : state) benchmark::DoNotOptimize(tsp::held_karp_path(d, 0));
+}
+BENCHMARK(bm_held_karp)->Arg(5)->Arg(10)->Arg(15)->Arg(18)->Unit(benchmark::kMicrosecond);
+
+void bm_two_opt(benchmark::State& state) {
+    util::rng gen(8);
+    const auto d = random_distances(static_cast<std::size_t>(state.range(0)), gen);
+    for (auto _ : state) benchmark::DoNotOptimize(tsp::two_opt_path(d, 0, gen));
+}
+BENCHMARK(bm_two_opt)->Arg(10)->Arg(18)->Arg(40)->Unit(benchmark::kMicrosecond);
+
+void bm_adapted_jaccard_matrix(benchmark::State& state) {
+    const auto b = cached_building(static_cast<std::size_t>(state.range(0)), 150);
+    std::vector<int> assignment;
+    assignment.reserve(b.samples.size());
+    for (const auto& s : b.samples) assignment.push_back(s.true_floor);
+    const auto profiles = indexing::build_profiles(b, assignment, b.num_floors);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            indexing::similarity_matrix(profiles, indexing::similarity_kind::adapted_jaccard));
+}
+BENCHMARK(bm_adapted_jaccard_matrix)->Arg(5)->Arg(8)->Unit(benchmark::kMicrosecond);
+
+void bm_metrics(benchmark::State& state) {
+    util::rng gen(9);
+    const std::size_t n = 2000;
+    std::vector<int> a(n), b(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        a[i] = static_cast<int>(gen.uniform_index(8));
+        b[i] = static_cast<int>(gen.uniform_index(8));
+    }
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(eval::adjusted_rand_index(a, b));
+        benchmark::DoNotOptimize(eval::normalized_mutual_information(a, b));
+    }
+}
+BENCHMARK(bm_metrics)->Unit(benchmark::kMicrosecond);
+
+void bm_full_pipeline(benchmark::State& state) {
+    const auto b = cached_building(4, static_cast<std::size_t>(state.range(0)));
+    core::fis_one_config cfg;
+    cfg.gnn.seed = 11;
+    const core::fis_one system(cfg);
+    for (auto _ : state) benchmark::DoNotOptimize(system.run(b));
+}
+BENCHMARK(bm_full_pipeline)->Arg(60)->Arg(120)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,70 @@
+/// \file one_label_anywhere.cpp
+/// Demonstrates the paper's §VI extension: the single labeled sample comes
+/// from an *arbitrary* floor instead of the bottom one. The example walks
+/// every possible labeled floor of a building and shows:
+///   - Case 2 (any non-middle floor): FIS-ONE excludes the labeled sample
+///     from clustering, solves the free-start TSP, and orients the path by
+///     the labeled sample's embedding distance to the two candidate
+///     clusters — accuracy stays close to the bottom-floor protocol;
+///   - Case 1 (middle floor of an odd-floor building): the orientation is
+///     provably ambiguous, and the pipeline reports it rather than guess.
+///
+/// Run:  ./one_label_anywhere [--floors N] [--seed S]
+
+#include <cstdlib>
+#include <exception>
+#include <iostream>
+
+#include "core/fis_one.hpp"
+#include "sim/building_generator.hpp"
+#include "util/cli.hpp"
+#include "util/table_printer.hpp"
+
+int main(int argc, char** argv) try {
+    using namespace fisone;
+    const util::cli_args args(argc, argv);
+    const auto floors = static_cast<std::size_t>(args.get_int("floors", 5));
+    const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 11));
+
+    sim::building_spec spec;
+    spec.name = "anywhere-tower";
+    spec.num_floors = floors;
+    spec.samples_per_floor = 120;
+    spec.seed = seed;
+    data::building b = sim::generate_building(spec).building;
+
+    // Reference: the standard bottom-floor protocol.
+    core::fis_one_config bottom_cfg;
+    bottom_cfg.gnn.seed = seed;
+    bottom_cfg.seed = seed;
+    const auto bottom = core::fis_one(bottom_cfg).run(b);
+    std::cout << "Bottom-floor protocol reference: ARI=" << bottom.ari
+              << " edit distance=" << bottom.edit_distance << "\n\n";
+
+    core::fis_one_config any_cfg = bottom_cfg;
+    any_cfg.label = core::label_mode::arbitrary_floor;
+    const core::fis_one system(any_cfg);
+
+    util::table_printer table("Arbitrary-floor label (§VI)");
+    table.header({"labeled floor", "case", "ARI", "edit distance"});
+    util::rng gen(seed ^ 0x5eed);
+    for (std::size_t f = 0; f < floors; ++f) {
+        sim::relabel_floor(b, static_cast<int>(f), gen);
+        const auto r = system.run(b);
+        const bool middle = floors % 2 == 1 && f == floors / 2;
+        table.row({"F" + std::to_string(f + 1),
+                   r.ambiguous ? "Case 1 (ambiguous)" : "Case 2",
+                   util::table_printer::num(r.ari),
+                   middle && r.ambiguous ? util::table_printer::num(r.edit_distance) + " (coin flip)"
+                                         : util::table_printer::num(r.edit_distance)});
+    }
+    table.print(std::cout);
+
+    std::cout << "\nExpected: every Case-2 row is within a few percent of the bottom-floor\n"
+                 "reference; the middle floor of an odd building is flagged Case 1, where\n"
+                 "no algorithm can orient the path (paper Fig. 13).\n";
+    return EXIT_SUCCESS;
+} catch (const std::exception& e) {
+    std::cerr << "one_label_anywhere: " << e.what() << '\n';
+    return EXIT_FAILURE;
+}

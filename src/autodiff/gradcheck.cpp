@@ -1,0 +1,38 @@
+#include "gradcheck.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace fisone::autodiff {
+
+gradcheck_result check_gradient(const std::function<double(const matrix&)>& scalar_fn,
+                                const matrix& input, const matrix& analytic_grad,
+                                double epsilon, double tolerance) {
+    if (input.rows() != analytic_grad.rows() || input.cols() != analytic_grad.cols())
+        throw std::invalid_argument("check_gradient: gradient shape mismatch");
+
+    gradcheck_result result;
+    matrix perturbed = input;
+    for (std::size_t i = 0; i < input.size(); ++i) {
+        const double saved = perturbed.flat()[i];
+        perturbed.flat()[i] = saved + epsilon;
+        const double up = scalar_fn(perturbed);
+        perturbed.flat()[i] = saved - epsilon;
+        const double down = scalar_fn(perturbed);
+        perturbed.flat()[i] = saved;
+
+        const double numeric = (up - down) / (2.0 * epsilon);
+        const double analytic = analytic_grad.flat()[i];
+        const double abs_err = std::abs(numeric - analytic);
+        const double denom = std::max({std::abs(numeric), std::abs(analytic), 1e-8});
+        result.max_abs_error = std::max(result.max_abs_error, abs_err);
+        result.max_rel_error = std::max(result.max_rel_error, abs_err / denom);
+    }
+    // Pass when either error measure is within tolerance: absolute covers
+    // near-zero gradients, relative covers large ones.
+    result.passed = std::min(result.max_abs_error, result.max_rel_error) <= tolerance;
+    return result;
+}
+
+}  // namespace fisone::autodiff

@@ -1,0 +1,34 @@
+#pragma once
+
+/// \file gradcheck.hpp
+/// Central-difference gradient verification. Used by the test suite to
+/// validate every tape operation against numerical derivatives, which is
+/// the only practical way to trust a hand-rolled autodiff engine.
+
+#include <functional>
+
+#include "linalg/matrix.hpp"
+
+namespace fisone::autodiff {
+
+using linalg::matrix;
+
+/// Result of a gradient check.
+struct gradcheck_result {
+    double max_abs_error = 0.0;  ///< max |analytic − numeric| over entries
+    double max_rel_error = 0.0;  ///< max relative error over entries with non-tiny magnitude
+    bool passed = false;
+};
+
+/// Compare \p analytic_grad with central differences of \p scalar_fn
+/// around \p input.
+/// \param scalar_fn maps a parameter matrix to the scalar loss value.
+/// \param input the point at which to check.
+/// \param analytic_grad the gradient produced by the tape at \p input.
+/// \param epsilon finite-difference step.
+/// \param tolerance pass threshold on the max combined error.
+[[nodiscard]] gradcheck_result check_gradient(
+    const std::function<double(const matrix&)>& scalar_fn, const matrix& input,
+    const matrix& analytic_grad, double epsilon = 1e-5, double tolerance = 1e-4);
+
+}  // namespace fisone::autodiff

@@ -1,0 +1,92 @@
+#include "optimizer.hpp"
+
+#include <cmath>
+
+namespace fisone::autodiff {
+
+void clip_gradient(matrix& grad, double clip) noexcept {
+    if (clip <= 0.0) return;
+    double norm_sq = 0.0;
+    for (const double g : grad.flat()) norm_sq += g * g;
+    const double norm = std::sqrt(norm_sq);
+    if (norm > clip) {
+        const double scale = clip / norm;
+        for (double& g : grad.flat()) g *= scale;
+    }
+}
+
+sgd::sgd(double learning_rate, double momentum, double clip)
+    : lr_(learning_rate), momentum_(momentum), clip_(clip) {
+    if (learning_rate <= 0.0) throw std::invalid_argument("sgd: learning_rate must be > 0");
+    if (momentum < 0.0 || momentum >= 1.0)
+        throw std::invalid_argument("sgd: momentum must be in [0,1)");
+}
+
+void sgd::step(matrix& param, const matrix& grad) {
+    if (param.rows() != grad.rows() || param.cols() != grad.cols())
+        throw std::invalid_argument("sgd::step: shape mismatch");
+
+    matrix clipped = grad;
+    clip_gradient(clipped, clip_);
+
+    if (momentum_ == 0.0) {
+        for (std::size_t i = 0; i < param.size(); ++i)
+            param.flat()[i] -= lr_ * clipped.flat()[i];
+        return;
+    }
+
+    // Find or create the velocity slot for this parameter.
+    std::size_t slot = owners_.size();
+    for (std::size_t i = 0; i < owners_.size(); ++i)
+        if (owners_[i] == &param) {
+            slot = i;
+            break;
+        }
+    if (slot == owners_.size()) {
+        owners_.push_back(&param);
+        velocities_.emplace_back(param.rows(), param.cols(), 0.0);
+    }
+    matrix& vel = velocities_[slot];
+    for (std::size_t i = 0; i < param.size(); ++i) {
+        vel.flat()[i] = momentum_ * vel.flat()[i] + clipped.flat()[i];
+        param.flat()[i] -= lr_ * vel.flat()[i];
+    }
+}
+
+adam::adam(config cfg) : cfg_(cfg) {
+    if (cfg.learning_rate <= 0.0) throw std::invalid_argument("adam: learning_rate must be > 0");
+    if (cfg.beta1 < 0.0 || cfg.beta1 >= 1.0 || cfg.beta2 < 0.0 || cfg.beta2 >= 1.0)
+        throw std::invalid_argument("adam: betas must be in [0,1)");
+}
+
+adam::slot& adam::find_slot(const matrix& param) {
+    for (slot& s : slots_)
+        if (s.owner == &param) return s;
+    slots_.push_back(slot{&param, matrix(param.rows(), param.cols(), 0.0),
+                          matrix(param.rows(), param.cols(), 0.0)});
+    return slots_.back();
+}
+
+void adam::step(matrix& param, const matrix& grad) {
+    if (param.rows() != grad.rows() || param.cols() != grad.cols())
+        throw std::invalid_argument("adam::step: shape mismatch");
+
+    matrix clipped = grad;
+    clip_gradient(clipped, cfg_.clip);
+
+    slot& s = find_slot(param);
+    const double b1 = cfg_.beta1;
+    const double b2 = cfg_.beta2;
+    const double bc1 = 1.0 - std::pow(b1, static_cast<double>(t_));
+    const double bc2 = 1.0 - std::pow(b2, static_cast<double>(t_));
+    for (std::size_t i = 0; i < param.size(); ++i) {
+        const double g = clipped.flat()[i];
+        s.m.flat()[i] = b1 * s.m.flat()[i] + (1.0 - b1) * g;
+        s.v.flat()[i] = b2 * s.v.flat()[i] + (1.0 - b2) * g * g;
+        const double mhat = s.m.flat()[i] / bc1;
+        const double vhat = s.v.flat()[i] / bc2;
+        param.flat()[i] -= cfg_.learning_rate * mhat / (std::sqrt(vhat) + cfg_.epsilon);
+    }
+}
+
+}  // namespace fisone::autodiff

@@ -1,0 +1,86 @@
+#pragma once
+
+/// \file optimizer.hpp
+/// First-order optimisers operating on externally owned parameter matrices.
+/// Parameters live outside the tape (the tape is rebuilt per step); each
+/// training step copies the current values onto the tape, runs backward,
+/// and hands the gradients back to the optimiser.
+
+#include <cstddef>
+#include <stdexcept>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace fisone::autodiff {
+
+using linalg::matrix;
+
+/// Plain SGD with optional momentum and gradient clipping.
+class sgd {
+public:
+    /// \param learning_rate step size (> 0)
+    /// \param momentum classical momentum coefficient in [0, 1)
+    /// \param clip if > 0, each gradient is clipped to this max L2 norm
+    explicit sgd(double learning_rate, double momentum = 0.0, double clip = 0.0);
+
+    /// Apply one update: param ← param − lr · velocity(grad).
+    /// \throws std::invalid_argument on shape mismatch with first call.
+    void step(matrix& param, const matrix& grad);
+
+    /// Forget accumulated momentum (e.g. between training phases).
+    void reset() noexcept { velocities_.clear(); }
+
+private:
+    double lr_;
+    double momentum_;
+    double clip_;
+    std::vector<matrix> velocities_;
+    std::vector<const matrix*> owners_;  // identity of each slot
+};
+
+/// Adam hyperparameters (namespace-level so it is complete before use as
+/// a default argument).
+struct adam_config {
+    double learning_rate = 1e-3;
+    double beta1 = 0.9;
+    double beta2 = 0.999;
+    double epsilon = 1e-8;
+    double clip = 0.0;  ///< if > 0, max L2 norm per gradient
+};
+
+/// Adam (Kingma & Ba) with bias correction and optional gradient clipping.
+class adam {
+public:
+    using config = adam_config;
+
+    explicit adam(config cfg = config());
+
+    /// Apply one Adam update to \p param using \p grad. State is keyed by
+    /// the address of \p param, so each parameter must have a stable
+    /// address across steps.
+    void step(matrix& param, const matrix& grad);
+
+    /// Advance the shared timestep. Call once per optimisation step *after*
+    /// updating all parameters of that step (bias correction uses it).
+    void end_step() noexcept { ++t_; }
+
+    [[nodiscard]] std::size_t timestep() const noexcept { return t_; }
+
+private:
+    struct slot {
+        const matrix* owner = nullptr;
+        matrix m;
+        matrix v;
+    };
+    slot& find_slot(const matrix& param);
+
+    config cfg_;
+    std::size_t t_ = 1;
+    std::vector<slot> slots_;
+};
+
+/// Clip \p grad in place to max L2 norm \p clip (no-op when clip <= 0).
+void clip_gradient(matrix& grad, double clip) noexcept;
+
+}  // namespace fisone::autodiff

@@ -1,0 +1,146 @@
+#pragma once
+
+/// \file tape.hpp
+/// Reverse-mode automatic differentiation over dense matrices.
+///
+/// The GNN models in this library (RF-GNN, and the SDCN/DAEGC baselines)
+/// build a fresh computation graph per training step — neighbourhood
+/// sampling makes the graph dynamic — so the engine is a classic tape:
+/// every operation appends a node holding its value and a backprop closure;
+/// `backward()` runs the closures in reverse topological (= insertion)
+/// order. Gradients are only materialised for nodes that (transitively)
+/// depend on a trainable leaf.
+///
+/// The operation set is exactly what the paper's models need: dense layers
+/// (matmul / bias / activations), the RF-GNN weighted aggregation
+/// (`weighted_sum_rows`, paper §III-B AGGREGATE_w), row L2 normalisation,
+/// embedding lookup (`gather_rows`), the skip-gram losses (`row_dot`,
+/// `log_sigmoid`), and the deep-clustering losses of the baselines
+/// (`pairwise_sqdist`, `row_normalize`, `softmax_rows`, `log`).
+
+#include <cstddef>
+#include <functional>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace fisone::autodiff {
+
+using linalg::matrix;
+
+class tape;
+
+/// Lightweight handle to a node on a tape. Valid only for the lifetime of
+/// the tape that produced it.
+struct var {
+    std::size_t index = static_cast<std::size_t>(-1);
+    [[nodiscard]] bool valid() const noexcept { return index != static_cast<std::size_t>(-1); }
+};
+
+/// Append-only computation tape. Not thread-safe; use one per training step
+/// (or call `reset()` between steps to reuse allocations).
+class tape {
+public:
+    tape() = default;
+    tape(const tape&) = delete;
+    tape& operator=(const tape&) = delete;
+
+    /// Remove all nodes; handles from before the reset become invalid.
+    void reset() noexcept { nodes_.clear(); }
+
+    /// Number of nodes currently recorded.
+    [[nodiscard]] std::size_t size() const noexcept { return nodes_.size(); }
+
+    // --- leaves ---
+
+    /// Non-trainable input (no gradient will be computed for it).
+    var constant(matrix value);
+
+    /// Trainable leaf; after backward(), read its gradient with grad().
+    var parameter(matrix value);
+
+    // --- elementwise / arithmetic ---
+    var add(var a, var b);                     ///< a + b, same shape
+    var sub(var a, var b);                     ///< a - b, same shape
+    var scale(var a, double s);                ///< s · a
+    var add_scalar(var a, double s);           ///< a + s (elementwise)
+    var hadamard(var a, var b);                ///< a ⊙ b, same shape
+    var negate(var a) { return scale(a, -1.0); }
+
+    // --- linear algebra ---
+    var matmul(var a, var b);                  ///< a · b
+    var add_broadcast_row(var a, var bias);    ///< a (n×d) + bias (1×d) to every row
+    var concat_cols(var a, var b);             ///< [a | b], same row count
+
+    // --- activations / pointwise functions ---
+    var sigmoid(var a);
+    var tanh_act(var a);
+    var relu(var a);
+    var log_op(var a);                         ///< elementwise natural log (input must be > 0)
+    var reciprocal(var a);                     ///< 1 / a elementwise
+    var log_sigmoid(var a);                    ///< numerically stable log σ(a)
+
+    // --- row-structured operations ---
+
+    /// Normalise every row to unit L2 norm; rows with norm < eps are scaled
+    /// by 1/eps instead (keeps gradients finite). Paper §III-B: r ← r/‖r‖₂.
+    var l2_normalize_rows(var a, double eps = 1e-12);
+
+    /// Select rows `indices` of a (embedding lookup). Rows may repeat.
+    var gather_rows(var a, std::vector<std::size_t> indices);
+
+    /// out.row(i) = Σ_k groups[i][k].second · a.row(groups[i][k].first).
+    /// This is the RF-GNN attention aggregator: weights are the normalised
+    /// f(RSS) edge weights of the sampled neighbourhood.
+    var weighted_sum_rows(var a, std::vector<std::vector<std::pair<std::size_t, double>>> groups);
+
+    /// Row-wise dot product of two equally-shaped matrices → (n×1).
+    var row_dot(var a, var b);
+
+    /// s(i,j) = ‖a.row(i) − b.row(j)‖² → (n×k). Used by the Student-t soft
+    /// assignment of SDCN/DAEGC.
+    var pairwise_sqdist(var a, var b);
+
+    /// Divide each row by its sum (rows must have positive sums).
+    var row_normalize(var a);
+
+    /// Row-wise softmax.
+    var softmax_rows(var a);
+
+    // --- reductions ---
+    var sum_all(var a);   ///< → 1×1
+    var mean_all(var a);  ///< → 1×1
+
+    // --- access / backward ---
+
+    /// Value of a node.
+    [[nodiscard]] const matrix& value(var v) const;
+
+    /// Gradient of the last backward() root w.r.t. node \p v.
+    /// Empty matrix if the node did not require a gradient.
+    [[nodiscard]] const matrix& grad(var v) const;
+
+    /// Run reverse-mode accumulation from \p root, which must be 1×1.
+    /// Clears previous gradients first.
+    /// \throws std::invalid_argument if root is not scalar.
+    void backward(var root);
+
+private:
+    struct node {
+        matrix value;
+        matrix grad;                    // empty until needed
+        bool requires_grad = false;
+        std::function<void()> backprop;  // empty for leaves
+    };
+
+    var push(matrix value, bool requires_grad, std::function<void()> backprop);
+    node& at(var v);
+    const node& at(var v) const;
+    matrix& grad_buffer(std::size_t index);  ///< lazily allocate grad of node
+
+    std::vector<node> nodes_;
+};
+
+}  // namespace fisone::autodiff

@@ -1,0 +1,28 @@
+#include "mds.hpp"
+
+#include "cluster/hierarchical.hpp"
+#include "data/dataset_io.hpp"
+#include "linalg/eigen.hpp"
+
+namespace fisone::baselines {
+
+linalg::matrix mds_embed(const data::building& b, const mds_config& cfg) {
+    const linalg::matrix rss = data::to_rss_matrix(b, cfg.fill_dbm);
+    const std::size_t n = rss.rows();
+
+    // Pairwise 1 − cosine distances on the filled matrix.
+    linalg::matrix dist(n, n, 0.0);
+    for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t j = i + 1; j < n; ++j) {
+            const double d = 1.0 - linalg::cosine_similarity(rss.row(i), rss.row(j));
+            dist(i, j) = d;
+            dist(j, i) = d;
+        }
+    return linalg::classical_mds(dist, cfg.embedding_dim);
+}
+
+std::vector<int> mds_cluster(const data::building& b, const mds_config& cfg) {
+    return cluster::upgma_cluster(mds_embed(b, cfg), b.num_floors);
+}
+
+}  // namespace fisone::baselines

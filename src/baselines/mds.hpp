@@ -1,0 +1,31 @@
+#pragma once
+
+/// \file mds.hpp
+/// MDS baseline (paper §V-A): represent each scan as the dense vector over
+/// the superset of MACs with missing entries filled at −120 dBm (Fig. 3's
+/// matrix modelling), embed with classical multidimensional scaling under
+/// the 1 − cosine-similarity distance, then cluster hierarchically. The
+/// missing-value pathology of the matrix representation is exactly what
+/// the paper blames for this baseline's weakness.
+
+#include <cstddef>
+#include <vector>
+
+#include "data/rf_sample.hpp"
+#include "linalg/matrix.hpp"
+
+namespace fisone::baselines {
+
+/// Configuration for the MDS baseline.
+struct mds_config {
+    std::size_t embedding_dim = 32;
+    double fill_dbm = -120.0;  ///< value for missing matrix entries
+};
+
+/// Embed scans with classical MDS. Returns (num_samples × embedding_dim).
+[[nodiscard]] linalg::matrix mds_embed(const data::building& b, const mds_config& cfg = {});
+
+/// Full baseline: MDS embedding + UPGMA into `b.num_floors` clusters.
+[[nodiscard]] std::vector<int> mds_cluster(const data::building& b, const mds_config& cfg = {});
+
+}  // namespace fisone::baselines

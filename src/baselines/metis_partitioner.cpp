@@ -1,0 +1,258 @@
+#include "metis_partitioner.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+
+#include "graph_features.hpp"
+
+namespace fisone::baselines {
+
+namespace {
+
+/// Working graph representation across coarsening levels.
+struct level_graph {
+    // adjacency[v] = (neighbor, edge weight); symmetric, no self-loops.
+    std::vector<std::vector<std::pair<std::uint32_t, double>>> adjacency;
+    std::vector<double> vertex_weight;  // coarse vertices carry merged mass
+
+    [[nodiscard]] std::size_t size() const noexcept { return adjacency.size(); }
+};
+
+/// Heavy-edge matching: visit vertices in random order, match each
+/// unmatched vertex with its heaviest unmatched neighbour.
+/// Returns coarse-vertex id per fine vertex and the number of coarse nodes.
+std::pair<std::vector<std::uint32_t>, std::size_t> heavy_edge_matching(const level_graph& g,
+                                                                       util::rng& gen) {
+    const std::size_t n = g.size();
+    std::vector<std::uint32_t> coarse_id(n, std::numeric_limits<std::uint32_t>::max());
+    std::vector<std::size_t> order(n);
+    std::iota(order.begin(), order.end(), 0);
+    gen.shuffle(order);
+
+    std::uint32_t next = 0;
+    for (const std::size_t v : order) {
+        if (coarse_id[v] != std::numeric_limits<std::uint32_t>::max()) continue;
+        std::uint32_t best = std::numeric_limits<std::uint32_t>::max();
+        double best_w = -1.0;
+        for (const auto& [u, w] : g.adjacency[v]) {
+            if (coarse_id[u] != std::numeric_limits<std::uint32_t>::max()) continue;
+            if (w > best_w) {
+                best_w = w;
+                best = u;
+            }
+        }
+        coarse_id[v] = next;
+        if (best != std::numeric_limits<std::uint32_t>::max()) coarse_id[best] = next;
+        ++next;
+    }
+    return {std::move(coarse_id), next};
+}
+
+/// Build the coarse graph induced by a matching.
+level_graph coarsen(const level_graph& g, const std::vector<std::uint32_t>& coarse_id,
+                    std::size_t coarse_n) {
+    level_graph cg;
+    cg.adjacency.resize(coarse_n);
+    cg.vertex_weight.assign(coarse_n, 0.0);
+    for (std::size_t v = 0; v < g.size(); ++v) cg.vertex_weight[coarse_id[v]] += g.vertex_weight[v];
+
+    // Accumulate parallel edges with a scratch map per vertex.
+    std::vector<double> scratch(coarse_n, 0.0);
+    std::vector<std::uint32_t> touched;
+    std::vector<std::vector<std::uint32_t>> members(coarse_n);
+    for (std::uint32_t v = 0; v < g.size(); ++v)
+        members[coarse_id[v]].push_back(v);
+
+    for (std::uint32_t cv = 0; cv < coarse_n; ++cv) {
+        touched.clear();
+        for (const std::uint32_t v : members[cv]) {
+            for (const auto& [u, w] : g.adjacency[v]) {
+                const std::uint32_t cu = coarse_id[u];
+                if (cu == cv) continue;  // internal edge disappears
+                if (scratch[cu] == 0.0) touched.push_back(cu);
+                scratch[cu] += w;
+            }
+        }
+        auto& row = cg.adjacency[cv];
+        row.reserve(touched.size());
+        for (const std::uint32_t cu : touched) {
+            row.emplace_back(cu, scratch[cu]);
+            scratch[cu] = 0.0;
+        }
+    }
+    return cg;
+}
+
+/// Greedy region growing: k seeds, repeatedly attach the unassigned vertex
+/// with the strongest connection to a non-full part.
+std::vector<int> initial_partition(const level_graph& g, std::size_t k, double max_part,
+                                   util::rng& gen) {
+    const std::size_t n = g.size();
+    std::vector<int> part(n, -1);
+    std::vector<double> part_load(k, 0.0);
+
+    // Seeds: random distinct vertices.
+    std::vector<std::size_t> order(n);
+    std::iota(order.begin(), order.end(), 0);
+    gen.shuffle(order);
+    for (std::size_t c = 0; c < k && c < n; ++c) {
+        part[order[c]] = static_cast<int>(c);
+        part_load[c] += g.vertex_weight[order[c]];
+    }
+
+    // Grow: each round, assign every unassigned vertex to the part with the
+    // heaviest adjacent connection (ties/no-connection: lightest part).
+    bool progress = true;
+    while (progress) {
+        progress = false;
+        for (std::size_t v = 0; v < n; ++v) {
+            if (part[v] != -1) continue;
+            std::vector<double> gain(k, 0.0);
+            bool any = false;
+            for (const auto& [u, w] : g.adjacency[v]) {
+                if (part[u] != -1) {
+                    gain[static_cast<std::size_t>(part[u])] += w;
+                    any = true;
+                }
+            }
+            if (!any) continue;
+            std::size_t best = 0;
+            double best_gain = -1.0;
+            for (std::size_t c = 0; c < k; ++c) {
+                if (part_load[c] + g.vertex_weight[v] > max_part) continue;
+                if (gain[c] > best_gain) {
+                    best_gain = gain[c];
+                    best = c;
+                }
+            }
+            if (best_gain < 0.0) {
+                // Everything adjacent is full; drop into the lightest part.
+                best = static_cast<std::size_t>(
+                    std::min_element(part_load.begin(), part_load.end()) - part_load.begin());
+            }
+            part[v] = static_cast<int>(best);
+            part_load[best] += g.vertex_weight[v];
+            progress = true;
+        }
+        // Isolated leftovers: round-robin into the lightest part.
+        if (!progress) {
+            for (std::size_t v = 0; v < n; ++v) {
+                if (part[v] != -1) continue;
+                const std::size_t best = static_cast<std::size_t>(
+                    std::min_element(part_load.begin(), part_load.end()) - part_load.begin());
+                part[v] = static_cast<int>(best);
+                part_load[best] += g.vertex_weight[v];
+                progress = true;
+            }
+            if (progress) break;
+        }
+    }
+    return part;
+}
+
+/// Boundary Kernighan–Lin refinement: greedy best-gain single-vertex moves
+/// subject to the balance constraint, until a pass makes no improvement.
+void refine(const level_graph& g, std::vector<int>& part, std::size_t k, double max_part,
+            std::size_t max_passes) {
+    std::vector<double> part_load(k, 0.0);
+    for (std::size_t v = 0; v < g.size(); ++v)
+        part_load[static_cast<std::size_t>(part[v])] += g.vertex_weight[v];
+
+    for (std::size_t pass = 0; pass < max_passes; ++pass) {
+        bool moved = false;
+        for (std::size_t v = 0; v < g.size(); ++v) {
+            const auto cur = static_cast<std::size_t>(part[v]);
+            // Connection strength to each part.
+            std::vector<double> link(k, 0.0);
+            for (const auto& [u, w] : g.adjacency[v])
+                link[static_cast<std::size_t>(part[u])] += w;
+            std::size_t best = cur;
+            double best_gain = 0.0;
+            for (std::size_t c = 0; c < k; ++c) {
+                if (c == cur) continue;
+                if (part_load[c] + g.vertex_weight[v] > max_part) continue;
+                // Keep the source part non-empty.
+                if (part_load[cur] - g.vertex_weight[v] <= 0.0) continue;
+                const double gain = link[c] - link[cur];
+                if (gain > best_gain + 1e-12) {
+                    best_gain = gain;
+                    best = c;
+                }
+            }
+            if (best != cur) {
+                part_load[cur] -= g.vertex_weight[v];
+                part_load[best] += g.vertex_weight[v];
+                part[v] = static_cast<int>(best);
+                moved = true;
+            }
+        }
+        if (!moved) break;
+    }
+}
+
+}  // namespace
+
+std::vector<int> metis_partition(
+    const std::vector<std::vector<std::pair<std::uint32_t, double>>>& adjacency, std::size_t k,
+    const metis_config& cfg) {
+    const std::size_t n = adjacency.size();
+    if (k == 0) throw std::invalid_argument("metis_partition: k must be > 0");
+    if (n == 0) return {};
+    if (k >= n) {
+        std::vector<int> trivial(n);
+        for (std::size_t v = 0; v < n; ++v) trivial[v] = static_cast<int>(v % k);
+        return trivial;
+    }
+
+    util::rng gen(cfg.seed);
+
+    // --- phase 1: coarsen ---
+    std::vector<level_graph> levels;
+    std::vector<std::vector<std::uint32_t>> mappings;  // fine → coarse per level
+    level_graph g0;
+    g0.adjacency = adjacency;
+    g0.vertex_weight.assign(n, 1.0);
+    levels.push_back(std::move(g0));
+
+    while (levels.back().size() > cfg.coarsen_until) {
+        auto [coarse_id, coarse_n] = heavy_edge_matching(levels.back(), gen);
+        if (coarse_n >= levels.back().size() * 95 / 100) break;  // matching stalled
+        level_graph next = coarsen(levels.back(), coarse_id, coarse_n);
+        mappings.push_back(std::move(coarse_id));
+        levels.push_back(std::move(next));
+    }
+
+    // --- phase 2: initial partition on the coarsest graph ---
+    double total_weight = 0.0;
+    for (const double w : levels.back().vertex_weight) total_weight += w;
+    const double max_part =
+        total_weight / static_cast<double>(k) * (1.0 + cfg.balance_tolerance);
+    std::vector<int> part = initial_partition(levels.back(), k, max_part, gen);
+    refine(levels.back(), part, k, max_part, cfg.refine_passes);
+
+    // --- phase 3: uncoarsen + refine each level ---
+    for (std::size_t level = levels.size() - 1; level-- > 0;) {
+        const auto& mapping = mappings[level];
+        std::vector<int> fine_part(levels[level].size());
+        for (std::size_t v = 0; v < fine_part.size(); ++v)
+            fine_part[v] = part[mapping[v]];
+        part = std::move(fine_part);
+        refine(levels[level], part, k, max_part, cfg.refine_passes);
+    }
+    return part;
+}
+
+std::vector<int> metis_cluster(const data::building& b, const metis_config& cfg) {
+    const graph::bipartite_graph g = graph::bipartite_graph::from_building(b);
+    std::vector<std::vector<std::pair<std::uint32_t, double>>> adjacency(g.num_nodes());
+    for (std::uint32_t v = 0; v < g.num_nodes(); ++v) {
+        adjacency[v].reserve(g.degree(v));
+        for (const graph::edge& e : g.neighbors(v)) adjacency[v].emplace_back(e.neighbor, e.weight);
+    }
+    const std::vector<int> parts = metis_partition(adjacency, b.num_floors, cfg);
+    return sample_labels(g, parts);
+}
+
+}  // namespace fisone::baselines

@@ -1,0 +1,47 @@
+#pragma once
+
+/// \file metis_partitioner.hpp
+/// METIS-style multilevel k-way graph partitioner (Karypis–Kumar scheme),
+/// the paper's third baseline. Three phases:
+///  1. *Coarsening*: heavy-edge matching collapses matched vertex pairs
+///     until the graph is small;
+///  2. *Initial partitioning*: greedy region growing from k seeds on the
+///     coarsest graph, balanced by vertex count;
+///  3. *Uncoarsening*: the partition is projected back level by level and
+///     refined with boundary Kernighan–Lin moves (best-gain vertex moves
+///     under a balance constraint).
+/// As the paper observes, cut-based partitioning struggles on RF graphs
+/// because spillover blurs the boundaries between floor clusters.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "data/rf_sample.hpp"
+#include "graph/bipartite_graph.hpp"
+#include "util/rng.hpp"
+
+namespace fisone::baselines {
+
+/// Tuning knobs of the multilevel scheme.
+struct metis_config {
+    std::size_t coarsen_until = 120;    ///< stop coarsening below ~this many vertices
+    double balance_tolerance = 0.25;    ///< parts may exceed ideal size by this fraction
+    std::size_t refine_passes = 8;      ///< max KL passes per level
+    std::uint64_t seed = 99;
+};
+
+/// Partition an arbitrary weighted undirected graph (CSR-ish input) into k
+/// parts. Exposed for direct testing.
+/// \param adjacency per-vertex list of (neighbor, weight); must be symmetric.
+/// \returns per-vertex part id in [0, k).
+[[nodiscard]] std::vector<int> metis_partition(
+    const std::vector<std::vector<std::pair<std::uint32_t, double>>>& adjacency, std::size_t k,
+    const metis_config& cfg = {});
+
+/// The baseline as the paper uses it: partition the bipartite RF graph
+/// into `b.num_floors` parts and return the sample-node part labels.
+[[nodiscard]] std::vector<int> metis_cluster(const data::building& b,
+                                             const metis_config& cfg = {});
+
+}  // namespace fisone::baselines

@@ -1,0 +1,50 @@
+#include "floor_count.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace fisone::cluster {
+
+floor_count_estimate estimate_floor_count_from_linkage(const std::vector<linkage_merge>& merges,
+                                                       std::size_t num_points,
+                                                       std::size_t min_floors,
+                                                       std::size_t max_floors) {
+    if (min_floors < 2) throw std::invalid_argument("estimate_floor_count: min_floors < 2");
+    if (min_floors > max_floors)
+        throw std::invalid_argument("estimate_floor_count: inverted bounds");
+    if (num_points < max_floors + 1)
+        throw std::invalid_argument("estimate_floor_count: need more points than max_floors");
+    if (merges.size() != num_points - 1)
+        throw std::invalid_argument("estimate_floor_count: linkage size mismatch");
+
+    // Heights in ascending merge order (same ordering cut_linkage replays).
+    std::vector<double> heights;
+    heights.reserve(merges.size());
+    for (const linkage_merge& m : merges) heights.push_back(m.height);
+    std::sort(heights.begin(), heights.end());
+
+    // With k clusters remaining, the next merge (k → k−1) is heights[n−k].
+    const auto merge_height = [&](std::size_t k) { return heights[num_points - k]; };
+
+    floor_count_estimate best;
+    for (std::size_t k = min_floors; k <= max_floors; ++k) {
+        const double into_k_minus_1 = merge_height(k);        // destroys the k-partition
+        const double into_k = merge_height(k + 1);            // created the k-partition
+        const double ratio = into_k > 1e-300 ? into_k_minus_1 / into_k : 0.0;
+        if (ratio > best.gap_ratio) {
+            best.gap_ratio = ratio;
+            best.num_floors = k;
+        }
+    }
+    for (std::size_t k = min_floors; k <= max_floors; ++k)
+        best.heights.push_back(merge_height(k));
+    return best;
+}
+
+floor_count_estimate estimate_floor_count(const linalg::matrix& points, std::size_t min_floors,
+                                          std::size_t max_floors) {
+    const auto merges = upgma_linkage(points);
+    return estimate_floor_count_from_linkage(merges, points.rows(), min_floors, max_floors);
+}
+
+}  // namespace fisone::cluster

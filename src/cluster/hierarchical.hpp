@@ -1,0 +1,45 @@
+#pragma once
+
+/// \file hierarchical.hpp
+/// Proximity-based agglomerative clustering with average linkage (UPGMA) —
+/// the signal-clustering step of FIS-ONE (paper §IV-A): start from
+/// singletons, repeatedly merge the two closest clusters under
+/// d(C_i, C_j) = (1/|C_i||C_j|) Σ Σ ‖r − r'‖₂ until the number of clusters
+/// equals the number of floors.
+///
+/// Implementation: nearest-neighbour-chain over a Lance–Williams distance
+/// update (average linkage is reducible, so NN-chain yields the same
+/// dendrogram as greedy minimum merging) — O(n²) time, O(n²) float memory.
+
+#include <cstddef>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace fisone::cluster {
+
+/// One merge of the dendrogram. `a` and `b` are *representative original
+/// point indices* of the two clusters merged; `height` is the average-
+/// linkage distance at which they merged.
+struct linkage_merge {
+    std::size_t a = 0;
+    std::size_t b = 0;
+    double height = 0.0;
+};
+
+/// Full UPGMA dendrogram of the rows of \p points (n−1 merges).
+/// \throws std::invalid_argument if points has fewer than 1 row.
+[[nodiscard]] std::vector<linkage_merge> upgma_linkage(const linalg::matrix& points);
+
+/// Cut a dendrogram into \p k clusters: replay merges in ascending height
+/// order until k components remain. Labels are 0..k−1 in order of first
+/// appearance by point index.
+/// \param n number of original points.
+/// \throws std::invalid_argument when k is 0 or exceeds n.
+[[nodiscard]] std::vector<int> cut_linkage(const std::vector<linkage_merge>& merges,
+                                           std::size_t n, std::size_t k);
+
+/// Convenience: cluster rows of \p points into \p k clusters by UPGMA.
+[[nodiscard]] std::vector<int> upgma_cluster(const linalg::matrix& points, std::size_t k);
+
+}  // namespace fisone::cluster

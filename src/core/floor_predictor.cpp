@@ -1,0 +1,70 @@
+#include "floor_predictor.hpp"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+#include <utility>
+
+namespace fisone::core {
+
+floor_predictor::floor_predictor(fis_one_config cfg, std::size_t k_neighbors)
+    : cfg_(cfg), k_neighbors_(k_neighbors) {
+    if (k_neighbors_ == 0)
+        throw std::invalid_argument("floor_predictor: k_neighbors must be > 0");
+}
+
+fis_one_result floor_predictor::fit(const data::building& b) {
+    // Run the offline pipeline first (it validates the building).
+    fis_one pipeline(cfg_);
+    fis_one_result result = pipeline.run(b);
+
+    // Rebuild the trained RF-GNN for online inductive queries. Training is
+    // deterministic per (graph, config), so this model is bit-identical to
+    // the one the pipeline used internally.
+    graph_ = std::make_unique<graph::bipartite_graph>(graph::bipartite_graph::from_building(b));
+    model_ = std::make_unique<gnn::rf_gnn>(*graph_, cfg_.gnn);
+    model_->train();
+
+    train_embeddings_ = result.embeddings;
+    train_floor_ = result.predicted_floor;
+    num_clusters_ = result.num_clusters;
+    return result;
+}
+
+std::size_t floor_predictor::num_floors() const {
+    if (!fitted()) throw std::logic_error("floor_predictor::num_floors: call fit first");
+    return num_clusters_;
+}
+
+floor_prediction floor_predictor::predict(
+    const std::vector<data::rf_observation>& observations) const {
+    if (!fitted()) throw std::logic_error("floor_predictor::predict: call fit first");
+
+    const std::vector<double> rep = model_->embed_new_sample(observations);
+
+    const std::size_t n = train_embeddings_.rows();
+    const std::size_t k = std::min(k_neighbors_, n);
+    std::vector<std::pair<double, int>> nearest;
+    nearest.reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+        nearest.emplace_back(linalg::squared_distance(rep, train_embeddings_.row(i)),
+                             train_floor_[i]);
+    std::partial_sort(nearest.begin(), nearest.begin() + static_cast<std::ptrdiff_t>(k),
+                      nearest.end());
+
+    std::map<int, std::size_t> votes;
+    for (std::size_t i = 0; i < k; ++i) ++votes[nearest[i].second];
+
+    floor_prediction out;
+    std::size_t best = 0;
+    for (const auto& [floor, count] : votes) {
+        if (count > best) {
+            best = count;
+            out.floor = floor;
+        }
+    }
+    out.confidence = static_cast<double>(best) / static_cast<double>(k);
+    return out;
+}
+
+}  // namespace fisone::core

@@ -1,0 +1,68 @@
+#pragma once
+
+/// \file floor_predictor.hpp
+/// The online half of the paper's motivating use case: "identify the floor
+/// number of a new RF signal upon its measurement" (§I). A
+/// `floor_predictor` owns a trained RF-GNN plus the one-label-indexed
+/// clustering of the crowdsourced corpus, and classifies *new* scans that
+/// were never nodes of the training graph:
+///   new scan → inductive RF-GNN embedding → majority vote over the k
+///   nearest indexed training scans → floor.
+/// k-NN voting is used instead of nearest-centroid because inductive
+/// embeddings correlate with, but are slightly offset from, transductive
+/// ones (the base vector is synthesised from MAC embeddings); local
+/// neighbourhoods absorb that offset.
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "data/rf_sample.hpp"
+#include "fis_one.hpp"
+#include "gnn/rf_gnn.hpp"
+#include "graph/bipartite_graph.hpp"
+
+namespace fisone::core {
+
+/// A floor prediction for one new scan.
+struct floor_prediction {
+    int floor = -1;          ///< predicted floor (0 = bottom)
+    double confidence = 0.0; ///< fraction of neighbour votes for that floor
+};
+
+/// Online classifier built from a training corpus. Owns everything it
+/// needs; the building passed to `fit` may be destroyed afterwards.
+class floor_predictor {
+public:
+    /// \param k_neighbors vote pool size (odd values avoid ties).
+    explicit floor_predictor(fis_one_config cfg = {}, std::size_t k_neighbors = 9);
+
+    /// Train the pipeline on \p b (graph + RF-GNN + clustering + indexing)
+    /// and retain the model for online queries.
+    /// \returns the offline result (metrics, per-scan floors).
+    fis_one_result fit(const data::building& b);
+
+    /// Classify a new scan. Requires `fit` to have been called.
+    /// \throws std::logic_error before fit; std::invalid_argument if no
+    ///         observation matches a MAC known to the training graph.
+    [[nodiscard]] floor_prediction predict(
+        const std::vector<data::rf_observation>& observations) const;
+
+    /// Number of floors the fitted model distinguishes.
+    [[nodiscard]] std::size_t num_floors() const;
+
+    [[nodiscard]] bool fitted() const noexcept { return model_ != nullptr; }
+
+private:
+    fis_one_config cfg_;
+    std::size_t k_neighbors_;
+
+    // Training state (populated by fit).
+    std::unique_ptr<graph::bipartite_graph> graph_;
+    std::unique_ptr<gnn::rf_gnn> model_;
+    linalg::matrix train_embeddings_;
+    std::vector<int> train_floor_;
+    std::size_t num_clusters_ = 0;
+};
+
+}  // namespace fisone::core

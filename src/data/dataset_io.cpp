@@ -1,0 +1,97 @@
+#include "dataset_io.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/csv.hpp"
+
+namespace fisone::data {
+
+namespace {
+constexpr const char* kMagic = "# fisone-building v1";
+}
+
+void save_building(const building& b, std::ostream& out) {
+    out << kMagic << '\n';
+    out << "name," << b.name << '\n';
+    out << "floors," << b.num_floors << '\n';
+    out << "macs," << b.num_macs << '\n';
+    out << "labeled_sample," << b.labeled_sample << '\n';
+    out << "labeled_floor," << b.labeled_floor << '\n';
+    for (const rf_sample& s : b.samples) {
+        out << "sample," << s.true_floor << ',' << s.device_id;
+        for (const rf_observation& o : s.observations) out << ',' << o.mac_id << ':' << o.rss_dbm;
+        out << '\n';
+    }
+    if (!out) throw std::ios_base::failure("save_building: write error");
+}
+
+building load_building(std::istream& in) {
+    std::string line;
+    if (!std::getline(in, line) || util::trim(line) != kMagic)
+        throw std::invalid_argument("load_building: bad magic line");
+
+    building b;
+    while (std::getline(in, line)) {
+        if (util::trim(line).empty()) continue;
+        const auto fields = util::split_fields(line);
+        const std::string& key = fields.front();
+        if (key == "name") {
+            if (fields.size() != 2) throw std::invalid_argument("load_building: bad name row");
+            b.name = fields[1];
+        } else if (key == "floors") {
+            b.num_floors = static_cast<std::size_t>(util::parse_int(fields.at(1)));
+        } else if (key == "macs") {
+            b.num_macs = static_cast<std::size_t>(util::parse_int(fields.at(1)));
+        } else if (key == "labeled_sample") {
+            b.labeled_sample = static_cast<std::size_t>(util::parse_int(fields.at(1)));
+        } else if (key == "labeled_floor") {
+            b.labeled_floor = static_cast<std::int32_t>(util::parse_int(fields.at(1)));
+        } else if (key == "sample") {
+            if (fields.size() < 4)
+                throw std::invalid_argument("load_building: sample row needs >= 1 observation");
+            rf_sample s;
+            s.true_floor = static_cast<std::int32_t>(util::parse_int(fields.at(1)));
+            s.device_id = static_cast<std::uint32_t>(util::parse_int(fields.at(2)));
+            for (std::size_t i = 3; i < fields.size(); ++i) {
+                const auto pos = fields[i].find(':');
+                if (pos == std::string::npos)
+                    throw std::invalid_argument("load_building: observation missing ':'");
+                rf_observation o;
+                o.mac_id = static_cast<std::uint32_t>(util::parse_int(fields[i].substr(0, pos)));
+                o.rss_dbm = util::parse_double(fields[i].substr(pos + 1));
+                s.observations.push_back(o);
+            }
+            b.samples.push_back(std::move(s));
+        } else {
+            throw std::invalid_argument("load_building: unknown row key '" + key + "'");
+        }
+    }
+    b.validate();
+    return b;
+}
+
+void save_building_file(const building& b, const std::string& path) {
+    std::ofstream out(path);
+    if (!out) throw std::ios_base::failure("save_building_file: cannot open " + path);
+    save_building(b, out);
+}
+
+building load_building_file(const std::string& path) {
+    std::ifstream in(path);
+    if (!in) throw std::ios_base::failure("load_building_file: cannot open " + path);
+    return load_building(in);
+}
+
+linalg::matrix to_rss_matrix(const building& b, double fill_dbm) {
+    linalg::matrix m(b.samples.size(), b.num_macs, fill_dbm);
+    for (std::size_t i = 0; i < b.samples.size(); ++i)
+        for (const rf_observation& o : b.samples[i].observations) {
+            double& cell = m(i, o.mac_id);
+            if (cell == fill_dbm || o.rss_dbm > cell) cell = o.rss_dbm;
+        }
+    return m;
+}
+
+}  // namespace fisone::data

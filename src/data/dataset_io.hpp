@@ -1,0 +1,42 @@
+#pragma once
+
+/// \file dataset_io.hpp
+/// On-disk serialisation for building datasets, and the dense-matrix view
+/// used by the MDS baseline (paper Fig. 3's "matrix modelling" with missing
+/// entries filled at −120 dBm).
+///
+/// Format (CSV, one file per building):
+///   # fisone-building v1
+///   name,<name>
+///   floors,<F>
+///   macs,<M>
+///   labeled_sample,<index>
+///   labeled_floor,<floor>
+///   sample,<true_floor>,<device_id>,<mac:rss>,<mac:rss>,...
+///   ... one `sample` row per scan ...
+
+#include <iosfwd>
+#include <string>
+
+#include "linalg/matrix.hpp"
+#include "rf_sample.hpp"
+
+namespace fisone::data {
+
+/// Serialise \p b to the stream. \throws std::ios_base::failure on write error.
+void save_building(const building& b, std::ostream& out);
+
+/// Parse a building from the stream.
+/// \throws std::invalid_argument on malformed content.
+[[nodiscard]] building load_building(std::istream& in);
+
+/// Convenience: save to / load from a file path.
+void save_building_file(const building& b, const std::string& path);
+[[nodiscard]] building load_building_file(const std::string& path);
+
+/// Dense samples × MACs RSS matrix with missing entries set to
+/// \p fill_dbm (paper uses −120 dBm). When a sample observes the same MAC
+/// several times the strongest reading wins.
+[[nodiscard]] linalg::matrix to_rss_matrix(const building& b, double fill_dbm = -120.0);
+
+}  // namespace fisone::data

@@ -1,0 +1,41 @@
+#include "rf_sample.hpp"
+
+namespace fisone::data {
+
+void building::validate() const {
+    if (num_floors < 2)
+        throw std::invalid_argument("building::validate: need at least 2 floors");
+    if (samples.empty()) throw std::invalid_argument("building::validate: no samples");
+    if (labeled_sample >= samples.size())
+        throw std::invalid_argument("building::validate: labeled_sample out of range");
+    if (labeled_floor < 0 || static_cast<std::size_t>(labeled_floor) >= num_floors)
+        throw std::invalid_argument("building::validate: labeled_floor out of range");
+    if (samples[labeled_sample].true_floor != labeled_floor)
+        throw std::invalid_argument(
+            "building::validate: label does not match ground truth of labeled sample");
+    for (const rf_sample& s : samples) {
+        if (s.observations.empty())
+            throw std::invalid_argument("building::validate: sample with no observations");
+        // −1 means "unknown ground truth" (imported crowdsourced scans).
+        if (s.true_floor != -1 &&
+            (s.true_floor < 0 || static_cast<std::size_t>(s.true_floor) >= num_floors))
+            throw std::invalid_argument("building::validate: ground-truth floor out of range");
+        for (const rf_observation& o : s.observations) {
+            if (o.mac_id >= num_macs)
+                throw std::invalid_argument("building::validate: mac_id out of range");
+            if (o.rss_dbm > 0.0 || o.rss_dbm < -120.0)
+                throw std::invalid_argument(
+                    "building::validate: RSS outside plausible range [-120, 0] dBm");
+        }
+    }
+}
+
+std::vector<std::size_t> building::samples_per_floor() const {
+    std::vector<std::size_t> counts(num_floors, 0);
+    for (const rf_sample& s : samples)
+        if (s.true_floor >= 0 && static_cast<std::size_t>(s.true_floor) < num_floors)
+            ++counts[static_cast<std::size_t>(s.true_floor)];
+    return counts;
+}
+
+}  // namespace fisone::data

@@ -1,0 +1,98 @@
+#pragma once
+
+/// \file rf_sample.hpp
+/// Core data model for crowdsourced RF signals: a *sample* (one scan by one
+/// contributor's device) is a list of (MAC address, RSS) observations, plus
+/// a ground-truth floor that the algorithms never see — only the evaluation
+/// code does. FIS-ONE's protocol exposes exactly one label per building
+/// (paper §I), carried by `building::labeled_sample` / `labeled_floor`.
+
+#include <cstdint>
+#include <limits>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace fisone::data {
+
+/// One (MAC, RSS) detection inside a scan. MAC addresses are interned to
+/// dense ids by `mac_registry`.
+struct rf_observation {
+    std::uint32_t mac_id = 0;
+    double rss_dbm = -120.0;  ///< received signal strength in dBm (negative)
+};
+
+/// One crowdsourced scan.
+struct rf_sample {
+    std::vector<rf_observation> observations;
+    /// Ground truth, 0-based from the bottom floor; −1 = unknown (real
+    /// crowdsourced scans). Evaluation only — the pipeline must never read
+    /// it except for the single labeled sample, whose floor must be known.
+    std::int32_t true_floor = -1;
+    /// Contributing device, for device-heterogeneity modelling.
+    std::uint32_t device_id = 0;
+};
+
+/// Interns MAC address strings to dense uint32 ids (and back).
+class mac_registry {
+public:
+    /// Get-or-assign the id for \p mac.
+    std::uint32_t id_of(const std::string& mac) {
+        const auto it = ids_.find(mac);
+        if (it != ids_.end()) return it->second;
+        const auto id = static_cast<std::uint32_t>(names_.size());
+        ids_.emplace(mac, id);
+        names_.push_back(mac);
+        return id;
+    }
+
+    /// Lookup without inserting; returns nullopt-style sentinel.
+    [[nodiscard]] std::uint32_t find(const std::string& mac) const {
+        const auto it = ids_.find(mac);
+        return it == ids_.end() ? npos : it->second;
+    }
+
+    /// Name of \p id. \throws std::out_of_range for unknown ids.
+    [[nodiscard]] const std::string& name_of(std::uint32_t id) const {
+        if (id >= names_.size()) throw std::out_of_range("mac_registry::name_of");
+        return names_[id];
+    }
+
+    [[nodiscard]] std::size_t size() const noexcept { return names_.size(); }
+
+    static constexpr std::uint32_t npos = std::numeric_limits<std::uint32_t>::max();
+
+private:
+    std::unordered_map<std::string, std::uint32_t> ids_;
+    std::vector<std::string> names_;
+};
+
+/// A building's worth of crowdsourced scans plus the one-label protocol.
+struct building {
+    std::string name;
+    std::size_t num_floors = 0;
+    std::size_t num_macs = 0;  ///< MAC ids are in [0, num_macs)
+    std::vector<rf_sample> samples;
+    /// Index into `samples` of the single floor-labeled sample.
+    std::size_t labeled_sample = 0;
+    /// The label itself (0-based floor index). For the paper's main setting
+    /// this is 0 (bottom floor); §VI relaxes it to an arbitrary floor.
+    std::int32_t labeled_floor = 0;
+
+    /// Validate internal consistency (ids in range, labeled index valid,
+    /// the label matches the ground truth of the labeled sample).
+    /// \throws std::invalid_argument describing the first violation.
+    void validate() const;
+
+    /// Samples per floor, from ground truth (diagnostics / simulator tests).
+    [[nodiscard]] std::vector<std::size_t> samples_per_floor() const;
+};
+
+/// A named collection of buildings ("Microsoft", "Ours").
+struct corpus {
+    std::string name;
+    std::vector<building> buildings;
+};
+
+}  // namespace fisone::data

@@ -1,0 +1,83 @@
+#include "scan_log.hpp"
+
+#include <fstream>
+#include <istream>
+#include <stdexcept>
+
+#include "util/csv.hpp"
+
+namespace fisone::data {
+
+imported_building import_scan_log(std::istream& in, const scan_log_options& opts) {
+    if (opts.num_floors < 2)
+        throw std::invalid_argument("import_scan_log: num_floors must be >= 2");
+
+    imported_building out;
+    out.building_data.name = opts.building_name;
+    out.building_data.num_floors = opts.num_floors;
+
+    std::string line;
+    std::size_t line_no = 0;
+    std::size_t first_labeled = static_cast<std::size_t>(-1);
+    while (std::getline(in, line)) {
+        ++line_no;
+        const auto trimmed = util::trim(line);
+        if (trimmed.empty() || trimmed.front() == '#') continue;
+
+        const auto fields = util::split_fields(trimmed);
+        if (fields.size() < 3)
+            throw std::invalid_argument("import_scan_log: line " + std::to_string(line_no) +
+                                        ": expected device,floor,mac:rss,...");
+        rf_sample sample;
+        sample.device_id = static_cast<std::uint32_t>(util::parse_int(fields[0]));
+
+        if (fields[1] == "?") {
+            sample.true_floor = -1;
+        } else {
+            const long long floor = util::parse_int(fields[1]);
+            if (floor < 0 || static_cast<std::size_t>(floor) >= opts.num_floors)
+                throw std::invalid_argument("import_scan_log: line " + std::to_string(line_no) +
+                                            ": floor out of range");
+            sample.true_floor = static_cast<std::int32_t>(floor);
+            ++out.labeled_scans;
+            if (first_labeled == static_cast<std::size_t>(-1))
+                first_labeled = out.building_data.samples.size();
+        }
+
+        for (std::size_t i = 2; i < fields.size(); ++i) {
+            const auto pos = fields[i].rfind(':');
+            if (pos == std::string::npos || pos == 0 || pos + 1 >= fields[i].size())
+                throw std::invalid_argument("import_scan_log: line " + std::to_string(line_no) +
+                                            ": malformed observation '" + fields[i] + "'");
+            rf_observation obs;
+            obs.mac_id = out.registry.id_of(fields[i].substr(0, pos));
+            obs.rss_dbm = util::parse_double(fields[i].substr(pos + 1));
+            sample.observations.push_back(obs);
+        }
+        out.building_data.samples.push_back(std::move(sample));
+    }
+
+    if (out.building_data.samples.empty())
+        throw std::invalid_argument("import_scan_log: no scans in input");
+    if (out.labeled_scans == 0)
+        throw std::invalid_argument(
+            "import_scan_log: FIS-ONE needs exactly one floor-labeled scan; found none");
+    if (out.labeled_scans > 1 && !opts.keep_extra_labels)
+        throw std::invalid_argument(
+            "import_scan_log: more than one labeled scan; pass keep_extra_labels to allow "
+            "(extras become evaluation ground truth)");
+
+    out.building_data.num_macs = out.registry.size();
+    out.building_data.labeled_sample = first_labeled;
+    out.building_data.labeled_floor = out.building_data.samples[first_labeled].true_floor;
+    out.building_data.validate();
+    return out;
+}
+
+imported_building import_scan_log_file(const std::string& path, const scan_log_options& opts) {
+    std::ifstream in(path);
+    if (!in) throw std::ios_base::failure("import_scan_log_file: cannot open " + path);
+    return import_scan_log(in, opts);
+}
+
+}  // namespace fisone::data

@@ -1,0 +1,56 @@
+#pragma once
+
+/// \file scan_log.hpp
+/// Importer for raw crowdsourced scan logs — the format a real deployment
+/// would collect, with textual MAC addresses and (mostly) no floor labels.
+/// One line per scan:
+///
+///   <device_id>,<floor|?>,<mac>:<rss>,<mac>:<rss>,...
+///
+/// where `floor` is `?` for the unlabeled crowdsourced majority and an
+/// integer for surveyed scans. Exactly one labeled scan is required to run
+/// FIS-ONE; `import_scan_log` enforces that protocol by default (the first
+/// labeled scan becomes `building::labeled_sample`; remaining labels are
+/// kept as ground truth for evaluation if `keep_extra_labels` is set, and
+/// rejected otherwise).
+///
+/// MAC addresses are interned through `mac_registry`, so heterogeneous
+/// vendor formats (case, separators) are preserved verbatim as keys.
+
+#include <iosfwd>
+#include <string>
+
+#include "rf_sample.hpp"
+
+namespace fisone::data {
+
+/// Options for `import_scan_log`.
+struct scan_log_options {
+    std::size_t num_floors = 0;     ///< required: total floors of the building
+    /// Accept more than one labeled scan (extras become evaluation ground
+    /// truth). Default false: the one-label protocol is enforced strictly.
+    bool keep_extra_labels = false;
+    std::string building_name = "imported";
+};
+
+/// Result of an import: the building plus the registry mapping dense MAC
+/// ids back to the original address strings.
+struct imported_building {
+    building building_data;
+    mac_registry registry;
+    std::size_t labeled_scans = 0;  ///< how many input scans carried labels
+};
+
+/// Parse a scan log from a stream.
+/// \throws std::invalid_argument on malformed lines, zero `num_floors`,
+///         no labeled scan, or (without `keep_extra_labels`) more than one.
+/// Unlabeled scans receive `true_floor = -1`; they are excluded from
+/// metric computation by the evaluation helpers (which skip negatives) but
+/// fully participate in graph construction and clustering.
+[[nodiscard]] imported_building import_scan_log(std::istream& in, const scan_log_options& opts);
+
+/// Convenience file-path overload.
+[[nodiscard]] imported_building import_scan_log_file(const std::string& path,
+                                                     const scan_log_options& opts);
+
+}  // namespace fisone::data

@@ -1,0 +1,180 @@
+#include "metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace fisone::eval {
+
+namespace {
+
+/// n choose 2 as a double (inputs are counts, safely small).
+double choose2(double n) { return n * (n - 1.0) / 2.0; }
+
+/// Contingency table between two labelings plus marginals.
+struct contingency {
+    std::map<std::pair<int, int>, double> cells;
+    std::map<int, double> row_sums;  // predicted marginals
+    std::map<int, double> col_sums;  // truth marginals
+    double n = 0.0;
+};
+
+contingency build_contingency(const std::vector<int>& predicted, const std::vector<int>& truth,
+                              const char* what) {
+    if (predicted.size() != truth.size())
+        throw std::invalid_argument(std::string(what) + ": size mismatch");
+    if (predicted.empty()) throw std::invalid_argument(std::string(what) + ": empty input");
+    contingency c;
+    for (std::size_t i = 0; i < predicted.size(); ++i) {
+        c.cells[{predicted[i], truth[i]}] += 1.0;
+        c.row_sums[predicted[i]] += 1.0;
+        c.col_sums[truth[i]] += 1.0;
+        c.n += 1.0;
+    }
+    return c;
+}
+
+}  // namespace
+
+double adjusted_rand_index(const std::vector<int>& predicted, const std::vector<int>& truth) {
+    const contingency c = build_contingency(predicted, truth, "adjusted_rand_index");
+
+    double sum_cells = 0.0;
+    for (const auto& [key, nij] : c.cells) sum_cells += choose2(nij);
+    double sum_rows = 0.0;
+    for (const auto& [key, ni] : c.row_sums) sum_rows += choose2(ni);
+    double sum_cols = 0.0;
+    for (const auto& [key, nj] : c.col_sums) sum_cols += choose2(nj);
+    const double total_pairs = choose2(c.n);
+
+    if (total_pairs == 0.0) return 1.0;  // single point: trivially identical
+    const double expected = sum_rows * sum_cols / total_pairs;
+    const double maximum = 0.5 * (sum_rows + sum_cols);
+    const double denom = maximum - expected;
+    if (denom == 0.0) return 1.0;  // both partitions trivial (all-singletons or one cluster)
+    return (sum_cells - expected) / denom;
+}
+
+double normalized_mutual_information(const std::vector<int>& predicted,
+                                     const std::vector<int>& truth) {
+    const contingency c = build_contingency(predicted, truth, "normalized_mutual_information");
+
+    double mi = 0.0;
+    for (const auto& [key, nij] : c.cells) {
+        if (nij == 0.0) continue;
+        const double ni = c.row_sums.at(key.first);
+        const double nj = c.col_sums.at(key.second);
+        mi += (nij / c.n) * std::log((c.n * nij) / (ni * nj));
+    }
+
+    auto entropy = [&c](const std::map<int, double>& marginals) {
+        double h = 0.0;
+        for (const auto& [key, cnt] : marginals) {
+            if (cnt == 0.0) continue;
+            const double p = cnt / c.n;
+            h -= p * std::log(p);
+        }
+        return h;
+    };
+    const double hx = entropy(c.row_sums);
+    const double hy = entropy(c.col_sums);
+    if (hx + hy == 0.0) return 1.0;  // both constant: identical trivial partitions
+    return std::clamp(2.0 * mi / (hx + hy), 0.0, 1.0);
+}
+
+double jaro_similarity(const std::vector<int>& sx, const std::vector<int>& sy,
+                       bool bounded_window) {
+    if (sx.empty() || sy.empty()) return sx.empty() && sy.empty() ? 1.0 : 0.0;
+
+    const std::size_t lx = sx.size();
+    const std::size_t ly = sy.size();
+    const std::size_t window =
+        bounded_window ? (std::max(lx, ly) / 2 == 0 ? 0 : std::max(lx, ly) / 2 - 1)
+                       : std::max(lx, ly);
+
+    std::vector<bool> x_matched(lx, false), y_matched(ly, false);
+    std::size_t m = 0;
+    for (std::size_t i = 0; i < lx; ++i) {
+        const std::size_t lo = i > window ? i - window : 0;
+        const std::size_t hi = std::min(ly, i + window + 1);
+        for (std::size_t j = lo; j < hi; ++j) {
+            if (y_matched[j] || sx[i] != sy[j]) continue;
+            x_matched[i] = true;
+            y_matched[j] = true;
+            ++m;
+            break;
+        }
+    }
+    if (m == 0) return 0.0;
+
+    // Transpositions: matched elements taken in order from each side;
+    // t = half the number of positions where they disagree.
+    std::vector<int> mx, my;
+    mx.reserve(m);
+    my.reserve(m);
+    for (std::size_t i = 0; i < lx; ++i)
+        if (x_matched[i]) mx.push_back(sx[i]);
+    for (std::size_t j = 0; j < ly; ++j)
+        if (y_matched[j]) my.push_back(sy[j]);
+    std::size_t mismatches = 0;
+    for (std::size_t i = 0; i < m; ++i)
+        if (mx[i] != my[i]) ++mismatches;
+    const double t = static_cast<double>(mismatches) / 2.0;
+
+    const double md = static_cast<double>(m);
+    return (md / static_cast<double>(lx) + md / static_cast<double>(ly) + (md - t) / md) / 3.0;
+}
+
+std::vector<int> cluster_majority_floor(const std::vector<int>& assignment,
+                                        const std::vector<int>& true_floors,
+                                        std::size_t num_clusters) {
+    if (assignment.size() != true_floors.size())
+        throw std::invalid_argument("cluster_majority_floor: size mismatch");
+    std::vector<std::unordered_map<int, std::size_t>> counts(num_clusters);
+    for (std::size_t i = 0; i < assignment.size(); ++i) {
+        const int c = assignment[i];
+        if (c == -1) continue;
+        if (c < 0 || static_cast<std::size_t>(c) >= num_clusters)
+            throw std::invalid_argument("cluster_majority_floor: label out of range");
+        ++counts[static_cast<std::size_t>(c)][true_floors[i]];
+    }
+    std::vector<int> majority(num_clusters, -1);
+    for (std::size_t c = 0; c < num_clusters; ++c) {
+        std::size_t best = 0;
+        for (const auto& [floor, cnt] : counts[c]) {
+            if (cnt > best || (cnt == best && majority[c] != -1 && floor < majority[c])) {
+                best = cnt;
+                majority[c] = floor;
+            }
+        }
+    }
+    return majority;
+}
+
+double indexing_edit_distance(const std::vector<int>& cluster_to_floor,
+                              const std::vector<int>& majority_floor) {
+    if (cluster_to_floor.size() != majority_floor.size())
+        throw std::invalid_argument("indexing_edit_distance: size mismatch");
+    const std::size_t n = cluster_to_floor.size();
+    if (n == 0) throw std::invalid_argument("indexing_edit_distance: empty input");
+
+    // Order clusters by ground-truth majority floor (ties broken by cluster
+    // id for determinism); SY is then (1..N) and SX the predicted floors
+    // (1-based, as in the paper's worked example).
+    std::vector<std::size_t> order(n);
+    for (std::size_t i = 0; i < n; ++i) order[i] = i;
+    std::stable_sort(order.begin(), order.end(), [&majority_floor](std::size_t a, std::size_t b) {
+        return majority_floor[a] < majority_floor[b];
+    });
+
+    std::vector<int> sy(n), sx(n);
+    for (std::size_t p = 0; p < n; ++p) {
+        sy[p] = static_cast<int>(p) + 1;
+        sx[p] = cluster_to_floor[order[p]] + 1;
+    }
+    return jaro_similarity(sx, sy);
+}
+
+}  // namespace fisone::eval

@@ -1,0 +1,56 @@
+#pragma once
+
+/// \file metrics.hpp
+/// The paper's three evaluation metrics (§V-A):
+///  - Adjusted Rand Index (ARI) for clustering quality;
+///  - Normalised Mutual Information (NMI), 2·MI/(H(X)+H(Y));
+///  - the Jaro "edit distance" between the predicted and ground-truth
+///    floor-index sequences.
+/// All metrics are in [−1, 1] (ARI) or [0, 1] (NMI, edit distance), and
+/// higher is better throughout.
+
+#include <cstddef>
+#include <vector>
+
+namespace fisone::eval {
+
+/// Adjusted Rand Index between two labelings of the same points. Label
+/// values need not be aligned or contiguous.
+/// \throws std::invalid_argument on size mismatch or empty input.
+[[nodiscard]] double adjusted_rand_index(const std::vector<int>& predicted,
+                                         const std::vector<int>& truth);
+
+/// Normalised Mutual Information, 2·MI/(H(X)+H(Y)); 1 when the labelings
+/// are identical up to renaming, and defined as 1 when both are constant
+/// (both entropies zero ⇒ identical trivial partitions).
+[[nodiscard]] double normalized_mutual_information(const std::vector<int>& predicted,
+                                                   const std::vector<int>& truth);
+
+/// Jaro similarity between two integer sequences, following the paper's
+/// §V-A formula: (m/|SX| + m/|SY| + (m−t)/m)/3 with m the number of
+/// matching elements and t the number of transpositions (half the count of
+/// matched elements appearing in a different order). The paper's worked
+/// example matches elements regardless of position distance, so the
+/// matching window is unbounded by default; pass \p bounded_window = true
+/// for the classic max(|SX|,|SY|)/2 − 1 window.
+[[nodiscard]] double jaro_similarity(const std::vector<int>& sx, const std::vector<int>& sy,
+                                     bool bounded_window = false);
+
+/// Majority-vote ground-truth floor of each cluster.
+/// \param assignment per-sample cluster label in [0, num_clusters); -1 skips.
+/// \param true_floors per-sample ground-truth floor.
+/// \returns majority floor per cluster; empty clusters get -1.
+[[nodiscard]] std::vector<int> cluster_majority_floor(const std::vector<int>& assignment,
+                                                      const std::vector<int>& true_floors,
+                                                      std::size_t num_clusters);
+
+/// The paper's indexing metric: order clusters by their ground-truth
+/// (majority) floor to form SY = (1..N), read the predicted floors in that
+/// order to form SX, and return jaro_similarity(SX, SY). Floors are
+/// compared 1-based as in the paper's example.
+/// \param cluster_to_floor predicted floor per cluster (0-based).
+/// \param majority_floor ground-truth majority floor per cluster (0-based).
+[[nodiscard]] double indexing_edit_distance(const std::vector<int>& cluster_to_floor,
+                                            const std::vector<int>& majority_floor);
+
+}  // namespace fisone::eval

@@ -1,0 +1,50 @@
+#pragma once
+
+/// \file fisone.hpp
+/// Umbrella header: the full public API of the FIS-ONE library.
+/// Downstream users can include this single header; fine-grained headers
+/// remain available for faster builds.
+
+// data model & IO
+#include "data/dataset_io.hpp"
+#include "data/rf_sample.hpp"
+#include "data/scan_log.hpp"
+
+// numeric substrates
+#include "autodiff/optimizer.hpp"
+#include "autodiff/tape.hpp"
+#include "linalg/eigen.hpp"
+#include "linalg/matrix.hpp"
+
+// the signal graph and RF-GNN
+#include "gnn/rf_gnn.hpp"
+#include "graph/bipartite_graph.hpp"
+#include "graph/sampling.hpp"
+
+// clustering, indexing, metrics
+#include "cluster/floor_count.hpp"
+#include "cluster/hierarchical.hpp"
+#include "cluster/kmeans.hpp"
+#include "eval/metrics.hpp"
+#include "indexing/cluster_indexer.hpp"
+#include "indexing/similarity.hpp"
+#include "tsp/tsp.hpp"
+
+// the system
+#include "core/fis_one.hpp"
+#include "core/floor_predictor.hpp"
+
+// baselines & simulation
+#include "baselines/daegc.hpp"
+#include "baselines/graph_features.hpp"
+#include "baselines/mds.hpp"
+#include "baselines/metis_partitioner.hpp"
+#include "baselines/sdcn.hpp"
+#include "sim/building_generator.hpp"
+#include "sim/propagation.hpp"
+
+// utilities
+#include "util/cli.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table_printer.hpp"

@@ -1,0 +1,325 @@
+#include "rf_gnn.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace fisone::gnn {
+
+using autodiff::var;
+using linalg::matrix;
+
+rf_gnn::rf_gnn(const graph::bipartite_graph& g, rf_gnn_config cfg)
+    : graph_(&g),
+      cfg_(cfg),
+      rng_(cfg.seed),
+      sampler_(g, cfg.use_attention),
+      negatives_(g, cfg.negative_exponent),
+      optimizer_(autodiff::adam::config{cfg.learning_rate, 0.9, 0.999, 1e-8, cfg.grad_clip}) {
+    if (cfg.embedding_dim == 0) throw std::invalid_argument("rf_gnn: embedding_dim must be > 0");
+    if (cfg.num_hops == 0) throw std::invalid_argument("rf_gnn: num_hops must be > 0");
+    if (cfg.neighbor_samples == 0)
+        throw std::invalid_argument("rf_gnn: neighbor_samples must be > 0");
+
+    const std::size_t d = cfg.embedding_dim;
+    base_ = matrix(g.num_nodes(), d);
+    for (double& x : base_.flat()) x = rng_.normal(0.0, 0.1);
+
+    weights_.reserve(cfg.num_hops);
+    for (std::size_t k = 0; k < cfg.num_hops; ++k) {
+        matrix w(2 * d, d);
+        const double bound = std::sqrt(6.0 / static_cast<double>(2 * d + d));
+        for (double& x : w.flat()) x = rng_.uniform(-bound, bound);
+        weights_.push_back(std::move(w));
+    }
+}
+
+void rf_gnn::apply_activation(matrix& m) const noexcept {
+    switch (cfg_.act) {
+        case activation::tanh:
+            for (double& x : m.flat()) x = std::tanh(x);
+            break;
+        case activation::relu:
+            for (double& x : m.flat()) x = x > 0.0 ? x : 0.0;
+            break;
+        case activation::sigmoid:
+            for (double& x : m.flat()) x = 1.0 / (1.0 + std::exp(-x));
+            break;
+    }
+}
+
+void rf_gnn::train() {
+    for (std::size_t e = 0; e < cfg_.epochs; ++e) train_epoch();
+}
+
+double rf_gnn::train_epoch() {
+    cache_valid_ = false;
+    auto pairs = graph::generate_walk_pairs(*graph_, sampler_, cfg_.walks, rng_);
+    rng_.shuffle(pairs);
+
+    double total_loss = 0.0;
+    std::size_t batches = 0;
+    for (std::size_t begin = 0; begin < pairs.size(); begin += cfg_.batch_pairs) {
+        const std::size_t end = std::min(begin + cfg_.batch_pairs, pairs.size());
+        total_loss += train_batch(pairs, begin, end);
+        ++batches;
+    }
+    return batches == 0 ? 0.0 : total_loss / static_cast<double>(batches);
+}
+
+double rf_gnn::train_batch(const std::vector<graph::walk_pair>& pairs, std::size_t begin,
+                           std::size_t end) {
+    const std::size_t batch = end - begin;
+    const std::size_t tau = cfg_.negatives;
+
+    // --- assemble the target node set: lefts, rights, negatives ---
+    std::vector<std::uint32_t> lefts(batch), rights(batch);
+    std::vector<std::uint32_t> negs(batch * tau);
+    for (std::size_t i = 0; i < batch; ++i) {
+        lefts[i] = pairs[begin + i].first;
+        rights[i] = pairs[begin + i].second;
+        for (std::size_t z = 0; z < tau; ++z) negs[i * tau + z] = negatives_.sample(rng_);
+    }
+
+    // Deduplicated target list; `slot_of` maps node id → row in the final
+    // representation matrix.
+    std::unordered_map<std::uint32_t, std::size_t> slot_of;
+    std::vector<std::uint32_t> targets;
+    auto intern = [&](std::uint32_t node) {
+        const auto [it, inserted] = slot_of.emplace(node, targets.size());
+        if (inserted) targets.push_back(node);
+        return it->second;
+    };
+    std::vector<std::size_t> left_slots(batch), right_slots(batch), neg_slots(batch * tau),
+        left_rep_slots(batch * tau);
+    for (std::size_t i = 0; i < batch; ++i) {
+        left_slots[i] = intern(lefts[i]);
+        right_slots[i] = intern(rights[i]);
+    }
+    for (std::size_t i = 0; i < batch; ++i)
+        for (std::size_t z = 0; z < tau; ++z) {
+            neg_slots[i * tau + z] = intern(negs[i * tau + z]);
+            left_rep_slots[i * tau + z] = left_slots[i];
+        }
+
+    // --- build the layered computation: layers[K] = targets,
+    //     layers[k-1] ⊇ layers[k] ∪ sampled neighbours of layers[k] ---
+    const std::size_t K = cfg_.num_hops;
+    std::vector<std::vector<std::uint32_t>> layers(K + 1);
+    std::vector<std::unordered_map<std::uint32_t, std::size_t>> layer_index(K + 1);
+    // groups[k][i]: sampled (position in layer k-1, aggregation weight) of
+    // the i-th node of layer k.
+    std::vector<std::vector<std::vector<std::pair<std::size_t, double>>>> groups(K + 1);
+
+    layers[K] = targets;
+    for (std::size_t i = 0; i < targets.size(); ++i) layer_index[K].emplace(targets[i], i);
+
+    // Sampled neighbourhoods are drawn once per batch, reused when building
+    // both the lower layer membership and the aggregation groups.
+    std::vector<std::vector<std::vector<graph::edge>>> sampled(K + 1);
+    for (std::size_t k = K; k >= 1; --k) {
+        auto& lower = layers[k - 1];
+        auto& lower_idx = layer_index[k - 1];
+        auto intern_lower = [&](std::uint32_t node) {
+            const auto [it, inserted] = lower_idx.emplace(node, lower.size());
+            if (inserted) lower.push_back(node);
+            return it->second;
+        };
+        sampled[k].resize(layers[k].size());
+        for (std::size_t i = 0; i < layers[k].size(); ++i) {
+            const std::uint32_t node = layers[k][i];
+            intern_lower(node);  // the node itself needs its previous rep
+            auto& edges = sampled[k][i];
+            edges.reserve(cfg_.neighbor_samples);
+            for (std::size_t s = 0; s < cfg_.neighbor_samples; ++s) {
+                const graph::edge& e = sampler_.sample_edge(node, rng_);
+                edges.push_back(e);
+                intern_lower(e.neighbor);
+            }
+        }
+        // Aggregation groups with normalised weights.
+        groups[k].resize(layers[k].size());
+        for (std::size_t i = 0; i < layers[k].size(); ++i) {
+            const auto& edges = sampled[k][i];
+            double total = 0.0;
+            if (cfg_.use_attention)
+                for (const graph::edge& e : edges) total += e.weight;
+            else
+                total = static_cast<double>(edges.size());
+            auto& grp = groups[k][i];
+            grp.reserve(edges.size());
+            for (const graph::edge& e : edges) {
+                const double w = cfg_.use_attention ? e.weight / total : 1.0 / total;
+                grp.emplace_back(lower_idx.at(e.neighbor), w);
+            }
+        }
+    }
+
+    // --- forward pass on a fresh tape ---
+    autodiff::tape t;
+    const var base_var = cfg_.train_base_embeddings ? t.parameter(base_) : t.constant(base_);
+    std::vector<var> weight_vars;
+    weight_vars.reserve(K);
+    for (const matrix& w : weights_) weight_vars.push_back(t.parameter(w));
+
+    std::vector<std::size_t> layer0_rows(layers[0].size());
+    for (std::size_t i = 0; i < layers[0].size(); ++i) layer0_rows[i] = layers[0][i];
+    var h = t.gather_rows(base_var, layer0_rows);
+
+    for (std::size_t k = 1; k <= K; ++k) {
+        // self representations: positions of layer k nodes inside layer k-1
+        std::vector<std::size_t> self_pos(layers[k].size());
+        for (std::size_t i = 0; i < layers[k].size(); ++i)
+            self_pos[i] = layer_index[k - 1].at(layers[k][i]);
+        const var self_prev = t.gather_rows(h, std::move(self_pos));
+        const var agg = t.weighted_sum_rows(h, groups[k]);
+        const var cat = t.concat_cols(self_prev, agg);
+        var z = t.matmul(cat, weight_vars[k - 1]);
+        switch (cfg_.act) {
+            case activation::tanh: z = t.tanh_act(z); break;
+            case activation::relu: z = t.relu(z); break;
+            case activation::sigmoid: z = t.sigmoid(z); break;
+        }
+        h = t.l2_normalize_rows(z);
+    }
+
+    // --- skip-gram loss with negative sampling (paper §III-B) ---
+    const var left_rep = t.gather_rows(h, left_slots);
+    const var right_rep = t.gather_rows(h, right_slots);
+    const var pos_scores = t.row_dot(left_rep, right_rep);
+    var loss = t.negate(t.mean_all(t.log_sigmoid(pos_scores)));
+    if (tau > 0) {
+        const var left_rep2 = t.gather_rows(h, left_rep_slots);
+        const var neg_rep = t.gather_rows(h, neg_slots);
+        const var neg_scores = t.row_dot(left_rep2, neg_rep);
+        // τ · E_z[−log σ(−r_i·r_z)] estimated with τ samples per pair:
+        // mean over the τ·B entries times τ recovers (1/B)·Σ.
+        loss = t.add(loss, t.scale(t.mean_all(t.log_sigmoid(t.negate(neg_scores))),
+                                   -static_cast<double>(tau)));
+    }
+
+    t.backward(loss);
+
+    if (cfg_.train_base_embeddings) optimizer_.step(base_, t.grad(base_var));
+    for (std::size_t k = 0; k < K; ++k) optimizer_.step(weights_[k], t.grad(weight_vars[k]));
+    optimizer_.end_step();
+
+    return t.value(loss)(0, 0);
+}
+
+matrix rf_gnn::propagate_full(const matrix& prev, std::size_t hop) const {
+    const std::size_t n = graph_->num_nodes();
+    const std::size_t d = cfg_.embedding_dim;
+
+    // Aggregate over the *full* neighbourhood (deterministic inference).
+    matrix agg(n, d, 0.0);
+    for (std::uint32_t node = 0; node < n; ++node) {
+        const auto nbrs = graph_->neighbors(node);
+        if (nbrs.empty()) continue;
+        double total = 0.0;
+        if (cfg_.use_attention)
+            for (const graph::edge& e : nbrs) total += e.weight;
+        else
+            total = static_cast<double>(nbrs.size());
+        for (const graph::edge& e : nbrs) {
+            const double w = cfg_.use_attention ? e.weight / total : 1.0 / total;
+            const auto prow = prev.row(e.neighbor);
+            for (std::size_t j = 0; j < d; ++j) agg(node, j) += w * prow[j];
+        }
+    }
+
+    // cat = [prev | agg], z = cat · W_hop, σ, normalise
+    matrix cat(n, 2 * d);
+    for (std::size_t i = 0; i < n; ++i) {
+        const auto prow = prev.row(i);
+        for (std::size_t j = 0; j < d; ++j) {
+            cat(i, j) = prow[j];
+            cat(i, d + j) = agg(i, j);
+        }
+    }
+    matrix z = linalg::matmul(cat, weights_[hop]);
+    apply_activation(z);
+    for (std::size_t i = 0; i < n; ++i) {
+        double nrm = linalg::norm2(z.row(i));
+        if (nrm < 1e-12) nrm = 1e-12;
+        for (std::size_t j = 0; j < d; ++j) z(i, j) /= nrm;
+    }
+    return z;
+}
+
+const matrix& rf_gnn::embed_all_nodes() {
+    if (!cache_valid_) {
+        layer_cache_.clear();
+        layer_cache_.push_back(base_);
+        for (std::size_t k = 0; k < cfg_.num_hops; ++k)
+            layer_cache_.push_back(propagate_full(layer_cache_.back(), k));
+        cache_valid_ = true;
+    }
+    return layer_cache_.back();
+}
+
+matrix rf_gnn::embed_samples() {
+    const matrix& all = embed_all_nodes();
+    matrix out(graph_->num_samples(), cfg_.embedding_dim);
+    for (std::size_t i = 0; i < graph_->num_samples(); ++i) {
+        const auto row = all.row(graph_->sample_node(i));
+        for (std::size_t j = 0; j < cfg_.embedding_dim; ++j) out(i, j) = row[j];
+    }
+    return out;
+}
+
+std::vector<double> rf_gnn::embed_new_sample(
+    const std::vector<data::rf_observation>& observations) {
+    embed_all_nodes();  // ensure caches
+    const std::size_t d = cfg_.embedding_dim;
+
+    // Known-MAC neighbourhood with f(RSS) weights.
+    std::vector<std::pair<std::uint32_t, double>> nbrs;
+    for (const data::rf_observation& o : observations) {
+        if (o.mac_id >= graph_->num_macs()) continue;  // unseen MAC: skip
+        const double w = o.rss_dbm + graph_->rss_offset();
+        if (w > 0.0) nbrs.emplace_back(graph_->mac_node(o.mac_id), w);
+    }
+    if (nbrs.empty())
+        throw std::invalid_argument("rf_gnn::embed_new_sample: no known MACs in the scan");
+
+    double total = 0.0;
+    if (cfg_.use_attention)
+        for (const auto& [node, w] : nbrs) total += w;
+    else
+        total = static_cast<double>(nbrs.size());
+
+    // h_0(new) = weighted mean of neighbour base embeddings (inductive
+    // convention for a node with no trained base vector; see header).
+    std::vector<double> h(d, 0.0);
+    for (const auto& [node, w] : nbrs) {
+        const double ww = cfg_.use_attention ? w / total : 1.0 / total;
+        const auto row = layer_cache_[0].row(node);
+        for (std::size_t j = 0; j < d; ++j) h[j] += ww * row[j];
+    }
+
+    for (std::size_t k = 1; k <= cfg_.num_hops; ++k) {
+        // aggregate neighbours' H_{k-1}
+        std::vector<double> agg(d, 0.0);
+        for (const auto& [node, w] : nbrs) {
+            const double ww = cfg_.use_attention ? w / total : 1.0 / total;
+            const auto row = layer_cache_[k - 1].row(node);
+            for (std::size_t j = 0; j < d; ++j) agg[j] += ww * row[j];
+        }
+        // z = [h | agg] · W_{k-1}
+        matrix cat(1, 2 * d);
+        for (std::size_t j = 0; j < d; ++j) {
+            cat(0, j) = h[j];
+            cat(0, d + j) = agg[j];
+        }
+        matrix z = linalg::matmul(cat, weights_[k - 1]);
+        apply_activation(z);
+        double nrm = linalg::norm2(z.row(0));
+        if (nrm < 1e-12) nrm = 1e-12;
+        for (std::size_t j = 0; j < d; ++j) h[j] = z(0, j) / nrm;
+    }
+    return h;
+}
+
+}  // namespace fisone::gnn

@@ -1,0 +1,120 @@
+#pragma once
+
+/// \file rf_gnn.hpp
+/// RF-GNN — the paper's attention-based graph neural network for RF
+/// signals (§III). A GraphSAGE-style K-hop model where:
+///  - neighbours are *sampled* proportionally to the edge weight
+///    f(RSS) = RSS + c (the "attention" sampling, Pr(u) ∝ f(RSS_uv));
+///  - sampled neighbours are *aggregated* with normalised f(RSS) weights
+///    (AGGREGATE_w), i.e. the edge weights act as fixed attention scores;
+///  - each hop concatenates the node's previous representation with the
+///    aggregate, applies a dense layer + nonlinearity, and L2-normalises;
+///  - training is unsupervised: skip-gram loss over 5-step random-walk
+///    co-occurrences with τ = 4 negatives drawn ∝ degree^(3/4).
+///
+/// The "without attention" ablation (paper Fig. 8(a,b)) switches both the
+/// sampling and the aggregation to uniform.
+
+#include <cstdint>
+#include <vector>
+
+#include "autodiff/optimizer.hpp"
+#include "autodiff/tape.hpp"
+#include "graph/bipartite_graph.hpp"
+#include "graph/sampling.hpp"
+#include "linalg/matrix.hpp"
+#include "util/rng.hpp"
+
+namespace fisone::gnn {
+
+/// Nonlinearity σ(·) applied after each hop's dense layer.
+enum class activation { tanh, relu, sigmoid };
+
+/// All RF-GNN hyperparameters. Defaults follow the paper where it is
+/// specific (walk length 5, τ = 4, degree^(3/4) negatives) and common
+/// GraphSAGE practice elsewhere.
+struct rf_gnn_config {
+    std::size_t embedding_dim = 32;    ///< output dimension (paper sweeps 8–64)
+    std::size_t num_hops = 2;          ///< K
+    std::size_t neighbor_samples = 8;  ///< |N'(v)| sampled per hop during training
+    bool use_attention = true;         ///< false → uniform sampling + mean aggregation
+    bool train_base_embeddings = true; ///< r⁰ trainable (see DESIGN.md)
+    activation act = activation::tanh;
+
+    graph::walk_config walks{};        ///< 5-step walks by default
+    std::size_t negatives = 4;         ///< τ
+    double negative_exponent = 0.75;   ///< Pr(z) ∝ degree^exponent
+
+    std::size_t epochs = 10;
+    std::size_t batch_pairs = 512;
+    double learning_rate = 0.01;
+    double grad_clip = 5.0;
+    std::uint64_t seed = 42;
+};
+
+/// The trained model. Owns its parameters; the graph must outlive it.
+class rf_gnn {
+public:
+    /// \throws std::invalid_argument on nonsensical config (zero dims/hops).
+    rf_gnn(const graph::bipartite_graph& g, rf_gnn_config cfg);
+
+    /// Run the full unsupervised training schedule (`cfg.epochs` epochs,
+    /// walks regenerated every epoch).
+    void train();
+
+    /// Run one epoch; returns the mean batch loss (useful for tests and
+    /// convergence monitoring).
+    double train_epoch();
+
+    /// Deterministic full-neighbourhood inference for every node.
+    /// Returns (num_nodes × embedding_dim); invalidated caches are rebuilt.
+    [[nodiscard]] const linalg::matrix& embed_all_nodes();
+
+    /// Rows of `embed_all_nodes()` restricted to signal-sample nodes, in
+    /// sample order: (num_samples × embedding_dim).
+    [[nodiscard]] linalg::matrix embed_samples();
+
+    /// Inductive embedding of a *new* scan that is not a node of the graph
+    /// (paper §I: "new incoming RF signals"). The scan's base representation
+    /// is the attention-weighted mean of its detected MACs' base embeddings;
+    /// the K-hop transform then runs against the cached full-graph layers.
+    /// MACs never seen in the graph are ignored.
+    /// \throws std::invalid_argument if no observation matches a known MAC.
+    [[nodiscard]] std::vector<double> embed_new_sample(
+        const std::vector<data::rf_observation>& observations);
+
+    [[nodiscard]] const rf_gnn_config& config() const noexcept { return cfg_; }
+
+    /// Trainable parameters, exposed for tests.
+    [[nodiscard]] const linalg::matrix& base_embeddings() const noexcept { return base_; }
+    [[nodiscard]] const std::vector<linalg::matrix>& hop_weights() const noexcept {
+        return weights_;
+    }
+
+private:
+    /// Apply σ in place.
+    void apply_activation(linalg::matrix& m) const noexcept;
+
+    /// One full-neighbourhood propagation hop: H_k from H_{k-1}.
+    [[nodiscard]] linalg::matrix propagate_full(const linalg::matrix& prev, std::size_t hop) const;
+
+    /// Train on one batch of positive pairs; returns batch loss.
+    double train_batch(const std::vector<graph::walk_pair>& pairs, std::size_t begin,
+                       std::size_t end);
+
+    const graph::bipartite_graph* graph_;
+    rf_gnn_config cfg_;
+    util::rng rng_;
+    graph::neighbor_sampler sampler_;
+    graph::negative_table negatives_;
+    autodiff::adam optimizer_;
+
+    linalg::matrix base_;                  // (num_nodes × d)
+    std::vector<linalg::matrix> weights_;  // per hop, (2d × d)
+
+    // Full-propagation cache for inference / inductive embedding.
+    std::vector<linalg::matrix> layer_cache_;  // H_0 .. H_K
+    bool cache_valid_ = false;
+};
+
+}  // namespace fisone::gnn

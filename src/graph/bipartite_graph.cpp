@@ -1,0 +1,68 @@
+#include "bipartite_graph.hpp"
+
+#include <stdexcept>
+
+namespace fisone::graph {
+
+bipartite_graph bipartite_graph::from_building(const data::building& b, double rss_offset_dbm) {
+    bipartite_graph g;
+    g.num_macs_ = b.num_macs;
+    g.num_samples_ = b.samples.size();
+    g.rss_offset_ = rss_offset_dbm;
+
+    const std::size_t n = g.num_nodes();
+    std::vector<std::size_t> deg(n, 0);
+    std::size_t total = 0;
+    for (const data::rf_sample& s : b.samples) {
+        for (const data::rf_observation& o : s.observations) {
+            if (o.mac_id >= b.num_macs)
+                throw std::invalid_argument("bipartite_graph: mac_id out of range");
+            ++deg[o.mac_id];
+        }
+        total += s.observations.size();
+    }
+    for (std::size_t i = 0; i < g.num_samples_; ++i)
+        deg[g.num_macs_ + i] = b.samples[i].observations.size();
+
+    g.offsets_.assign(n + 1, 0);
+    for (std::size_t i = 0; i < n; ++i) g.offsets_[i + 1] = g.offsets_[i] + deg[i];
+    g.edges_.resize(2 * total);
+
+    std::vector<std::size_t> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
+    for (std::size_t si = 0; si < b.samples.size(); ++si) {
+        const std::uint32_t snode = g.sample_node(si);
+        for (const data::rf_observation& o : b.samples[si].observations) {
+            const double w = o.rss_dbm + rss_offset_dbm;
+            if (w <= 0.0)
+                throw std::invalid_argument(
+                    "bipartite_graph: non-positive edge weight; increase rss_offset_dbm");
+            g.edges_[cursor[o.mac_id]++] = edge{snode, w};
+            g.edges_[cursor[snode]++] = edge{o.mac_id, w};
+        }
+    }
+    return g;
+}
+
+std::size_t bipartite_graph::sample_index(std::uint32_t node) const {
+    if (!is_sample_node(node))
+        throw std::invalid_argument("bipartite_graph::sample_index: not a sample node");
+    return node - num_macs_;
+}
+
+std::span<const edge> bipartite_graph::neighbors(std::uint32_t node) const {
+    if (node >= num_nodes()) throw std::out_of_range("bipartite_graph::neighbors");
+    return {edges_.data() + offsets_[node], offsets_[node + 1] - offsets_[node]};
+}
+
+std::size_t bipartite_graph::degree(std::uint32_t node) const {
+    if (node >= num_nodes()) throw std::out_of_range("bipartite_graph::degree");
+    return offsets_[node + 1] - offsets_[node];
+}
+
+double bipartite_graph::weighted_degree(std::uint32_t node) const {
+    double acc = 0.0;
+    for (const edge& e : neighbors(node)) acc += e.weight;
+    return acc;
+}
+
+}  // namespace fisone::graph

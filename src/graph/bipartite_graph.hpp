@@ -1,0 +1,74 @@
+#pragma once
+
+/// \file bipartite_graph.hpp
+/// The weighted bipartite RF graph of paper §III-A: MAC nodes on one side,
+/// signal-sample nodes on the other, an edge wherever a MAC is detected in
+/// a sample, with weight w = f(RSS) = RSS + c (c = 120 dBm by default so
+/// that every weight is strictly positive). Stored as CSR over the unified
+/// node id space [0, num_macs) ∪ [num_macs, num_macs + num_samples).
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "data/rf_sample.hpp"
+
+namespace fisone::graph {
+
+/// One directed half-edge in the CSR structure.
+struct edge {
+    std::uint32_t neighbor = 0;  ///< unified node id of the other endpoint
+    double weight = 0.0;         ///< f(RSS) > 0
+};
+
+/// Immutable weighted bipartite graph over MAC and sample nodes.
+class bipartite_graph {
+public:
+    /// Build from a building's scans.
+    /// \param b the building (validated by the caller or the simulator).
+    /// \param rss_offset_dbm the constant c of w = RSS + c; must exceed the
+    ///        magnitude of every RSS so that all weights are positive.
+    /// \throws std::invalid_argument if some weight would be non-positive.
+    static bipartite_graph from_building(const data::building& b, double rss_offset_dbm = 120.0);
+
+    [[nodiscard]] std::size_t num_macs() const noexcept { return num_macs_; }
+    [[nodiscard]] std::size_t num_samples() const noexcept { return num_samples_; }
+    [[nodiscard]] std::size_t num_nodes() const noexcept { return num_macs_ + num_samples_; }
+    [[nodiscard]] std::size_t num_edges() const noexcept { return edges_.size() / 2; }
+    [[nodiscard]] double rss_offset() const noexcept { return rss_offset_; }
+
+    /// Unified node id of MAC \p mac_id.
+    [[nodiscard]] std::uint32_t mac_node(std::uint32_t mac_id) const noexcept { return mac_id; }
+
+    /// Unified node id of sample \p sample_index.
+    [[nodiscard]] std::uint32_t sample_node(std::size_t sample_index) const noexcept {
+        return static_cast<std::uint32_t>(num_macs_ + sample_index);
+    }
+
+    /// True when \p node is a sample node.
+    [[nodiscard]] bool is_sample_node(std::uint32_t node) const noexcept {
+        return node >= num_macs_;
+    }
+
+    /// Sample index of a sample node. \throws std::invalid_argument otherwise.
+    [[nodiscard]] std::size_t sample_index(std::uint32_t node) const;
+
+    /// Adjacency list of \p node (both directions are materialised).
+    [[nodiscard]] std::span<const edge> neighbors(std::uint32_t node) const;
+
+    /// Degree of \p node.
+    [[nodiscard]] std::size_t degree(std::uint32_t node) const;
+
+    /// Sum of edge weights incident to \p node.
+    [[nodiscard]] double weighted_degree(std::uint32_t node) const;
+
+private:
+    std::size_t num_macs_ = 0;
+    std::size_t num_samples_ = 0;
+    double rss_offset_ = 120.0;
+    std::vector<std::size_t> offsets_;  // CSR offsets, size num_nodes()+1
+    std::vector<edge> edges_;           // both directions
+};
+
+}  // namespace fisone::graph

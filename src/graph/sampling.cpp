@@ -1,0 +1,79 @@
+#include "sampling.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace fisone::graph {
+
+neighbor_sampler::neighbor_sampler(const bipartite_graph& g, bool weighted)
+    : graph_(&g), weighted_(weighted) {
+    if (weighted_) {
+        tables_.reserve(g.num_nodes());
+        std::vector<double> weights;
+        for (std::uint32_t node = 0; node < g.num_nodes(); ++node) {
+            const auto nbrs = g.neighbors(node);
+            weights.clear();
+            weights.reserve(nbrs.size());
+            for (const edge& e : nbrs) weights.push_back(e.weight);
+            tables_.emplace_back(weights.empty() ? util::alias_sampler{}
+                                                 : util::alias_sampler{weights});
+        }
+    }
+}
+
+std::uint32_t neighbor_sampler::sample(std::uint32_t node, util::rng& gen) const {
+    return sample_edge(node, gen).neighbor;
+}
+
+const edge& neighbor_sampler::sample_edge(std::uint32_t node, util::rng& gen) const {
+    const auto nbrs = graph_->neighbors(node);
+    if (nbrs.empty()) throw std::logic_error("neighbor_sampler: isolated node");
+    if (weighted_) return nbrs[tables_[node].sample(gen)];
+    return nbrs[gen.uniform_index(nbrs.size())];
+}
+
+std::vector<std::uint32_t> neighbor_sampler::sample_many(std::uint32_t node, std::size_t count,
+                                                         util::rng& gen) const {
+    std::vector<std::uint32_t> out;
+    out.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) out.push_back(sample(node, gen));
+    return out;
+}
+
+negative_table::negative_table(const bipartite_graph& g, double exponent) {
+    std::vector<double> weights(g.num_nodes());
+    for (std::uint32_t node = 0; node < g.num_nodes(); ++node)
+        weights[node] = std::pow(static_cast<double>(g.degree(node)), exponent);
+    table_ = util::alias_sampler(weights);
+}
+
+std::uint32_t negative_table::sample(util::rng& gen) const {
+    return static_cast<std::uint32_t>(table_.sample(gen));
+}
+
+std::vector<walk_pair> generate_walk_pairs(const bipartite_graph& g,
+                                           const neighbor_sampler& sampler,
+                                           const walk_config& cfg, util::rng& gen) {
+    if (cfg.walk_length < 2)
+        throw std::invalid_argument("generate_walk_pairs: walk_length must be >= 2");
+    if (cfg.window == 0) throw std::invalid_argument("generate_walk_pairs: window must be >= 1");
+
+    std::vector<walk_pair> pairs;
+    pairs.reserve(g.num_nodes() * cfg.walks_per_node * cfg.walk_length);
+    std::vector<std::uint32_t> walk(cfg.walk_length);
+
+    for (std::uint32_t start = 0; start < g.num_nodes(); ++start) {
+        if (g.degree(start) == 0) continue;  // isolated nodes contribute no pairs
+        for (std::size_t w = 0; w < cfg.walks_per_node; ++w) {
+            walk[0] = start;
+            for (std::size_t step = 1; step < cfg.walk_length; ++step)
+                walk[step] = sampler.sample(walk[step - 1], gen);
+            for (std::size_t i = 0; i < cfg.walk_length; ++i)
+                for (std::size_t j = i + 1; j < cfg.walk_length && j - i <= cfg.window; ++j)
+                    if (walk[i] != walk[j]) pairs.push_back(walk_pair{walk[i], walk[j]});
+        }
+    }
+    return pairs;
+}
+
+}  // namespace fisone::graph

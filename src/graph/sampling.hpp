@@ -1,0 +1,81 @@
+#pragma once
+
+/// \file sampling.hpp
+/// Stochastic machinery on the bipartite RF graph:
+///  - RSS-proportional neighbour sampling (paper §III-B: Pr(u) =
+///    f(RSS_uv) / Σ f(RSS_u'v)), with a uniform variant for the
+///    "without attention" ablation of Fig. 8(a,b);
+///  - the degree^(3/4) negative-sampling table of the unsupervised loss;
+///  - fixed-length weighted random walks (length 5 per the paper) and
+///    their co-occurring positive pairs.
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "bipartite_graph.hpp"
+#include "util/alias_sampler.hpp"
+#include "util/rng.hpp"
+
+namespace fisone::graph {
+
+/// O(1) per-draw neighbour sampler with per-node alias tables.
+class neighbor_sampler {
+public:
+    /// \param weighted true → Pr(neighbour) ∝ f(RSS) (the RF-GNN attention
+    ///        sampling); false → uniform (ablation).
+    neighbor_sampler(const bipartite_graph& g, bool weighted);
+
+    /// Draw one neighbour of \p node. \throws std::logic_error on isolated node.
+    [[nodiscard]] std::uint32_t sample(std::uint32_t node, util::rng& gen) const;
+
+    /// Draw one incident *edge* of \p node (neighbour id + its f(RSS)
+    /// weight, needed by the attention aggregator).
+    [[nodiscard]] const edge& sample_edge(std::uint32_t node, util::rng& gen) const;
+
+    /// Draw \p count neighbours with replacement (GraphSAGE-style).
+    [[nodiscard]] std::vector<std::uint32_t> sample_many(std::uint32_t node, std::size_t count,
+                                                         util::rng& gen) const;
+
+    [[nodiscard]] bool weighted() const noexcept { return weighted_; }
+
+private:
+    const bipartite_graph* graph_;
+    bool weighted_;
+    std::vector<util::alias_sampler> tables_;  // only built when weighted
+};
+
+/// Alias table over all nodes with Pr(z) ∝ degree(z)^(3/4) — the paper's
+/// negative-sampling distribution (following word2vec / LINE).
+class negative_table {
+public:
+    explicit negative_table(const bipartite_graph& g, double exponent = 0.75);
+
+    /// Draw one negative node.
+    [[nodiscard]] std::uint32_t sample(util::rng& gen) const;
+
+private:
+    util::alias_sampler table_;
+};
+
+/// A positive training pair: two nodes co-occurring on a random walk.
+struct walk_pair {
+    std::uint32_t first = 0;
+    std::uint32_t second = 0;
+};
+
+/// Configuration for walk generation.
+struct walk_config {
+    std::size_t walk_length = 5;     ///< steps per walk (paper: five)
+    std::size_t walks_per_node = 6;  ///< walks started from every node
+    std::size_t window = 2;          ///< co-occurrence window within a walk
+};
+
+/// Generate weighted random walks from every node and emit co-occurring
+/// pairs within the window. Steps follow the same distribution as the
+/// neighbour sampler passed in (weighted or uniform).
+[[nodiscard]] std::vector<walk_pair> generate_walk_pairs(const bipartite_graph& g,
+                                                         const neighbor_sampler& sampler,
+                                                         const walk_config& cfg, util::rng& gen);
+
+}  // namespace fisone::graph

@@ -1,0 +1,93 @@
+#include "cluster_indexer.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+#include "tsp/tsp.hpp"
+
+namespace fisone::indexing {
+
+namespace {
+
+tsp::path_result solve_from(const linalg::matrix& weights, std::size_t start, tsp_solver solver,
+                            util::rng& gen) {
+    return solver == tsp_solver::exact ? tsp::held_karp_path(weights, start)
+                                       : tsp::two_opt_path(weights, start, gen);
+}
+
+indexing_result order_to_result(std::vector<std::size_t> order, double cost) {
+    indexing_result r;
+    r.order = std::move(order);
+    r.path_cost = cost;
+    r.cluster_to_floor.assign(r.order.size(), -1);
+    for (std::size_t p = 0; p < r.order.size(); ++p)
+        r.cluster_to_floor[r.order[p]] = static_cast<int>(p);
+    return r;
+}
+
+}  // namespace
+
+linalg::matrix similarity_to_weights(const linalg::matrix& similarity) {
+    if (similarity.rows() != similarity.cols() || similarity.rows() == 0)
+        throw std::invalid_argument("similarity_to_weights: matrix must be square, non-empty");
+    const std::size_t n = similarity.rows();
+    linalg::matrix w(n, n, 0.0);
+    for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t j = 0; j < n; ++j)
+            if (i != j) w(i, j) = 1.0 - similarity(i, j);
+    return w;
+}
+
+indexing_result index_from_bottom(const linalg::matrix& similarity, std::size_t start_cluster,
+                                  tsp_solver solver, util::rng& gen) {
+    const linalg::matrix weights = similarity_to_weights(similarity);
+    if (start_cluster >= weights.rows())
+        throw std::invalid_argument("index_from_bottom: start_cluster out of range");
+    tsp::path_result path = solve_from(weights, start_cluster, solver, gen);
+    return order_to_result(std::move(path.order), path.cost);
+}
+
+indexing_result index_from_arbitrary(const linalg::matrix& similarity, int labeled_floor,
+                                     const std::vector<double>& dist_to_clusters,
+                                     tsp_solver solver, util::rng& gen) {
+    const linalg::matrix weights = similarity_to_weights(similarity);
+    const std::size_t n = weights.rows();
+    if (dist_to_clusters.size() != n)
+        throw std::invalid_argument("index_from_arbitrary: dist_to_clusters size mismatch");
+    if (labeled_floor < 0 || static_cast<std::size_t>(labeled_floor) >= n)
+        throw std::invalid_argument("index_from_arbitrary: labeled_floor out of range");
+
+    // Free-start shortest Hamiltonian path: solve from every start and keep
+    // the minimum-cost ordering (paper §VI: "solve the TSP with all
+    // possible starting points ... pick the one with the maximum sum of
+    // adapted Jaccard similarity coefficients").
+    tsp::path_result best;
+    best.cost = std::numeric_limits<double>::max();
+    for (std::size_t s = 0; s < n; ++s) {
+        tsp::path_result cand = solve_from(weights, s, solver, gen);
+        if (cand.cost < best.cost) best = std::move(cand);
+    }
+
+    const auto f = static_cast<std::size_t>(labeled_floor);
+    const std::size_t mirror = n - 1 - f;
+
+    if (f == mirror) {
+        // Case 1: middle-floor label in an odd-floor building — orientation
+        // undecidable. Report ambiguity with the as-is orientation.
+        indexing_result r = order_to_result(std::move(best.order), best.cost);
+        r.ambiguous = true;
+        return r;
+    }
+
+    // Case 2: the label sits at path position f (as-is orientation) or at
+    // position mirror (reversed orientation). Pick the orientation whose
+    // candidate cluster is closer to the labeled sample.
+    const std::size_t candidate_asis = best.order[f];
+    const std::size_t candidate_rev = best.order[mirror];
+    if (dist_to_clusters[candidate_rev] < dist_to_clusters[candidate_asis])
+        std::reverse(best.order.begin(), best.order.end());
+    return order_to_result(std::move(best.order), best.cost);
+}
+
+}  // namespace fisone::indexing

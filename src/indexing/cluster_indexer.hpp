@@ -1,0 +1,66 @@
+#pragma once
+
+/// \file cluster_indexer.hpp
+/// Cluster indexing (paper §IV-B and §VI): order the floor clusters so
+/// that the sum of adapted-Jaccard similarities between adjacent clusters
+/// is maximised, which Theorem 1 reduces to a shortest-Hamiltonian-path
+/// TSP with edge weights w_ij = 1 − J^n_ij.
+///
+/// Two protocols:
+///  - `index_from_bottom`: the labeled sample is on the bottom floor, so
+///    its cluster anchors the path start (the paper's main setting);
+///  - `index_from_arbitrary`: the label may come from any floor (§VI).
+///    The path is solved free-start; the labeled floor then admits two
+///    candidate positions (one per path orientation) and the orientation
+///    is chosen by which candidate cluster lies closer to the labeled
+///    sample in the embedding space. A building with an odd number of
+///    floors and a middle-floor label is genuinely ambiguous (Case 1).
+
+#include <cstddef>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+#include "util/rng.hpp"
+
+namespace fisone::indexing {
+
+/// TSP solver choice (Fig. 9(c,d) ablates exact vs 2-opt).
+enum class tsp_solver { exact, two_opt };
+
+/// Result of indexing N clusters with floors 0..N−1 (0 = bottom).
+struct indexing_result {
+    /// cluster_to_floor[c] = floor assigned to cluster c.
+    std::vector<int> cluster_to_floor;
+    /// order[p] = cluster placed at floor p (inverse of cluster_to_floor).
+    std::vector<std::size_t> order;
+    /// Cost of the chosen Hamiltonian path (Σ (1 − J^n) along adjacencies).
+    double path_cost = 0.0;
+    /// §VI Case 1: middle-floor label in an odd-floor building — the
+    /// orientation cannot be determined. `cluster_to_floor` then holds one
+    /// of the two equally plausible assignments.
+    bool ambiguous = false;
+};
+
+/// Index clusters with the labeled sample's cluster pinned to floor 0.
+/// \param similarity symmetric pairwise cluster similarity in [0, 1].
+/// \param start_cluster the cluster containing the labeled bottom-floor sample.
+/// \throws std::invalid_argument on non-square similarity or bad start.
+[[nodiscard]] indexing_result index_from_bottom(const linalg::matrix& similarity,
+                                                std::size_t start_cluster, tsp_solver solver,
+                                                util::rng& gen);
+
+/// Index clusters when the single label is on floor \p labeled_floor
+/// (0-based) and the labeled sample was *excluded* from clustering.
+/// \param labeled_floor known floor of the labeled sample.
+/// \param dist_to_clusters average embedding distance from the labeled
+///        sample to each cluster (d(r, C_i) of §VI).
+[[nodiscard]] indexing_result index_from_arbitrary(const linalg::matrix& similarity,
+                                                   int labeled_floor,
+                                                   const std::vector<double>& dist_to_clusters,
+                                                   tsp_solver solver, util::rng& gen);
+
+/// Helper shared by both protocols: Theorem-1 weight matrix w = 1 − sim
+/// (diagonal zero).
+[[nodiscard]] linalg::matrix similarity_to_weights(const linalg::matrix& similarity);
+
+}  // namespace fisone::indexing

@@ -1,0 +1,104 @@
+#include "similarity.hpp"
+
+#include <stdexcept>
+
+namespace fisone::indexing {
+
+std::vector<cluster_profile> build_profiles(const data::building& b,
+                                            const std::vector<int>& assignment,
+                                            std::size_t num_clusters) {
+    if (assignment.size() != b.samples.size())
+        throw std::invalid_argument("build_profiles: assignment size mismatch");
+    if (num_clusters == 0) throw std::invalid_argument("build_profiles: num_clusters is zero");
+
+    std::vector<cluster_profile> profiles(num_clusters);
+    for (auto& p : profiles) p.freq.assign(b.num_macs, 0.0);
+
+    for (std::size_t i = 0; i < b.samples.size(); ++i) {
+        const int c = assignment[i];
+        if (c == -1) continue;  // excluded sample (arbitrary-floor protocol)
+        if (c < 0 || static_cast<std::size_t>(c) >= num_clusters)
+            throw std::invalid_argument("build_profiles: label out of range");
+        cluster_profile& p = profiles[static_cast<std::size_t>(c)];
+        ++p.num_samples;
+        // Count each MAC once per scan even if observed multiple times.
+        for (const data::rf_observation& o : b.samples[i].observations) {
+            // A scan observing the same MAC twice should not double-count;
+            // mark by bumping only on first occurrence within this scan.
+            // Observations per scan are few, so a linear backscan is fine.
+            bool repeated = false;
+            for (const data::rf_observation& prior : b.samples[i].observations) {
+                if (&prior == &o) break;
+                if (prior.mac_id == o.mac_id) {
+                    repeated = true;
+                    break;
+                }
+            }
+            if (!repeated) p.freq[o.mac_id] += 1.0;
+        }
+    }
+    return profiles;
+}
+
+double plain_jaccard(const cluster_profile& a, const cluster_profile& b) {
+    if (a.freq.size() != b.freq.size())
+        throw std::invalid_argument("plain_jaccard: profile size mismatch");
+    std::size_t inter = 0, uni = 0;
+    for (std::size_t k = 0; k < a.freq.size(); ++k) {
+        const bool in_a = a.freq[k] > 0.0;
+        const bool in_b = b.freq[k] > 0.0;
+        if (in_a && in_b) ++inter;
+        if (in_a || in_b) ++uni;
+    }
+    return uni == 0 ? 0.0 : static_cast<double>(inter) / static_cast<double>(uni);
+}
+
+double adapted_jaccard(const cluster_profile& a, const cluster_profile& b) {
+    if (a.freq.size() != b.freq.size())
+        throw std::invalid_argument("adapted_jaccard: profile size mismatch");
+
+    // m = MACs detected in either cluster; means are over this pair-set.
+    std::size_t m = 0;
+    double sum_a = 0.0, sum_b = 0.0;
+    for (std::size_t k = 0; k < a.freq.size(); ++k) {
+        if (a.freq[k] > 0.0 || b.freq[k] > 0.0) {
+            ++m;
+            sum_a += a.freq[k];
+            sum_b += b.freq[k];
+        }
+    }
+    if (m == 0) return 0.0;
+    const double mean_a = sum_a / static_cast<double>(m);
+    const double mean_b = sum_b / static_cast<double>(m);
+
+    double f_share = 0.0, f_diff = 0.0;
+    for (std::size_t k = 0; k < a.freq.size(); ++k) {
+        const double fa = a.freq[k];
+        const double fb = b.freq[k];
+        if (fa == 0.0 && fb == 0.0) continue;
+        f_share += fa * fb;
+        if (fa == 0.0) f_diff += fb * mean_a;
+        if (fb == 0.0) f_diff += fa * mean_b;
+    }
+    const double denom = f_share + f_diff;
+    return denom == 0.0 ? 0.0 : f_share / denom;
+}
+
+linalg::matrix similarity_matrix(const std::vector<cluster_profile>& profiles,
+                                 similarity_kind kind) {
+    const std::size_t n = profiles.size();
+    linalg::matrix sim(n, n, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+        sim(i, i) = 1.0;
+        for (std::size_t j = i + 1; j < n; ++j) {
+            const double s = kind == similarity_kind::adapted_jaccard
+                                 ? adapted_jaccard(profiles[i], profiles[j])
+                                 : plain_jaccard(profiles[i], profiles[j]);
+            sim(i, j) = s;
+            sim(j, i) = s;
+        }
+    }
+    return sim;
+}
+
+}  // namespace fisone::indexing

@@ -1,0 +1,63 @@
+#pragma once
+
+/// \file similarity.hpp
+/// Spillover-based similarity between floor clusters (paper §IV-B).
+/// A cluster's *profile* is the appearance frequency of every MAC over the
+/// cluster's scans. Two similarity measures are provided:
+///  - plain Jaccard J_ij = |A_i ∩ A_j| / |A_i ∪ A_j| (presence only);
+///  - the paper's adapted Jaccard J^n_ij (eqs. 1–3), which weights MACs by
+///    their appearance frequencies so that wide-coverage APs count more:
+///      f_share = Σ_k f_ik · f_jk,
+///      f_diff  = Σ_k [1{f_ik=0}·f_jk·f̄_i + 1{f_jk=0}·f_ik·f̄_j],
+///      J^n     = f_share / (f_share + f_diff),
+///    where the sums and the means f̄ run over the m MACs detected in the
+///    *pair* of clusters (per the paper's definition).
+
+#include <cstddef>
+#include <vector>
+
+#include "data/rf_sample.hpp"
+#include "linalg/matrix.hpp"
+
+namespace fisone::indexing {
+
+/// MAC appearance frequencies of one cluster.
+struct cluster_profile {
+    /// freq[k] = number of scans in this cluster that detected MAC k.
+    std::vector<double> freq;
+    /// Number of scans in the cluster.
+    std::size_t num_samples = 0;
+
+    /// Number of distinct MACs detected in the cluster.
+    [[nodiscard]] std::size_t support() const noexcept {
+        std::size_t s = 0;
+        for (const double f : freq)
+            if (f > 0.0) ++s;
+        return s;
+    }
+};
+
+/// Which similarity the indexer uses (Fig. 9(a,b) ablates this).
+enum class similarity_kind { adapted_jaccard, jaccard };
+
+/// Build per-cluster MAC frequency profiles from a clustering assignment.
+/// \param assignment per-sample cluster label in [0, num_clusters); entries
+///        equal to -1 are skipped (used to exclude the labeled sample in
+///        the §VI arbitrary-floor protocol).
+/// \throws std::invalid_argument on size mismatch or out-of-range labels.
+[[nodiscard]] std::vector<cluster_profile> build_profiles(const data::building& b,
+                                                          const std::vector<int>& assignment,
+                                                          std::size_t num_clusters);
+
+/// Plain Jaccard similarity of two profiles.
+[[nodiscard]] double plain_jaccard(const cluster_profile& a, const cluster_profile& b);
+
+/// Adapted Jaccard similarity J^n (paper eq. 3). Returns 0 when the
+/// clusters share no MAC and 0/0 would occur with no unshared mass either.
+[[nodiscard]] double adapted_jaccard(const cluster_profile& a, const cluster_profile& b);
+
+/// Pairwise similarity matrix (symmetric, unit diagonal).
+[[nodiscard]] linalg::matrix similarity_matrix(const std::vector<cluster_profile>& profiles,
+                                               similarity_kind kind);
+
+}  // namespace fisone::indexing

@@ -1,0 +1,221 @@
+#include "eigen.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace fisone::linalg {
+
+namespace {
+
+constexpr double kSymmetryTolerance = 1e-8;
+constexpr double kConvergenceTolerance = 1e-12;
+
+void check_symmetric(const matrix& a, const char* what) {
+    if (a.rows() != a.cols()) throw std::invalid_argument(std::string(what) + ": not square");
+    for (std::size_t i = 0; i < a.rows(); ++i)
+        for (std::size_t j = i + 1; j < a.cols(); ++j)
+            if (std::abs(a(i, j) - a(j, i)) > kSymmetryTolerance)
+                throw std::invalid_argument(std::string(what) + ": not symmetric");
+}
+
+/// Sum of squares of off-diagonal entries — the Jacobi convergence measure.
+double off_diagonal_norm(const matrix& a) {
+    double acc = 0.0;
+    for (std::size_t i = 0; i < a.rows(); ++i)
+        for (std::size_t j = 0; j < a.cols(); ++j)
+            if (i != j) acc += a(i, j) * a(i, j);
+    return acc;
+}
+
+}  // namespace
+
+eigen_result jacobi_eigen(const matrix& input, std::size_t max_sweeps) {
+    check_symmetric(input, "jacobi_eigen");
+    const std::size_t n = input.rows();
+    matrix a = input;
+    matrix v = identity(n);
+
+    if (n <= 1) {
+        eigen_result r;
+        r.vectors = v;
+        if (n == 1) r.values = {a(0, 0)};
+        return r;
+    }
+
+    const double initial = off_diagonal_norm(a);
+    const double threshold = std::max(initial * kConvergenceTolerance, 1e-300);
+
+    for (std::size_t sweep = 0; sweep < max_sweeps; ++sweep) {
+        if (off_diagonal_norm(a) <= threshold) break;
+        for (std::size_t p = 0; p + 1 < n; ++p) {
+            for (std::size_t q = p + 1; q < n; ++q) {
+                const double apq = a(p, q);
+                if (std::abs(apq) < 1e-300) continue;
+                const double app = a(p, p);
+                const double aqq = a(q, q);
+                const double theta = (aqq - app) / (2.0 * apq);
+                // Stable computation of tan of the rotation angle.
+                const double t = (theta >= 0.0 ? 1.0 : -1.0) /
+                                 (std::abs(theta) + std::sqrt(theta * theta + 1.0));
+                const double c = 1.0 / std::sqrt(t * t + 1.0);
+                const double s = t * c;
+
+                // Apply the rotation G(p,q,θ)ᵀ A G(p,q,θ) in place.
+                for (std::size_t k = 0; k < n; ++k) {
+                    const double akp = a(k, p);
+                    const double akq = a(k, q);
+                    a(k, p) = c * akp - s * akq;
+                    a(k, q) = s * akp + c * akq;
+                }
+                for (std::size_t k = 0; k < n; ++k) {
+                    const double apk = a(p, k);
+                    const double aqk = a(q, k);
+                    a(p, k) = c * apk - s * aqk;
+                    a(q, k) = s * apk + c * aqk;
+                }
+                for (std::size_t k = 0; k < n; ++k) {
+                    const double vkp = v(k, p);
+                    const double vkq = v(k, q);
+                    v(k, p) = c * vkp - s * vkq;
+                    v(k, q) = s * vkp + c * vkq;
+                }
+            }
+        }
+    }
+
+    // Collect and sort eigenpairs by descending eigenvalue.
+    std::vector<std::size_t> order(n);
+    std::iota(order.begin(), order.end(), 0);
+    std::vector<double> diag(n);
+    for (std::size_t i = 0; i < n; ++i) diag[i] = a(i, i);
+    std::sort(order.begin(), order.end(),
+              [&diag](std::size_t x, std::size_t y) { return diag[x] > diag[y]; });
+
+    eigen_result result;
+    result.values.resize(n);
+    result.vectors = matrix(n, n);
+    for (std::size_t j = 0; j < n; ++j) {
+        result.values[j] = diag[order[j]];
+        for (std::size_t i = 0; i < n; ++i) result.vectors(i, j) = v(i, order[j]);
+    }
+    return result;
+}
+
+matrix double_center(const matrix& distances) {
+    if (distances.rows() != distances.cols())
+        throw std::invalid_argument("double_center: not square");
+    const std::size_t n = distances.rows();
+    matrix d2(n, n);
+    for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t j = 0; j < n; ++j) d2(i, j) = distances(i, j) * distances(i, j);
+
+    std::vector<double> row_mean(n, 0.0), col_mean(n, 0.0);
+    double grand = 0.0;
+    for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t j = 0; j < n; ++j) {
+            row_mean[i] += d2(i, j);
+            col_mean[j] += d2(i, j);
+            grand += d2(i, j);
+        }
+    for (std::size_t i = 0; i < n; ++i) row_mean[i] /= static_cast<double>(n);
+    for (std::size_t j = 0; j < n; ++j) col_mean[j] /= static_cast<double>(n);
+    grand /= static_cast<double>(n * n);
+
+    matrix b(n, n);
+    for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t j = 0; j < n; ++j)
+            b(i, j) = -0.5 * (d2(i, j) - row_mean[i] - col_mean[j] + grand);
+    return b;
+}
+
+eigen_result subspace_eigen(const matrix& a, std::size_t k, std::size_t max_iterations,
+                            std::uint64_t seed) {
+    check_symmetric(a, "subspace_eigen");
+    const std::size_t n = a.rows();
+    if (k == 0 || k > n) throw std::invalid_argument("subspace_eigen: k out of range");
+
+    // Gershgorin upper bound on |λ| for the positive shift.
+    double shift = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        double row_sum = 0.0;
+        for (std::size_t j = 0; j < n; ++j) row_sum += std::abs(a(i, j));
+        shift = std::max(shift, row_sum);
+    }
+    matrix shifted = a;
+    for (std::size_t i = 0; i < n; ++i) shifted(i, i) += shift;
+
+    // Random start block with guard vectors (oversampling accelerates the
+    // trailing eigenpairs, whose convergence rate depends on the spectral
+    // gap), orthonormalised by modified Gram–Schmidt.
+    const std::size_t block = std::min(n, k + 8);
+    util::rng gen(seed);
+    matrix q(n, block);
+    for (double& x : q.flat()) x = gen.normal();
+
+    auto orthonormalize = [](matrix& block) {
+        const std::size_t rows = block.rows();
+        const std::size_t cols = block.cols();
+        for (std::size_t j = 0; j < cols; ++j) {
+            for (std::size_t p = 0; p < j; ++p) {
+                double proj = 0.0;
+                for (std::size_t i = 0; i < rows; ++i) proj += block(i, j) * block(i, p);
+                for (std::size_t i = 0; i < rows; ++i) block(i, j) -= proj * block(i, p);
+            }
+            double nrm = 0.0;
+            for (std::size_t i = 0; i < rows; ++i) nrm += block(i, j) * block(i, j);
+            nrm = std::sqrt(nrm);
+            if (nrm < 1e-14) nrm = 1.0;  // degenerate column: leave as-is
+            for (std::size_t i = 0; i < rows; ++i) block(i, j) /= nrm;
+        }
+    };
+    orthonormalize(q);
+
+    for (std::size_t it = 0; it < max_iterations; ++it) {
+        matrix z = matmul(shifted, q);
+        orthonormalize(z);
+        q = std::move(z);
+    }
+
+    // Rayleigh–Ritz: orthogonal iteration converges the *subspace* but not
+    // individual columns when eigenvalues are close. Diagonalising the
+    // projected problem T = QᵀAQ and rotating Q recovers the eigenvectors.
+    const matrix aq = matmul(a, q);
+    const matrix t = matmul_tn(q, aq);
+    matrix t_sym(block, block);
+    for (std::size_t i = 0; i < block; ++i)
+        for (std::size_t j = 0; j < block; ++j) t_sym(i, j) = 0.5 * (t(i, j) + t(j, i));
+    const eigen_result small = jacobi_eigen(t_sym);
+    const matrix rotated = matmul(q, small.vectors);
+
+    // Keep the top k of the (k + guard)-dimensional Ritz set.
+    eigen_result result;
+    result.values.assign(small.values.begin(), small.values.begin() + static_cast<long>(k));
+    result.vectors = matrix(n, k);
+    for (std::size_t j = 0; j < k; ++j)
+        for (std::size_t i = 0; i < n; ++i) result.vectors(i, j) = rotated(i, j);
+    return result;
+}
+
+matrix classical_mds(const matrix& distances, std::size_t dim) {
+    if (dim == 0) throw std::invalid_argument("classical_mds: dim must be > 0");
+    const matrix b = double_center(distances);
+    const std::size_t n = distances.rows();
+    const std::size_t k = std::min(dim, n);
+    // Jacobi costs O(n³) per sweep; switch to subspace iteration for the
+    // sizes the experiments use.
+    const eigen_result eig = n <= 96 ? jacobi_eigen(b) : subspace_eigen(b, k);
+
+    matrix coords(n, dim, 0.0);
+    for (std::size_t j = 0; j < k; ++j) {
+        const double lambda = std::max(eig.values[j], 0.0);
+        const double scale = std::sqrt(lambda);
+        for (std::size_t i = 0; i < n; ++i) coords(i, j) = eig.vectors(i, j) * scale;
+    }
+    return coords;
+}
+
+}  // namespace fisone::linalg

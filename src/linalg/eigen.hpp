@@ -1,0 +1,52 @@
+#pragma once
+
+/// \file eigen.hpp
+/// Symmetric eigendecomposition via the cyclic Jacobi rotation method,
+/// plus the double-centering step of classical (Torgerson) MDS. These are
+/// the numeric substrate for the MDS baseline (paper §V-A).
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "matrix.hpp"
+
+namespace fisone::linalg {
+
+/// Result of a symmetric eigendecomposition: A = V · diag(λ) · Vᵀ.
+/// Eigenpairs are sorted by descending eigenvalue.
+struct eigen_result {
+    std::vector<double> values;  ///< eigenvalues, descending
+    matrix vectors;              ///< column j is the eigenvector of values[j]
+};
+
+/// Jacobi eigensolver for a symmetric matrix.
+/// \param a symmetric input (symmetry is validated up to a tolerance).
+/// \param max_sweeps upper bound on full Jacobi sweeps (each sweep visits
+///        every off-diagonal pair once).
+/// \throws std::invalid_argument if \p a is not square or not symmetric.
+[[nodiscard]] eigen_result jacobi_eigen(const matrix& a, std::size_t max_sweeps = 64);
+
+/// Double-center a squared-distance matrix: B = -½ · J · D² · J with
+/// J = I - (1/n)·11ᵀ. Input is the matrix of *plain* distances; squaring
+/// happens internally (classical MDS convention).
+/// \throws std::invalid_argument if \p distances is not square.
+[[nodiscard]] matrix double_center(const matrix& distances);
+
+/// Top-k eigenpairs of a symmetric matrix by shifted orthogonal (subspace)
+/// iteration — O(n²·k) per sweep, used when full Jacobi would be too slow.
+/// The Gershgorin shift biases convergence toward the *algebraically*
+/// largest eigenvalues. Eigenpairs are returned in descending order.
+/// \throws std::invalid_argument if \p a is not symmetric or k > n.
+[[nodiscard]] eigen_result subspace_eigen(const matrix& a, std::size_t k,
+                                          std::size_t max_iterations = 64,
+                                          std::uint64_t seed = 12345);
+
+/// Classical (Torgerson) MDS: embed n points into \p dim dimensions from a
+/// pairwise distance matrix. Negative eigenvalues are clamped to zero (the
+/// standard treatment for non-Euclidean dissimilarities such as 1−cosine).
+/// Uses Jacobi for small n and subspace iteration for large n.
+/// \returns an n × dim coordinate matrix.
+[[nodiscard]] matrix classical_mds(const matrix& distances, std::size_t dim);
+
+}  // namespace fisone::linalg

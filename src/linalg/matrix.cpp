@@ -1,0 +1,136 @@
+#include "matrix.hpp"
+
+#include <cmath>
+
+namespace fisone::linalg {
+
+namespace {
+void check_same_shape(const matrix& a, const matrix& b, const char* what) {
+    if (a.rows() != b.rows() || a.cols() != b.cols())
+        throw std::invalid_argument(std::string(what) + ": shape mismatch");
+}
+void check_same_length(std::span<const double> a, std::span<const double> b, const char* what) {
+    if (a.size() != b.size()) throw std::invalid_argument(std::string(what) + ": length mismatch");
+}
+}  // namespace
+
+matrix& matrix::operator+=(const matrix& other) {
+    check_same_shape(*this, other, "matrix::operator+=");
+    for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+    return *this;
+}
+
+matrix& matrix::operator-=(const matrix& other) {
+    check_same_shape(*this, other, "matrix::operator-=");
+    for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
+    return *this;
+}
+
+matrix& matrix::operator*=(double scalar) noexcept {
+    for (double& x : data_) x *= scalar;
+    return *this;
+}
+
+matrix matmul(const matrix& a, const matrix& b) {
+    if (a.cols() != b.rows()) throw std::invalid_argument("matmul: inner dimension mismatch");
+    matrix out(a.rows(), b.cols(), 0.0);
+    // i-k-j loop order keeps the inner loop contiguous over both b and out.
+    for (std::size_t i = 0; i < a.rows(); ++i) {
+        for (std::size_t k = 0; k < a.cols(); ++k) {
+            const double aik = a(i, k);
+            if (aik == 0.0) continue;
+            const double* brow = &b(k, 0);
+            double* orow = &out(i, 0);
+            for (std::size_t j = 0; j < b.cols(); ++j) orow[j] += aik * brow[j];
+        }
+    }
+    return out;
+}
+
+matrix matmul_nt(const matrix& a, const matrix& b) {
+    if (a.cols() != b.cols()) throw std::invalid_argument("matmul_nt: dimension mismatch");
+    matrix out(a.rows(), b.rows(), 0.0);
+    for (std::size_t i = 0; i < a.rows(); ++i) {
+        const double* arow = &a(i, 0);
+        for (std::size_t j = 0; j < b.rows(); ++j) {
+            const double* brow = &b(j, 0);
+            double acc = 0.0;
+            for (std::size_t k = 0; k < a.cols(); ++k) acc += arow[k] * brow[k];
+            out(i, j) = acc;
+        }
+    }
+    return out;
+}
+
+matrix matmul_tn(const matrix& a, const matrix& b) {
+    if (a.rows() != b.rows()) throw std::invalid_argument("matmul_tn: dimension mismatch");
+    matrix out(a.cols(), b.cols(), 0.0);
+    for (std::size_t k = 0; k < a.rows(); ++k) {
+        const double* arow = &a(k, 0);
+        const double* brow = &b(k, 0);
+        for (std::size_t i = 0; i < a.cols(); ++i) {
+            const double aki = arow[i];
+            if (aki == 0.0) continue;
+            double* orow = &out(i, 0);
+            for (std::size_t j = 0; j < b.cols(); ++j) orow[j] += aki * brow[j];
+        }
+    }
+    return out;
+}
+
+matrix transpose(const matrix& a) {
+    matrix out(a.cols(), a.rows());
+    for (std::size_t i = 0; i < a.rows(); ++i)
+        for (std::size_t j = 0; j < a.cols(); ++j) out(j, i) = a(i, j);
+    return out;
+}
+
+matrix identity(std::size_t n) {
+    matrix out(n, n, 0.0);
+    for (std::size_t i = 0; i < n; ++i) out(i, i) = 1.0;
+    return out;
+}
+
+matrix hadamard(const matrix& a, const matrix& b) {
+    check_same_shape(a, b, "hadamard");
+    matrix out(a.rows(), a.cols());
+    for (std::size_t i = 0; i < a.size(); ++i) out.flat()[i] = a.flat()[i] * b.flat()[i];
+    return out;
+}
+
+double squared_distance(std::span<const double> a, std::span<const double> b) {
+    check_same_length(a, b, "squared_distance");
+    double acc = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        const double d = a[i] - b[i];
+        acc += d * d;
+    }
+    return acc;
+}
+
+double euclidean_distance(std::span<const double> a, std::span<const double> b) {
+    return std::sqrt(squared_distance(a, b));
+}
+
+double dot(std::span<const double> a, std::span<const double> b) {
+    check_same_length(a, b, "dot");
+    double acc = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
+    return acc;
+}
+
+double norm2(std::span<const double> a) {
+    double acc = 0.0;
+    for (const double x : a) acc += x * x;
+    return std::sqrt(acc);
+}
+
+double cosine_similarity(std::span<const double> a, std::span<const double> b) {
+    check_same_length(a, b, "cosine_similarity");
+    const double na = norm2(a);
+    const double nb = norm2(b);
+    if (na == 0.0 || nb == 0.0) return 0.0;
+    return dot(a, b) / (na * nb);
+}
+
+}  // namespace fisone::linalg

@@ -1,0 +1,298 @@
+#include "building_generator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <stdexcept>
+
+namespace fisone::sim {
+
+namespace {
+
+/// Is (x, y) inside the atrium footprint (circle at the floor centre)?
+bool in_atrium(const building_spec& spec, double x, double y) {
+    const double cx = spec.floor_width_m / 2.0;
+    const double cy = spec.floor_depth_m / 2.0;
+    const double dx = x - cx;
+    const double dy = y - cy;
+    return dx * dx + dy * dy <= spec.atrium_radius_m * spec.atrium_radius_m;
+}
+
+/// Wing (zone) index of a position: equal vertical slices of the footprint.
+std::size_t zone_of(const building_spec& spec, double x) {
+    if (spec.zones_per_floor <= 1) return 0;
+    const double slice = spec.floor_width_m / static_cast<double>(spec.zones_per_floor);
+    auto z = static_cast<std::size_t>(x / slice);
+    return std::min(z, spec.zones_per_floor - 1);
+}
+
+/// Attenuation from the dividing walls between two zones.
+double zone_wall_loss(const building_spec& spec, std::size_t za, std::size_t zb) {
+    const std::size_t gap = za > zb ? za - zb : zb - za;
+    return spec.zone_wall_db * static_cast<double>(gap);
+}
+
+}  // namespace
+
+simulated_building generate_building(const building_spec& spec) {
+    if (spec.num_floors < 2)
+        throw std::invalid_argument("generate_building: need at least 2 floors");
+    if (spec.aps_per_floor == 0) throw std::invalid_argument("generate_building: no APs");
+    if (spec.samples_per_floor == 0) throw std::invalid_argument("generate_building: no samples");
+    if (spec.num_devices == 0) throw std::invalid_argument("generate_building: no devices");
+
+    util::rng gen(spec.seed);
+    simulated_building out;
+    out.building.name = spec.name;
+    out.building.num_floors = spec.num_floors;
+    out.building.num_macs = spec.num_floors * spec.aps_per_floor;
+
+    // --- place APs ---
+    out.aps.reserve(out.building.num_macs);
+    for (std::size_t f = 0; f < spec.num_floors; ++f) {
+        for (std::size_t a = 0; a < spec.aps_per_floor; ++a) {
+            ap_info ap;
+            ap.mac_id = static_cast<std::uint32_t>(out.aps.size());
+            ap.floor = static_cast<std::int32_t>(f);
+            ap.pos.x = gen.uniform(0.0, spec.floor_width_m);
+            ap.pos.y = gen.uniform(0.0, spec.floor_depth_m);
+            ap.pos.z = static_cast<double>(f) * spec.floor_height_m + 2.5;  // ceiling mount
+            ap.power_offset_db = gen.normal(0.0, spec.ap_power_sigma_db);
+            ap.zone = zone_of(spec, ap.pos.x);
+            out.aps.push_back(ap);
+        }
+    }
+
+    // --- per-device RSS bias ---
+    std::vector<double> device_offset(spec.num_devices);
+    for (double& o : device_offset) o = gen.normal(0.0, spec.device_offset_sigma_db);
+
+    // --- generate scans ---
+    // One scan at position rx on floor f by device dev.
+    const auto measure_scan = [&](std::size_t f, const position& rx, std::uint32_t dev) {
+        data::rf_sample sample;
+        sample.true_floor = static_cast<std::int32_t>(f);
+        sample.device_id = dev;
+        const bool rx_atrium = spec.atrium && in_atrium(spec, rx.x, rx.y);
+        const std::size_t rx_zone = zone_of(spec, rx.x);
+        for (const ap_info& ap : out.aps) {
+            const auto crossed =
+                static_cast<unsigned>(std::abs(ap.floor - sample.true_floor));
+            const bool through_atrium = crossed > 0 && rx_atrium && spec.atrium &&
+                                        in_atrium(spec, ap.pos.x, ap.pos.y);
+            const double wall_loss = zone_wall_loss(spec, ap.zone, rx_zone);
+            const link_sample link =
+                compute_link(spec.model, ap.pos, rx, crossed, through_atrium,
+                             device_offset[dev] + ap.power_offset_db - wall_loss, gen);
+            if (link.detected && gen.bernoulli(spec.observation_rate))
+                sample.observations.push_back(data::rf_observation{ap.mac_id, link.rss_dbm});
+        }
+        return sample;
+    };
+    const auto random_position = [&](std::size_t f) {
+        position rx;
+        rx.x = gen.uniform(0.0, spec.floor_width_m);
+        rx.y = gen.uniform(0.0, spec.floor_depth_m);
+        rx.z = static_cast<double>(f) * spec.floor_height_m + 1.2;  // hand height
+        return rx;
+    };
+    constexpr double kPi = 3.14159265358979323846;
+
+    out.building.samples.reserve(spec.num_floors * spec.samples_per_floor);
+    for (std::size_t f = 0; f < spec.num_floors; ++f) {
+        if (spec.mode == scan_mode::random_positions) {
+            for (std::size_t s = 0; s < spec.samples_per_floor; ++s) {
+                data::rf_sample sample;
+                for (std::size_t attempt = 0; attempt < spec.max_redraw_attempts; ++attempt) {
+                    const auto dev =
+                        static_cast<std::uint32_t>(gen.uniform_index(spec.num_devices));
+                    sample = measure_scan(f, random_position(f), dev);
+                    if (sample.observations.size() >= spec.min_observations) break;
+                }
+                if (sample.observations.size() < spec.min_observations)
+                    throw std::runtime_error(
+                        "generate_building: could not draw a connected scan; "
+                        "check propagation parameters");
+                out.building.samples.push_back(std::move(sample));
+            }
+        } else {
+            // Trajectories: one contributor walks and scans every step with
+            // the same device; headings wobble and reflect off the walls.
+            std::size_t produced = 0;
+            std::size_t guard = 0;  // bound the retry loop on hostile specs
+            while (produced < spec.samples_per_floor) {
+                if (++guard > spec.max_redraw_attempts * spec.samples_per_floor)
+                    throw std::runtime_error(
+                        "generate_building: trajectories cannot satisfy min_observations");
+                const auto dev =
+                    static_cast<std::uint32_t>(gen.uniform_index(spec.num_devices));
+                position rx = random_position(f);
+                double heading = gen.uniform(0.0, 2.0 * kPi);
+                const std::size_t steps =
+                    std::min(spec.trajectory_length, spec.samples_per_floor - produced);
+                for (std::size_t t = 0; t < steps; ++t) {
+                    data::rf_sample sample = measure_scan(f, rx, dev);
+                    // Dead corners yield sparse scans; keep walking but only
+                    // emit scans that meet the minimum.
+                    if (sample.observations.size() >= spec.min_observations) {
+                        out.building.samples.push_back(std::move(sample));
+                        ++produced;
+                    }
+                    heading += gen.normal(0.0, 0.5);
+                    rx.x += spec.trajectory_step_m * std::cos(heading);
+                    rx.y += spec.trajectory_step_m * std::sin(heading);
+                    if (rx.x < 0.0) {
+                        rx.x = -rx.x;
+                        heading = kPi - heading;
+                    }
+                    if (rx.x > spec.floor_width_m) {
+                        rx.x = 2.0 * spec.floor_width_m - rx.x;
+                        heading = kPi - heading;
+                    }
+                    if (rx.y < 0.0) {
+                        rx.y = -rx.y;
+                        heading = -heading;
+                    }
+                    if (rx.y > spec.floor_depth_m) {
+                        rx.y = 2.0 * spec.floor_depth_m - rx.y;
+                        heading = -heading;
+                    }
+                }
+            }
+        }
+    }
+
+
+    // --- the one label: a uniformly random bottom-floor scan ---
+    std::vector<std::size_t> bottom;
+    for (std::size_t i = 0; i < out.building.samples.size(); ++i)
+        if (out.building.samples[i].true_floor == 0) bottom.push_back(i);
+    out.building.labeled_sample = bottom[gen.uniform_index(bottom.size())];
+    out.building.labeled_floor = 0;
+
+    out.building.validate();
+    return out;
+}
+
+int relabel_random_floor(data::building& b, util::rng& gen) {
+    const std::size_t idx = gen.uniform_index(b.samples.size());
+    b.labeled_sample = idx;
+    b.labeled_floor = b.samples[idx].true_floor;
+    return b.labeled_floor;
+}
+
+void relabel_floor(data::building& b, int floor, util::rng& gen) {
+    std::vector<std::size_t> candidates;
+    for (std::size_t i = 0; i < b.samples.size(); ++i)
+        if (b.samples[i].true_floor == floor) candidates.push_back(i);
+    if (candidates.empty())
+        throw std::invalid_argument("relabel_floor: no samples on requested floor");
+    b.labeled_sample = candidates[gen.uniform_index(candidates.size())];
+    b.labeled_floor = floor;
+}
+
+std::vector<std::size_t> spillover_histogram(const data::building& b) {
+    std::vector<std::set<std::int32_t>> floors_seen(b.num_macs);
+    for (const data::rf_sample& s : b.samples)
+        for (const data::rf_observation& o : s.observations)
+            floors_seen[o.mac_id].insert(s.true_floor);
+
+    std::vector<std::size_t> hist(b.num_floors, 0);
+    for (const auto& floors : floors_seen) {
+        if (floors.empty()) continue;  // AP never detected
+        ++hist[floors.size() - 1];
+    }
+    return hist;
+}
+
+std::vector<std::size_t> microsoft_floor_counts(std::size_t num_buildings) {
+    // Relative frequencies eyeballed from the paper's Figure 7 (3–10 floors,
+    // strongly skewed toward low-rise buildings).
+    static constexpr double kWeights[] = {0.25, 0.22, 0.20, 0.11, 0.10, 0.06, 0.04, 0.02};
+    constexpr std::size_t kKinds = 8;  // floors 3..10
+
+    // Largest-remainder apportionment.
+    double total = 0.0;
+    for (const double w : kWeights) total += w;
+    std::vector<double> exact(kKinds);
+    std::vector<std::size_t> counts(kKinds, 0);
+    std::size_t assigned = 0;
+    for (std::size_t i = 0; i < kKinds; ++i) {
+        exact[i] = kWeights[i] / total * static_cast<double>(num_buildings);
+        counts[i] = static_cast<std::size_t>(exact[i]);
+        assigned += counts[i];
+    }
+    while (assigned < num_buildings) {
+        std::size_t best = 0;
+        double best_frac = -1.0;
+        for (std::size_t i = 0; i < kKinds; ++i) {
+            const double frac = exact[i] - static_cast<double>(counts[i]);
+            if (frac > best_frac) {
+                best_frac = frac;
+                best = i;
+            }
+        }
+        ++counts[best];
+        ++assigned;
+    }
+
+    std::vector<std::size_t> floors;
+    floors.reserve(num_buildings);
+    for (std::size_t i = 0; i < kKinds; ++i)
+        for (std::size_t c = 0; c < counts[i]; ++c) floors.push_back(i + 3);
+    return floors;
+}
+
+data::corpus make_microsoft_corpus(std::size_t num_buildings, std::size_t samples_per_floor,
+                                   std::uint64_t seed) {
+    data::corpus corpus;
+    corpus.name = "Microsoft";
+    const auto floor_counts = microsoft_floor_counts(num_buildings);
+    util::rng seeder(seed);
+    for (std::size_t i = 0; i < floor_counts.size(); ++i) {
+        building_spec spec;
+        spec.name = "ms-building-" + std::to_string(i);
+        spec.num_floors = floor_counts[i];
+        spec.floor_width_m = 60.0;
+        spec.floor_depth_m = 40.0;
+        spec.aps_per_floor = 16;
+        // Offices are walled interiors: higher path-loss exponent than the
+        // open-space malls, giving scans horizontal locality.
+        spec.model.path_loss_exponent = 3.3;
+        spec.samples_per_floor = samples_per_floor;
+        spec.atrium = false;
+        spec.seed = seeder();
+        corpus.buildings.push_back(generate_building(spec).building);
+    }
+    return corpus;
+}
+
+data::corpus make_malls_corpus(std::size_t samples_per_floor, std::uint64_t seed) {
+    data::corpus corpus;
+    corpus.name = "Ours";
+    util::rng seeder(seed);
+    const std::size_t floors[] = {5, 5, 7};
+    for (std::size_t i = 0; i < 3; ++i) {
+        building_spec spec;
+        spec.name = "mall-" + std::to_string(i);
+        spec.num_floors = floors[i];
+        spec.floor_width_m = 120.0;
+        spec.floor_depth_m = 80.0;
+        spec.aps_per_floor = 21;  // an 8-floor mall then carries ~168 MACs (Fig. 1b)
+        spec.samples_per_floor = samples_per_floor;
+        spec.atrium = true;
+        spec.atrium_radius_m = 15.0;
+        // Malls are open space: lower path-loss exponent than the walled
+        // default, plus stronger shadowing and device spread (glass fronts,
+        // crowds, many contributor phones). Calibrated so FIS-ONE lands at
+        // the paper's "Ours" difficulty (~0.85 ARI) at bench scale.
+        spec.model.path_loss_exponent = 2.7;
+        spec.model.shadowing_sigma_db = 6.0;
+        spec.device_offset_sigma_db = 4.0;
+        spec.seed = seeder();
+        corpus.buildings.push_back(generate_building(spec).building);
+    }
+    return corpus;
+}
+
+}  // namespace fisone::sim

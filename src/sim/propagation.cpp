@@ -1,0 +1,41 @@
+#include "propagation.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fisone::sim {
+
+double distance(const position& a, const position& b) noexcept {
+    const double dx = a.x - b.x;
+    const double dy = a.y - b.y;
+    const double dz = a.z - b.z;
+    return std::sqrt(dx * dx + dy * dy + dz * dz);
+}
+
+double mean_rss_dbm(const propagation_model& model, const position& tx, const position& rx,
+                    unsigned floors_crossed, bool through_atrium) noexcept {
+    const double d = std::max(distance(tx, rx), 1.0);
+    const double per_floor =
+        through_atrium ? model.atrium_attenuation_db : model.floor_attenuation_db;
+    return model.rss_at_1m_dbm - 10.0 * model.path_loss_exponent * std::log10(d) -
+           per_floor * static_cast<double>(floors_crossed);
+}
+
+link_sample compute_link(const propagation_model& model, const position& tx, const position& rx,
+                         unsigned floors_crossed, bool through_atrium, double device_offset_db,
+                         util::rng& gen) {
+    double rss = mean_rss_dbm(model, tx, rx, floors_crossed, through_atrium);
+    rss += gen.normal(0.0, model.shadowing_sigma_db);
+    rss += device_offset_db;
+
+    link_sample out;
+    if (rss < model.detection_threshold_dbm) return out;  // not detected
+
+    rss = std::clamp(rss, model.rss_floor_dbm, model.rss_ceil_dbm);
+    if (model.quantize) rss = std::round(rss);
+    out.detected = true;
+    out.rss_dbm = rss;
+    return out;
+}
+
+}  // namespace fisone::sim

@@ -1,0 +1,66 @@
+#pragma once
+
+/// \file propagation.hpp
+/// Multi-floor indoor RF propagation model. Log-distance path loss with a
+/// per-floor attenuation factor (FAF), log-normal shadowing, per-device
+/// RSS bias and a detection threshold — the standard multi-wall/multi-floor
+/// model family (cf. the paper's refs [23], [25]). The FAF term is what
+/// produces the *signal spillover* structure FIS-ONE exploits: adjacent
+/// floors hear each other's APs at reduced strength, distant floors mostly
+/// do not (paper Fig. 1). An optional *atrium* (open vertical core, as in
+/// the paper's shopping malls) lets a few central APs reach many floors,
+/// reproducing the long tail of Fig. 1(b).
+
+#include <cstdint>
+
+#include "util/rng.hpp"
+
+namespace fisone::sim {
+
+/// A 3-D position in metres.
+struct position {
+    double x = 0.0;
+    double y = 0.0;
+    double z = 0.0;
+};
+
+/// Straight-line distance.
+[[nodiscard]] double distance(const position& a, const position& b) noexcept;
+
+/// Parameters of the propagation model.
+struct propagation_model {
+    double rss_at_1m_dbm = -35.0;       ///< reference RSS at 1 m, same floor
+    double path_loss_exponent = 3.1;    ///< indoor-with-obstacles exponent
+    double floor_attenuation_db = 16.0; ///< loss per concrete floor crossed
+    double atrium_attenuation_db = 3.0; ///< loss per floor across the open atrium
+    double shadowing_sigma_db = 5.0;    ///< log-normal shadowing std-dev
+    double detection_threshold_dbm = -94.0;
+    double rss_floor_dbm = -110.0;      ///< readings clamp here (chipset floor)
+    double rss_ceil_dbm = -25.0;        ///< readings clamp here (saturation)
+    bool quantize = true;               ///< round to whole dBm like real chipsets
+};
+
+/// Result of a single link computation.
+struct link_sample {
+    bool detected = false;
+    double rss_dbm = -120.0;
+};
+
+/// Compute the received signal strength between \p tx and \p rx.
+/// \param floors_crossed |Δfloor| between transmitter and receiver.
+/// \param through_atrium true when the vertical path goes through the open
+///        atrium (both endpoints within the atrium footprint).
+/// \param device_offset_db receiver-hardware bias added to the reading.
+/// \param gen randomness source for shadowing.
+[[nodiscard]] link_sample compute_link(const propagation_model& model, const position& tx,
+                                       const position& rx, unsigned floors_crossed,
+                                       bool through_atrium, double device_offset_db,
+                                       util::rng& gen);
+
+/// Deterministic mean RSS (no shadowing, no offset) — used by tests to
+/// check monotonicity properties of the model.
+[[nodiscard]] double mean_rss_dbm(const propagation_model& model, const position& tx,
+                                  const position& rx, unsigned floors_crossed,
+                                  bool through_atrium) noexcept;
+
+}  // namespace fisone::sim

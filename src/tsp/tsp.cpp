@@ -1,0 +1,207 @@
+#include "tsp.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+
+namespace fisone::tsp {
+
+namespace {
+
+void check_inputs(const linalg::matrix& dist, std::size_t start, const char* what) {
+    if (dist.rows() == 0 || dist.rows() != dist.cols())
+        throw std::invalid_argument(std::string(what) + ": dist must be square and non-empty");
+    if (start >= dist.rows())
+        throw std::invalid_argument(std::string(what) + ": start out of range");
+}
+
+/// Nearest-neighbour construction from \p start; unvisited choice can be
+/// randomised among near-ties for restart diversity.
+std::vector<std::size_t> nearest_neighbor_order(const linalg::matrix& dist, std::size_t start,
+                                                util::rng* gen) {
+    const std::size_t n = dist.rows();
+    std::vector<bool> visited(n, false);
+    std::vector<std::size_t> order;
+    order.reserve(n);
+    order.push_back(start);
+    visited[start] = true;
+    while (order.size() < n) {
+        const std::size_t cur = order.back();
+        std::size_t best = n;
+        double best_d = std::numeric_limits<double>::max();
+        for (std::size_t j = 0; j < n; ++j) {
+            if (visited[j]) continue;
+            double d = dist(cur, j);
+            if (gen != nullptr) d += gen->uniform() * 1e-9;  // tie-break jitter
+            if (d < best_d) {
+                best_d = d;
+                best = j;
+            }
+        }
+        order.push_back(best);
+        visited[best] = true;
+    }
+    return order;
+}
+
+/// In-place 2-opt on a path with a pinned first node. Reversing the
+/// segment [i, j] replaces edges (i−1, i) and (j, j+1) with (i−1, j) and
+/// (i, j+1); when j is the last node only the first replacement applies.
+void improve_two_opt(const linalg::matrix& dist, std::vector<std::size_t>& order) {
+    const std::size_t n = order.size();
+    if (n < 3) return;
+    bool improved = true;
+    while (improved) {
+        improved = false;
+        for (std::size_t i = 1; i + 1 < n; ++i) {
+            for (std::size_t j = i + 1; j < n; ++j) {
+                const std::size_t a = order[i - 1];
+                const std::size_t b = order[i];
+                const std::size_t c = order[j];
+                double delta = dist(a, c) - dist(a, b);
+                if (j + 1 < n) {
+                    const std::size_t d = order[j + 1];
+                    delta += dist(b, d) - dist(c, d);
+                }
+                if (delta < -1e-12) {
+                    std::reverse(order.begin() + static_cast<std::ptrdiff_t>(i),
+                                 order.begin() + static_cast<std::ptrdiff_t>(j) + 1);
+                    improved = true;
+                }
+            }
+        }
+    }
+}
+
+}  // namespace
+
+double path_cost(const linalg::matrix& dist, const std::vector<std::size_t>& order) {
+    if (dist.rows() != dist.cols()) throw std::invalid_argument("path_cost: dist must be square");
+    double cost = 0.0;
+    for (std::size_t i = 0; i + 1 < order.size(); ++i) {
+        if (order[i] >= dist.rows() || order[i + 1] >= dist.rows())
+            throw std::invalid_argument("path_cost: index out of range");
+        cost += dist(order[i], order[i + 1]);
+    }
+    return cost;
+}
+
+path_result held_karp_path(const linalg::matrix& dist, std::size_t start) {
+    check_inputs(dist, start, "held_karp_path");
+    const std::size_t n = dist.rows();
+    if (n > 24) throw std::invalid_argument("held_karp_path: N > 24; use two_opt_path");
+    if (n == 1) return path_result{{start}, 0.0};
+
+    const std::size_t full = std::size_t{1} << n;
+    constexpr double inf = std::numeric_limits<double>::max() / 4;
+    // dp[mask * n + j]: cheapest path from start visiting exactly `mask`,
+    // ending at j (mask always contains start and j).
+    std::vector<double> dp(full * n, inf);
+    std::vector<std::uint32_t> parent(full * n, static_cast<std::uint32_t>(n));
+    dp[(std::size_t{1} << start) * n + start] = 0.0;
+
+    for (std::size_t mask = 1; mask < full; ++mask) {
+        if ((mask & (std::size_t{1} << start)) == 0) continue;
+        for (std::size_t j = 0; j < n; ++j) {
+            if ((mask & (std::size_t{1} << j)) == 0) continue;
+            const double cur = dp[mask * n + j];
+            if (cur >= inf) continue;
+            for (std::size_t k = 0; k < n; ++k) {
+                if (mask & (std::size_t{1} << k)) continue;
+                const std::size_t next_mask = mask | (std::size_t{1} << k);
+                const double cand = cur + dist(j, k);
+                if (cand < dp[next_mask * n + k]) {
+                    dp[next_mask * n + k] = cand;
+                    parent[next_mask * n + k] = static_cast<std::uint32_t>(j);
+                }
+            }
+        }
+    }
+
+    const std::size_t all = full - 1;
+    std::size_t best_end = n;
+    double best_cost = inf;
+    for (std::size_t j = 0; j < n; ++j) {
+        if (dp[all * n + j] < best_cost) {
+            best_cost = dp[all * n + j];
+            best_end = j;
+        }
+    }
+
+    // Reconstruct.
+    path_result result;
+    result.cost = best_cost;
+    result.order.resize(n);
+    std::size_t mask = all;
+    std::size_t node = best_end;
+    for (std::size_t pos = n; pos-- > 0;) {
+        result.order[pos] = node;
+        const std::uint32_t p = parent[mask * n + node];
+        mask &= ~(std::size_t{1} << node);
+        node = p;
+    }
+    return result;
+}
+
+path_result two_opt_path(const linalg::matrix& dist, std::size_t start, util::rng& gen,
+                         std::size_t restarts) {
+    check_inputs(dist, start, "two_opt_path");
+    const std::size_t n = dist.rows();
+    if (n == 1) return path_result{{start}, 0.0};
+    if (restarts == 0) restarts = 1;
+
+    path_result best;
+    best.cost = std::numeric_limits<double>::max();
+    for (std::size_t r = 0; r < restarts; ++r) {
+        std::vector<std::size_t> order;
+        if (r == 0) {
+            order = nearest_neighbor_order(dist, start, nullptr);
+        } else if (r == 1) {
+            order = nearest_neighbor_order(dist, start, &gen);
+        } else {
+            // random permutation keeping start first
+            order.resize(n);
+            std::iota(order.begin(), order.end(), 0);
+            std::swap(order[0], order[start]);
+            std::vector<std::size_t> tail(order.begin() + 1, order.end());
+            gen.shuffle(tail);
+            std::copy(tail.begin(), tail.end(), order.begin() + 1);
+        }
+        improve_two_opt(dist, order);
+        const double cost = path_cost(dist, order);
+        if (cost < best.cost) {
+            best.cost = cost;
+            best.order = std::move(order);
+        }
+    }
+    return best;
+}
+
+path_result brute_force_path(const linalg::matrix& dist, std::size_t start) {
+    check_inputs(dist, start, "brute_force_path");
+    const std::size_t n = dist.rows();
+    if (n > 10) throw std::invalid_argument("brute_force_path: N > 10");
+
+    std::vector<std::size_t> rest;
+    for (std::size_t i = 0; i < n; ++i)
+        if (i != start) rest.push_back(i);
+
+    path_result best;
+    best.cost = std::numeric_limits<double>::max();
+    std::vector<std::size_t> order(n);
+    order[0] = start;
+    std::sort(rest.begin(), rest.end());
+    do {
+        std::copy(rest.begin(), rest.end(), order.begin() + 1);
+        const double cost = path_cost(dist, order);
+        if (cost < best.cost) {
+            best.cost = cost;
+            best.order = order;
+        }
+    } while (std::next_permutation(rest.begin(), rest.end()));
+    return best;
+}
+
+}  // namespace fisone::tsp

@@ -1,0 +1,50 @@
+#pragma once
+
+/// \file tsp.hpp
+/// Shortest-Hamiltonian-path solvers for the cluster-indexing problem
+/// (paper §IV-B, Theorem 1). The paper reduces cluster indexing to a TSP
+/// on the complete graph of clusters where w_ij = 1 − J^n_ij and all
+/// weights *into the start cluster* are zero; with a zero-cost return edge
+/// the TSP tour is exactly the shortest Hamiltonian path from the start.
+/// We solve the path problem directly:
+///  - `held_karp_path`: exact O(N²·2^N) dynamic program (paper's choice);
+///  - `two_opt_path`: nearest-neighbour + 2-opt local search with restarts
+///    (the paper's approximation, Fig. 9(c,d));
+///  - `brute_force_path`: O(N!) reference used by the test suite.
+
+#include <cstddef>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+#include "util/rng.hpp"
+
+namespace fisone::tsp {
+
+/// A Hamiltonian path and its cost (sum of consecutive edge weights; no
+/// return edge).
+struct path_result {
+    std::vector<std::size_t> order;  ///< visiting order; order.front() == start
+    double cost = 0.0;
+};
+
+/// Cost of visiting \p order under \p dist.
+/// \throws std::invalid_argument on out-of-range indices.
+[[nodiscard]] double path_cost(const linalg::matrix& dist, const std::vector<std::size_t>& order);
+
+/// Exact Held–Karp dynamic program for the shortest Hamiltonian path
+/// starting at \p start.
+/// \param dist square non-negative weight matrix (need not be symmetric).
+/// \throws std::invalid_argument if dist is not square, empty, start is out
+///         of range, or N > 24 (DP table would exceed memory).
+[[nodiscard]] path_result held_karp_path(const linalg::matrix& dist, std::size_t start);
+
+/// 2-opt local search seeded by the nearest-neighbour heuristic, keeping
+/// \p start pinned as the first node. Runs \p restarts random restarts and
+/// returns the best path found.
+[[nodiscard]] path_result two_opt_path(const linalg::matrix& dist, std::size_t start,
+                                       util::rng& gen, std::size_t restarts = 8);
+
+/// Exhaustive search (test oracle). \throws std::invalid_argument for N > 10.
+[[nodiscard]] path_result brute_force_path(const linalg::matrix& dist, std::size_t start);
+
+}  // namespace fisone::tsp

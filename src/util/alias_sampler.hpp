@@ -1,0 +1,82 @@
+#pragma once
+
+/// \file alias_sampler.hpp
+/// Walker's alias method for O(1) sampling from a fixed discrete
+/// distribution. Used for the RSS-proportional neighbour sampling of
+/// RF-GNN (paper §III-B) and for the degree^(3/4) negative-sampling
+/// distribution of the unsupervised loss.
+
+#include <cstddef>
+#include <stdexcept>
+#include <vector>
+
+#include "rng.hpp"
+
+namespace fisone::util {
+
+/// Precomputed alias table over indices [0, n). Construction is O(n);
+/// each draw is O(1).
+class alias_sampler {
+public:
+    alias_sampler() = default;
+
+    /// Build the table from (unnormalised, non-negative) weights.
+    /// \throws std::invalid_argument if \p weights is empty, contains a
+    ///         negative entry, or sums to zero.
+    explicit alias_sampler(const std::vector<double>& weights) {
+        if (weights.empty())
+            throw std::invalid_argument("alias_sampler: weights must be non-empty");
+        double total = 0.0;
+        for (const double w : weights) {
+            if (w < 0.0)
+                throw std::invalid_argument("alias_sampler: negative weight");
+            total += w;
+        }
+        if (total <= 0.0)
+            throw std::invalid_argument("alias_sampler: weights sum to zero");
+
+        const std::size_t n = weights.size();
+        prob_.assign(n, 0.0);
+        alias_.assign(n, 0);
+
+        // Scaled probabilities; split into under- and over-full buckets.
+        std::vector<double> scaled(n);
+        std::vector<std::size_t> small, large;
+        small.reserve(n);
+        large.reserve(n);
+        for (std::size_t i = 0; i < n; ++i) {
+            scaled[i] = weights[i] * static_cast<double>(n) / total;
+            (scaled[i] < 1.0 ? small : large).push_back(i);
+        }
+        while (!small.empty() && !large.empty()) {
+            const std::size_t s = small.back();
+            const std::size_t l = large.back();
+            small.pop_back();
+            large.pop_back();
+            prob_[s] = scaled[s];
+            alias_[s] = l;
+            scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+            (scaled[l] < 1.0 ? small : large).push_back(l);
+        }
+        // Numerical leftovers are exactly-full buckets.
+        for (const std::size_t i : large) prob_[i] = 1.0;
+        for (const std::size_t i : small) prob_[i] = 1.0;
+    }
+
+    /// Number of categories (0 if default-constructed).
+    [[nodiscard]] std::size_t size() const noexcept { return prob_.size(); }
+
+    /// Draw one index according to the weight distribution.
+    [[nodiscard]] std::size_t sample(rng& gen) const {
+        if (prob_.empty())
+            throw std::logic_error("alias_sampler: sampling from empty table");
+        const std::size_t column = static_cast<std::size_t>(gen.uniform_index(prob_.size()));
+        return gen.uniform() < prob_[column] ? column : alias_[column];
+    }
+
+private:
+    std::vector<double> prob_;
+    std::vector<std::size_t> alias_;
+};
+
+}  // namespace fisone::util

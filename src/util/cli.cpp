@@ -1,0 +1,44 @@
+#include "cli.hpp"
+
+#include <stdexcept>
+#include <string_view>
+
+#include "csv.hpp"
+
+namespace fisone::util {
+
+cli_args::cli_args(int argc, const char* const* argv) {
+    for (int i = 1; i < argc; ++i) {
+        const std::string_view token = argv[i];
+        if (token.size() < 3 || token.substr(0, 2) != "--")
+            throw std::invalid_argument("cli_args: expected --flag, got '" + std::string(token) +
+                                        "'");
+        const std::string name(token.substr(2));
+        if (i + 1 < argc && std::string_view(argv[i + 1]).substr(0, 2) != "--") {
+            values_[name] = argv[++i];
+        } else {
+            values_[name] = "";  // bare switch
+        }
+    }
+}
+
+bool cli_args::has(const std::string& name) const { return values_.count(name) > 0; }
+
+std::string cli_args::get(const std::string& name, const std::string& fallback) const {
+    const auto it = values_.find(name);
+    return it == values_.end() ? fallback : it->second;
+}
+
+std::int64_t cli_args::get_int(const std::string& name, std::int64_t fallback) const {
+    const auto it = values_.find(name);
+    if (it == values_.end() || it->second.empty()) return fallback;
+    return parse_int(it->second);
+}
+
+double cli_args::get_double(const std::string& name, double fallback) const {
+    const auto it = values_.find(name);
+    if (it == values_.end() || it->second.empty()) return fallback;
+    return parse_double(it->second);
+}
+
+}  // namespace fisone::util

@@ -1,0 +1,36 @@
+#pragma once
+
+/// \file cli.hpp
+/// Tiny command-line flag parser shared by bench harnesses and examples.
+/// Supports `--name value` and `--flag` (boolean) forms.
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace fisone::util {
+
+/// Parsed command-line arguments with typed, defaulted lookups.
+class cli_args {
+public:
+    /// Parse argv; `--key value` pairs and bare `--switch` flags.
+    /// \throws std::invalid_argument on a positional (non `--`) token.
+    cli_args(int argc, const char* const* argv);
+
+    /// True if `--name` was present (with or without a value).
+    [[nodiscard]] bool has(const std::string& name) const;
+
+    /// String value of `--name`, or \p fallback when absent.
+    [[nodiscard]] std::string get(const std::string& name, const std::string& fallback) const;
+
+    /// Integer value of `--name`, or \p fallback when absent.
+    [[nodiscard]] std::int64_t get_int(const std::string& name, std::int64_t fallback) const;
+
+    /// Double value of `--name`, or \p fallback when absent.
+    [[nodiscard]] double get_double(const std::string& name, double fallback) const;
+
+private:
+    std::map<std::string, std::string> values_;
+};
+
+}  // namespace fisone::util

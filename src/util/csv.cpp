@@ -1,0 +1,58 @@
+#include "csv.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <stdexcept>
+
+namespace fisone::util {
+
+std::string_view trim(std::string_view text) noexcept {
+    std::size_t begin = 0;
+    std::size_t end = text.size();
+    while (begin < end && std::isspace(static_cast<unsigned char>(text[begin]))) ++begin;
+    while (end > begin && std::isspace(static_cast<unsigned char>(text[end - 1]))) --end;
+    return text.substr(begin, end - begin);
+}
+
+std::vector<std::string> split_fields(std::string_view line, char delim) {
+    std::vector<std::string> fields;
+    std::size_t start = 0;
+    for (std::size_t i = 0; i <= line.size(); ++i) {
+        if (i == line.size() || line[i] == delim) {
+            fields.emplace_back(trim(line.substr(start, i - start)));
+            start = i + 1;
+        }
+    }
+    return fields;
+}
+
+std::string join_fields(const std::vector<std::string>& fields, char delim) {
+    std::string out;
+    for (std::size_t i = 0; i < fields.size(); ++i) {
+        if (i > 0) out.push_back(delim);
+        out += fields[i];
+    }
+    return out;
+}
+
+double parse_double(std::string_view text) {
+    const std::string_view t = trim(text);
+    // std::from_chars for double is available in libstdc++ 11+; keep the
+    // stream fallback trivial and locale-independent by using from_chars.
+    double value = 0.0;
+    const auto [ptr, ec] = std::from_chars(t.data(), t.data() + t.size(), value);
+    if (ec != std::errc{} || ptr != t.data() + t.size())
+        throw std::invalid_argument("parse_double: cannot parse '" + std::string(t) + "'");
+    return value;
+}
+
+long long parse_int(std::string_view text) {
+    const std::string_view t = trim(text);
+    long long value = 0;
+    const auto [ptr, ec] = std::from_chars(t.data(), t.data() + t.size(), value);
+    if (ec != std::errc{} || ptr != t.data() + t.size())
+        throw std::invalid_argument("parse_int: cannot parse '" + std::string(t) + "'");
+    return value;
+}
+
+}  // namespace fisone::util

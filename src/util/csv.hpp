@@ -1,0 +1,31 @@
+#pragma once
+
+/// \file csv.hpp
+/// Minimal CSV reading/writing helpers used by the dataset serialisation
+/// layer (src/data). Handles unquoted fields only — the on-disk formats the
+/// library defines never require quoting.
+
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fisone::util {
+
+/// Split \p line on \p delim into trimmed fields. Consecutive delimiters
+/// produce empty fields; the result never collapses them.
+[[nodiscard]] std::vector<std::string> split_fields(std::string_view line, char delim = ',');
+
+/// Strip leading/trailing ASCII whitespace.
+[[nodiscard]] std::string_view trim(std::string_view text) noexcept;
+
+/// Join fields with \p delim.
+[[nodiscard]] std::string join_fields(const std::vector<std::string>& fields, char delim = ',');
+
+/// Parse a double; \throws std::invalid_argument with the offending text on failure.
+[[nodiscard]] double parse_double(std::string_view text);
+
+/// Parse a non-negative integer; \throws std::invalid_argument on failure.
+[[nodiscard]] long long parse_int(std::string_view text);
+
+}  // namespace fisone::util

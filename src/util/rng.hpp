@@ -1,0 +1,134 @@
+#pragma once
+
+/// \file rng.hpp
+/// Deterministic, seedable random number generation for all stochastic
+/// components of the library. Every experiment in the paper reports averages
+/// over buildings; reproducibility requires that each building's randomness
+/// be derived from an explicit 64-bit seed.
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+namespace fisone::util {
+
+/// splitmix64 — used to expand a single user seed into the state of the
+/// main generator. Passes BigCrush; recommended seeding procedure for
+/// xoshiro-family generators.
+[[nodiscard]] constexpr std::uint64_t splitmix64_next(std::uint64_t& state) noexcept {
+    state += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+/// xoshiro256** — fast, high-quality 64-bit PRNG.
+/// Satisfies the C++ UniformRandomBitGenerator requirements so it can be
+/// used with <random> distributions, but the library mostly uses the
+/// convenience members below to stay allocation- and distribution-free.
+class rng {
+public:
+    using result_type = std::uint64_t;
+
+    /// Construct from a user seed; state is expanded with splitmix64.
+    explicit rng(std::uint64_t seed = 0x853c49e6748fea9bULL) noexcept { reseed(seed); }
+
+    /// Re-initialise the generator state from \p seed.
+    void reseed(std::uint64_t seed) noexcept {
+        std::uint64_t sm = seed;
+        for (auto& word : state_) word = splitmix64_next(sm);
+    }
+
+    static constexpr result_type min() noexcept { return 0; }
+    static constexpr result_type max() noexcept {
+        return std::numeric_limits<std::uint64_t>::max();
+    }
+
+    /// Next raw 64-bit output.
+    result_type operator()() noexcept {
+        const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        const std::uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /// Uniform double in [0, 1).
+    [[nodiscard]] double uniform() noexcept {
+        return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+    }
+
+    /// Uniform double in [lo, hi).
+    [[nodiscard]] double uniform(double lo, double hi) noexcept {
+        return lo + (hi - lo) * uniform();
+    }
+
+    /// Uniform integer in [0, n). Uses Lemire's rejection-free-in-practice
+    /// multiply-shift reduction with rejection to remove modulo bias.
+    [[nodiscard]] std::uint64_t uniform_index(std::uint64_t n) {
+        if (n == 0) throw std::invalid_argument("rng::uniform_index: n must be > 0");
+        const std::uint64_t threshold = (0 - n) % n;
+        for (;;) {
+            const std::uint64_t r = (*this)();
+            if (r >= threshold) return r % n;
+        }
+    }
+
+    /// Standard normal via Marsaglia polar method.
+    [[nodiscard]] double normal() noexcept {
+        if (has_spare_) {
+            has_spare_ = false;
+            return spare_;
+        }
+        double u = 0.0, v = 0.0, s = 0.0;
+        do {
+            u = uniform(-1.0, 1.0);
+            v = uniform(-1.0, 1.0);
+            s = u * u + v * v;
+        } while (s >= 1.0 || s == 0.0);
+        const double scale = std::sqrt(-2.0 * std::log(s) / s);
+        spare_ = v * scale;
+        has_spare_ = true;
+        return u * scale;
+    }
+
+    /// Normal with mean \p mu and standard deviation \p sigma.
+    [[nodiscard]] double normal(double mu, double sigma) noexcept {
+        return mu + sigma * normal();
+    }
+
+    /// Bernoulli trial with success probability \p p.
+    [[nodiscard]] bool bernoulli(double p) noexcept { return uniform() < p; }
+
+    /// Derive an independent child generator; used to give each building /
+    /// trainer / worker its own stream without correlation.
+    [[nodiscard]] rng split() noexcept { return rng((*this)() ^ 0x9e3779b97f4a7c15ULL); }
+
+    /// In-place Fisher–Yates shuffle.
+    template <typename T>
+    void shuffle(std::vector<T>& items) {
+        for (std::size_t i = items.size(); i > 1; --i) {
+            const std::size_t j = uniform_index(i);
+            std::swap(items[i - 1], items[j]);
+        }
+    }
+
+private:
+    static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::uint64_t state_[4]{};
+    double spare_ = 0.0;
+    bool has_spare_ = false;
+};
+
+}  // namespace fisone::util

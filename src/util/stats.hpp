@@ -1,0 +1,101 @@
+#pragma once
+
+/// \file stats.hpp
+/// Streaming statistics accumulators. The paper reports every table entry
+/// as mean(std) over buildings; `running_stats` provides numerically stable
+/// (Welford) accumulation for that.
+
+#include <cmath>
+#include <cstddef>
+#include <stdexcept>
+#include <vector>
+
+namespace fisone::util {
+
+/// Welford single-pass mean / variance accumulator.
+class running_stats {
+public:
+    /// Add one observation.
+    void add(double x) noexcept {
+        ++count_;
+        const double delta = x - mean_;
+        mean_ += delta / static_cast<double>(count_);
+        m2_ += delta * (x - mean_);
+        if (count_ == 1 || x < min_) min_ = x;
+        if (count_ == 1 || x > max_) max_ = x;
+    }
+
+    /// Number of observations so far.
+    [[nodiscard]] std::size_t count() const noexcept { return count_; }
+
+    /// Mean of observations; 0 when empty.
+    [[nodiscard]] double mean() const noexcept { return mean_; }
+
+    /// Population variance; 0 with fewer than two observations.
+    [[nodiscard]] double variance() const noexcept {
+        return count_ < 2 ? 0.0 : m2_ / static_cast<double>(count_);
+    }
+
+    /// Sample (Bessel-corrected) variance; 0 with fewer than two observations.
+    [[nodiscard]] double sample_variance() const noexcept {
+        return count_ < 2 ? 0.0 : m2_ / static_cast<double>(count_ - 1);
+    }
+
+    /// Population standard deviation.
+    [[nodiscard]] double stddev() const noexcept { return std::sqrt(variance()); }
+
+    /// Smallest observation. \throws std::logic_error when empty.
+    [[nodiscard]] double min() const {
+        if (count_ == 0) throw std::logic_error("running_stats::min: no observations");
+        return min_;
+    }
+
+    /// Largest observation. \throws std::logic_error when empty.
+    [[nodiscard]] double max() const {
+        if (count_ == 0) throw std::logic_error("running_stats::max: no observations");
+        return max_;
+    }
+
+    /// Merge another accumulator into this one (parallel Welford).
+    void merge(const running_stats& other) noexcept {
+        if (other.count_ == 0) return;
+        if (count_ == 0) {
+            *this = other;
+            return;
+        }
+        const double delta = other.mean_ - mean_;
+        const auto n1 = static_cast<double>(count_);
+        const auto n2 = static_cast<double>(other.count_);
+        const double n = n1 + n2;
+        mean_ += delta * n2 / n;
+        m2_ += other.m2_ + delta * delta * n1 * n2 / n;
+        count_ += other.count_;
+        if (other.min_ < min_) min_ = other.min_;
+        if (other.max_ > max_) max_ = other.max_;
+    }
+
+private:
+    std::size_t count_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/// Mean of a vector; \throws std::invalid_argument when empty.
+[[nodiscard]] inline double mean_of(const std::vector<double>& xs) {
+    if (xs.empty()) throw std::invalid_argument("mean_of: empty input");
+    running_stats s;
+    for (const double x : xs) s.add(x);
+    return s.mean();
+}
+
+/// Population standard deviation of a vector; \throws std::invalid_argument when empty.
+[[nodiscard]] inline double stddev_of(const std::vector<double>& xs) {
+    if (xs.empty()) throw std::invalid_argument("stddev_of: empty input");
+    running_stats s;
+    for (const double x : xs) s.add(x);
+    return s.stddev();
+}
+
+}  // namespace fisone::util

@@ -1,0 +1,51 @@
+#include "table_printer.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+namespace fisone::util {
+
+void table_printer::print(std::ostream& out) const {
+    std::vector<std::size_t> widths;
+    auto grow = [&widths](const std::vector<std::string>& cells) {
+        if (widths.size() < cells.size()) widths.resize(cells.size(), 0);
+        for (std::size_t i = 0; i < cells.size(); ++i)
+            widths[i] = std::max(widths[i], cells[i].size());
+    };
+    grow(header_);
+    for (const auto& r : rows_) grow(r);
+
+    auto emit = [&](const std::vector<std::string>& cells) {
+        for (std::size_t i = 0; i < widths.size(); ++i) {
+            const std::string& cell = i < cells.size() ? cells[i] : std::string{};
+            out << std::left << std::setw(static_cast<int>(widths[i]) + 2) << cell;
+        }
+        out << '\n';
+    };
+
+    if (!title_.empty()) out << title_ << '\n';
+    if (!header_.empty()) {
+        emit(header_);
+        std::size_t total = 0;
+        for (const std::size_t w : widths) total += w + 2;
+        out << std::string(total, '-') << '\n';
+    }
+    for (const auto& r : rows_) emit(r);
+    out.flush();
+}
+
+std::string table_printer::mean_std(double mean, double std_dev, int precision) {
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << mean << '(' << std_dev << ')';
+    return os.str();
+}
+
+std::string table_printer::num(double value, int precision) {
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << value;
+    return os.str();
+}
+
+}  // namespace fisone::util

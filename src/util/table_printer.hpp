@@ -1,0 +1,40 @@
+#pragma once
+
+/// \file table_printer.hpp
+/// Fixed-width ASCII table rendering for the benchmark harnesses, so each
+/// bench binary prints the same rows the paper's tables/figures report.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace fisone::util {
+
+/// Accumulates rows of string cells and renders them with aligned columns.
+class table_printer {
+public:
+    /// \param title optional caption printed above the table.
+    explicit table_printer(std::string title = {}) : title_(std::move(title)) {}
+
+    /// Set the header row.
+    void header(std::vector<std::string> cells) { header_ = std::move(cells); }
+
+    /// Append a data row.
+    void row(std::vector<std::string> cells) { rows_.push_back(std::move(cells)); }
+
+    /// Render to \p out with a separator under the header.
+    void print(std::ostream& out) const;
+
+    /// Format helper: "0.856(0.086)" — the paper's mean(std) cell format.
+    [[nodiscard]] static std::string mean_std(double mean, double std_dev, int precision = 3);
+
+    /// Format helper: fixed-precision number.
+    [[nodiscard]] static std::string num(double value, int precision = 3);
+
+private:
+    std::string title_;
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace fisone::util

@@ -1,0 +1,165 @@
+// Tests for src/data: model validation, MAC interning, CSV round-trip,
+// dense matrix view.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "data/dataset_io.hpp"
+#include "data/rf_sample.hpp"
+
+namespace {
+
+using namespace fisone::data;
+
+building small_building() {
+    building b;
+    b.name = "unit";
+    b.num_floors = 2;
+    b.num_macs = 3;
+    b.samples.push_back({{{0, -40.5}, {1, -60.0}}, 0, 3});
+    b.samples.push_back({{{2, -70.0}}, 1, 4});
+    b.samples.push_back({{{1, -55.0}, {2, -72.0}}, 1, 3});
+    b.labeled_sample = 0;
+    b.labeled_floor = 0;
+    return b;
+}
+
+// ---------- mac_registry ----------
+
+TEST(mac_registry, interning_round_trip) {
+    mac_registry reg;
+    const auto a = reg.id_of("aa:bb:cc:dd:ee:01");
+    const auto b = reg.id_of("aa:bb:cc:dd:ee:02");
+    EXPECT_NE(a, b);
+    EXPECT_EQ(reg.id_of("aa:bb:cc:dd:ee:01"), a);  // stable
+    EXPECT_EQ(reg.size(), 2u);
+    EXPECT_EQ(reg.name_of(a), "aa:bb:cc:dd:ee:01");
+    EXPECT_EQ(reg.find("aa:bb:cc:dd:ee:02"), b);
+    EXPECT_EQ(reg.find("unknown"), mac_registry::npos);
+    EXPECT_THROW((void)reg.name_of(99), std::out_of_range);
+}
+
+// ---------- validation ----------
+
+TEST(building_validate, accepts_consistent_building) {
+    EXPECT_NO_THROW(small_building().validate());
+}
+
+TEST(building_validate, rejects_inconsistencies) {
+    building b = small_building();
+    b.num_floors = 1;
+    EXPECT_THROW(b.validate(), std::invalid_argument);
+
+    b = small_building();
+    b.samples.clear();
+    EXPECT_THROW(b.validate(), std::invalid_argument);
+
+    b = small_building();
+    b.labeled_sample = 99;
+    EXPECT_THROW(b.validate(), std::invalid_argument);
+
+    b = small_building();
+    b.labeled_floor = 5;
+    EXPECT_THROW(b.validate(), std::invalid_argument);
+
+    b = small_building();
+    b.labeled_sample = 1;  // that sample is on floor 1, label says 0
+    EXPECT_THROW(b.validate(), std::invalid_argument);
+
+    b = small_building();
+    b.samples[0].observations[0].mac_id = 77;
+    EXPECT_THROW(b.validate(), std::invalid_argument);
+
+    b = small_building();
+    b.samples[0].observations[0].rss_dbm = 10.0;  // positive RSS
+    EXPECT_THROW(b.validate(), std::invalid_argument);
+
+    b = small_building();
+    b.samples[1].true_floor = 9;
+    EXPECT_THROW(b.validate(), std::invalid_argument);
+
+    b = small_building();
+    b.samples[1].observations.clear();
+    EXPECT_THROW(b.validate(), std::invalid_argument);
+}
+
+TEST(building_stats, samples_per_floor) {
+    const auto counts = small_building().samples_per_floor();
+    ASSERT_EQ(counts.size(), 2u);
+    EXPECT_EQ(counts[0], 1u);
+    EXPECT_EQ(counts[1], 2u);
+}
+
+// ---------- serialisation ----------
+
+TEST(dataset_io, stream_round_trip) {
+    const building original = small_building();
+    std::stringstream ss;
+    save_building(original, ss);
+    const building loaded = load_building(ss);
+
+    EXPECT_EQ(loaded.name, original.name);
+    EXPECT_EQ(loaded.num_floors, original.num_floors);
+    EXPECT_EQ(loaded.num_macs, original.num_macs);
+    EXPECT_EQ(loaded.labeled_sample, original.labeled_sample);
+    EXPECT_EQ(loaded.labeled_floor, original.labeled_floor);
+    ASSERT_EQ(loaded.samples.size(), original.samples.size());
+    for (std::size_t i = 0; i < loaded.samples.size(); ++i) {
+        EXPECT_EQ(loaded.samples[i].true_floor, original.samples[i].true_floor);
+        EXPECT_EQ(loaded.samples[i].device_id, original.samples[i].device_id);
+        ASSERT_EQ(loaded.samples[i].observations.size(),
+                  original.samples[i].observations.size());
+        for (std::size_t j = 0; j < loaded.samples[i].observations.size(); ++j) {
+            EXPECT_EQ(loaded.samples[i].observations[j].mac_id,
+                      original.samples[i].observations[j].mac_id);
+            EXPECT_DOUBLE_EQ(loaded.samples[i].observations[j].rss_dbm,
+                             original.samples[i].observations[j].rss_dbm);
+        }
+    }
+}
+
+TEST(dataset_io, file_round_trip) {
+    const building original = small_building();
+    const std::string path = "/tmp/fisone_test_building.csv";
+    save_building_file(original, path);
+    const building loaded = load_building_file(path);
+    EXPECT_EQ(loaded.samples.size(), original.samples.size());
+    std::remove(path.c_str());
+    EXPECT_THROW((void)load_building_file("/nonexistent/nope.csv"), std::ios_base::failure);
+}
+
+TEST(dataset_io, rejects_malformed_input) {
+    std::stringstream bad_magic("not a building\n");
+    EXPECT_THROW((void)load_building(bad_magic), std::invalid_argument);
+
+    std::stringstream bad_row("# fisone-building v1\nbogus,1\n");
+    EXPECT_THROW((void)load_building(bad_row), std::invalid_argument);
+
+    std::stringstream bad_obs(
+        "# fisone-building v1\nname,x\nfloors,2\nmacs,1\nlabeled_sample,0\n"
+        "labeled_floor,0\nsample,0,0,0;-40\n");
+    EXPECT_THROW((void)load_building(bad_obs), std::invalid_argument);
+}
+
+// ---------- matrix view ----------
+
+TEST(rss_matrix, fills_missing_and_keeps_strongest) {
+    building b = small_building();
+    b.samples[0].observations.push_back({0, -35.0});  // duplicate mac, stronger
+    const auto m = to_rss_matrix(b, -120.0);
+    EXPECT_EQ(m.rows(), 3u);
+    EXPECT_EQ(m.cols(), 3u);
+    EXPECT_DOUBLE_EQ(m(0, 0), -35.0);   // strongest duplicate wins
+    EXPECT_DOUBLE_EQ(m(0, 1), -60.0);
+    EXPECT_DOUBLE_EQ(m(0, 2), -120.0);  // missing
+    EXPECT_DOUBLE_EQ(m(1, 2), -70.0);
+}
+
+TEST(rss_matrix, custom_fill_value) {
+    const auto m = to_rss_matrix(small_building(), -100.0);
+    EXPECT_DOUBLE_EQ(m(0, 2), -100.0);
+}
+
+}  // namespace

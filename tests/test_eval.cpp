@@ -1,0 +1,169 @@
+// Tests for src/eval: ARI, NMI, Jaro edit distance, sequence extraction.
+
+#include <gtest/gtest.h>
+
+#include "eval/metrics.hpp"
+
+namespace {
+
+using namespace fisone::eval;
+
+// ---------- ARI ----------
+
+TEST(ari, identical_partitions_score_one) {
+    const std::vector<int> a{0, 0, 1, 1, 2, 2};
+    EXPECT_DOUBLE_EQ(adjusted_rand_index(a, a), 1.0);
+}
+
+TEST(ari, invariant_to_label_renaming) {
+    const std::vector<int> a{0, 0, 1, 1, 2, 2};
+    const std::vector<int> b{5, 5, 9, 9, 7, 7};
+    EXPECT_DOUBLE_EQ(adjusted_rand_index(a, b), 1.0);
+}
+
+TEST(ari, known_value_sklearn_example) {
+    // sklearn doc example: ARI([0,0,1,1],[0,0,1,2]) = 0.571428...
+    const std::vector<int> pred{0, 0, 1, 2};
+    const std::vector<int> truth{0, 0, 1, 1};
+    EXPECT_NEAR(adjusted_rand_index(pred, truth), 0.5714285714285714, 1e-12);
+}
+
+TEST(ari, random_labels_near_zero) {
+    // A partition orthogonal to the truth should land near 0.
+    const std::vector<int> truth{0, 0, 0, 0, 1, 1, 1, 1};
+    const std::vector<int> pred{0, 1, 0, 1, 0, 1, 0, 1};
+    EXPECT_NEAR(adjusted_rand_index(pred, truth), 0.0, 0.3);
+}
+
+TEST(ari, symmetric_in_arguments) {
+    const std::vector<int> a{0, 0, 1, 1, 2, 2, 0};
+    const std::vector<int> b{1, 1, 1, 0, 0, 2, 2};
+    EXPECT_DOUBLE_EQ(adjusted_rand_index(a, b), adjusted_rand_index(b, a));
+}
+
+TEST(ari, rejects_bad_inputs) {
+    EXPECT_THROW((void)adjusted_rand_index({0, 1}, {0}), std::invalid_argument);
+    EXPECT_THROW((void)adjusted_rand_index({}, {}), std::invalid_argument);
+}
+
+// ---------- NMI ----------
+
+TEST(nmi, identical_partitions_score_one) {
+    const std::vector<int> a{0, 1, 2, 0, 1, 2};
+    EXPECT_NEAR(normalized_mutual_information(a, a), 1.0, 1e-12);
+}
+
+TEST(nmi, independent_partitions_score_zero) {
+    // Perfectly independent: each predicted cluster contains the same
+    // mixture of truth labels.
+    const std::vector<int> truth{0, 0, 1, 1};
+    const std::vector<int> pred{0, 1, 0, 1};
+    EXPECT_NEAR(normalized_mutual_information(pred, truth), 0.0, 1e-12);
+}
+
+TEST(nmi, in_unit_interval_and_symmetric) {
+    const std::vector<int> a{0, 0, 1, 1, 2, 2, 1};
+    const std::vector<int> b{0, 1, 1, 1, 2, 0, 2};
+    const double ab = normalized_mutual_information(a, b);
+    const double ba = normalized_mutual_information(b, a);
+    EXPECT_DOUBLE_EQ(ab, ba);
+    EXPECT_GE(ab, 0.0);
+    EXPECT_LE(ab, 1.0);
+}
+
+TEST(nmi, known_value_half_split) {
+    // pred merges truth's two clusters pairwise: H(X)=log2, H(Y)=log4,
+    // MI = log2 → NMI = 2·log2/(log2+log4) = 2/3.
+    const std::vector<int> truth{0, 0, 1, 1, 2, 2, 3, 3};
+    const std::vector<int> pred{0, 0, 0, 0, 1, 1, 1, 1};
+    EXPECT_NEAR(normalized_mutual_information(pred, truth), 2.0 / 3.0, 1e-12);
+}
+
+// ---------- Jaro ----------
+
+TEST(jaro, identical_sequences) {
+    const std::vector<int> s{1, 2, 3, 4, 5};
+    EXPECT_DOUBLE_EQ(jaro_similarity(s, s), 1.0);
+}
+
+TEST(jaro, paper_worked_example) {
+    // Paper §V-A: SY = (1,2,3,4,5), SX = (1,4,3,2,5): one transposition,
+    // m = 5, t = 1 → (1 + 1 + 4/5)/3 = 0.9333…
+    const std::vector<int> sy{1, 2, 3, 4, 5};
+    const std::vector<int> sx{1, 4, 3, 2, 5};
+    EXPECT_NEAR(jaro_similarity(sx, sy), (1.0 + 1.0 + 0.8) / 3.0, 1e-12);
+}
+
+TEST(jaro, disjoint_sequences_zero) {
+    EXPECT_DOUBLE_EQ(jaro_similarity({1, 2}, {3, 4}), 0.0);
+}
+
+TEST(jaro, empty_handling) {
+    EXPECT_DOUBLE_EQ(jaro_similarity({}, {}), 1.0);
+    EXPECT_DOUBLE_EQ(jaro_similarity({1}, {}), 0.0);
+}
+
+TEST(jaro, partial_overlap) {
+    // m=2 (values 1 and 2), t=0: (2/3 + 2/3 + 1)/3
+    const std::vector<int> a{1, 2, 7};
+    const std::vector<int> b{1, 2, 9};
+    EXPECT_NEAR(jaro_similarity(a, b), (2.0 / 3.0 + 2.0 / 3.0 + 1.0) / 3.0, 1e-12);
+}
+
+TEST(jaro, bounded_window_restricts_matches) {
+    // With the classic window, far-apart matches are dropped.
+    const std::vector<int> sy{1, 2, 3, 4, 5};
+    const std::vector<int> sx{1, 4, 3, 2, 5};
+    const double bounded = jaro_similarity(sx, sy, true);
+    const double unbounded = jaro_similarity(sx, sy, false);
+    EXPECT_LT(bounded, unbounded);
+}
+
+// ---------- sequence extraction ----------
+
+TEST(majority_floor, simple_majority) {
+    const std::vector<int> assignment{0, 0, 0, 1, 1, 1};
+    const std::vector<int> floors{2, 2, 1, 0, 0, 0};
+    const auto majority = cluster_majority_floor(assignment, floors, 2);
+    EXPECT_EQ(majority[0], 2);
+    EXPECT_EQ(majority[1], 0);
+}
+
+TEST(majority_floor, skips_excluded_and_handles_empty) {
+    const std::vector<int> assignment{-1, 0, 0};
+    const std::vector<int> floors{5, 1, 1};
+    const auto majority = cluster_majority_floor(assignment, floors, 2);
+    EXPECT_EQ(majority[0], 1);
+    EXPECT_EQ(majority[1], -1);  // empty cluster
+}
+
+TEST(edit_distance, perfect_indexing_scores_one) {
+    // cluster c sits on true floor c and is predicted floor c
+    const std::vector<int> cluster_to_floor{0, 1, 2, 3};
+    const std::vector<int> majority{0, 1, 2, 3};
+    EXPECT_DOUBLE_EQ(indexing_edit_distance(cluster_to_floor, majority), 1.0);
+}
+
+TEST(edit_distance, paper_example_via_extraction) {
+    // Ground-truth floors 0..4 on clusters 0..4; prediction swaps the
+    // clusters of floors 2 and 4 (1-based: 2↔4) → paper's 0.9333 case.
+    const std::vector<int> majority{0, 1, 2, 3, 4};
+    const std::vector<int> cluster_to_floor{0, 3, 2, 1, 4};
+    EXPECT_NEAR(indexing_edit_distance(cluster_to_floor, majority), (1.0 + 1.0 + 0.8) / 3.0,
+                1e-12);
+}
+
+TEST(edit_distance, reversed_order) {
+    const std::vector<int> majority{0, 1, 2};
+    const std::vector<int> cluster_to_floor{2, 1, 0};
+    // m=3; matched sequences (3,2,1) vs (1,2,3): 2 mismatching → t=1
+    EXPECT_NEAR(indexing_edit_distance(cluster_to_floor, majority),
+                (1.0 + 1.0 + 2.0 / 3.0) / 3.0, 1e-12);
+}
+
+TEST(edit_distance, rejects_mismatched_sizes) {
+    EXPECT_THROW((void)indexing_edit_distance({0, 1}, {0}), std::invalid_argument);
+    EXPECT_THROW((void)indexing_edit_distance({}, {}), std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,243 @@
+// Tests for src/gnn: RF-GNN construction, training dynamics, embedding
+// geometry (same-floor proximity), attention ablation, inductive inference.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gnn/rf_gnn.hpp"
+#include "graph/bipartite_graph.hpp"
+#include "linalg/matrix.hpp"
+#include "sim/building_generator.hpp"
+#include "util/stats.hpp"
+
+namespace {
+
+using namespace fisone;
+
+/// Small but realistic building shared by the expensive tests.
+const data::building& test_building() {
+    static const data::building b = [] {
+        sim::building_spec spec;
+        spec.num_floors = 3;
+        spec.samples_per_floor = 60;
+        spec.aps_per_floor = 12;
+        spec.model.path_loss_exponent = 3.3;
+        spec.floor_width_m = 60.0;
+        spec.floor_depth_m = 40.0;
+        spec.seed = 41;
+        return sim::generate_building(spec).building;
+    }();
+    return b;
+}
+
+gnn::rf_gnn_config fast_config() {
+    gnn::rf_gnn_config cfg;
+    cfg.embedding_dim = 16;
+    cfg.epochs = 4;
+    cfg.walks.walks_per_node = 3;
+    cfg.seed = 5;
+    return cfg;
+}
+
+TEST(rf_gnn, rejects_degenerate_configs) {
+    const auto g = graph::bipartite_graph::from_building(test_building());
+    gnn::rf_gnn_config cfg;
+    cfg.embedding_dim = 0;
+    EXPECT_THROW(gnn::rf_gnn(g, cfg), std::invalid_argument);
+    cfg = gnn::rf_gnn_config{};
+    cfg.num_hops = 0;
+    EXPECT_THROW(gnn::rf_gnn(g, cfg), std::invalid_argument);
+    cfg = gnn::rf_gnn_config{};
+    cfg.neighbor_samples = 0;
+    EXPECT_THROW(gnn::rf_gnn(g, cfg), std::invalid_argument);
+}
+
+TEST(rf_gnn, parameter_shapes) {
+    const auto g = graph::bipartite_graph::from_building(test_building());
+    gnn::rf_gnn_config cfg = fast_config();
+    cfg.num_hops = 3;
+    gnn::rf_gnn model(g, cfg);
+    EXPECT_EQ(model.base_embeddings().rows(), g.num_nodes());
+    EXPECT_EQ(model.base_embeddings().cols(), cfg.embedding_dim);
+    ASSERT_EQ(model.hop_weights().size(), 3u);
+    for (const auto& w : model.hop_weights()) {
+        EXPECT_EQ(w.rows(), 2 * cfg.embedding_dim);
+        EXPECT_EQ(w.cols(), cfg.embedding_dim);
+    }
+}
+
+TEST(rf_gnn, embeddings_are_unit_rows) {
+    const auto g = graph::bipartite_graph::from_building(test_building());
+    gnn::rf_gnn model(g, fast_config());
+    model.train_epoch();
+    const auto emb = model.embed_samples();
+    EXPECT_EQ(emb.rows(), g.num_samples());
+    for (std::size_t i = 0; i < emb.rows(); ++i)
+        EXPECT_NEAR(linalg::norm2(emb.row(i)), 1.0, 1e-9);
+}
+
+TEST(rf_gnn, training_moves_loss_below_random_baseline) {
+    const auto g = graph::bipartite_graph::from_building(test_building());
+    gnn::rf_gnn_config cfg = fast_config();
+    cfg.epochs = 6;
+    gnn::rf_gnn model(g, cfg);
+    double last = 0.0;
+    for (std::size_t e = 0; e < cfg.epochs; ++e) last = model.train_epoch();
+    // Random unit vectors give E[loss] = (1+τ)·log 2 ≈ 3.47 for τ = 4.
+    const double random_baseline = (1.0 + static_cast<double>(cfg.negatives)) * std::log(2.0);
+    EXPECT_LT(last, random_baseline);
+}
+
+TEST(rf_gnn, training_is_deterministic_per_seed) {
+    const auto g = graph::bipartite_graph::from_building(test_building());
+    gnn::rf_gnn a(g, fast_config());
+    gnn::rf_gnn b(g, fast_config());
+    a.train();
+    b.train();
+    const auto ea = a.embed_samples();
+    const auto eb = b.embed_samples();
+    for (std::size_t i = 0; i < ea.size(); ++i)
+        EXPECT_DOUBLE_EQ(ea.flat()[i], eb.flat()[i]);
+}
+
+TEST(rf_gnn, same_floor_samples_are_closer) {
+    const auto& building = test_building();
+    const auto g = graph::bipartite_graph::from_building(building);
+    gnn::rf_gnn_config cfg = fast_config();
+    cfg.epochs = 8;
+    gnn::rf_gnn model(g, cfg);
+    model.train();
+    const auto emb = model.embed_samples();
+
+    util::running_stats same, cross;
+    util::rng gen(17);
+    for (int t = 0; t < 4000; ++t) {
+        const std::size_t i = gen.uniform_index(emb.rows());
+        const std::size_t j = gen.uniform_index(emb.rows());
+        if (i == j) continue;
+        const double d = linalg::euclidean_distance(emb.row(i), emb.row(j));
+        if (building.samples[i].true_floor == building.samples[j].true_floor)
+            same.add(d);
+        else
+            cross.add(d);
+    }
+    EXPECT_LT(same.mean(), cross.mean());
+}
+
+TEST(rf_gnn, attention_beats_uniform_on_floor_separation) {
+    // The Fig. 8(a,b) ablation at unit-test scale: the margin between
+    // cross-floor and same-floor distances should be larger with attention.
+    const auto& building = test_building();
+    const auto g = graph::bipartite_graph::from_building(building);
+
+    auto separation = [&](bool attention) {
+        gnn::rf_gnn_config cfg = fast_config();
+        cfg.use_attention = attention;
+        cfg.epochs = 8;
+        gnn::rf_gnn model(g, cfg);
+        model.train();
+        const auto emb = model.embed_samples();
+        util::running_stats same, cross;
+        util::rng gen(18);
+        for (int t = 0; t < 4000; ++t) {
+            const std::size_t i = gen.uniform_index(emb.rows());
+            const std::size_t j = gen.uniform_index(emb.rows());
+            if (i == j) continue;
+            const double d = linalg::euclidean_distance(emb.row(i), emb.row(j));
+            (building.samples[i].true_floor == building.samples[j].true_floor ? same : cross)
+                .add(d);
+        }
+        return cross.mean() - same.mean();
+    };
+    EXPECT_GT(separation(true), separation(false));
+}
+
+TEST(rf_gnn, inductive_embedding_close_to_transductive) {
+    // Embed a scan that IS in the graph via the inductive path and compare
+    // with its transductive embedding. They correlate strongly but are not
+    // identical: the inductive path synthesises the base vector from MAC
+    // embeddings instead of the node's trained base vector.
+    const auto& building = test_building();
+    const auto g = graph::bipartite_graph::from_building(building);
+    gnn::rf_gnn model(g, fast_config());
+    model.train();
+    const auto emb = model.embed_samples();
+
+    util::running_stats agreement;
+    for (std::size_t i = 0; i < 20; ++i) {
+        const auto inductive = model.embed_new_sample(building.samples[i].observations);
+        agreement.add(linalg::cosine_similarity(inductive, emb.row(i)));
+    }
+    EXPECT_GT(agreement.mean(), 0.45);
+}
+
+TEST(rf_gnn, inductive_embedding_lands_near_true_floor) {
+    const auto& building = test_building();
+    const auto g = graph::bipartite_graph::from_building(building);
+    gnn::rf_gnn_config cfg = fast_config();
+    cfg.epochs = 8;
+    gnn::rf_gnn model(g, cfg);
+    model.train();
+    const auto emb = model.embed_samples();
+
+    // Synthesize a "new" scan by perturbing an existing one's RSS slightly.
+    int correct = 0;
+    const int trials = 30;
+    util::rng gen(19);
+    for (int t = 0; t < trials; ++t) {
+        const std::size_t src = gen.uniform_index(building.samples.size());
+        auto obs = building.samples[src].observations;
+        for (auto& o : obs) o.rss_dbm = std::max(-110.0, o.rss_dbm + gen.normal(0.0, 1.0));
+        const auto rep = model.embed_new_sample(obs);
+        // nearest existing sample
+        std::size_t best = 0;
+        double best_d = 1e18;
+        for (std::size_t i = 0; i < emb.rows(); ++i) {
+            const double d = linalg::squared_distance(rep, emb.row(i));
+            if (d < best_d) {
+                best_d = d;
+                best = i;
+            }
+        }
+        if (building.samples[best].true_floor == building.samples[src].true_floor) ++correct;
+    }
+    EXPECT_GE(correct, trials * 8 / 10);
+}
+
+TEST(rf_gnn, inductive_rejects_unknown_macs_only) {
+    const auto g = graph::bipartite_graph::from_building(test_building());
+    gnn::rf_gnn model(g, fast_config());
+    model.train_epoch();
+    std::vector<data::rf_observation> unknown{{9999, -50.0}};
+    EXPECT_THROW((void)model.embed_new_sample(unknown), std::invalid_argument);
+    // mixed known/unknown works
+    std::vector<data::rf_observation> mixed{{9999, -50.0}, {0, -60.0}};
+    EXPECT_NO_THROW((void)model.embed_new_sample(mixed));
+}
+
+TEST(rf_gnn, activation_variants_run) {
+    const auto g = graph::bipartite_graph::from_building(test_building());
+    for (const auto act : {gnn::activation::tanh, gnn::activation::relu,
+                           gnn::activation::sigmoid}) {
+        gnn::rf_gnn_config cfg = fast_config();
+        cfg.act = act;
+        cfg.epochs = 1;
+        gnn::rf_gnn model(g, cfg);
+        EXPECT_NO_THROW(model.train());
+        EXPECT_EQ(model.embed_samples().rows(), g.num_samples());
+    }
+}
+
+TEST(rf_gnn, frozen_base_embeddings_do_not_move) {
+    const auto g = graph::bipartite_graph::from_building(test_building());
+    gnn::rf_gnn_config cfg = fast_config();
+    cfg.train_base_embeddings = false;
+    cfg.epochs = 2;
+    gnn::rf_gnn model(g, cfg);
+    const auto before = model.base_embeddings();
+    model.train();
+    EXPECT_EQ(model.base_embeddings(), before);
+}
+
+}  // namespace

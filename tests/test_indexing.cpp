@@ -1,0 +1,259 @@
+// Tests for src/indexing: cluster profiles, plain/adapted Jaccard, and the
+// TSP-based cluster indexer (both label protocols).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "indexing/cluster_indexer.hpp"
+#include "indexing/similarity.hpp"
+
+namespace {
+
+using namespace fisone;
+using indexing::cluster_profile;
+
+/// Building with 3 MACs and 4 samples in 2 clusters:
+/// cluster 0 = samples {0,1} seeing macs {0,1}; cluster 1 = {2,3} seeing {1,2}.
+data::building profile_building() {
+    data::building b;
+    b.name = "profiles";
+    b.num_floors = 2;
+    b.num_macs = 3;
+    b.samples.push_back({{{0, -40.0}, {1, -60.0}}, 0, 0});
+    b.samples.push_back({{{0, -42.0}, {1, -61.0}}, 0, 0});
+    b.samples.push_back({{{1, -70.0}, {2, -50.0}}, 1, 0});
+    b.samples.push_back({{{2, -52.0}}, 1, 0});
+    b.labeled_sample = 0;
+    b.labeled_floor = 0;
+    return b;
+}
+
+TEST(profiles, frequencies_count_scans) {
+    const auto b = profile_building();
+    const auto profiles = indexing::build_profiles(b, {0, 0, 1, 1}, 2);
+    ASSERT_EQ(profiles.size(), 2u);
+    EXPECT_DOUBLE_EQ(profiles[0].freq[0], 2.0);
+    EXPECT_DOUBLE_EQ(profiles[0].freq[1], 2.0);
+    EXPECT_DOUBLE_EQ(profiles[0].freq[2], 0.0);
+    EXPECT_DOUBLE_EQ(profiles[1].freq[1], 1.0);
+    EXPECT_DOUBLE_EQ(profiles[1].freq[2], 2.0);
+    EXPECT_EQ(profiles[0].num_samples, 2u);
+    EXPECT_EQ(profiles[0].support(), 2u);
+}
+
+TEST(profiles, duplicate_macs_in_one_scan_count_once) {
+    data::building b = profile_building();
+    b.samples[0].observations.push_back({0, -45.0});  // mac 0 twice in scan 0
+    const auto profiles = indexing::build_profiles(b, {0, 0, 1, 1}, 2);
+    EXPECT_DOUBLE_EQ(profiles[0].freq[0], 2.0);  // still two scans
+}
+
+TEST(profiles, excluded_samples_skipped) {
+    const auto b = profile_building();
+    const auto profiles = indexing::build_profiles(b, {-1, 0, 1, 1}, 2);
+    EXPECT_EQ(profiles[0].num_samples, 1u);
+    EXPECT_DOUBLE_EQ(profiles[0].freq[0], 1.0);
+}
+
+TEST(profiles, validation) {
+    const auto b = profile_building();
+    EXPECT_THROW((void)indexing::build_profiles(b, {0, 0, 1}, 2), std::invalid_argument);
+    EXPECT_THROW((void)indexing::build_profiles(b, {0, 0, 1, 5}, 2), std::invalid_argument);
+    EXPECT_THROW((void)indexing::build_profiles(b, {0, 0, 1, 1}, 0), std::invalid_argument);
+}
+
+// ---------- plain Jaccard ----------
+
+TEST(jaccard, hand_computed_value) {
+    const auto b = profile_building();
+    const auto p = indexing::build_profiles(b, {0, 0, 1, 1}, 2);
+    // A0 = {0,1}, A1 = {1,2}: |∩| = 1, |∪| = 3
+    EXPECT_NEAR(indexing::plain_jaccard(p[0], p[1]), 1.0 / 3.0, 1e-12);
+}
+
+TEST(jaccard, identical_and_disjoint) {
+    cluster_profile a{{2.0, 3.0, 0.0}, 3};
+    cluster_profile same{{5.0, 1.0, 0.0}, 5};   // same support {0,1}
+    cluster_profile disjoint{{0.0, 0.0, 4.0}, 4};
+    EXPECT_DOUBLE_EQ(indexing::plain_jaccard(a, same), 1.0);
+    EXPECT_DOUBLE_EQ(indexing::plain_jaccard(a, disjoint), 0.0);
+}
+
+// ---------- adapted Jaccard ----------
+
+TEST(adapted_jaccard, hand_computed_value) {
+    // Profiles over m-set {0,1,2}: f_i = (2,2,0), f_j = (0,1,2).
+    // f_share = 2·0 + 2·1 + 0·2 = 2.
+    // means over m = 3: f̄_i = 4/3, f̄_j = 1.
+    // f_diff: k=0: f_jk=0 → f_ik·f̄_j = 2·1 = 2 ... wait k=0: f_i=2, f_j=0 →
+    //   1{f_jk=0}·f_ik·f̄_j = 2·1 = 2;
+    // k=2: f_i=0 → 1{f_ik=0}·f_jk·f̄_i = 2·(4/3) = 8/3.
+    // f_diff = 2 + 8/3 = 14/3; J^n = 2/(2 + 14/3) = 6/20 = 0.3.
+    const auto b = profile_building();
+    const auto p = indexing::build_profiles(b, {0, 0, 1, 1}, 2);
+    EXPECT_NEAR(indexing::adapted_jaccard(p[0], p[1]), 0.3, 1e-12);
+}
+
+TEST(adapted_jaccard, bounded_and_symmetric) {
+    cluster_profile a{{5.0, 2.0, 0.0, 1.0}, 6};
+    cluster_profile b{{1.0, 0.0, 3.0, 2.0}, 4};
+    const double ab = indexing::adapted_jaccard(a, b);
+    EXPECT_DOUBLE_EQ(ab, indexing::adapted_jaccard(b, a));
+    EXPECT_GE(ab, 0.0);
+    EXPECT_LE(ab, 1.0);
+}
+
+TEST(adapted_jaccard, identical_profiles_score_one) {
+    cluster_profile a{{3.0, 4.0, 0.0}, 5};
+    EXPECT_DOUBLE_EQ(indexing::adapted_jaccard(a, a), 1.0);  // no unshared MACs
+}
+
+TEST(adapted_jaccard, disjoint_profiles_score_zero) {
+    cluster_profile a{{3.0, 0.0}, 3};
+    cluster_profile b{{0.0, 2.0}, 2};
+    EXPECT_DOUBLE_EQ(indexing::adapted_jaccard(a, b), 0.0);
+}
+
+TEST(adapted_jaccard, rewards_coverage_over_presence) {
+    // Both pairs share MAC 0; in the "wide" pair the shared MAC covers many
+    // scans, in the "narrow" pair only one scan each. Plain Jaccard cannot
+    // tell them apart; the adapted coefficient must rank wide > narrow
+    // (the paper's motivating example for eq. 3).
+    cluster_profile wide_a{{50.0, 10.0, 0.0}, 60};
+    cluster_profile wide_b{{50.0, 0.0, 10.0}, 60};
+    cluster_profile narrow_a{{1.0, 10.0, 0.0}, 11};
+    cluster_profile narrow_b{{1.0, 0.0, 10.0}, 11};
+    EXPECT_DOUBLE_EQ(indexing::plain_jaccard(wide_a, wide_b),
+                     indexing::plain_jaccard(narrow_a, narrow_b));
+    EXPECT_GT(indexing::adapted_jaccard(wide_a, wide_b),
+              indexing::adapted_jaccard(narrow_a, narrow_b));
+}
+
+TEST(similarity_matrix, symmetric_unit_diagonal) {
+    const auto b = profile_building();
+    const auto p = indexing::build_profiles(b, {0, 0, 1, 1}, 2);
+    for (const auto kind :
+         {indexing::similarity_kind::adapted_jaccard, indexing::similarity_kind::jaccard}) {
+        const auto sim = indexing::similarity_matrix(p, kind);
+        EXPECT_DOUBLE_EQ(sim(0, 0), 1.0);
+        EXPECT_DOUBLE_EQ(sim(1, 1), 1.0);
+        EXPECT_DOUBLE_EQ(sim(0, 1), sim(1, 0));
+    }
+}
+
+// ---------- cluster indexer ----------
+
+/// Chain-structured similarity: floors adjacent in ground truth are the
+/// most similar, decaying with gap — the structure spillover produces.
+linalg::matrix chain_similarity(std::size_t n, double decay = 0.3) {
+    linalg::matrix sim(n, n, 0.0);
+    for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t j = 0; j < n; ++j) {
+            const auto gap = static_cast<double>(i > j ? i - j : j - i);
+            sim(i, j) = gap == 0.0 ? 1.0 : std::max(0.0, 1.0 - decay * gap);
+        }
+    return sim;
+}
+
+TEST(indexer, bottom_label_recovers_chain_order) {
+    util::rng gen(1);
+    const auto sim = chain_similarity(6);
+    for (const auto solver : {indexing::tsp_solver::exact, indexing::tsp_solver::two_opt}) {
+        const auto r = indexing::index_from_bottom(sim, 0, solver, gen);
+        for (std::size_t c = 0; c < 6; ++c)
+            EXPECT_EQ(r.cluster_to_floor[c], static_cast<int>(c));
+        EXPECT_FALSE(r.ambiguous);
+    }
+}
+
+TEST(indexer, order_and_mapping_are_inverse) {
+    util::rng gen(2);
+    const auto sim = chain_similarity(5);
+    const auto r = indexing::index_from_bottom(sim, 2, indexing::tsp_solver::exact, gen);
+    for (std::size_t p = 0; p < r.order.size(); ++p)
+        EXPECT_EQ(r.cluster_to_floor[r.order[p]], static_cast<int>(p));
+    EXPECT_EQ(r.order.front(), 2u);  // anchored at the labeled cluster
+}
+
+TEST(indexer, arbitrary_label_picks_correct_orientation) {
+    util::rng gen(3);
+    const std::size_t n = 6;
+    const auto sim = chain_similarity(n);
+    // Label on floor 1. Free-start path is the chain (possibly reversed).
+    // The labeled sample is closest to cluster 1 (the true floor-1 cluster).
+    std::vector<double> dist(n, 10.0);
+    dist[1] = 0.5;
+    const auto r = indexing::index_from_arbitrary(sim, 1, dist,
+                                                  indexing::tsp_solver::exact, gen);
+    EXPECT_FALSE(r.ambiguous);
+    for (std::size_t c = 0; c < n; ++c)
+        EXPECT_EQ(r.cluster_to_floor[c], static_cast<int>(c));
+}
+
+TEST(indexer, arbitrary_label_reversed_orientation) {
+    util::rng gen(4);
+    const std::size_t n = 6;
+    const auto sim = chain_similarity(n);
+    // Label on floor 1, but the labeled sample is closest to cluster 4 —
+    // i.e. ground truth is the reversed chain (cluster 4 is floor 1).
+    std::vector<double> dist(n, 10.0);
+    dist[4] = 0.5;
+    const auto r = indexing::index_from_arbitrary(sim, 1, dist,
+                                                  indexing::tsp_solver::exact, gen);
+    EXPECT_FALSE(r.ambiguous);
+    // Reversed chain: cluster 5 → floor 0, cluster 4 → floor 1, ...
+    for (std::size_t c = 0; c < n; ++c)
+        EXPECT_EQ(r.cluster_to_floor[c], static_cast<int>(n - 1 - c));
+}
+
+TEST(indexer, middle_floor_of_odd_building_is_ambiguous) {
+    util::rng gen(5);
+    const auto sim = chain_similarity(5);
+    std::vector<double> dist(5, 1.0);
+    const auto r = indexing::index_from_arbitrary(sim, 2, dist,
+                                                  indexing::tsp_solver::exact, gen);
+    EXPECT_TRUE(r.ambiguous);  // paper §VI Case 1
+}
+
+TEST(indexer, weights_matrix_structure) {
+    const auto sim = chain_similarity(4);
+    const auto w = indexing::similarity_to_weights(sim);
+    for (std::size_t i = 0; i < 4; ++i) {
+        EXPECT_DOUBLE_EQ(w(i, i), 0.0);
+        for (std::size_t j = 0; j < 4; ++j)
+            if (i != j) EXPECT_DOUBLE_EQ(w(i, j), 1.0 - sim(i, j));
+    }
+}
+
+TEST(indexer, validation) {
+    util::rng gen(6);
+    const auto sim = chain_similarity(4);
+    EXPECT_THROW((void)indexing::index_from_bottom(sim, 9, indexing::tsp_solver::exact, gen),
+                 std::invalid_argument);
+    EXPECT_THROW((void)indexing::index_from_arbitrary(sim, 1, {1.0, 2.0},
+                                                      indexing::tsp_solver::exact, gen),
+                 std::invalid_argument);
+    EXPECT_THROW((void)indexing::index_from_arbitrary(sim, 7, std::vector<double>(4, 1.0),
+                                                      indexing::tsp_solver::exact, gen),
+                 std::invalid_argument);
+    EXPECT_THROW((void)indexing::similarity_to_weights(linalg::matrix(2, 3)),
+                 std::invalid_argument);
+}
+
+TEST(indexer, noisy_chain_still_recovered_exactly) {
+    // Perturb the chain similarities mildly; the optimal path must still be
+    // the identity ordering for small noise.
+    util::rng gen(7);
+    auto sim = chain_similarity(7, 0.12);
+    for (std::size_t i = 0; i < 7; ++i)
+        for (std::size_t j = i + 1; j < 7; ++j) {
+            const double noise = gen.uniform(-0.02, 0.02);
+            sim(i, j) += noise;
+            sim(j, i) += noise;
+        }
+    const auto r = indexing::index_from_bottom(sim, 0, indexing::tsp_solver::exact, gen);
+    for (std::size_t c = 0; c < 7; ++c) EXPECT_EQ(r.cluster_to_floor[c], static_cast<int>(c));
+}
+
+}  // namespace

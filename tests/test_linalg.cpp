@@ -1,0 +1,234 @@
+// Tests for src/linalg: matrix arithmetic, eigensolvers, classical MDS.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "linalg/eigen.hpp"
+#include "linalg/matrix.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace fisone::linalg;
+
+// ---------- matrix basics ----------
+
+TEST(matrix, construction_and_access) {
+    matrix m(2, 3, 1.5);
+    EXPECT_EQ(m.rows(), 2u);
+    EXPECT_EQ(m.cols(), 3u);
+    EXPECT_DOUBLE_EQ(m(1, 2), 1.5);
+    m(0, 1) = -2.0;
+    EXPECT_DOUBLE_EQ(m.at(0, 1), -2.0);
+    EXPECT_THROW((void)m.at(2, 0), std::out_of_range);
+    EXPECT_THROW((void)m.at(0, 3), std::out_of_range);
+}
+
+TEST(matrix, initializer_list) {
+    matrix m{{1, 2}, {3, 4}};
+    EXPECT_DOUBLE_EQ(m(0, 0), 1.0);
+    EXPECT_DOUBLE_EQ(m(1, 1), 4.0);
+    EXPECT_THROW((matrix{{1, 2}, {3}}), std::invalid_argument);
+}
+
+TEST(matrix, arithmetic) {
+    const matrix a{{1, 2}, {3, 4}};
+    const matrix b{{5, 6}, {7, 8}};
+    const matrix sum = a + b;
+    EXPECT_DOUBLE_EQ(sum(0, 0), 6.0);
+    EXPECT_DOUBLE_EQ(sum(1, 1), 12.0);
+    const matrix diff = b - a;
+    EXPECT_DOUBLE_EQ(diff(0, 1), 4.0);
+    const matrix scaled = a * 2.0;
+    EXPECT_DOUBLE_EQ(scaled(1, 0), 6.0);
+    EXPECT_EQ(scaled, 2.0 * a);
+    matrix c = a;
+    EXPECT_THROW(c += matrix(3, 3), std::invalid_argument);
+}
+
+TEST(matrix, matmul_identity) {
+    const matrix a{{1, 2, 3}, {4, 5, 6}};
+    const matrix i3 = identity(3);
+    EXPECT_EQ(matmul(a, i3), a);
+    const matrix i2 = identity(2);
+    EXPECT_EQ(matmul(i2, a), a);
+}
+
+TEST(matrix, matmul_known_product) {
+    const matrix a{{1, 2}, {3, 4}};
+    const matrix b{{5, 6}, {7, 8}};
+    const matrix c = matmul(a, b);
+    EXPECT_DOUBLE_EQ(c(0, 0), 19.0);
+    EXPECT_DOUBLE_EQ(c(0, 1), 22.0);
+    EXPECT_DOUBLE_EQ(c(1, 0), 43.0);
+    EXPECT_DOUBLE_EQ(c(1, 1), 50.0);
+    EXPECT_THROW((void)matmul(a, matrix(3, 2)), std::invalid_argument);
+}
+
+TEST(matrix, matmul_transposed_variants) {
+    const matrix a{{1, 2, 3}, {4, 5, 6}};
+    const matrix b{{7, 8, 9}, {10, 11, 12}};
+    EXPECT_EQ(matmul_nt(a, b), matmul(a, transpose(b)));
+    EXPECT_EQ(matmul_tn(a, b), matmul(transpose(a), b));
+}
+
+TEST(matrix, transpose_involution) {
+    const matrix a{{1, 2, 3}, {4, 5, 6}};
+    EXPECT_EQ(transpose(transpose(a)), a);
+}
+
+TEST(matrix, hadamard_product) {
+    const matrix a{{1, 2}, {3, 4}};
+    const matrix b{{2, 2}, {3, 3}};
+    const matrix h = hadamard(a, b);
+    EXPECT_DOUBLE_EQ(h(0, 1), 4.0);
+    EXPECT_DOUBLE_EQ(h(1, 0), 9.0);
+}
+
+TEST(matrix, reshape_preserves_data) {
+    matrix a{{1, 2, 3}, {4, 5, 6}};
+    a.reshape(3, 2);
+    EXPECT_DOUBLE_EQ(a(0, 0), 1.0);
+    EXPECT_DOUBLE_EQ(a(2, 1), 6.0);
+    EXPECT_THROW(a.reshape(4, 2), std::invalid_argument);
+}
+
+// ---------- vector helpers ----------
+
+TEST(vectors, distances_and_dot) {
+    const std::vector<double> a{0.0, 3.0};
+    const std::vector<double> b{4.0, 0.0};
+    EXPECT_DOUBLE_EQ(euclidean_distance(a, b), 5.0);
+    EXPECT_DOUBLE_EQ(squared_distance(a, b), 25.0);
+    EXPECT_DOUBLE_EQ(dot(a, b), 0.0);
+    EXPECT_DOUBLE_EQ(norm2(a), 3.0);
+}
+
+TEST(vectors, cosine_similarity_cases) {
+    const std::vector<double> a{1.0, 0.0};
+    const std::vector<double> b{0.0, 2.0};
+    const std::vector<double> c{3.0, 0.0};
+    const std::vector<double> zero{0.0, 0.0};
+    EXPECT_DOUBLE_EQ(cosine_similarity(a, b), 0.0);
+    EXPECT_DOUBLE_EQ(cosine_similarity(a, c), 1.0);
+    EXPECT_DOUBLE_EQ(cosine_similarity(a, zero), 0.0);
+}
+
+// ---------- jacobi eigen ----------
+
+TEST(jacobi, diagonal_matrix) {
+    const matrix d{{3, 0}, {0, 1}};
+    const eigen_result r = jacobi_eigen(d);
+    EXPECT_NEAR(r.values[0], 3.0, 1e-12);
+    EXPECT_NEAR(r.values[1], 1.0, 1e-12);
+}
+
+TEST(jacobi, known_symmetric_2x2) {
+    // eigenvalues of [[2,1],[1,2]] are 3 and 1
+    const matrix a{{2, 1}, {1, 2}};
+    const eigen_result r = jacobi_eigen(a);
+    EXPECT_NEAR(r.values[0], 3.0, 1e-10);
+    EXPECT_NEAR(r.values[1], 1.0, 1e-10);
+}
+
+TEST(jacobi, reconstruction) {
+    const matrix a{{4, 1, 0}, {1, 3, 1}, {0, 1, 2}};
+    const eigen_result r = jacobi_eigen(a);
+    // A = V diag(λ) Vᵀ
+    matrix lambda(3, 3, 0.0);
+    for (std::size_t i = 0; i < 3; ++i) lambda(i, i) = r.values[i];
+    const matrix rec = matmul(matmul(r.vectors, lambda), transpose(r.vectors));
+    for (std::size_t i = 0; i < 3; ++i)
+        for (std::size_t j = 0; j < 3; ++j) EXPECT_NEAR(rec(i, j), a(i, j), 1e-8);
+}
+
+TEST(jacobi, eigenvectors_orthonormal) {
+    const matrix a{{5, 2, 1}, {2, 6, 2}, {1, 2, 7}};
+    const eigen_result r = jacobi_eigen(a);
+    const matrix vtv = matmul(transpose(r.vectors), r.vectors);
+    for (std::size_t i = 0; i < 3; ++i)
+        for (std::size_t j = 0; j < 3; ++j)
+            EXPECT_NEAR(vtv(i, j), i == j ? 1.0 : 0.0, 1e-9);
+}
+
+TEST(jacobi, rejects_nonsymmetric) {
+    const matrix a{{1, 2}, {3, 4}};
+    EXPECT_THROW((void)jacobi_eigen(a), std::invalid_argument);
+    EXPECT_THROW((void)jacobi_eigen(matrix(2, 3)), std::invalid_argument);
+}
+
+// ---------- subspace eigen ----------
+
+TEST(subspace, matches_jacobi_on_random_symmetric) {
+    fisone::util::rng gen(77);
+    const std::size_t n = 30;
+    matrix a(n, n);
+    for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t j = i; j < n; ++j) {
+            const double v = gen.normal();
+            a(i, j) = v;
+            a(j, i) = v;
+        }
+    const eigen_result full = jacobi_eigen(a);
+    const eigen_result top = subspace_eigen(a, 5, 200);
+    for (std::size_t j = 0; j < 5; ++j)
+        EXPECT_NEAR(top.values[j], full.values[j], 1e-6) << "eigenvalue " << j;
+}
+
+TEST(subspace, rejects_bad_k) {
+    const matrix a{{2, 1}, {1, 2}};
+    EXPECT_THROW((void)subspace_eigen(a, 0), std::invalid_argument);
+    EXPECT_THROW((void)subspace_eigen(a, 3), std::invalid_argument);
+}
+
+// ---------- double centering / MDS ----------
+
+TEST(mds, double_center_row_col_sums_vanish) {
+    const matrix d{{0, 1, 2}, {1, 0, 1}, {2, 1, 0}};
+    const matrix b = double_center(d);
+    for (std::size_t i = 0; i < 3; ++i) {
+        double row = 0.0, col = 0.0;
+        for (std::size_t j = 0; j < 3; ++j) {
+            row += b(i, j);
+            col += b(j, i);
+        }
+        EXPECT_NEAR(row, 0.0, 1e-12);
+        EXPECT_NEAR(col, 0.0, 1e-12);
+    }
+}
+
+TEST(mds, recovers_planar_configuration) {
+    // Four points in the plane; classical MDS must reproduce their
+    // pairwise distances in a 2-D embedding.
+    const double pts[4][2] = {{0, 0}, {1, 0}, {1, 1}, {0, 2}};
+    matrix d(4, 4, 0.0);
+    for (std::size_t i = 0; i < 4; ++i)
+        for (std::size_t j = 0; j < 4; ++j) {
+            const double dx = pts[i][0] - pts[j][0];
+            const double dy = pts[i][1] - pts[j][1];
+            d(i, j) = std::sqrt(dx * dx + dy * dy);
+        }
+    const matrix coords = classical_mds(d, 2);
+    for (std::size_t i = 0; i < 4; ++i)
+        for (std::size_t j = 0; j < 4; ++j) {
+            const double dij = euclidean_distance(coords.row(i), coords.row(j));
+            EXPECT_NEAR(dij, d(i, j), 1e-8) << i << "," << j;
+        }
+}
+
+TEST(mds, extra_dimensions_are_zero) {
+    // Two points: only one meaningful axis; higher axes must vanish.
+    matrix d(2, 2, 0.0);
+    d(0, 1) = d(1, 0) = 3.0;
+    const matrix coords = classical_mds(d, 2);
+    EXPECT_NEAR(euclidean_distance(coords.row(0), coords.row(1)), 3.0, 1e-9);
+    EXPECT_NEAR(coords(0, 1), 0.0, 1e-9);
+    EXPECT_NEAR(coords(1, 1), 0.0, 1e-9);
+}
+
+TEST(mds, rejects_zero_dim) {
+    EXPECT_THROW((void)classical_mds(matrix(2, 2), 0), std::invalid_argument);
+}
+
+}  // namespace

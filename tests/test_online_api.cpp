@@ -1,0 +1,163 @@
+// Tests for the deployment-facing APIs: scan-log import (string MACs, the
+// one-label protocol, unknown ground truth) and the online floor_predictor.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/floor_predictor.hpp"
+#include "data/scan_log.hpp"
+#include "sim/building_generator.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace fisone;
+
+// ---------- scan log import ----------
+
+constexpr const char* kLog = R"(# crowdsourced export
+3,0,aa:bb:cc:00:00:01:-48,aa:bb:cc:00:00:02:-71
+5,?,aa:bb:cc:00:00:02:-55,aa:bb:cc:00:00:03:-80
+3,?,aa:bb:cc:00:00:01:-52.5,aa:bb:cc:00:00:03:-77
+)";
+
+TEST(scan_log, imports_macs_floors_and_label) {
+    std::istringstream in(kLog);
+    data::scan_log_options opts;
+    opts.num_floors = 3;
+    const auto imported = data::import_scan_log(in, opts);
+    const data::building& b = imported.building_data;
+
+    ASSERT_EQ(b.samples.size(), 3u);
+    EXPECT_EQ(b.num_macs, 3u);
+    EXPECT_EQ(imported.labeled_scans, 1u);
+    EXPECT_EQ(b.labeled_sample, 0u);
+    EXPECT_EQ(b.labeled_floor, 0);
+    EXPECT_EQ(b.samples[1].true_floor, -1);  // unknown ground truth
+    EXPECT_EQ(b.samples[0].device_id, 3u);
+
+    // MAC strings with embedded colons survive round-trip through the registry.
+    EXPECT_EQ(imported.registry.name_of(b.samples[0].observations[0].mac_id),
+              "aa:bb:cc:00:00:01");
+    EXPECT_DOUBLE_EQ(b.samples[2].observations[0].rss_dbm, -52.5);
+}
+
+TEST(scan_log, enforces_one_label_protocol) {
+    data::scan_log_options opts;
+    opts.num_floors = 2;
+
+    std::istringstream none("1,?,m1:-50\n2,?,m2:-60\n");
+    EXPECT_THROW((void)data::import_scan_log(none, opts), std::invalid_argument);
+
+    std::istringstream two("1,0,m1:-50\n2,1,m2:-60\n");
+    EXPECT_THROW((void)data::import_scan_log(two, opts), std::invalid_argument);
+
+    opts.keep_extra_labels = true;
+    std::istringstream two_again("1,0,m1:-50\n2,1,m2:-60\n");
+    const auto imported = data::import_scan_log(two_again, opts);
+    EXPECT_EQ(imported.labeled_scans, 2u);
+    EXPECT_EQ(imported.building_data.labeled_floor, 0);  // first label anchors
+}
+
+TEST(scan_log, rejects_malformed_input) {
+    data::scan_log_options opts;
+    opts.num_floors = 2;
+    std::istringstream bad_floor("1,9,m1:-50\n");
+    EXPECT_THROW((void)data::import_scan_log(bad_floor, opts), std::invalid_argument);
+    std::istringstream no_obs("1,0\n");
+    EXPECT_THROW((void)data::import_scan_log(no_obs, opts), std::invalid_argument);
+    std::istringstream bad_obs("1,0,m1-50\n");
+    EXPECT_THROW((void)data::import_scan_log(bad_obs, opts), std::invalid_argument);
+    std::istringstream empty("");
+    EXPECT_THROW((void)data::import_scan_log(empty, opts), std::invalid_argument);
+    data::scan_log_options zero = opts;
+    zero.num_floors = 0;
+    std::istringstream fine("1,0,m1:-50\n");
+    EXPECT_THROW((void)data::import_scan_log(fine, zero), std::invalid_argument);
+}
+
+TEST(scan_log, unknown_truth_building_runs_through_pipeline) {
+    // A mostly unlabeled building must still run end to end, reporting
+    // has_ground_truth = false instead of fake metrics.
+    sim::building_spec spec;
+    spec.num_floors = 3;
+    spec.samples_per_floor = 50;
+    spec.seed = 77;
+    auto b = sim::generate_building(spec).building;
+    for (std::size_t i = 0; i < b.samples.size(); ++i)
+        if (i != b.labeled_sample) b.samples[i].true_floor = -1;
+
+    core::fis_one_config cfg;
+    cfg.gnn.embedding_dim = 16;
+    cfg.gnn.epochs = 3;
+    const auto r = core::fis_one(cfg).run(b);
+    EXPECT_FALSE(r.has_ground_truth);
+    EXPECT_DOUBLE_EQ(r.ari, 0.0);
+    // predictions still produced for every scan
+    for (const int f : r.predicted_floor) EXPECT_GE(f, 0);
+}
+
+// ---------- floor predictor ----------
+
+TEST(floor_predictor, fit_then_predict_roundtrip) {
+    sim::building_spec spec;
+    spec.num_floors = 4;
+    spec.samples_per_floor = 100;
+    spec.model.path_loss_exponent = 3.3;
+    spec.floor_width_m = 60.0;
+    spec.floor_depth_m = 40.0;
+    spec.seed = 123;
+    const auto b = sim::generate_building(spec).building;
+
+    core::fis_one_config cfg;
+    cfg.gnn.embedding_dim = 16;
+    cfg.gnn.epochs = 8;
+    cfg.gnn.seed = 123;
+    cfg.seed = 123;
+    core::floor_predictor predictor(cfg);
+    EXPECT_FALSE(predictor.fitted());
+    const auto offline = predictor.fit(b);
+    EXPECT_TRUE(predictor.fitted());
+    EXPECT_EQ(predictor.num_floors(), 4u);
+    EXPECT_GT(offline.ari, 0.5);
+
+    // Predict on perturbed copies of training scans: accuracy must be high
+    // where the offline model itself is correct.
+    util::rng gen(9);
+    int agree = 0;
+    const int trials = 40;
+    for (int t = 0; t < trials; ++t) {
+        const std::size_t src = gen.uniform_index(b.samples.size());
+        auto obs = b.samples[src].observations;
+        for (auto& o : obs) o.rss_dbm = std::max(-110.0, o.rss_dbm + gen.normal(0.0, 1.0));
+        const auto p = predictor.predict(obs);
+        EXPECT_GE(p.floor, 0);
+        EXPECT_LT(p.floor, 4);
+        EXPECT_GT(p.confidence, 0.0);
+        EXPECT_LE(p.confidence, 1.0);
+        if (p.floor == offline.predicted_floor[src]) ++agree;
+    }
+    EXPECT_GE(agree, trials * 8 / 10);
+}
+
+TEST(floor_predictor, errors_before_fit_and_on_unknown_macs) {
+    core::floor_predictor predictor;
+    EXPECT_THROW((void)predictor.predict({{0, -50.0}}), std::logic_error);
+    EXPECT_THROW((void)predictor.num_floors(), std::logic_error);
+    EXPECT_THROW(core::floor_predictor(core::fis_one_config{}, 0), std::invalid_argument);
+
+    sim::building_spec spec;
+    spec.num_floors = 3;
+    spec.samples_per_floor = 40;
+    spec.seed = 5;
+    const auto b = sim::generate_building(spec).building;
+    core::fis_one_config cfg;
+    cfg.gnn.embedding_dim = 8;
+    cfg.gnn.epochs = 2;
+    core::floor_predictor fitted(cfg);
+    (void)fitted.fit(b);
+    EXPECT_THROW((void)fitted.predict({{999999, -40.0}}), std::invalid_argument);
+}
+
+}  // namespace

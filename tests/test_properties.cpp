@@ -1,0 +1,263 @@
+// Cross-module property tests: randomized invariants checked over
+// parameterized sweeps (seeds, shapes, scales). These complement the
+// per-module unit tests with the "for all" style guarantees the library's
+// algorithms are supposed to satisfy.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "autodiff/gradcheck.hpp"
+#include "autodiff/tape.hpp"
+#include "cluster/hierarchical.hpp"
+#include "eval/metrics.hpp"
+#include "indexing/cluster_indexer.hpp"
+#include "indexing/similarity.hpp"
+#include "linalg/eigen.hpp"
+#include "sim/propagation.hpp"
+#include "tsp/tsp.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace fisone;
+using linalg::matrix;
+
+matrix random_matrix(std::size_t r, std::size_t c, util::rng& gen) {
+    matrix m(r, c);
+    for (double& x : m.flat()) x = gen.normal();
+    return m;
+}
+
+// ---------- eval metric invariants ----------
+
+class metric_invariants : public ::testing::TestWithParam<int> {};
+
+TEST_P(metric_invariants, permutation_of_labels_changes_nothing) {
+    util::rng gen(static_cast<std::uint64_t>(GetParam()) * 31 + 7);
+    const std::size_t n = 60;
+    std::vector<int> pred(n), truth(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        pred[i] = static_cast<int>(gen.uniform_index(5));
+        truth[i] = static_cast<int>(gen.uniform_index(4));
+    }
+    // Rename predicted labels with a random injective map.
+    std::vector<int> names{10, 20, 30, 40, 50};
+    gen.shuffle(names);
+    std::vector<int> renamed(n);
+    for (std::size_t i = 0; i < n; ++i) renamed[i] = names[static_cast<std::size_t>(pred[i])];
+
+    EXPECT_NEAR(eval::adjusted_rand_index(pred, truth),
+                eval::adjusted_rand_index(renamed, truth), 1e-12);
+    EXPECT_NEAR(eval::normalized_mutual_information(pred, truth),
+                eval::normalized_mutual_information(renamed, truth), 1e-12);
+}
+
+TEST_P(metric_invariants, bounds_hold) {
+    util::rng gen(static_cast<std::uint64_t>(GetParam()) * 131 + 17);
+    const std::size_t n = 40;
+    std::vector<int> pred(n), truth(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        pred[i] = static_cast<int>(gen.uniform_index(6));
+        truth[i] = static_cast<int>(gen.uniform_index(3));
+    }
+    const double ari = eval::adjusted_rand_index(pred, truth);
+    const double nmi = eval::normalized_mutual_information(pred, truth);
+    EXPECT_GE(ari, -1.0);
+    EXPECT_LE(ari, 1.0);
+    EXPECT_GE(nmi, 0.0);
+    EXPECT_LE(nmi, 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(seeds, metric_invariants, ::testing::Range(0, 10));
+
+// ---------- Jaro properties ----------
+
+class jaro_properties : public ::testing::TestWithParam<int> {};
+
+TEST_P(jaro_properties, symmetric_and_bounded_on_permutations) {
+    util::rng gen(static_cast<std::uint64_t>(GetParam()) * 733 + 3);
+    const std::size_t n = 3 + gen.uniform_index(8);
+    std::vector<int> a(n), b(n);
+    for (std::size_t i = 0; i < n; ++i) a[i] = b[i] = static_cast<int>(i);
+    gen.shuffle(a);
+    gen.shuffle(b);
+    const double ab = eval::jaro_similarity(a, b);
+    EXPECT_NEAR(ab, eval::jaro_similarity(b, a), 1e-12);
+    EXPECT_GE(ab, 0.0);
+    EXPECT_LE(ab, 1.0);
+    EXPECT_DOUBLE_EQ(eval::jaro_similarity(a, a), 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(seeds, jaro_properties, ::testing::Range(0, 12));
+
+// ---------- TSP: asymmetric instances & approximation sanity ----------
+
+class asymmetric_tsp : public ::testing::TestWithParam<int> {};
+
+TEST_P(asymmetric_tsp, held_karp_matches_brute_force) {
+    util::rng gen(static_cast<std::uint64_t>(GetParam()) * 997 + 13);
+    const std::size_t n = 3 + gen.uniform_index(5);  // 3..7
+    matrix d(n, n, 0.0);
+    for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t j = 0; j < n; ++j)
+            if (i != j) d(i, j) = gen.uniform(0.1, 5.0);  // asymmetric
+    const std::size_t start = gen.uniform_index(n);
+    EXPECT_NEAR(tsp::held_karp_path(d, start).cost, tsp::brute_force_path(d, start).cost, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(seeds, asymmetric_tsp, ::testing::Range(0, 15));
+
+// ---------- adapted Jaccard: randomized invariants ----------
+
+class adapted_jaccard_properties : public ::testing::TestWithParam<int> {};
+
+TEST_P(adapted_jaccard_properties, bounded_symmetric_and_scale_covariant) {
+    util::rng gen(static_cast<std::uint64_t>(GetParam()) * 271 + 29);
+    const std::size_t m = 12;
+    indexing::cluster_profile a, b;
+    a.freq.resize(m);
+    b.freq.resize(m);
+    for (std::size_t k = 0; k < m; ++k) {
+        a.freq[k] = gen.bernoulli(0.6) ? std::floor(gen.uniform(1.0, 40.0)) : 0.0;
+        b.freq[k] = gen.bernoulli(0.6) ? std::floor(gen.uniform(1.0, 40.0)) : 0.0;
+    }
+    const double ab = indexing::adapted_jaccard(a, b);
+    EXPECT_NEAR(ab, indexing::adapted_jaccard(b, a), 1e-12);
+    EXPECT_GE(ab, 0.0);
+    EXPECT_LE(ab, 1.0);
+
+    // Doubling all frequencies leaves the coefficient unchanged (it is a
+    // ratio of degree-2 terms in the frequencies).
+    indexing::cluster_profile a2 = a, b2 = b;
+    for (double& f : a2.freq) f *= 2.0;
+    for (double& f : b2.freq) f *= 2.0;
+    EXPECT_NEAR(indexing::adapted_jaccard(a2, b2), ab, 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(seeds, adapted_jaccard_properties, ::testing::Range(0, 12));
+
+// ---------- indexer: chain recovery under varying size/decay ----------
+
+class chain_recovery : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(chain_recovery, identity_ordering_recovered) {
+    const auto n = static_cast<std::size_t>(std::get<0>(GetParam()));
+    const double decay = 0.5 / static_cast<double>(std::get<1>(GetParam()));
+    matrix sim(n, n, 0.0);
+    for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t j = 0; j < n; ++j) {
+            const auto gap = static_cast<double>(i > j ? i - j : j - i);
+            sim(i, j) = gap == 0.0 ? 1.0 : std::max(0.0, 1.0 - decay * gap);
+        }
+    util::rng gen(99);
+    const auto r = indexing::index_from_bottom(sim, 0, indexing::tsp_solver::exact, gen);
+    for (std::size_t c = 0; c < n; ++c) EXPECT_EQ(r.cluster_to_floor[c], static_cast<int>(c));
+}
+
+INSTANTIATE_TEST_SUITE_P(sizes_decays, chain_recovery,
+                         ::testing::Combine(::testing::Values(3, 5, 8, 10),
+                                            ::testing::Values(1, 2, 3)));
+
+// ---------- UPGMA: cut consistency across k ----------
+
+class upgma_nesting : public ::testing::TestWithParam<int> {};
+
+TEST_P(upgma_nesting, coarser_cuts_nest_finer_ones) {
+    // Hierarchical clusterings are nested: merging from k+1 to k clusters
+    // only unions two clusters, never splits one.
+    util::rng gen(static_cast<std::uint64_t>(GetParam()) * 53 + 11);
+    const matrix pts = random_matrix(40, 4, gen);
+    const auto merges = cluster::upgma_linkage(pts);
+    for (std::size_t k = 2; k <= 6; ++k) {
+        const auto fine = cluster::cut_linkage(merges, 40, k + 1);
+        const auto coarse = cluster::cut_linkage(merges, 40, k);
+        // every fine cluster maps into exactly one coarse cluster
+        std::map<int, int> image;
+        for (std::size_t i = 0; i < 40; ++i) {
+            const auto it = image.find(fine[i]);
+            if (it == image.end())
+                image[fine[i]] = coarse[i];
+            else
+                EXPECT_EQ(it->second, coarse[i]) << "fine cluster split at k=" << k;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(seeds, upgma_nesting, ::testing::Range(0, 8));
+
+// ---------- autodiff: gradcheck across shapes ----------
+
+class gradcheck_shapes : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(gradcheck_shapes, layer_stack_gradients_correct) {
+    const auto rows = static_cast<std::size_t>(std::get<0>(GetParam()));
+    const auto cols = static_cast<std::size_t>(std::get<1>(GetParam()));
+    util::rng gen(static_cast<std::uint64_t>(rows * 100 + cols));
+    const matrix w = random_matrix(cols, 3, gen);
+    const matrix input = random_matrix(rows, cols, gen);
+
+    autodiff::tape t;
+    const autodiff::var x = t.parameter(input);
+    const autodiff::var h = t.l2_normalize_rows(t.tanh_act(t.matmul(x, t.constant(w))));
+    const autodiff::var loss = t.mean_all(t.hadamard(h, h));
+    t.backward(loss);
+    const matrix analytic = t.grad(x);
+
+    const auto fn = [&w](const matrix& m) {
+        autodiff::tape t2;
+        const autodiff::var x2 = t2.parameter(m);
+        const autodiff::var h2 = t2.l2_normalize_rows(t2.tanh_act(t2.matmul(x2, t2.constant(w))));
+        const autodiff::var l2 = t2.mean_all(t2.hadamard(h2, h2));
+        return t2.value(l2)(0, 0);
+    };
+    const auto result = autodiff::check_gradient(fn, input, analytic);
+    EXPECT_TRUE(result.passed) << "abs=" << result.max_abs_error
+                               << " rel=" << result.max_rel_error;
+}
+
+INSTANTIATE_TEST_SUITE_P(shapes, gradcheck_shapes,
+                         ::testing::Combine(::testing::Values(1, 3, 7),
+                                            ::testing::Values(2, 5, 9)));
+
+// ---------- propagation: monotonicity sweeps ----------
+
+class faf_sweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(faf_sweep, stronger_slabs_mean_weaker_cross_floor_rss) {
+    const double faf = static_cast<double>(GetParam());
+    sim::propagation_model weak, strong;
+    weak.floor_attenuation_db = faf;
+    strong.floor_attenuation_db = faf + 4.0;
+    const sim::position tx{0, 0, 0};
+    const sim::position rx{15, 5, 4};
+    EXPECT_GT(sim::mean_rss_dbm(weak, tx, rx, 1, false),
+              sim::mean_rss_dbm(strong, tx, rx, 1, false));
+    // same-floor link unaffected by the slab factor
+    EXPECT_DOUBLE_EQ(sim::mean_rss_dbm(weak, tx, rx, 0, false),
+                     sim::mean_rss_dbm(strong, tx, rx, 0, false));
+}
+
+INSTANTIATE_TEST_SUITE_P(fafs, faf_sweep, ::testing::Values(6, 10, 14, 18, 22));
+
+// ---------- eigensolver: random PSD reconstruction ----------
+
+class eigen_psd : public ::testing::TestWithParam<int> {};
+
+TEST_P(eigen_psd, gram_matrices_have_nonnegative_spectrum) {
+    util::rng gen(static_cast<std::uint64_t>(GetParam()) * 17 + 1);
+    const matrix a = random_matrix(12, 6, gen);
+    const matrix gram = linalg::matmul_nt(a, a);  // PSD by construction
+    const auto eig = linalg::jacobi_eigen(gram);
+    for (const double lambda : eig.values) EXPECT_GE(lambda, -1e-9);
+    // trace preserved
+    double trace = 0.0, sum = 0.0;
+    for (std::size_t i = 0; i < 12; ++i) trace += gram(i, i);
+    for (const double lambda : eig.values) sum += lambda;
+    EXPECT_NEAR(trace, sum, 1e-8);
+}
+
+INSTANTIATE_TEST_SUITE_P(seeds, eigen_psd, ::testing::Range(0, 8));
+
+}  // namespace

@@ -1,0 +1,419 @@
+// Tests for src/sim: propagation physics, building generation invariants,
+// spillover structure (the property FIS-ONE relies on), corpus builders.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "sim/building_generator.hpp"
+#include "sim/propagation.hpp"
+
+namespace {
+
+using namespace fisone;
+using namespace fisone::sim;
+
+// ---------- propagation ----------
+
+TEST(propagation, distance_basics) {
+    EXPECT_DOUBLE_EQ(distance({0, 0, 0}, {3, 4, 0}), 5.0);
+    EXPECT_DOUBLE_EQ(distance({1, 1, 1}, {1, 1, 1}), 0.0);
+}
+
+TEST(propagation, rss_decreases_with_distance) {
+    propagation_model m;
+    const position tx{0, 0, 0};
+    double prev = 1e9;
+    for (double d = 1.0; d <= 64.0; d *= 2.0) {
+        const double rss = mean_rss_dbm(m, tx, {d, 0, 0}, 0, false);
+        EXPECT_LT(rss, prev);
+        prev = rss;
+    }
+}
+
+TEST(propagation, rss_decreases_with_floors_crossed) {
+    propagation_model m;
+    const position tx{0, 0, 0};
+    const position rx{10, 0, 4};
+    const double same = mean_rss_dbm(m, tx, rx, 0, false);
+    const double one = mean_rss_dbm(m, tx, rx, 1, false);
+    const double two = mean_rss_dbm(m, tx, rx, 2, false);
+    EXPECT_NEAR(same - one, m.floor_attenuation_db, 1e-12);
+    EXPECT_NEAR(one - two, m.floor_attenuation_db, 1e-12);
+}
+
+TEST(propagation, atrium_attenuates_less) {
+    propagation_model m;
+    const position tx{0, 0, 0};
+    const position rx{10, 0, 8};
+    EXPECT_GT(mean_rss_dbm(m, tx, rx, 2, true), mean_rss_dbm(m, tx, rx, 2, false));
+}
+
+TEST(propagation, log_distance_slope_matches_exponent) {
+    propagation_model m;
+    m.path_loss_exponent = 3.0;
+    const position tx{0, 0, 0};
+    const double r10 = mean_rss_dbm(m, tx, {10, 0, 0}, 0, false);
+    const double r100 = mean_rss_dbm(m, tx, {100, 0, 0}, 0, false);
+    EXPECT_NEAR(r10 - r100, 10.0 * 3.0, 1e-9);  // 10·n dB per decade
+}
+
+TEST(propagation, below_threshold_not_detected) {
+    propagation_model m;
+    m.shadowing_sigma_db = 0.0;
+    util::rng gen(1);
+    // A link whose mean RSS is far below the threshold never detects.
+    const link_sample far = compute_link(m, {0, 0, 0}, {2000, 0, 0}, 0, false, 0.0, gen);
+    EXPECT_FALSE(far.detected);
+    const link_sample near = compute_link(m, {0, 0, 0}, {2, 0, 0}, 0, false, 0.0, gen);
+    EXPECT_TRUE(near.detected);
+}
+
+TEST(propagation, readings_clamped_and_quantized) {
+    propagation_model m;
+    m.shadowing_sigma_db = 0.0;
+    util::rng gen(2);
+    const link_sample near = compute_link(m, {0, 0, 0}, {0.1, 0, 0}, 0, false, 0.0, gen);
+    ASSERT_TRUE(near.detected);
+    EXPECT_LE(near.rss_dbm, m.rss_ceil_dbm);
+    EXPECT_DOUBLE_EQ(near.rss_dbm, std::round(near.rss_dbm));
+}
+
+TEST(propagation, device_offset_shifts_reading) {
+    propagation_model m;
+    m.shadowing_sigma_db = 0.0;
+    m.quantize = false;
+    util::rng gen(3);
+    const link_sample base = compute_link(m, {0, 0, 0}, {5, 0, 0}, 0, false, 0.0, gen);
+    const link_sample offset = compute_link(m, {0, 0, 0}, {5, 0, 0}, 0, false, 7.0, gen);
+    ASSERT_TRUE(base.detected);
+    ASSERT_TRUE(offset.detected);
+    EXPECT_NEAR(offset.rss_dbm - base.rss_dbm, 7.0, 1e-12);
+}
+
+// ---------- building generation ----------
+
+TEST(generator, building_is_valid_and_sized) {
+    building_spec spec;
+    spec.num_floors = 4;
+    spec.samples_per_floor = 40;
+    spec.aps_per_floor = 12;
+    spec.seed = 5;
+    const auto sb = generate_building(spec);
+    EXPECT_NO_THROW(sb.building.validate());
+    EXPECT_EQ(sb.building.num_floors, 4u);
+    EXPECT_EQ(sb.building.num_macs, 48u);
+    EXPECT_EQ(sb.building.samples.size(), 160u);
+    EXPECT_EQ(sb.aps.size(), 48u);
+    const auto per_floor = sb.building.samples_per_floor();
+    for (const std::size_t c : per_floor) EXPECT_EQ(c, 40u);
+}
+
+TEST(generator, labeled_sample_is_on_bottom_floor) {
+    building_spec spec;
+    spec.seed = 6;
+    const auto b = generate_building(spec).building;
+    EXPECT_EQ(b.labeled_floor, 0);
+    EXPECT_EQ(b.samples[b.labeled_sample].true_floor, 0);
+}
+
+TEST(generator, deterministic_per_seed) {
+    building_spec spec;
+    spec.num_floors = 3;
+    spec.samples_per_floor = 20;
+    spec.seed = 7;
+    const auto a = generate_building(spec).building;
+    const auto b = generate_building(spec).building;
+    ASSERT_EQ(a.samples.size(), b.samples.size());
+    for (std::size_t i = 0; i < a.samples.size(); ++i) {
+        ASSERT_EQ(a.samples[i].observations.size(), b.samples[i].observations.size());
+        for (std::size_t j = 0; j < a.samples[i].observations.size(); ++j) {
+            EXPECT_EQ(a.samples[i].observations[j].mac_id, b.samples[i].observations[j].mac_id);
+            EXPECT_EQ(a.samples[i].observations[j].rss_dbm, b.samples[i].observations[j].rss_dbm);
+        }
+    }
+    building_spec other = spec;
+    other.seed = 8;
+    const auto c = generate_building(other).building;
+    EXPECT_NE(a.samples[0].observations.size() + a.samples[1].observations.size(),
+              c.samples[0].observations.size() + c.samples[1].observations.size());
+}
+
+TEST(generator, own_floor_aps_dominate_observations) {
+    building_spec spec;
+    spec.num_floors = 5;
+    spec.samples_per_floor = 30;
+    spec.seed = 9;
+    const auto sb = generate_building(spec);
+    std::size_t own = 0, other = 0;
+    for (const auto& s : sb.building.samples)
+        for (const auto& o : s.observations) {
+            if (sb.aps[o.mac_id].floor == s.true_floor)
+                ++own;
+            else
+                ++other;
+        }
+    EXPECT_GT(own, other);  // same-floor APs are the majority of readings
+}
+
+TEST(generator, same_floor_rss_stronger_on_average) {
+    building_spec spec;
+    spec.num_floors = 5;
+    spec.samples_per_floor = 30;
+    spec.seed = 10;
+    const auto sb = generate_building(spec);
+    double own_sum = 0.0, other_sum = 0.0;
+    std::size_t own_n = 0, other_n = 0;
+    for (const auto& s : sb.building.samples)
+        for (const auto& o : s.observations) {
+            if (sb.aps[o.mac_id].floor == s.true_floor) {
+                own_sum += o.rss_dbm;
+                ++own_n;
+            } else {
+                other_sum += o.rss_dbm;
+                ++other_n;
+            }
+        }
+    ASSERT_GT(own_n, 0u);
+    ASSERT_GT(other_n, 0u);
+    EXPECT_GT(own_sum / static_cast<double>(own_n),
+              other_sum / static_cast<double>(other_n) + 5.0);
+}
+
+TEST(generator, validation_of_specs) {
+    building_spec bad;
+    bad.num_floors = 1;
+    EXPECT_THROW((void)generate_building(bad), std::invalid_argument);
+    bad = building_spec{};
+    bad.aps_per_floor = 0;
+    EXPECT_THROW((void)generate_building(bad), std::invalid_argument);
+    bad = building_spec{};
+    bad.samples_per_floor = 0;
+    EXPECT_THROW((void)generate_building(bad), std::invalid_argument);
+    bad = building_spec{};
+    bad.num_devices = 0;
+    EXPECT_THROW((void)generate_building(bad), std::invalid_argument);
+}
+
+// ---------- spillover structure (Fig. 1) ----------
+
+TEST(spillover, adjacent_floors_share_more_macs) {
+    building_spec spec;
+    spec.num_floors = 6;
+    spec.samples_per_floor = 60;
+    spec.seed = 11;
+    const auto b = generate_building(spec).building;
+
+    // MAC sets per floor (from scans).
+    std::vector<std::set<std::uint32_t>> macs(b.num_floors);
+    for (const auto& s : b.samples)
+        for (const auto& o : s.observations)
+            macs[static_cast<std::size_t>(s.true_floor)].insert(o.mac_id);
+
+    auto shared = [&macs](std::size_t i, std::size_t j) {
+        std::size_t cnt = 0;
+        for (const auto m : macs[i]) cnt += macs[j].count(m);
+        return cnt;
+    };
+    // adjacent floors share more MACs than floors two apart (Fig. 1(b), 5)
+    std::size_t adj = 0, far = 0, pairs_adj = 0, pairs_far = 0;
+    for (std::size_t f = 0; f + 1 < b.num_floors; ++f) {
+        adj += shared(f, f + 1);
+        ++pairs_adj;
+    }
+    for (std::size_t f = 0; f + 3 < b.num_floors; ++f) {
+        far += shared(f, f + 3);
+        ++pairs_far;
+    }
+    EXPECT_GT(static_cast<double>(adj) / pairs_adj, static_cast<double>(far) / pairs_far);
+}
+
+TEST(spillover, histogram_counts_every_detected_mac_once) {
+    building_spec spec;
+    spec.num_floors = 5;
+    spec.samples_per_floor = 50;
+    spec.seed = 12;
+    const auto b = generate_building(spec).building;
+    const auto hist = spillover_histogram(b);
+    ASSERT_EQ(hist.size(), b.num_floors);
+    std::set<std::uint32_t> detected;
+    for (const auto& s : b.samples)
+        for (const auto& o : s.observations) detected.insert(o.mac_id);
+    EXPECT_EQ(std::accumulate(hist.begin(), hist.end(), std::size_t{0}), detected.size());
+}
+
+TEST(spillover, atrium_extends_the_tail) {
+    building_spec closed;
+    closed.num_floors = 8;
+    closed.samples_per_floor = 60;
+    closed.floor_width_m = 120.0;
+    closed.floor_depth_m = 80.0;
+    closed.aps_per_floor = 21;
+    closed.seed = 13;
+    building_spec open = closed;
+    open.atrium = true;
+    open.atrium_radius_m = 15.0;
+
+    const auto hist_closed = spillover_histogram(generate_building(closed).building);
+    const auto hist_open = spillover_histogram(generate_building(open).building);
+    // MACs detected on ≥ 5 floors: the atrium must produce at least as many.
+    std::size_t tail_closed = 0, tail_open = 0;
+    for (std::size_t f = 4; f < 8; ++f) {
+        tail_closed += hist_closed[f];
+        tail_open += hist_open[f];
+    }
+    EXPECT_GT(tail_open, tail_closed);
+}
+
+// ---------- trajectory mode ----------
+
+TEST(trajectories, produce_requested_counts_and_valid_building) {
+    building_spec spec;
+    spec.num_floors = 4;
+    spec.samples_per_floor = 45;  // not a multiple of trajectory_length
+    spec.mode = scan_mode::trajectories;
+    spec.trajectory_length = 10;
+    spec.seed = 21;
+    const auto b = generate_building(spec).building;
+    EXPECT_NO_THROW(b.validate());
+    for (const std::size_t c : b.samples_per_floor()) EXPECT_EQ(c, 45u);
+}
+
+TEST(trajectories, consecutive_scans_share_device_and_overlap_heavily) {
+    building_spec spec;
+    spec.num_floors = 2;
+    spec.samples_per_floor = 30;
+    spec.mode = scan_mode::trajectories;
+    spec.trajectory_length = 10;
+    spec.trajectory_step_m = 2.0;
+    spec.seed = 22;
+    const auto b = generate_building(spec).building;
+
+    // Within a walk the device is constant and consecutive scans (a couple
+    // of metres apart) share most of their MAC sets; compare against random
+    // cross-floor pairs.
+    auto overlap = [](const data::rf_sample& a, const data::rf_sample& c) {
+        std::set<std::uint32_t> sa, inter;
+        for (const auto& o : a.observations) sa.insert(o.mac_id);
+        for (const auto& o : c.observations)
+            if (sa.count(o.mac_id)) inter.insert(o.mac_id);
+        const std::size_t uni = sa.size() + c.observations.size() - inter.size();
+        return uni == 0 ? 0.0 : static_cast<double>(inter.size()) / static_cast<double>(uni);
+    };
+    double consecutive = 0.0;
+    std::size_t pairs = 0;
+    for (std::size_t i = 0; i + 1 < 10; ++i) {  // first walk of floor 0
+        if (b.samples[i].device_id == b.samples[i + 1].device_id) {
+            consecutive += overlap(b.samples[i], b.samples[i + 1]);
+            ++pairs;
+        }
+    }
+    ASSERT_GT(pairs, 5u);  // the walk kept one device
+    const double cross = overlap(b.samples[0], b.samples[45]);  // other floor
+    EXPECT_GT(consecutive / static_cast<double>(pairs), cross);
+}
+
+TEST(trajectories, positions_stay_in_bounds_implicitly) {
+    // Reflecting walls keep walks inside: every scan must observe at least
+    // min_observations APs (a scan metres outside would see almost none),
+    // and generation must not throw on an elongated footprint.
+    building_spec spec;
+    spec.num_floors = 2;
+    spec.samples_per_floor = 60;
+    spec.floor_width_m = 100.0;
+    spec.floor_depth_m = 20.0;
+    spec.mode = scan_mode::trajectories;
+    spec.trajectory_length = 25;
+    spec.trajectory_step_m = 4.0;
+    spec.seed = 23;
+    const auto b = generate_building(spec).building;
+    for (const auto& s : b.samples) EXPECT_GE(s.observations.size(), spec.min_observations);
+}
+
+TEST(trajectories, pipeline_handles_trajectory_corpora) {
+    building_spec spec;
+    spec.num_floors = 3;
+    spec.samples_per_floor = 60;
+    spec.mode = scan_mode::trajectories;
+    spec.model.path_loss_exponent = 3.3;
+    spec.floor_width_m = 60.0;
+    spec.floor_depth_m = 40.0;
+    spec.seed = 24;
+    const auto b = generate_building(spec).building;
+    EXPECT_NO_THROW(b.validate());
+    // spillover structure survives the correlated sampling
+    const auto hist = spillover_histogram(b);
+    std::size_t detected = 0;
+    for (const auto h : hist) detected += h;
+    EXPECT_GT(detected, b.num_macs / 2);
+}
+
+// ---------- relabeling (§VI protocols) ----------
+
+TEST(relabel, random_floor_is_consistent) {
+    building_spec spec;
+    spec.seed = 14;
+    auto b = generate_building(spec).building;
+    util::rng gen(99);
+    const int floor = relabel_random_floor(b, gen);
+    EXPECT_EQ(b.labeled_floor, floor);
+    EXPECT_EQ(b.samples[b.labeled_sample].true_floor, floor);
+    EXPECT_NO_THROW(b.validate());
+}
+
+TEST(relabel, specific_floor) {
+    building_spec spec;
+    spec.num_floors = 4;
+    spec.seed = 15;
+    auto b = generate_building(spec).building;
+    util::rng gen(100);
+    relabel_floor(b, 2, gen);
+    EXPECT_EQ(b.labeled_floor, 2);
+    EXPECT_EQ(b.samples[b.labeled_sample].true_floor, 2);
+    EXPECT_THROW(relabel_floor(b, 9, gen), std::invalid_argument);
+}
+
+// ---------- corpora ----------
+
+TEST(corpus, microsoft_floor_distribution_matches_fig7) {
+    const auto floors = microsoft_floor_counts(152);
+    EXPECT_EQ(floors.size(), 152u);
+    std::vector<std::size_t> counts(11, 0);
+    for (const std::size_t f : floors) {
+        ASSERT_GE(f, 3u);
+        ASSERT_LE(f, 10u);
+        ++counts[f];
+    }
+    // monotone-decaying shape: 3-floor buildings are the most common
+    EXPECT_GT(counts[3], counts[5]);
+    EXPECT_GT(counts[5], counts[7]);
+    EXPECT_GT(counts[7], counts[10]);
+    EXPECT_GE(counts[10], 1u);  // tail present
+}
+
+TEST(corpus, small_corpus_still_representative) {
+    const auto floors = microsoft_floor_counts(8);
+    EXPECT_EQ(floors.size(), 8u);
+    EXPECT_EQ(floors.front(), 3u);  // low-rise always present
+}
+
+TEST(corpus, microsoft_builder_produces_valid_buildings) {
+    const auto corpus = make_microsoft_corpus(3, 25, 77);
+    EXPECT_EQ(corpus.name, "Microsoft");
+    EXPECT_EQ(corpus.buildings.size(), 3u);
+    for (const auto& b : corpus.buildings) EXPECT_NO_THROW(b.validate());
+}
+
+TEST(corpus, malls_builder_matches_paper_setup) {
+    const auto corpus = make_malls_corpus(25, 78);
+    EXPECT_EQ(corpus.name, "Ours");
+    ASSERT_EQ(corpus.buildings.size(), 3u);
+    EXPECT_EQ(corpus.buildings[0].num_floors, 5u);
+    EXPECT_EQ(corpus.buildings[1].num_floors, 5u);
+    EXPECT_EQ(corpus.buildings[2].num_floors, 7u);
+    for (const auto& b : corpus.buildings) EXPECT_NO_THROW(b.validate());
+}
+
+}  // namespace

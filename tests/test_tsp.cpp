@@ -1,0 +1,147 @@
+// Tests for src/tsp: Held–Karp exact DP vs brute force, 2-opt quality,
+// and the Theorem-1 structure used by the cluster indexer.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "linalg/matrix.hpp"
+#include "tsp/tsp.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace fisone::tsp;
+using fisone::linalg::matrix;
+using fisone::util::rng;
+
+matrix random_symmetric_distances(std::size_t n, rng& gen) {
+    matrix d(n, n, 0.0);
+    for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t j = i + 1; j < n; ++j) {
+            const double w = gen.uniform(0.1, 10.0);
+            d(i, j) = w;
+            d(j, i) = w;
+        }
+    return d;
+}
+
+bool is_permutation_from(const std::vector<std::size_t>& order, std::size_t n,
+                         std::size_t start) {
+    if (order.size() != n || order.front() != start) return false;
+    std::vector<bool> seen(n, false);
+    for (const std::size_t v : order) {
+        if (v >= n || seen[v]) return false;
+        seen[v] = true;
+    }
+    return true;
+}
+
+TEST(path_cost, sums_consecutive_edges) {
+    const matrix d{{0, 1, 5}, {1, 0, 2}, {5, 2, 0}};
+    EXPECT_DOUBLE_EQ(path_cost(d, {0, 1, 2}), 3.0);
+    EXPECT_DOUBLE_EQ(path_cost(d, {0, 2, 1}), 7.0);
+    EXPECT_DOUBLE_EQ(path_cost(d, {1}), 0.0);
+}
+
+TEST(held_karp, trivial_sizes) {
+    matrix d1(1, 1, 0.0);
+    const path_result r1 = held_karp_path(d1, 0);
+    EXPECT_EQ(r1.order, (std::vector<std::size_t>{0}));
+    EXPECT_DOUBLE_EQ(r1.cost, 0.0);
+
+    matrix d2{{0, 3}, {3, 0}};
+    const path_result r2 = held_karp_path(d2, 1);
+    EXPECT_EQ(r2.order, (std::vector<std::size_t>{1, 0}));
+    EXPECT_DOUBLE_EQ(r2.cost, 3.0);
+}
+
+TEST(held_karp, chain_graph_recovers_line) {
+    // Points on a line: 0—1—2—3—4 with near distances smaller; the optimal
+    // Hamiltonian path from 0 walks the chain in order.
+    const std::size_t n = 5;
+    matrix d(n, n, 0.0);
+    for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t j = 0; j < n; ++j)
+            d(i, j) = std::abs(static_cast<double>(i) - static_cast<double>(j));
+    const path_result r = held_karp_path(d, 0);
+    EXPECT_EQ(r.order, (std::vector<std::size_t>{0, 1, 2, 3, 4}));
+    EXPECT_DOUBLE_EQ(r.cost, 4.0);
+}
+
+// Property sweep: Held–Karp must equal exhaustive search.
+class held_karp_matches_brute_force : public ::testing::TestWithParam<int> {};
+
+TEST_P(held_karp_matches_brute_force, on_random_instances) {
+    rng gen(static_cast<std::uint64_t>(GetParam()) * 7919 + 5);
+    const std::size_t n = 3 + GetParam() % 6;  // 3..8 cities
+    const matrix d = random_symmetric_distances(n, gen);
+    const std::size_t start = gen.uniform_index(n);
+    const path_result exact = held_karp_path(d, start);
+    const path_result brute = brute_force_path(d, start);
+    EXPECT_TRUE(is_permutation_from(exact.order, n, start));
+    EXPECT_NEAR(exact.cost, brute.cost, 1e-9);
+    EXPECT_NEAR(path_cost(d, exact.order), exact.cost, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(random_instances, held_karp_matches_brute_force,
+                         ::testing::Range(0, 20));
+
+// Property sweep: 2-opt stays close to optimal and is always valid.
+class two_opt_quality : public ::testing::TestWithParam<int> {};
+
+TEST_P(two_opt_quality, near_optimal_on_random_instances) {
+    rng gen(static_cast<std::uint64_t>(GetParam()) * 104729 + 11);
+    const std::size_t n = 4 + GetParam() % 5;  // 4..8
+    const matrix d = random_symmetric_distances(n, gen);
+    const std::size_t start = gen.uniform_index(n);
+    const path_result exact = held_karp_path(d, start);
+    const path_result approx = two_opt_path(d, start, gen);
+    EXPECT_TRUE(is_permutation_from(approx.order, n, start));
+    EXPECT_GE(approx.cost, exact.cost - 1e-9);
+    EXPECT_LE(approx.cost, exact.cost * 1.25 + 1e-9);  // restarts keep it close
+}
+
+INSTANTIATE_TEST_SUITE_P(random_instances, two_opt_quality, ::testing::Range(0, 20));
+
+TEST(two_opt, handles_larger_instance) {
+    rng gen(3);
+    const std::size_t n = 40;  // beyond Held–Karp's practical range
+    const matrix d = random_symmetric_distances(n, gen);
+    const path_result r = two_opt_path(d, 7, gen, 4);
+    EXPECT_TRUE(is_permutation_from(r.order, n, 7));
+    EXPECT_NEAR(path_cost(d, r.order), r.cost, 1e-9);
+}
+
+TEST(theorem1, zero_return_edges_make_path_equal_tour) {
+    // Theorem 1's construction: with all weights *into* the start equal to
+    // zero, a tour's cost equals the Hamiltonian path cost. We verify the
+    // path solver finds the ordering that maximises adjacent similarity.
+    // Chain similarity: adjacent floors similar (0.8), skipping decays.
+    const std::size_t n = 5;
+    matrix sim(n, n, 0.0);
+    for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t j = 0; j < n; ++j) {
+            const auto gap = static_cast<double>(i > j ? i - j : j - i);
+            sim(i, j) = gap == 0 ? 1.0 : std::max(0.0, 1.0 - 0.35 * gap);
+        }
+    matrix w(n, n, 0.0);
+    for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t j = 0; j < n; ++j)
+            if (i != j) w(i, j) = 1.0 - sim(i, j);
+    const path_result r = held_karp_path(w, 0);
+    EXPECT_EQ(r.order, (std::vector<std::size_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(tsp, input_validation) {
+    rng gen(1);
+    EXPECT_THROW((void)held_karp_path(matrix(0, 0), 0), std::invalid_argument);
+    EXPECT_THROW((void)held_karp_path(matrix(2, 3), 0), std::invalid_argument);
+    EXPECT_THROW((void)held_karp_path(matrix(3, 3), 5), std::invalid_argument);
+    EXPECT_THROW((void)held_karp_path(matrix(25, 25), 0), std::invalid_argument);
+    EXPECT_THROW((void)brute_force_path(matrix(11, 11), 0), std::invalid_argument);
+    EXPECT_THROW((void)two_opt_path(matrix(3, 3), 9, gen), std::invalid_argument);
+    EXPECT_THROW((void)path_cost(matrix(2, 2), {0, 5}), std::invalid_argument);
+}
+
+}  // namespace
