@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "util/thread_pool.hpp"
+
 namespace fisone::autodiff {
 
 namespace {
@@ -127,16 +129,16 @@ var tape::hadamard(var a, var b) {
 }
 
 var tape::matmul(var a, var b) {
-    matrix out = linalg::matmul(at(a).value, at(b).value);
+    matrix out = linalg::matmul(at(a).value, at(b).value, pool_);
     const bool rg = at(a).requires_grad || at(b).requires_grad;
     var v = push(std::move(out), rg, {});
     if (rg) {
         nodes_.back().backprop = [this, a, b, v] {
             const matrix& g = nodes_[v.index].grad;
             if (nodes_[a.index].requires_grad)
-                grad_buffer(a.index) += linalg::matmul_nt(g, nodes_[b.index].value);
+                grad_buffer(a.index) += linalg::matmul_nt(g, nodes_[b.index].value, pool_);
             if (nodes_[b.index].requires_grad)
-                grad_buffer(b.index) += linalg::matmul_tn(nodes_[a.index].value, g);
+                grad_buffer(b.index) += linalg::matmul_tn(nodes_[a.index].value, g, pool_);
         };
     }
     return v;
@@ -373,9 +375,15 @@ var tape::weighted_sum_rows(var a,
                 throw std::out_of_range("tape::weighted_sum_rows: index out of range");
         }
     matrix out(groups.size(), av.cols(), 0.0);
-    for (std::size_t i = 0; i < groups.size(); ++i)
-        for (const auto& [idx, w] : groups[i])
-            for (std::size_t j = 0; j < av.cols(); ++j) out(i, j) += w * av(idx, j);
+    // Output rows are independent, so pooled aggregation is bit-exact; the
+    // backward scatter below stays serial (groups share source rows).
+    util::parallel_for(pool_, 0, groups.size(), util::row_grain(groups.size()),
+                       [&](std::size_t r0, std::size_t r1) {
+                           for (std::size_t i = r0; i < r1; ++i)
+                               for (const auto& [idx, w] : groups[i])
+                                   for (std::size_t j = 0; j < av.cols(); ++j)
+                                       out(i, j) += w * av(idx, j);
+                       });
     const bool rg = at(a).requires_grad;
     var v = push(std::move(out), rg, {});
     if (rg) {

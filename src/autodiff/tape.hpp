@@ -26,6 +26,10 @@
 
 #include "linalg/matrix.hpp"
 
+namespace fisone::util {
+class thread_pool;
+}
+
 namespace fisone::autodiff {
 
 using linalg::matrix;
@@ -40,12 +44,18 @@ struct var {
 };
 
 /// Append-only computation tape. Not thread-safe; use one per training step
-/// (or call `reset()` between steps to reuse allocations).
+/// (or call `reset()` between steps to reuse allocations). An optional
+/// thread pool parallelises the dense products (forward and backward) —
+/// pooled runs are bit-identical to serial ones (see matrix.hpp).
 class tape {
 public:
     tape() = default;
+    explicit tape(util::thread_pool* pool) noexcept : pool_(pool) {}
     tape(const tape&) = delete;
     tape& operator=(const tape&) = delete;
+
+    /// Pool used by subsequently recorded operations (null = serial).
+    void set_pool(util::thread_pool* pool) noexcept { pool_ = pool; }
 
     /// Remove all nodes; handles from before the reset become invalid.
     void reset() noexcept { nodes_.clear(); }
@@ -141,6 +151,7 @@ private:
     matrix& grad_buffer(std::size_t index);  ///< lazily allocate grad of node
 
     std::vector<node> nodes_;
+    util::thread_pool* pool_ = nullptr;
 };
 
 }  // namespace fisone::autodiff

@@ -3,6 +3,8 @@
 #include <limits>
 #include <stdexcept>
 
+#include "util/thread_pool.hpp"
+
 namespace fisone::cluster {
 
 namespace {
@@ -43,7 +45,7 @@ linalg::matrix seed_centroids(const linalg::matrix& points, std::size_t k, util:
 }
 
 kmeans_result run_once(const linalg::matrix& points, std::size_t k, util::rng& gen,
-                       const kmeans_config& cfg) {
+                       const kmeans_config& cfg, util::thread_pool* pool) {
     const std::size_t n = points.rows();
     const std::size_t d = points.cols();
 
@@ -51,23 +53,31 @@ kmeans_result run_once(const linalg::matrix& points, std::size_t k, util::rng& g
     result.centroids = seed_centroids(points, k, gen);
     result.assignment.assign(n, 0);
 
+    // Each point's nearest-centroid search is independent; distances land in
+    // a per-point buffer and the inertia is summed serially in index order,
+    // so the pooled assignment step is bit-identical to the serial one.
+    std::vector<double> best_sqdist(n, 0.0);
     double prev_inertia = std::numeric_limits<double>::max();
     for (std::size_t iter = 0; iter < cfg.max_iterations; ++iter) {
         // Assignment step.
-        double inertia = 0.0;
-        for (std::size_t i = 0; i < n; ++i) {
-            double best = std::numeric_limits<double>::max();
-            int best_c = 0;
-            for (std::size_t c = 0; c < k; ++c) {
-                const double sq = linalg::squared_distance(points.row(i), result.centroids.row(c));
-                if (sq < best) {
-                    best = sq;
-                    best_c = static_cast<int>(c);
+        util::parallel_for(pool, 0, n, util::row_grain(n), [&](std::size_t i0, std::size_t i1) {
+            for (std::size_t i = i0; i < i1; ++i) {
+                double best = std::numeric_limits<double>::max();
+                int best_c = 0;
+                for (std::size_t c = 0; c < k; ++c) {
+                    const double sq =
+                        linalg::squared_distance(points.row(i), result.centroids.row(c));
+                    if (sq < best) {
+                        best = sq;
+                        best_c = static_cast<int>(c);
+                    }
                 }
+                result.assignment[i] = best_c;
+                best_sqdist[i] = best;
             }
-            result.assignment[i] = best_c;
-            inertia += best;
-        }
+        });
+        double inertia = 0.0;
+        for (std::size_t i = 0; i < n; ++i) inertia += best_sqdist[i];
         result.inertia = inertia;
         result.iterations = iter + 1;
 
@@ -110,7 +120,7 @@ kmeans_result run_once(const linalg::matrix& points, std::size_t k, util::rng& g
 }  // namespace
 
 kmeans_result kmeans(const linalg::matrix& points, std::size_t k, util::rng& gen,
-                     const kmeans_config& cfg) {
+                     const kmeans_config& cfg, util::thread_pool* pool) {
     if (k == 0 || k > points.rows())
         throw std::invalid_argument("kmeans: k out of range");
     if (points.cols() == 0) throw std::invalid_argument("kmeans: zero-dimensional points");
@@ -119,7 +129,7 @@ kmeans_result kmeans(const linalg::matrix& points, std::size_t k, util::rng& gen
     best.inertia = std::numeric_limits<double>::max();
     const std::size_t restarts = cfg.restarts == 0 ? 1 : cfg.restarts;
     for (std::size_t r = 0; r < restarts; ++r) {
-        kmeans_result candidate = run_once(points, k, gen, cfg);
+        kmeans_result candidate = run_once(points, k, gen, cfg, pool);
         if (candidate.inertia < best.inertia) best = std::move(candidate);
     }
     return best;

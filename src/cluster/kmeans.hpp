@@ -11,6 +11,10 @@
 #include "linalg/matrix.hpp"
 #include "util/rng.hpp"
 
+namespace fisone::util {
+class thread_pool;
+}
+
 namespace fisone::cluster {
 
 /// Outcome of a k-means run.
@@ -29,8 +33,13 @@ struct kmeans_config {
 };
 
 /// Cluster rows of \p points into \p k clusters.
+/// \param pool optional worker pool for the assignment step. Per-point
+///        nearest-centroid searches are independent and the inertia is
+///        reduced serially from a per-point buffer, so pooled runs are
+///        bit-identical to serial ones.
 /// \throws std::invalid_argument when k is 0 or exceeds the number of points.
 [[nodiscard]] kmeans_result kmeans(const linalg::matrix& points, std::size_t k, util::rng& gen,
-                                   const kmeans_config& cfg = {});
+                                   const kmeans_config& cfg = {},
+                                   util::thread_pool* pool = nullptr);
 
 }  // namespace fisone::cluster

@@ -1,5 +1,6 @@
 #include "fis_one.hpp"
 
+#include <memory>
 #include <stdexcept>
 
 #include "cluster/floor_count.hpp"
@@ -7,6 +8,7 @@
 #include "cluster/kmeans.hpp"
 #include "eval/metrics.hpp"
 #include "graph/bipartite_graph.hpp"
+#include "util/thread_pool.hpp"
 
 namespace fisone::core {
 
@@ -14,9 +16,10 @@ namespace {
 
 /// Cluster embedding rows into k clusters with the configured algorithm.
 std::vector<int> cluster_embeddings(const linalg::matrix& points, std::size_t k,
-                                    clustering_algorithm alg, util::rng& gen) {
+                                    clustering_algorithm alg, util::rng& gen,
+                                    util::thread_pool* pool) {
     if (alg == clustering_algorithm::hierarchical) return cluster::upgma_cluster(points, k);
-    return cluster::kmeans(points, k, gen).assignment;
+    return cluster::kmeans(points, k, gen, {}, pool).assignment;
 }
 
 /// True floors of every sample (evaluation only).
@@ -62,9 +65,17 @@ fis_one_result fis_one::run(const data::building& b) const {
     b.validate();
     util::rng gen(cfg_.seed ^ 0xf15f0e1ULL);
 
+    // One pool per run, shared by every kernel below. All pooled kernels
+    // are bit-identical to their serial forms, so results do not depend on
+    // this knob (see fis_one_config::num_threads).
+    const std::size_t num_threads = util::resolve_num_threads(cfg_.num_threads);
+    std::unique_ptr<util::thread_pool> owned_pool;
+    if (num_threads > 1) owned_pool = std::make_unique<util::thread_pool>(num_threads);
+    util::thread_pool* const pool = owned_pool.get();
+
     // --- 1. graph construction + RF-GNN representation learning ---
     const graph::bipartite_graph g = graph::bipartite_graph::from_building(b);
-    gnn::rf_gnn model(g, cfg_.gnn);
+    gnn::rf_gnn model(g, cfg_.gnn, pool);
     model.train();
 
     fis_one_result result;
@@ -82,11 +93,11 @@ fis_one_result fis_one::run(const data::building& b) const {
 
     if (cfg_.label == label_mode::bottom_floor) {
         // --- 2. cluster all samples ---
-        result.assignment = cluster_embeddings(result.embeddings, k, cfg_.clustering, gen);
+        result.assignment = cluster_embeddings(result.embeddings, k, cfg_.clustering, gen, pool);
 
         // --- 3. index clusters, anchored at the labeled sample's cluster ---
         const auto profiles = indexing::build_profiles(b, result.assignment, k);
-        const linalg::matrix sim = indexing::similarity_matrix(profiles, cfg_.similarity);
+        const linalg::matrix sim = indexing::similarity_matrix(profiles, cfg_.similarity, pool);
         const auto start = static_cast<std::size_t>(result.assignment[b.labeled_sample]);
         const indexing::indexing_result idx =
             indexing::index_from_bottom(sim, start, cfg_.solver, gen);
@@ -105,13 +116,13 @@ fis_one_result fis_one::run(const data::building& b) const {
             owner.push_back(i);
         }
         const std::vector<int> sub_assignment =
-            cluster_embeddings(points, k, cfg_.clustering, gen);
+            cluster_embeddings(points, k, cfg_.clustering, gen, pool);
         result.assignment.assign(n, -1);
         for (std::size_t r = 0; r < owner.size(); ++r)
             result.assignment[owner[r]] = sub_assignment[r];
 
         const auto profiles = indexing::build_profiles(b, result.assignment, k);
-        const linalg::matrix sim = indexing::similarity_matrix(profiles, cfg_.similarity);
+        const linalg::matrix sim = indexing::similarity_matrix(profiles, cfg_.similarity, pool);
 
         // d(r, C_i): mean distance from the labeled embedding to each cluster.
         std::vector<double> dist_to(k, 0.0);

@@ -34,6 +34,9 @@
 #include "core/fis_one.hpp"
 #include "core/floor_predictor.hpp"
 
+// batch runtime
+#include "runtime/batch_runner.hpp"
+
 // baselines & simulation
 #include "baselines/daegc.hpp"
 #include "baselines/graph_features.hpp"
@@ -48,3 +51,4 @@
 #include "util/rng.hpp"
 #include "util/stats.hpp"
 #include "util/table_printer.hpp"
+#include "util/thread_pool.hpp"

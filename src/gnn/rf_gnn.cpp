@@ -5,14 +5,17 @@
 #include <stdexcept>
 #include <unordered_map>
 
+#include "util/thread_pool.hpp"
+
 namespace fisone::gnn {
 
 using autodiff::var;
 using linalg::matrix;
 
-rf_gnn::rf_gnn(const graph::bipartite_graph& g, rf_gnn_config cfg)
+rf_gnn::rf_gnn(const graph::bipartite_graph& g, rf_gnn_config cfg, util::thread_pool* pool)
     : graph_(&g),
       cfg_(cfg),
+      pool_(pool),
       rng_(cfg.seed),
       sampler_(g, cfg.use_attention),
       negatives_(g, cfg.negative_exponent),
@@ -157,7 +160,7 @@ double rf_gnn::train_batch(const std::vector<graph::walk_pair>& pairs, std::size
     }
 
     // --- forward pass on a fresh tape ---
-    autodiff::tape t;
+    autodiff::tape t(pool_);
     const var base_var = cfg_.train_base_embeddings ? t.parameter(base_) : t.constant(base_);
     std::vector<var> weight_vars;
     weight_vars.reserve(K);
@@ -213,21 +216,24 @@ matrix rf_gnn::propagate_full(const matrix& prev, std::size_t hop) const {
     const std::size_t d = cfg_.embedding_dim;
 
     // Aggregate over the *full* neighbourhood (deterministic inference).
+    // Every node writes only its own output row, so pooling is bit-exact.
     matrix agg(n, d, 0.0);
-    for (std::uint32_t node = 0; node < n; ++node) {
-        const auto nbrs = graph_->neighbors(node);
-        if (nbrs.empty()) continue;
-        double total = 0.0;
-        if (cfg_.use_attention)
-            for (const graph::edge& e : nbrs) total += e.weight;
-        else
-            total = static_cast<double>(nbrs.size());
-        for (const graph::edge& e : nbrs) {
-            const double w = cfg_.use_attention ? e.weight / total : 1.0 / total;
-            const auto prow = prev.row(e.neighbor);
-            for (std::size_t j = 0; j < d; ++j) agg(node, j) += w * prow[j];
+    util::parallel_for(pool_, 0, n, util::row_grain(n), [&](std::size_t n0, std::size_t n1) {
+        for (std::uint32_t node = static_cast<std::uint32_t>(n0); node < n1; ++node) {
+            const auto nbrs = graph_->neighbors(node);
+            if (nbrs.empty()) continue;
+            double total = 0.0;
+            if (cfg_.use_attention)
+                for (const graph::edge& e : nbrs) total += e.weight;
+            else
+                total = static_cast<double>(nbrs.size());
+            for (const graph::edge& e : nbrs) {
+                const double w = cfg_.use_attention ? e.weight / total : 1.0 / total;
+                const auto prow = prev.row(e.neighbor);
+                for (std::size_t j = 0; j < d; ++j) agg(node, j) += w * prow[j];
+            }
         }
-    }
+    });
 
     // cat = [prev | agg], z = cat · W_hop, σ, normalise
     matrix cat(n, 2 * d);
@@ -238,7 +244,7 @@ matrix rf_gnn::propagate_full(const matrix& prev, std::size_t hop) const {
             cat(i, d + j) = agg(i, j);
         }
     }
-    matrix z = linalg::matmul(cat, weights_[hop]);
+    matrix z = linalg::matmul(cat, weights_[hop], pool_);
     apply_activation(z);
     for (std::size_t i = 0; i < n; ++i) {
         double nrm = linalg::norm2(z.row(i));
@@ -271,7 +277,7 @@ matrix rf_gnn::embed_samples() {
 
 std::vector<double> rf_gnn::embed_new_sample(
     const std::vector<data::rf_observation>& observations) {
-    embed_all_nodes();  // ensure caches
+    static_cast<void>(embed_all_nodes());  // ensure caches
     const std::size_t d = cfg_.embedding_dim;
 
     // Known-MAC neighbourhood with f(RSS) weights.

@@ -25,6 +25,10 @@
 #include "linalg/matrix.hpp"
 #include "util/rng.hpp"
 
+namespace fisone::util {
+class thread_pool;
+}
+
 namespace fisone::gnn {
 
 /// Nonlinearity σ(·) applied after each hop's dense layer.
@@ -56,7 +60,13 @@ struct rf_gnn_config {
 class rf_gnn {
 public:
     /// \throws std::invalid_argument on nonsensical config (zero dims/hops).
-    rf_gnn(const graph::bipartite_graph& g, rf_gnn_config cfg);
+    /// \param pool optional worker pool for the minibatch forward/backward
+    ///        products and full-graph propagation. Pooled runs are
+    ///        bit-identical to serial ones: the work splits over output
+    ///        rows, whose accumulation order never changes, and all
+    ///        stochastic sampling stays on the calling thread.
+    rf_gnn(const graph::bipartite_graph& g, rf_gnn_config cfg,
+           util::thread_pool* pool = nullptr);
 
     /// Run the full unsupervised training schedule (`cfg.epochs` epochs,
     /// walks regenerated every epoch).
@@ -104,6 +114,7 @@ private:
 
     const graph::bipartite_graph* graph_;
     rf_gnn_config cfg_;
+    util::thread_pool* pool_ = nullptr;
     util::rng rng_;
     graph::neighbor_sampler sampler_;
     graph::negative_table negatives_;

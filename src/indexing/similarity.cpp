@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "util/thread_pool.hpp"
+
 namespace fisone::indexing {
 
 std::vector<cluster_profile> build_profiles(const data::building& b,
@@ -85,19 +87,24 @@ double adapted_jaccard(const cluster_profile& a, const cluster_profile& b) {
 }
 
 linalg::matrix similarity_matrix(const std::vector<cluster_profile>& profiles,
-                                 similarity_kind kind) {
+                                 similarity_kind kind, util::thread_pool* pool) {
     const std::size_t n = profiles.size();
     linalg::matrix sim(n, n, 0.0);
-    for (std::size_t i = 0; i < n; ++i) {
-        sim(i, i) = 1.0;
-        for (std::size_t j = i + 1; j < n; ++j) {
-            const double s = kind == similarity_kind::adapted_jaccard
-                                 ? adapted_jaccard(profiles[i], profiles[j])
-                                 : plain_jaccard(profiles[i], profiles[j]);
-            sim(i, j) = s;
-            sim(j, i) = s;
+    // Row i owns entries (i, j>i) and their mirrors (j>i, i): every element
+    // is written by exactly one chunk, so pooled runs race nowhere and are
+    // bit-identical to serial ones.
+    util::parallel_for(pool, 0, n, 1, [&](std::size_t i0, std::size_t i1) {
+        for (std::size_t i = i0; i < i1; ++i) {
+            sim(i, i) = 1.0;
+            for (std::size_t j = i + 1; j < n; ++j) {
+                const double s = kind == similarity_kind::adapted_jaccard
+                                     ? adapted_jaccard(profiles[i], profiles[j])
+                                     : plain_jaccard(profiles[i], profiles[j]);
+                sim(i, j) = s;
+                sim(j, i) = s;
+            }
         }
-    }
+    });
     return sim;
 }
 

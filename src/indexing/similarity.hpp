@@ -19,6 +19,10 @@
 #include "data/rf_sample.hpp"
 #include "linalg/matrix.hpp"
 
+namespace fisone::util {
+class thread_pool;
+}
+
 namespace fisone::indexing {
 
 /// MAC appearance frequencies of one cluster.
@@ -56,8 +60,11 @@ enum class similarity_kind { adapted_jaccard, jaccard };
 /// clusters share no MAC and 0/0 would occur with no unshared mass either.
 [[nodiscard]] double adapted_jaccard(const cluster_profile& a, const cluster_profile& b);
 
-/// Pairwise similarity matrix (symmetric, unit diagonal).
+/// Pairwise similarity matrix (symmetric, unit diagonal). Rows of the
+/// upper triangle are computed independently, so an optional pool speeds
+/// the O(k²·num_macs) sweep up without changing a single bit.
 [[nodiscard]] linalg::matrix similarity_matrix(const std::vector<cluster_profile>& profiles,
-                                               similarity_kind kind);
+                                               similarity_kind kind,
+                                               util::thread_pool* pool = nullptr);
 
 }  // namespace fisone::indexing

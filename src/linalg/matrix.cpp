@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "util/thread_pool.hpp"
+
 namespace fisone::linalg {
 
 namespace {
@@ -12,6 +14,16 @@ void check_same_shape(const matrix& a, const matrix& b, const char* what) {
 void check_same_length(std::span<const double> a, std::span<const double> b, const char* what) {
     if (a.size() != b.size()) throw std::invalid_argument(std::string(what) + ": length mismatch");
 }
+
+/// Pooled products only pay off above a work threshold; below it the
+/// chunk hand-off costs more than the arithmetic.
+constexpr std::size_t kMinParallelFlops = 1 << 15;
+
+util::thread_pool* effective_pool(util::thread_pool* pool, std::size_t flops) noexcept {
+    return flops >= kMinParallelFlops ? pool : nullptr;
+}
+
+using util::row_grain;
 }  // namespace
 
 matrix& matrix::operator+=(const matrix& other) {
@@ -31,50 +43,67 @@ matrix& matrix::operator*=(double scalar) noexcept {
     return *this;
 }
 
-matrix matmul(const matrix& a, const matrix& b) {
+matrix matmul(const matrix& a, const matrix& b, util::thread_pool* pool) {
     if (a.cols() != b.rows()) throw std::invalid_argument("matmul: inner dimension mismatch");
     matrix out(a.rows(), b.cols(), 0.0);
+    pool = effective_pool(pool, a.rows() * a.cols() * b.cols());
     // i-k-j loop order keeps the inner loop contiguous over both b and out.
-    for (std::size_t i = 0; i < a.rows(); ++i) {
-        for (std::size_t k = 0; k < a.cols(); ++k) {
-            const double aik = a(i, k);
-            if (aik == 0.0) continue;
-            const double* brow = &b(k, 0);
-            double* orow = &out(i, 0);
-            for (std::size_t j = 0; j < b.cols(); ++j) orow[j] += aik * brow[j];
-        }
-    }
+    util::parallel_for(pool, 0, a.rows(), row_grain(a.rows()),
+                       [&](std::size_t r0, std::size_t r1) {
+                           for (std::size_t i = r0; i < r1; ++i) {
+                               for (std::size_t k = 0; k < a.cols(); ++k) {
+                                   const double aik = a(i, k);
+                                   if (aik == 0.0) continue;
+                                   const double* brow = &b(k, 0);
+                                   double* orow = &out(i, 0);
+                                   for (std::size_t j = 0; j < b.cols(); ++j)
+                                       orow[j] += aik * brow[j];
+                               }
+                           }
+                       });
     return out;
 }
 
-matrix matmul_nt(const matrix& a, const matrix& b) {
+matrix matmul_nt(const matrix& a, const matrix& b, util::thread_pool* pool) {
     if (a.cols() != b.cols()) throw std::invalid_argument("matmul_nt: dimension mismatch");
     matrix out(a.rows(), b.rows(), 0.0);
-    for (std::size_t i = 0; i < a.rows(); ++i) {
-        const double* arow = &a(i, 0);
-        for (std::size_t j = 0; j < b.rows(); ++j) {
-            const double* brow = &b(j, 0);
-            double acc = 0.0;
-            for (std::size_t k = 0; k < a.cols(); ++k) acc += arow[k] * brow[k];
-            out(i, j) = acc;
-        }
-    }
+    pool = effective_pool(pool, a.rows() * a.cols() * b.rows());
+    util::parallel_for(pool, 0, a.rows(), row_grain(a.rows()),
+                       [&](std::size_t r0, std::size_t r1) {
+                           for (std::size_t i = r0; i < r1; ++i) {
+                               const double* arow = &a(i, 0);
+                               for (std::size_t j = 0; j < b.rows(); ++j) {
+                                   const double* brow = &b(j, 0);
+                                   double acc = 0.0;
+                                   for (std::size_t k = 0; k < a.cols(); ++k)
+                                       acc += arow[k] * brow[k];
+                                   out(i, j) = acc;
+                               }
+                           }
+                       });
     return out;
 }
 
-matrix matmul_tn(const matrix& a, const matrix& b) {
+matrix matmul_tn(const matrix& a, const matrix& b, util::thread_pool* pool) {
     if (a.rows() != b.rows()) throw std::invalid_argument("matmul_tn: dimension mismatch");
     matrix out(a.cols(), b.cols(), 0.0);
-    for (std::size_t k = 0; k < a.rows(); ++k) {
-        const double* arow = &a(k, 0);
-        const double* brow = &b(k, 0);
-        for (std::size_t i = 0; i < a.cols(); ++i) {
-            const double aki = arow[i];
-            if (aki == 0.0) continue;
-            double* orow = &out(i, 0);
-            for (std::size_t j = 0; j < b.cols(); ++j) orow[j] += aki * brow[j];
-        }
-    }
+    pool = effective_pool(pool, a.rows() * a.cols() * b.cols());
+    // Each output row i accumulates over k in ascending order exactly as the
+    // serial k-outer loop did, so splitting by output rows stays bit-exact.
+    util::parallel_for(pool, 0, a.cols(), row_grain(a.cols()),
+                       [&](std::size_t r0, std::size_t r1) {
+                           for (std::size_t k = 0; k < a.rows(); ++k) {
+                               const double* arow = &a(k, 0);
+                               const double* brow = &b(k, 0);
+                               for (std::size_t i = r0; i < r1; ++i) {
+                                   const double aki = arow[i];
+                                   if (aki == 0.0) continue;
+                                   double* orow = &out(i, 0);
+                                   for (std::size_t j = 0; j < b.cols(); ++j)
+                                       orow[j] += aki * brow[j];
+                               }
+                           }
+                       });
     return out;
 }
 

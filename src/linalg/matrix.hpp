@@ -12,6 +12,10 @@
 #include <stdexcept>
 #include <vector>
 
+namespace fisone::util {
+class thread_pool;
+}
+
 namespace fisone::linalg {
 
 /// Dense row-major matrix. Value-semantic; copies are deep.
@@ -109,13 +113,18 @@ private:
 };
 
 /// Matrix product A·B. \throws std::invalid_argument on inner-dim mismatch.
-[[nodiscard]] matrix matmul(const matrix& a, const matrix& b);
+/// All three products optionally split work over \p pool by *output rows*;
+/// each output element keeps its serial accumulation order, so pooled
+/// results are bit-identical to the single-threaded ones.
+[[nodiscard]] matrix matmul(const matrix& a, const matrix& b, util::thread_pool* pool = nullptr);
 
 /// A·Bᵀ without materialising the transpose.
-[[nodiscard]] matrix matmul_nt(const matrix& a, const matrix& b);
+[[nodiscard]] matrix matmul_nt(const matrix& a, const matrix& b,
+                               util::thread_pool* pool = nullptr);
 
 /// Aᵀ·B without materialising the transpose.
-[[nodiscard]] matrix matmul_tn(const matrix& a, const matrix& b);
+[[nodiscard]] matrix matmul_tn(const matrix& a, const matrix& b,
+                               util::thread_pool* pool = nullptr);
 
 /// Transpose.
 [[nodiscard]] matrix transpose(const matrix& a);

@@ -1,0 +1,113 @@
+#include "batch_runner.hpp"
+
+#include <chrono>
+#include <mutex>
+
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace fisone::runtime {
+
+namespace {
+
+using clock = std::chrono::steady_clock;
+
+double seconds_since(clock::time_point start) {
+    return std::chrono::duration<double>(clock::now() - start).count();
+}
+
+}  // namespace
+
+std::uint64_t task_seed(std::uint64_t campaign_seed, std::size_t task_index) noexcept {
+    // Two splitmix64 rounds decorrelate nearby (seed, index) pairs.
+    std::uint64_t state = campaign_seed ^ (0x9e3779b97f4a7c15ULL * (task_index + 1));
+    static_cast<void>(util::splitmix64_next(state));
+    return util::splitmix64_next(state);
+}
+
+batch_runner::batch_runner(batch_config cfg) : cfg_(std::move(cfg)) {
+    // Validate the template eagerly — better one throw here than one per task.
+    static_cast<void>(core::fis_one(cfg_.pipeline));
+}
+
+batch_result batch_runner::run(const std::vector<data::building>& buildings) const {
+    const std::size_t total = buildings.size();
+    const std::size_t batch_threads = util::resolve_num_threads(cfg_.num_threads);
+    // Buildings actually in flight at once; with no batch-level parallelism
+    // the kernels keep their own "auto" threading (e.g. a 1-building batch
+    // on an 8-core host should still use the cores inside the pipeline).
+    const bool parallel_batch = batch_threads > 1 && total > 1;
+
+    batch_result out;
+    out.reports.resize(total);
+
+    std::mutex progress_mutex;
+    std::size_t completed = 0;
+
+    const auto run_one = [&](std::size_t i) {
+        building_report& report = out.reports[i];
+        report.index = i;
+        report.name = buildings[i].name;
+
+        core::fis_one_config cfg = cfg_.pipeline;
+        const std::uint64_t seed = task_seed(cfg_.seed, i);
+        cfg.seed = seed;
+        cfg.gnn.seed = seed ^ 0x5eedc0de5eedc0deULL;
+        // "auto" kernel threading inside a parallel batch would nest a
+        // hardware-sized pool per in-flight building; keep one pool level.
+        if (cfg.num_threads == 0 && parallel_batch) cfg.num_threads = 1;
+
+        const clock::time_point start = clock::now();
+        try {
+            report.result = core::fis_one(cfg).run(buildings[i]);
+            report.ok = true;
+        } catch (const std::exception& e) {
+            report.error = e.what();
+        } catch (...) {
+            report.error = "unknown exception";
+        }
+        report.seconds = seconds_since(start);
+
+        if (cfg_.on_progress) {
+            const std::lock_guard<std::mutex> lock(progress_mutex);
+            ++completed;
+            batch_progress progress;
+            progress.completed = completed;
+            progress.total = total;
+            progress.last = &report;
+            cfg_.on_progress(progress);
+        }
+    };
+
+    const clock::time_point start = clock::now();
+    if (parallel_batch) {
+        util::thread_pool pool(batch_threads);
+        pool.parallel_for(0, total, 1, [&](std::size_t b, std::size_t e) {
+            for (std::size_t i = b; i < e; ++i) run_one(i);
+        });
+    } else {
+        for (std::size_t i = 0; i < total; ++i) run_one(i);
+    }
+    out.wall_seconds = seconds_since(start);
+    out.buildings_per_second =
+        out.wall_seconds > 0.0 ? static_cast<double>(total) / out.wall_seconds : 0.0;
+
+    // Aggregate in input order so the stats stream is deterministic.
+    for (const building_report& report : out.reports) {
+        if (!report.ok) {
+            ++out.num_failed;
+            continue;
+        }
+        ++out.num_ok;
+        if (report.result.has_ground_truth) {
+            out.ari.add(report.result.ari);
+            out.nmi.add(report.result.nmi);
+            out.edit_distance.add(report.result.edit_distance);
+        }
+    }
+    return out;
+}
+
+batch_result batch_runner::run(const data::corpus& corpus) const { return run(corpus.buildings); }
+
+}  // namespace fisone::runtime

@@ -1,0 +1,88 @@
+#pragma once
+
+/// \file thread_pool.hpp
+/// Fixed-size worker pool shared by the batch runtime and the parallel
+/// kernels (RF-GNN propagation, k-means assignment, profile similarity).
+///
+/// Design constraints, driven by the library's reproducibility contract:
+///  - `parallel_for` decomposes [begin, end) into chunks of `grain`
+///    indices. The decomposition depends only on (begin, end, grain) —
+///    never on the pool size — so any kernel whose chunk results are
+///    combined in chunk order is deterministic for every thread count.
+///  - Exceptions thrown inside tasks are captured and rethrown on the
+///    calling thread (first one wins); the pool itself never dies from a
+///    task exception.
+///  - The calling thread participates in `parallel_for` execution, so a
+///    pool is never idle-blocked on its own caller and nested use (a
+///    batch task running parallel kernels on a *different* pool) cannot
+///    deadlock.
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace fisone::util {
+
+/// Resolve a user-facing `num_threads` knob: 0 means "ask the hardware",
+/// with a floor of 1 when `hardware_concurrency` is unknown.
+[[nodiscard]] std::size_t resolve_num_threads(std::size_t requested) noexcept;
+
+/// Rows per `parallel_for` chunk for row-partitioned kernels. Any grain is
+/// bit-exact for those kernels (rows are independent); this one balances
+/// scheduling overhead against load skew. Shared so every kernel grains
+/// the same way and a tuning change happens in one place.
+[[nodiscard]] constexpr std::size_t row_grain(std::size_t rows) noexcept {
+    const std::size_t g = rows / 32;
+    return g == 0 ? 1 : g;
+}
+
+class thread_pool {
+public:
+    /// Target concurrency `n = resolve_num_threads(num_threads)`. Because
+    /// the calling thread executes chunks during `parallel_for`, only
+    /// `n - 1` workers are spawned — `parallel_for` then uses exactly `n`
+    /// compute threads, never oversubscribing a saturated machine.
+    explicit thread_pool(std::size_t num_threads = 0);
+
+    /// Drains nothing: outstanding tasks are completed, then workers join.
+    ~thread_pool();
+
+    thread_pool(const thread_pool&) = delete;
+    thread_pool& operator=(const thread_pool&) = delete;
+
+    /// Concurrency level (workers + the participating caller).
+    [[nodiscard]] std::size_t size() const noexcept { return concurrency_; }
+
+    /// Enqueue one task; the future reports completion and rethrows any
+    /// exception the task raised. With concurrency 1 (no workers) the task
+    /// runs inline on the submitting thread.
+    std::future<void> submit(std::function<void()> task);
+
+    /// Run `chunk(chunk_begin, chunk_end)` over every grain-sized slice of
+    /// [begin, end). Blocks until all chunks finish; the caller executes
+    /// chunks alongside the workers. Rethrows the first chunk exception.
+    void parallel_for(std::size_t begin, std::size_t end, std::size_t grain,
+                      const std::function<void(std::size_t, std::size_t)>& chunk);
+
+private:
+    void worker_loop();
+
+    std::size_t concurrency_ = 1;
+    std::vector<std::thread> workers_;
+    std::deque<std::packaged_task<void()>> queue_;
+    std::mutex mutex_;
+    std::condition_variable cv_;
+    bool stopping_ = false;
+};
+
+/// Convenience wrapper used by the kernels: serial chunk-ordered execution
+/// when \p pool is null (or [begin, end) fits one chunk), pooled otherwise.
+void parallel_for(thread_pool* pool, std::size_t begin, std::size_t end, std::size_t grain,
+                  const std::function<void(std::size_t, std::size_t)>& chunk);
+
+}  // namespace fisone::util

@@ -221,8 +221,11 @@ TEST(indexer, weights_matrix_structure) {
     const auto w = indexing::similarity_to_weights(sim);
     for (std::size_t i = 0; i < 4; ++i) {
         EXPECT_DOUBLE_EQ(w(i, i), 0.0);
-        for (std::size_t j = 0; j < 4; ++j)
-            if (i != j) EXPECT_DOUBLE_EQ(w(i, j), 1.0 - sim(i, j));
+        for (std::size_t j = 0; j < 4; ++j) {
+            if (i != j) {
+                EXPECT_DOUBLE_EQ(w(i, j), 1.0 - sim(i, j));
+            }
+        }
     }
 }
 
