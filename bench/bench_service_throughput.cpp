@@ -1,0 +1,160 @@
+/// \file bench_service_throughput.cpp
+/// Service-layer throughput: shard a simulated fleet to disk, then serve
+/// the store through `service::floor_service` at 1/2/4/8 workers and
+/// report buildings/sec, speedup over one worker, and latency percentiles
+/// from `service_stats`. After every run the input-order NDJSON export is
+/// compared byte-for-byte against the first run — the serving layer's
+/// determinism contract (results independent of worker count, shard size
+/// and completion order).
+///
+/// Run:  ./bench_service_throughput [--buildings N] [--samples-per-floor M]
+///                                  [--shard-size K] [--seed S]
+///                                  [--max-threads T] [--dir PATH]
+///
+/// Quick mode for CI smoke:
+///   ./bench_service_throughput --buildings 4 --samples-per-floor 20
+///                              --shard-size 2 --max-threads 2
+///   (one command line; wrapped here for the docs)
+
+#include <chrono>
+#include <cstdlib>
+#include <exception>
+#include <filesystem>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "data/corpus_store.hpp"
+#include "service/floor_service.hpp"
+#include "service/ndjson_export.hpp"
+#include "sim/building_generator.hpp"
+#include "util/cli.hpp"
+#include "util/table_printer.hpp"
+#include "util/thread_pool.hpp"
+
+namespace {
+
+using namespace fisone;
+
+data::corpus make_fleet(std::size_t count, std::size_t samples_per_floor, std::uint64_t seed) {
+    data::corpus fleet;
+    fleet.name = "bench-fleet";
+    fleet.buildings.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+        sim::building_spec spec;
+        spec.name = "fleet-";
+        spec.name += std::to_string(i);
+        spec.num_floors = 3 + i % 5;
+        spec.samples_per_floor = samples_per_floor;
+        spec.aps_per_floor = 12;
+        spec.seed = seed + i;
+        fleet.buildings.push_back(sim::generate_building(spec).building);
+    }
+    return fleet;
+}
+
+/// Serve the whole store once and return (wall seconds, input-order ndjson,
+/// stats snapshot). Exits the process on building failures.
+struct run_outcome {
+    double wall_seconds = 0.0;
+    std::string ndjson;
+    service::service_stats stats;
+};
+
+run_outcome serve_store(const data::corpus_store& store, std::size_t threads,
+                        std::uint64_t seed) {
+    service::service_config cfg;
+    cfg.pipeline.gnn.embedding_dim = 16;
+    cfg.pipeline.gnn.epochs = 4;
+    cfg.pipeline.gnn.walks.walks_per_node = 3;
+    cfg.pipeline.num_threads = 1;  // building-level parallelism only
+    cfg.seed = seed;
+    cfg.num_threads = threads;
+
+    const auto start = std::chrono::steady_clock::now();
+    service::floor_service svc(cfg);
+    std::vector<service::floor_service::job> jobs;
+    jobs.reserve(store.num_shards());
+    for (std::size_t s = 0; s < store.num_shards(); ++s)
+        jobs.push_back(svc.submit(service::make_shard_ref(store, s)));
+    svc.wait_all();
+
+    run_outcome out;
+    out.wall_seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+                           .count();
+    out.stats = svc.stats();
+
+    std::vector<runtime::building_report> reports;
+    for (const auto& job : jobs)
+        for (const auto& report : job.reports()) {
+            if (!report.ok) {
+                std::cerr << "bench_service_throughput: building " << report.index
+                          << " failed: " << report.error << '\n';
+                std::exit(EXIT_FAILURE);
+            }
+            reports.push_back(report);
+        }
+    std::ostringstream ndjson;
+    service::export_input_order(ndjson, std::move(reports));
+    out.ndjson = ndjson.str();
+    return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) try {
+    const util::cli_args args(argc, argv);
+    const auto buildings = static_cast<std::size_t>(args.get_int("buildings", 16));
+    const auto samples = static_cast<std::size_t>(args.get_int("samples-per-floor", 60));
+    const auto shard_size = static_cast<std::size_t>(args.get_int("shard-size", 4));
+    const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 7));
+    const auto max_threads = static_cast<std::size_t>(args.get_int("max-threads", 8));
+    const std::string dir = args.get(
+        "dir", (std::filesystem::temp_directory_path() / "fisone_bench_service").string());
+
+    std::cerr << "Synthesising " << buildings << " buildings (" << samples
+              << " scans/floor), sharding to " << dir << " (" << shard_size
+              << "/shard), hardware_concurrency=" << util::resolve_num_threads(0) << "...\n";
+    const data::corpus fleet = make_fleet(buildings, samples, seed);
+    std::filesystem::remove_all(dir);
+    static_cast<void>(data::write_corpus_store(fleet, dir, shard_size));
+    const data::corpus_store store = data::corpus_store::open(dir);
+
+    util::table_printer table("Service throughput — " + std::to_string(buildings) +
+                              " buildings served from " +
+                              std::to_string(store.num_shards()) + " shards");
+    table.header({"workers", "wall s", "buildings/s", "speedup", "p50 s", "p99 s", "identical"});
+
+    std::string baseline_ndjson;
+    double baseline_rate = 0.0;
+    for (std::size_t threads = 1; threads <= max_threads; threads *= 2) {
+        const run_outcome out = serve_store(store, threads, seed);
+        const double rate =
+            out.wall_seconds > 0.0 ? static_cast<double>(buildings) / out.wall_seconds : 0.0;
+        const bool matches = threads == 1 ? true : out.ndjson == baseline_ndjson;
+        if (threads == 1) {
+            baseline_ndjson = out.ndjson;
+            baseline_rate = rate;
+        }
+        table.row({std::to_string(threads), util::table_printer::num(out.wall_seconds, 2),
+                   util::table_printer::num(rate, 2),
+                   baseline_rate > 0.0 ? util::table_printer::num(rate / baseline_rate, 2) : "-",
+                   util::table_printer::num(out.stats.latency_p50, 3),
+                   util::table_printer::num(out.stats.latency_p99, 3),
+                   matches ? "yes" : "NO"});
+        if (!matches) {
+            table.print(std::cout);
+            std::cerr << "bench_service_throughput: served NDJSON diverged from 1-worker run\n";
+            return EXIT_FAILURE;
+        }
+    }
+    table.print(std::cout);
+    std::cout << "\nNDJSON per building, input-order re-export: "
+              << baseline_ndjson.size() / buildings << " bytes mean "
+              << "(identical at every worker count by construction)\n";
+    return EXIT_SUCCESS;
+} catch (const std::exception& e) {
+    std::cerr << "bench_service_throughput: " << e.what() << '\n';
+    return EXIT_FAILURE;
+}

@@ -42,8 +42,8 @@ floor_count_estimate estimate_floor_count_from_linkage(const std::vector<linkage
 }
 
 floor_count_estimate estimate_floor_count(const linalg::matrix& points, std::size_t min_floors,
-                                          std::size_t max_floors) {
-    const auto merges = upgma_linkage(points);
+                                          std::size_t max_floors, util::thread_pool* pool) {
+    const auto merges = upgma_linkage(points, pool);
     return estimate_floor_count_from_linkage(merges, points.rows(), min_floors, max_floors);
 }
 

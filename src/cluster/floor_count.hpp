@@ -39,11 +39,14 @@ struct floor_count_estimate {
 /// \param points embedding matrix (one row per scan).
 /// \param min_floors smallest admissible floor count (≥ 2).
 /// \param max_floors largest admissible floor count.
+/// \param pool optional worker pool for the UPGMA distance initialisation
+///        (see `upgma_linkage`); pooled runs are bit-identical to serial.
 /// \throws std::invalid_argument if bounds are inverted, min < 2, or there
 ///         are fewer points than max_floors + 1.
 [[nodiscard]] floor_count_estimate estimate_floor_count(const linalg::matrix& points,
                                                         std::size_t min_floors = 2,
-                                                        std::size_t max_floors = 12);
+                                                        std::size_t max_floors = 12,
+                                                        util::thread_pool* pool = nullptr);
 
 /// Same estimate from a precomputed linkage (avoids recomputing UPGMA when
 /// the caller clusters afterwards anyway).

@@ -6,6 +6,8 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "util/thread_pool.hpp"
+
 namespace fisone::cluster {
 
 namespace {
@@ -31,20 +33,25 @@ private:
 
 }  // namespace
 
-std::vector<linkage_merge> upgma_linkage(const linalg::matrix& points) {
+std::vector<linkage_merge> upgma_linkage(const linalg::matrix& points, util::thread_pool* pool) {
     const std::size_t n = points.rows();
     if (n == 0) throw std::invalid_argument("upgma_linkage: no points");
     if (n == 1) return {};
 
     // Condensed float distance matrix (full square for simple indexing).
+    // Row-partitioned across the pool: the thread owning row i writes the
+    // cells (i, j) and their mirrors (j, i) for every j > i, so each cell
+    // has exactly one writer and the values match the serial fill exactly.
     std::vector<float> dist(n * n, 0.0f);
-    for (std::size_t i = 0; i < n; ++i)
-        for (std::size_t j = i + 1; j < n; ++j) {
-            const auto d = static_cast<float>(
-                linalg::euclidean_distance(points.row(i), points.row(j)));
-            dist[i * n + j] = d;
-            dist[j * n + i] = d;
-        }
+    util::parallel_for(pool, 0, n, util::row_grain(n), [&](std::size_t rb, std::size_t re) {
+        for (std::size_t i = rb; i < re; ++i)
+            for (std::size_t j = i + 1; j < n; ++j) {
+                const auto d = static_cast<float>(
+                    linalg::euclidean_distance(points.row(i), points.row(j)));
+                dist[i * n + j] = d;
+                dist[j * n + i] = d;
+            }
+    });
 
     std::vector<bool> active(n, true);
     std::vector<std::size_t> size(n, 1);
@@ -134,8 +141,9 @@ std::vector<int> cut_linkage(const std::vector<linkage_merge>& merges, std::size
     return labels;
 }
 
-std::vector<int> upgma_cluster(const linalg::matrix& points, std::size_t k) {
-    const auto merges = upgma_linkage(points);
+std::vector<int> upgma_cluster(const linalg::matrix& points, std::size_t k,
+                               util::thread_pool* pool) {
+    const auto merges = upgma_linkage(points, pool);
     return cut_linkage(merges, points.rows(), k);
 }
 

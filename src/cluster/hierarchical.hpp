@@ -16,6 +16,10 @@
 
 #include "linalg/matrix.hpp"
 
+namespace fisone::util {
+class thread_pool;
+}
+
 namespace fisone::cluster {
 
 /// One merge of the dendrogram. `a` and `b` are *representative original
@@ -28,8 +32,14 @@ struct linkage_merge {
 };
 
 /// Full UPGMA dendrogram of the rows of \p points (n−1 merges).
+/// \param pool optional worker pool for the O(n²) pairwise-distance
+///        initialisation (the dominant cost for the pipeline's sample
+///        counts). Rows are partitioned and every matrix cell has exactly
+///        one writer, so pooled runs are bit-identical to serial ones; the
+///        NN-chain merge loop itself stays serial.
 /// \throws std::invalid_argument if points has fewer than 1 row.
-[[nodiscard]] std::vector<linkage_merge> upgma_linkage(const linalg::matrix& points);
+[[nodiscard]] std::vector<linkage_merge> upgma_linkage(const linalg::matrix& points,
+                                                       util::thread_pool* pool = nullptr);
 
 /// Cut a dendrogram into \p k clusters: replay merges in ascending height
 /// order until k components remain. Labels are 0..k−1 in order of first
@@ -40,6 +50,7 @@ struct linkage_merge {
                                            std::size_t n, std::size_t k);
 
 /// Convenience: cluster rows of \p points into \p k clusters by UPGMA.
-[[nodiscard]] std::vector<int> upgma_cluster(const linalg::matrix& points, std::size_t k);
+[[nodiscard]] std::vector<int> upgma_cluster(const linalg::matrix& points, std::size_t k,
+                                             util::thread_pool* pool = nullptr);
 
 }  // namespace fisone::cluster

@@ -18,7 +18,8 @@ namespace {
 std::vector<int> cluster_embeddings(const linalg::matrix& points, std::size_t k,
                                     clustering_algorithm alg, util::rng& gen,
                                     util::thread_pool* pool) {
-    if (alg == clustering_algorithm::hierarchical) return cluster::upgma_cluster(points, k);
+    if (alg == clustering_algorithm::hierarchical)
+        return cluster::upgma_cluster(points, k, pool);
     return cluster::kmeans(points, k, gen, {}, pool).assignment;
 }
 
@@ -86,7 +87,8 @@ fis_one_result fis_one::run(const data::building& b) const {
     if (cfg_.estimate_floor_count) {
         // Unsupervised extension: infer the floor count from the dendrogram
         // gap before clustering (see cluster/floor_count.hpp).
-        k = cluster::estimate_floor_count(result.embeddings, cfg_.min_floors, cfg_.max_floors)
+        k = cluster::estimate_floor_count(result.embeddings, cfg_.min_floors, cfg_.max_floors,
+                                          pool)
                 .num_floors;
     }
     result.num_clusters = k;

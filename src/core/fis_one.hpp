@@ -45,9 +45,10 @@ struct fis_one_config {
     std::size_t max_floors = 12;
     std::uint64_t seed = 7;  ///< drives clustering restarts and TSP restarts
     /// Worker threads for the hot kernels (RF-GNN products, k-means
-    /// assignment, profile similarity). 0 = hardware_concurrency; 1 runs
-    /// fully serial. Every parallel kernel is bit-identical to its serial
-    /// form, so this knob never changes results — only wall clock.
+    /// assignment, UPGMA distance initialisation, profile similarity).
+    /// 0 = hardware_concurrency; 1 runs fully serial. Every parallel kernel
+    /// is bit-identical to its serial form, so this knob never changes
+    /// results — only wall clock.
     std::size_t num_threads = 0;
 };
 

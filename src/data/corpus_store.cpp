@@ -1,0 +1,243 @@
+#include "corpus_store.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <sstream>
+#include <stdexcept>
+
+#include "dataset_io.hpp"
+#include "util/csv.hpp"
+
+namespace fisone::data {
+
+namespace {
+
+constexpr const char* kManifestMagic = "# fisone-corpus v1";
+constexpr const char* kShardMagic = "# fisone-shard v1";
+constexpr const char* kBlockEnd = "end";
+constexpr const char* kManifestName = "manifest.csv";
+
+std::string join_path(const std::string& dir, const std::string& name) {
+    return (std::filesystem::path(dir) / name).string();
+}
+
+}  // namespace
+
+// --- manifest ---------------------------------------------------------------
+
+std::size_t corpus_manifest::total_buildings() const noexcept {
+    std::size_t n = 0;
+    for (const shard_entry& s : shards) n += s.num_buildings;
+    return n;
+}
+
+void corpus_manifest::validate() const {
+    // The manifest is an unquoted CSV: a delimiter or newline in the name
+    // would write a store that can never be opened again. Fail at write
+    // time instead.
+    if (corpus_name.find_first_of(",\n\r") != std::string::npos)
+        throw std::invalid_argument(
+            "corpus_manifest: corpus name must not contain ',' or newlines");
+    std::size_t expected_first = 0;
+    for (std::size_t i = 0; i < shards.size(); ++i) {
+        const shard_entry& s = shards[i];
+        if (s.filename.empty())
+            throw std::invalid_argument("corpus_manifest: shard " + std::to_string(i) +
+                                        " has an empty filename");
+        if (s.num_buildings == 0)
+            throw std::invalid_argument("corpus_manifest: shard " + std::to_string(i) +
+                                        " is empty");
+        if (s.first_index != expected_first)
+            throw std::invalid_argument("corpus_manifest: shard " + std::to_string(i) +
+                                        " starts at " + std::to_string(s.first_index) +
+                                        ", expected " + std::to_string(expected_first));
+        expected_first += s.num_buildings;
+    }
+}
+
+void save_manifest(const corpus_manifest& m, std::ostream& out) {
+    m.validate();
+    out << kManifestMagic << '\n';
+    out << "corpus," << m.corpus_name << '\n';
+    for (const shard_entry& s : m.shards)
+        out << "shard," << s.filename << ',' << s.first_index << ',' << s.num_buildings << '\n';
+    if (!out) throw std::ios_base::failure("save_manifest: write error");
+}
+
+corpus_manifest load_manifest(std::istream& in) {
+    std::string line;
+    if (!std::getline(in, line) || util::trim(line) != kManifestMagic)
+        throw std::invalid_argument("load_manifest: bad magic line");
+
+    corpus_manifest m;
+    while (std::getline(in, line)) {
+        if (util::trim(line).empty()) continue;
+        const auto fields = util::split_fields(line);
+        const std::string& key = fields.front();
+        if (key == "corpus") {
+            if (fields.size() != 2) throw std::invalid_argument("load_manifest: bad corpus row");
+            m.corpus_name = fields[1];
+        } else if (key == "shard") {
+            if (fields.size() != 4) throw std::invalid_argument("load_manifest: bad shard row");
+            shard_entry s;
+            s.filename = fields[1];
+            s.first_index = static_cast<std::size_t>(util::parse_int(fields[2]));
+            s.num_buildings = static_cast<std::size_t>(util::parse_int(fields[3]));
+            m.shards.push_back(std::move(s));
+        } else {
+            throw std::invalid_argument("load_manifest: unknown row key '" + key + "'");
+        }
+    }
+    m.validate();
+    return m;
+}
+
+// --- shard_writer -----------------------------------------------------------
+
+shard_writer::shard_writer(const std::string& path) : out_(path) {
+    if (!out_) throw std::ios_base::failure("shard_writer: cannot open " + path);
+    out_ << kShardMagic << '\n';
+}
+
+shard_writer::~shard_writer() {
+    try {
+        close();
+    } catch (...) {
+        // Destructors must not throw; call close() to observe flush errors.
+    }
+}
+
+void shard_writer::append(const building& b) {
+    if (closed_) throw std::logic_error("shard_writer::append: writer is closed");
+    save_building(b, out_);
+    out_ << kBlockEnd << '\n';
+    if (!out_) throw std::ios_base::failure("shard_writer::append: write error");
+    ++count_;
+}
+
+void shard_writer::close() {
+    if (closed_) return;
+    closed_ = true;
+    out_.close();
+    if (out_.fail()) throw std::ios_base::failure("shard_writer::close: flush error");
+}
+
+// --- shard_reader -----------------------------------------------------------
+
+shard_reader::shard_reader(const std::string& path) : path_(path), in_(path) {
+    if (!in_) throw std::ios_base::failure("shard_reader: cannot open " + path);
+    std::string line;
+    if (!std::getline(in_, line) || util::trim(line) != kShardMagic)
+        throw std::invalid_argument("shard_reader: bad shard magic in " + path);
+}
+
+std::optional<building> shard_reader::next() {
+    // Gather one building block (everything up to the `end` marker) and
+    // hand it to dataset_io — the block is the only corpus text resident.
+    std::string block;
+    std::string line;
+    bool saw_end = false;
+    while (std::getline(in_, line)) {
+        if (util::trim(line) == kBlockEnd) {
+            saw_end = true;
+            break;
+        }
+        block += line;
+        block += '\n';
+    }
+    if (!saw_end) {
+        if (block.empty()) return std::nullopt;  // clean end of shard
+        throw std::invalid_argument("shard_reader: truncated block " +
+                                    std::to_string(position_) + " in " + path_);
+    }
+    std::istringstream block_stream(std::move(block));
+    building b = load_building(block_stream);
+    ++position_;
+    return b;
+}
+
+// --- store ------------------------------------------------------------------
+
+corpus_manifest write_corpus_store(const corpus& c, const std::string& dir,
+                                   std::size_t shard_size) {
+    if (shard_size == 0) throw std::invalid_argument("write_corpus_store: shard_size is 0");
+    if (c.buildings.empty()) throw std::invalid_argument("write_corpus_store: empty corpus");
+    std::filesystem::create_directories(dir);
+
+    const std::size_t total = c.buildings.size();
+    corpus_manifest m;
+    m.corpus_name = c.name;
+    for (std::size_t first = 0; first < total; first += shard_size) {
+        const std::size_t count = std::min(shard_size, total - first);
+        // Zero-padded, so shard files list in corpus order.
+        std::string filename = "shard-";
+        const std::string digits = std::to_string(first / shard_size);
+        filename.append(digits.size() < 4 ? 4 - digits.size() : 0, '0');
+        filename += digits;
+        filename += ".csv";
+
+        shard_writer writer(join_path(dir, filename));
+        for (std::size_t i = 0; i < count; ++i) writer.append(c.buildings[first + i]);
+        writer.close();
+        m.shards.push_back(shard_entry{std::move(filename), first, count});
+    }
+
+    std::ofstream manifest_out(join_path(dir, kManifestName));
+    if (!manifest_out)
+        throw std::ios_base::failure("write_corpus_store: cannot open manifest in " + dir);
+    save_manifest(m, manifest_out);
+    manifest_out.close();
+    if (manifest_out.fail())
+        throw std::ios_base::failure("write_corpus_store: manifest flush error");
+    return m;
+}
+
+corpus_store corpus_store::open(const std::string& dir) {
+    std::ifstream in(join_path(dir, kManifestName));
+    if (!in) throw std::ios_base::failure("corpus_store::open: cannot open manifest in " + dir);
+    corpus_store store;
+    store.dir_ = dir;
+    store.manifest_ = load_manifest(in);
+    return store;
+}
+
+std::string corpus_store::shard_path(std::size_t shard_index) const {
+    if (shard_index >= manifest_.shards.size())
+        throw std::out_of_range("corpus_store::shard_path: shard " + std::to_string(shard_index) +
+                                " of " + std::to_string(manifest_.shards.size()));
+    return join_path(dir_, manifest_.shards[shard_index].filename);
+}
+
+shard_reader corpus_store::open_shard(std::size_t shard_index) const {
+    return shard_reader(shard_path(shard_index));
+}
+
+void corpus_store::for_each_building(
+    const std::function<void(std::size_t, building&&)>& fn) const {
+    for (std::size_t s = 0; s < manifest_.shards.size(); ++s) {
+        const shard_entry& entry = manifest_.shards[s];
+        shard_reader reader = open_shard(s);
+        std::size_t offset = 0;
+        while (auto b = reader.next()) {
+            if (offset >= entry.num_buildings)
+                throw std::invalid_argument("corpus_store: shard " + entry.filename +
+                                            " holds more buildings than its manifest row");
+            fn(entry.first_index + offset, std::move(*b));
+            ++offset;
+        }
+        if (offset != entry.num_buildings)
+            throw std::invalid_argument("corpus_store: shard " + entry.filename + " holds " +
+                                        std::to_string(offset) + " buildings, manifest says " +
+                                        std::to_string(entry.num_buildings));
+    }
+}
+
+corpus corpus_store::load_all() const {
+    corpus c;
+    c.name = manifest_.corpus_name;
+    c.buildings.resize(manifest_.total_buildings());
+    for_each_building([&](std::size_t index, building&& b) { c.buildings[index] = std::move(b); });
+    return c;
+}
+
+}  // namespace fisone::data

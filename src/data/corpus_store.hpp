@@ -1,0 +1,164 @@
+#pragma once
+
+/// \file corpus_store.hpp
+/// Sharded on-disk corpus storage — the "corpora larger than memory" leg of
+/// the ROADMAP north star. A store is a directory holding a `manifest.csv`
+/// plus shard files, each shard a concatenation of `dataset_io` building
+/// blocks:
+///
+///   manifest.csv:
+///     # fisone-corpus v1
+///     corpus,<name>
+///     shard,<filename>,<first_index>,<num_buildings>
+///     ... one `shard` row per shard, in corpus order ...
+///
+///   shard-NNNN.csv:
+///     # fisone-shard v1
+///     # fisone-building v1
+///     ... building rows (dataset_io format) ...
+///     end
+///     ... more (building block, `end`) pairs ...
+///
+/// `shard_reader` streams buildings one at a time, so a campaign over a
+/// store never holds more than one building per worker in memory.
+/// `write_corpus_store` splits deterministically: shard s holds the
+/// buildings [s·shard_size, min(N, (s+1)·shard_size)) in input order, so a
+/// store round-trips to the exact input corpus for every shard size.
+
+#include <cstddef>
+#include <fstream>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "rf_sample.hpp"
+
+namespace fisone::data {
+
+/// One shard's manifest row. `filename` is relative to the store directory.
+struct shard_entry {
+    std::string filename;
+    std::size_t first_index = 0;    ///< corpus index of the shard's first building
+    std::size_t num_buildings = 0;
+};
+
+/// Parsed `manifest.csv`.
+struct corpus_manifest {
+    std::string corpus_name;
+    std::vector<shard_entry> shards;
+
+    /// Total buildings across all shards.
+    [[nodiscard]] std::size_t total_buildings() const noexcept;
+
+    /// Consistency check: shard rows must tile [0, total) contiguously in
+    /// order and have non-empty filenames.
+    /// \throws std::invalid_argument on the first violation.
+    void validate() const;
+};
+
+/// Serialise \p m. \throws std::ios_base::failure on write error,
+/// std::invalid_argument when the manifest fails `validate`.
+void save_manifest(const corpus_manifest& m, std::ostream& out);
+
+/// Parse and validate a manifest.
+/// \throws std::invalid_argument on malformed content.
+[[nodiscard]] corpus_manifest load_manifest(std::istream& in);
+
+/// Append-only writer for one shard file. Not thread-safe; one writer per
+/// shard.
+class shard_writer {
+public:
+    /// Opens \p path for writing and emits the shard header.
+    /// \throws std::ios_base::failure when the file cannot be created.
+    explicit shard_writer(const std::string& path);
+
+    /// Writers flush on destruction; errors there are swallowed — call
+    /// `close()` to observe them.
+    ~shard_writer();
+
+    shard_writer(const shard_writer&) = delete;
+    shard_writer& operator=(const shard_writer&) = delete;
+
+    /// Serialise one building block. \throws std::ios_base::failure on
+    /// write error, std::logic_error after `close()`.
+    void append(const building& b);
+
+    /// Buildings appended so far.
+    [[nodiscard]] std::size_t count() const noexcept { return count_; }
+
+    /// Flush and close; \throws std::ios_base::failure if the stream went
+    /// bad. Idempotent.
+    void close();
+
+private:
+    std::ofstream out_;
+    std::size_t count_ = 0;
+    bool closed_ = false;
+};
+
+/// Streaming reader over one shard file: yields buildings one at a time and
+/// never holds more than the current building (plus one text block) in
+/// memory. Not thread-safe; one reader per thread.
+class shard_reader {
+public:
+    /// Opens \p path and checks the shard header.
+    /// \throws std::ios_base::failure when the file cannot be opened,
+    ///         std::invalid_argument on a bad header.
+    explicit shard_reader(const std::string& path);
+
+    /// Next building, or nullopt at end of shard.
+    /// \throws std::invalid_argument on a malformed or truncated block.
+    [[nodiscard]] std::optional<building> next();
+
+    /// Buildings yielded so far.
+    [[nodiscard]] std::size_t position() const noexcept { return position_; }
+
+private:
+    std::string path_;  // for error messages
+    std::ifstream in_;
+    std::size_t position_ = 0;
+};
+
+/// Shard \p c into `ceil(N / shard_size)` files under directory \p dir
+/// (created if absent) and write `manifest.csv`. Deterministic: shard
+/// boundaries depend only on (N, shard_size), building order is preserved.
+/// Returns the manifest that was written.
+/// \throws std::invalid_argument when shard_size is 0 or the corpus is
+///         empty; std::ios_base::failure on I/O errors.
+corpus_manifest write_corpus_store(const corpus& c, const std::string& dir,
+                                   std::size_t shard_size);
+
+/// A store opened for reading: the manifest plus path resolution. Shard
+/// contents are *not* loaded — use `open_shard` / `for_each_building` to
+/// stream them.
+class corpus_store {
+public:
+    /// Read `<dir>/manifest.csv`. \throws std::ios_base::failure when the
+    /// manifest cannot be opened, std::invalid_argument when malformed.
+    static corpus_store open(const std::string& dir);
+
+    [[nodiscard]] const corpus_manifest& manifest() const noexcept { return manifest_; }
+    [[nodiscard]] const std::string& directory() const noexcept { return dir_; }
+    [[nodiscard]] std::size_t num_shards() const noexcept { return manifest_.shards.size(); }
+
+    /// Absolute-ish path of shard \p shard_index (directory-joined).
+    /// \throws std::out_of_range on a bad index.
+    [[nodiscard]] std::string shard_path(std::size_t shard_index) const;
+
+    /// Fresh streaming reader over shard \p shard_index.
+    [[nodiscard]] shard_reader open_shard(std::size_t shard_index) const;
+
+    /// Stream every building in corpus order as (corpus_index, building),
+    /// one at a time — the whole corpus is never resident.
+    void for_each_building(const std::function<void(std::size_t, building&&)>& fn) const;
+
+    /// Materialise the whole store (tests / small corpora only).
+    [[nodiscard]] corpus load_all() const;
+
+private:
+    std::string dir_;
+    corpus_manifest manifest_;
+};
+
+}  // namespace fisone::data

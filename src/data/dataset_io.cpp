@@ -1,5 +1,6 @@
 #include "dataset_io.hpp"
 
+#include <charconv>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
@@ -9,8 +10,21 @@
 namespace fisone::data {
 
 namespace {
+
 constexpr const char* kMagic = "# fisone-building v1";
+
+/// Shortest text that parses back to the exact double. Default ostream
+/// precision (6 digits) would silently perturb RSS values on a round-trip,
+/// breaking the bit-identity between an in-memory corpus and the same
+/// corpus served from a disk store.
+void write_double(std::ostream& out, double x) {
+    char buf[32];
+    const auto [end, ec] = std::to_chars(buf, buf + sizeof(buf), x);
+    if (ec != std::errc{}) throw std::ios_base::failure("save_building: to_chars failed");
+    out.write(buf, end - buf);
 }
+
+}  // namespace
 
 void save_building(const building& b, std::ostream& out) {
     out << kMagic << '\n';
@@ -21,7 +35,10 @@ void save_building(const building& b, std::ostream& out) {
     out << "labeled_floor," << b.labeled_floor << '\n';
     for (const rf_sample& s : b.samples) {
         out << "sample," << s.true_floor << ',' << s.device_id;
-        for (const rf_observation& o : s.observations) out << ',' << o.mac_id << ':' << o.rss_dbm;
+        for (const rf_observation& o : s.observations) {
+            out << ',' << o.mac_id << ':';
+            write_double(out, o.rss_dbm);
+        }
         out << '\n';
     }
     if (!out) throw std::ios_base::failure("save_building: write error");

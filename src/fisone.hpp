@@ -6,6 +6,7 @@
 /// remain available for faster builds.
 
 // data model & IO
+#include "data/corpus_store.hpp"
 #include "data/dataset_io.hpp"
 #include "data/rf_sample.hpp"
 #include "data/scan_log.hpp"
@@ -34,8 +35,10 @@
 #include "core/fis_one.hpp"
 #include "core/floor_predictor.hpp"
 
-// batch runtime
+// batch runtime & async service
 #include "runtime/batch_runner.hpp"
+#include "service/floor_service.hpp"
+#include "service/ndjson_export.hpp"
 
 // baselines & simulation
 #include "baselines/daegc.hpp"

@@ -19,12 +19,17 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "core/fis_one.hpp"
 #include "data/rf_sample.hpp"
 #include "util/stats.hpp"
+
+namespace fisone::util {
+class thread_pool;
+}
 
 namespace fisone::runtime {
 
@@ -39,9 +44,24 @@ struct building_report {
     std::string name;             ///< building::name
     bool ok = false;              ///< false → `error` holds the reason
     std::string error;
+    std::uint64_t seed = 0;       ///< the derived pipeline seed this building ran with
     double seconds = 0.0;         ///< wall time of this building's pipeline
     core::fis_one_result result;  ///< meaningful only when `ok`
 };
+
+/// Run one building of a campaign: derive its pipeline seeds from
+/// (campaign_seed, index) via `task_seed`, execute the pipeline, and fold
+/// any exception into the report (`ok = false`). This is the single task
+/// body shared by `batch_runner` and `service::floor_service`, so a served
+/// corpus is bit-identical to a batch run over the same input order.
+/// \param single_thread_kernels force the per-building kernels serial when
+///        the pipeline's `num_threads` is 0 ("auto") — set when tasks run
+///        inside an already-parallel batch or service so one pool level is
+///        active at a time. Explicit kernel thread counts are honoured.
+[[nodiscard]] building_report run_building_task(const core::fis_one_config& pipeline,
+                                                std::uint64_t campaign_seed, std::size_t index,
+                                                const data::building& b,
+                                                bool single_thread_kernels);
 
 /// Snapshot handed to the progress callback after each finished building.
 struct batch_progress {
@@ -77,10 +97,17 @@ struct batch_result {
     util::running_stats ari, nmi, edit_distance;
 };
 
-/// The runtime. Construct once per campaign shape, run per corpus.
+/// The runtime. Construct once per campaign shape, run per corpus. The
+/// worker pool is created with the runner and reused across `run()` calls,
+/// so repeated campaigns pay thread start-up once. `run()` may be called
+/// from several threads concurrently; they share the pool.
 class batch_runner {
 public:
     explicit batch_runner(batch_config cfg);
+    ~batch_runner();
+
+    batch_runner(const batch_runner&) = delete;
+    batch_runner& operator=(const batch_runner&) = delete;
 
     /// Run the pipeline over every building; blocks until all finish.
     [[nodiscard]] batch_result run(const std::vector<data::building>& buildings) const;
@@ -92,6 +119,9 @@ public:
 
 private:
     batch_config cfg_;
+    /// Non-null iff the resolved `num_threads` exceeds 1. Shared by every
+    /// `run()`; destroyed (threads joined) with the runner.
+    std::unique_ptr<util::thread_pool> pool_;
 };
 
 }  // namespace fisone::runtime

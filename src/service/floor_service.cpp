@@ -1,0 +1,334 @@
+#include "floor_service.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <stdexcept>
+#include <utility>
+
+#include "util/stats.hpp"
+#include "util/thread_pool.hpp"
+
+namespace fisone::service {
+
+shard_ref make_shard_ref(const data::corpus_store& store, std::size_t shard_index) {
+    const data::shard_entry& entry = store.manifest().shards.at(shard_index);
+    return shard_ref{store.shard_path(shard_index), entry.first_index, entry.num_buildings};
+}
+
+/// Shared synchronisation hub. Jobs hold it by shared_ptr so a handle that
+/// outlives the service can still be queried safely.
+struct floor_service::state {
+    mutable std::mutex m;
+    std::condition_variable cv;  ///< pause gate, backpressure slots, completions
+    bool paused = false;
+
+    std::size_t pending = 0;  ///< submitted, not yet finished
+    std::size_t jobs_submitted = 0;
+    std::size_t jobs_running = 0;
+    std::size_t jobs_done = 0;
+    std::size_t jobs_cancelled = 0;
+    std::size_t buildings_ok = 0;
+    std::size_t buildings_failed = 0;
+    std::size_t buildings_cancelled = 0;
+    std::vector<double> latencies;  ///< seconds per building that actually ran
+
+    /// Serialises `on_report` calls without blocking `stats()`. Lock order
+    /// where both are held: `report_m` before `m`.
+    std::mutex report_m;
+    std::function<void(const runtime::building_report&)> on_report;
+};
+
+struct floor_service::job::impl {
+    std::shared_ptr<floor_service::state> svc;  // qualified: job::state() shadows the type
+    std::atomic<bool> cancel_requested{false};
+    job_state st = job_state::queued;  ///< guarded by svc->m
+    /// True once a building was actually skipped by cancellation — the
+    /// final state is decided by this, not by `cancel_requested`, so a
+    /// cancel that lands after the last building still yields `done`.
+    bool any_skipped = false;  ///< guarded by svc->m
+    std::vector<runtime::building_report> reports;  ///< worker-only until finished
+};
+
+namespace {
+
+/// Report for a building that never ran (cancelled, or lost to a shard
+/// error). Carries the seed it *would* have run with, for traceability.
+runtime::building_report skipped_report(const std::string& name, std::size_t index,
+                                        std::uint64_t campaign_seed, std::string reason) {
+    runtime::building_report report;
+    report.index = index;
+    report.name = name;
+    report.ok = false;
+    report.error = std::move(reason);
+    report.seed = runtime::task_seed(campaign_seed, index);
+    return report;
+}
+
+}  // namespace
+
+/// Finish one building of a job: record it, update counters, and fire the
+/// service callback — in completion order across all workers.
+void floor_service::record_report(job::impl& im, state& st, runtime::building_report&& report,
+                                  report_kind kind) {
+    const std::lock_guard<std::mutex> report_lock(st.report_m);
+    im.reports.push_back(std::move(report));
+    const runtime::building_report& stored = im.reports.back();
+    {
+        const std::lock_guard<std::mutex> lock(st.m);
+        switch (kind) {
+            case report_kind::ran:
+                if (stored.ok)
+                    ++st.buildings_ok;
+                else
+                    ++st.buildings_failed;
+                st.latencies.push_back(stored.seconds);
+                break;
+            case report_kind::skipped_cancelled:
+                ++st.buildings_cancelled;
+                im.any_skipped = true;
+                break;
+            case report_kind::skipped_failed:
+                ++st.buildings_failed;
+                break;
+        }
+    }
+    if (st.on_report) st.on_report(stored);
+}
+
+floor_service::floor_service(service_config cfg) : cfg_(std::move(cfg)) {
+    if (cfg_.max_pending_jobs == 0)
+        throw std::invalid_argument("floor_service: max_pending_jobs must be >= 1");
+    // Validate the pipeline template eagerly, as batch_runner does.
+    static_cast<void>(core::fis_one(cfg_.pipeline));
+    workers_ = util::resolve_num_threads(cfg_.num_threads);
+    state_ = std::make_shared<state>();
+    state_->on_report = cfg_.on_report;
+    // thread_pool(n) spawns n−1 workers (the caller participates only in
+    // parallel_for, which the service never calls on this pool), so n =
+    // workers_ + 1 yields exactly `workers_` dedicated job threads and
+    // `submit` never degenerates to inline execution.
+    pool_ = std::make_unique<util::thread_pool>(workers_ + 1);
+}
+
+floor_service::~floor_service() {
+    resume();
+    wait_all();
+}
+
+// --- job handle -------------------------------------------------------------
+
+job_state floor_service::job::state() const {
+    if (!impl_) throw std::logic_error("floor_service::job: empty handle");
+    const std::lock_guard<std::mutex> lock(impl_->svc->m);
+    return impl_->st;
+}
+
+void floor_service::job::wait() const {
+    if (!impl_) throw std::logic_error("floor_service::job: empty handle");
+    std::unique_lock<std::mutex> lock(impl_->svc->m);
+    impl_->svc->cv.wait(lock, [&] {
+        return impl_->st == job_state::done || impl_->st == job_state::cancelled;
+    });
+}
+
+bool floor_service::job::cancel() {
+    if (!impl_) throw std::logic_error("floor_service::job: empty handle");
+    const std::lock_guard<std::mutex> lock(impl_->svc->m);
+    if (impl_->st == job_state::done || impl_->st == job_state::cancelled) return false;
+    impl_->cancel_requested.store(true);
+    // Wake any worker parked at the pause gate so cancelled jobs drain
+    // promptly even while the service is paused.
+    impl_->svc->cv.notify_all();
+    return true;
+}
+
+const std::vector<runtime::building_report>& floor_service::job::reports() const {
+    wait();
+    return impl_->reports;
+}
+
+// --- submission -------------------------------------------------------------
+
+floor_service::job floor_service::enqueue(std::function<void(job::impl&)> body,
+                                          std::size_t num_buildings) {
+    auto im = std::make_shared<job::impl>();
+    im->svc = state_;
+    im->reports.reserve(num_buildings);
+    {
+        std::unique_lock<std::mutex> lock(state_->m);
+        // Backpressure: hold the caller until a pending slot frees.
+        state_->cv.wait(lock, [&] { return state_->pending < cfg_.max_pending_jobs; });
+        ++state_->pending;
+        ++state_->jobs_submitted;
+    }
+    std::shared_ptr<state> svc = state_;
+    pool_->submit([im, svc, body = std::move(body)] {
+        {
+            std::unique_lock<std::mutex> lock(svc->m);
+            // Pause gate. Cancelled jobs pass through to drain immediately.
+            svc->cv.wait(lock, [&] {
+                return !svc->paused || im->cancel_requested.load();
+            });
+            im->st = job_state::running;
+            ++svc->jobs_running;
+        }
+        try {
+            body(*im);
+        } catch (...) {
+            // Job bodies fold pipeline errors into reports themselves; the
+            // only way here is a throwing on_report callback. Swallow it so
+            // the state transition below always runs — a callback bug must
+            // never wedge wait_all() or the destructor.
+        }
+        {
+            const std::lock_guard<std::mutex> lock(svc->m);
+            im->st = im->any_skipped ? job_state::cancelled : job_state::done;
+            --svc->jobs_running;
+            if (im->st == job_state::cancelled)
+                ++svc->jobs_cancelled;
+            else
+                ++svc->jobs_done;
+            --svc->pending;
+        }
+        svc->cv.notify_all();
+    });
+    return job(std::move(im));
+}
+
+floor_service::job floor_service::submit(data::building b) {
+    std::size_t index = 0;
+    {
+        const std::lock_guard<std::mutex> lock(state_->m);
+        index = next_index_++;
+    }
+    return submit(std::move(b), index);
+}
+
+floor_service::job floor_service::submit(data::building b, std::size_t corpus_index) {
+    {
+        const std::lock_guard<std::mutex> lock(state_->m);
+        if (corpus_index >= next_index_) next_index_ = corpus_index + 1;
+    }
+    const bool single_thread_kernels = workers_ > 1;
+    auto svc = state_;
+    const std::uint64_t seed = cfg_.seed;
+    const core::fis_one_config pipeline = cfg_.pipeline;
+    return enqueue(
+        [b = std::move(b), corpus_index, seed, pipeline, single_thread_kernels,
+         svc](job::impl& im) {
+            if (im.cancel_requested.load()) {
+                record_report(im, *svc,
+                              skipped_report(b.name, corpus_index, seed, "cancelled"),
+                              report_kind::skipped_cancelled);
+                return;
+            }
+            record_report(im, *svc,
+                          runtime::run_building_task(pipeline, seed, corpus_index, b,
+                                                     single_thread_kernels),
+                          report_kind::ran);
+        },
+        1);
+}
+
+floor_service::job floor_service::submit(shard_ref ref) {
+    {
+        const std::lock_guard<std::mutex> lock(state_->m);
+        const std::size_t end = ref.first_index + ref.num_buildings;
+        if (end > next_index_) next_index_ = end;
+    }
+    const bool single_thread_kernels = workers_ > 1;
+    auto svc = state_;
+    const std::uint64_t seed = cfg_.seed;
+    const core::fis_one_config pipeline = cfg_.pipeline;
+    return enqueue(
+        [ref = std::move(ref), seed, pipeline, single_thread_kernels, svc](job::impl& im) {
+            std::size_t offset = 0;
+            const auto skip_rest = [&](const std::string& reason, report_kind kind) {
+                for (; offset < ref.num_buildings; ++offset)
+                    record_report(im, *svc,
+                                  skipped_report("", ref.first_index + offset, seed, reason),
+                                  kind);
+            };
+            try {
+                data::shard_reader reader(ref.path);
+                // Stream: exactly one building of the shard is resident at
+                // a time, whatever the shard size.
+                while (offset < ref.num_buildings) {
+                    if (im.cancel_requested.load()) {
+                        skip_rest("cancelled", report_kind::skipped_cancelled);
+                        return;
+                    }
+                    std::optional<data::building> b = reader.next();
+                    if (!b) {
+                        skip_rest("shard ended early: " + ref.path,
+                                  report_kind::skipped_failed);
+                        return;
+                    }
+                    const std::size_t corpus_index = ref.first_index + offset;
+                    // Consume the slot before recording: if on_report
+                    // throws mid-record, skip_rest must not re-report it.
+                    ++offset;
+                    record_report(im, *svc,
+                                  runtime::run_building_task(pipeline, seed, corpus_index, *b,
+                                                             single_thread_kernels),
+                                  report_kind::ran);
+                }
+            } catch (const std::exception& e) {
+                skip_rest(e.what(), report_kind::skipped_failed);
+            }
+        },
+        ref.num_buildings);
+}
+
+// --- control & observability ------------------------------------------------
+
+void floor_service::wait_all() {
+    std::unique_lock<std::mutex> lock(state_->m);
+    if (state_->paused && state_->pending > 0)
+        throw std::logic_error("floor_service::wait_all: paused with pending jobs");
+    state_->cv.wait(lock, [&] { return state_->pending == 0; });
+}
+
+void floor_service::pause() {
+    const std::lock_guard<std::mutex> lock(state_->m);
+    state_->paused = true;
+}
+
+void floor_service::resume() {
+    {
+        const std::lock_guard<std::mutex> lock(state_->m);
+        state_->paused = false;
+    }
+    state_->cv.notify_all();
+}
+
+service_stats floor_service::stats() const {
+    service_stats out;
+    std::vector<double> latencies;
+    {
+        const std::lock_guard<std::mutex> lock(state_->m);
+        out.jobs_submitted = state_->jobs_submitted;
+        out.jobs_running = state_->jobs_running;
+        out.jobs_done = state_->jobs_done;
+        out.jobs_cancelled = state_->jobs_cancelled;
+        out.jobs_queued = state_->jobs_submitted - state_->jobs_running - state_->jobs_done -
+                          state_->jobs_cancelled;
+        out.buildings_ok = state_->buildings_ok;
+        out.buildings_failed = state_->buildings_failed;
+        out.buildings_cancelled = state_->buildings_cancelled;
+        out.buildings_done =
+            state_->buildings_ok + state_->buildings_failed + state_->buildings_cancelled;
+        latencies = state_->latencies;
+    }
+    if (!latencies.empty()) {
+        std::sort(latencies.begin(), latencies.end());
+        out.latency_p50 = util::percentile_sorted(latencies, 50.0);
+        out.latency_p90 = util::percentile_sorted(latencies, 90.0);
+        out.latency_p99 = util::percentile_sorted(latencies, 99.0);
+    }
+    return out;
+}
+
+}  // namespace fisone::service

@@ -1,0 +1,189 @@
+#pragma once
+
+/// \file floor_service.hpp
+/// `fisone::service` — the long-lived asynchronous front-end over the batch
+/// runtime. Where `runtime::batch_runner::run` blocks on one in-memory
+/// corpus, `floor_service` accepts work continuously: callers submit single
+/// buildings or on-disk shard references and get back a `job` handle; one
+/// persistent `util::thread_pool` executes everything.
+///
+/// Semantics:
+///  - **Determinism.** A building's pipeline seeds derive purely from
+///    (service seed, corpus index) via `runtime::task_seed` — the same rule
+///    `batch_runner` uses — so serving a sharded corpus produces results
+///    bit-identical to one blocking batch over the same input order, at any
+///    worker count and any shard size.
+///  - **Backpressure.** At most `max_pending_jobs` jobs may be submitted
+///    but not yet finished; `submit` blocks until a slot frees. This bounds
+///    both queue memory and, for shard jobs, how much of a corpus can ever
+///    be resident (each worker streams one building at a time).
+///  - **Cancellation.** `job::cancel` is cooperative: a job that has not
+///    started is skipped entirely; a running shard job stops between
+///    buildings. Skipped buildings get `ok = false, error = "cancelled"`.
+///  - **Observability.** `on_report` fires after every finished building in
+///    completion order (serialised); `stats()` snapshots queue depth and
+///    latency percentiles at any time.
+///
+/// A paused service (`pause()` / `resume()`) holds queued jobs at the gate
+/// while letting the current building finish — drain control for
+/// maintenance, and the hook the backpressure/cancellation tests use to
+/// make scheduling deterministic.
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/fis_one.hpp"
+#include "data/corpus_store.hpp"
+#include "data/rf_sample.hpp"
+#include "runtime/batch_runner.hpp"
+
+namespace fisone::service {
+
+/// A shard of an on-disk corpus, addressed for submission. `first_index`
+/// anchors the shard's buildings in the corpus order that seeds derive
+/// from; use `make_shard_ref` to build one from an open store.
+struct shard_ref {
+    std::string path;               ///< shard file path (shard_reader format)
+    std::size_t first_index = 0;    ///< corpus index of the shard's first building
+    std::size_t num_buildings = 0;  ///< buildings the shard is expected to hold
+};
+
+/// Shard \p shard_index of \p store as a submittable reference.
+[[nodiscard]] shard_ref make_shard_ref(const data::corpus_store& store, std::size_t shard_index);
+
+/// Lifecycle of a job. `cancelled` means at least one building was skipped
+/// by cancellation; buildings finished before the cancel stay valid.
+enum class job_state { queued, running, done, cancelled };
+
+/// Service configuration.
+struct service_config {
+    /// Template pipeline config; per-building copies get `task_seed`-derived
+    /// seeds, exactly as in `runtime::batch_config`.
+    core::fis_one_config pipeline{};
+    std::uint64_t seed = 7;  ///< campaign seed, root of all building seeds
+    /// Concurrent jobs (dedicated pool workers). 0 = hardware concurrency.
+    std::size_t num_threads = 0;
+    /// Backpressure bound: maximum jobs submitted but not yet finished.
+    /// `submit` blocks while the bound is reached. Must be ≥ 1.
+    std::size_t max_pending_jobs = 64;
+    /// Invoked after every finished building (ok, failed or cancelled), in
+    /// completion order. Calls are serialised by a service mutex; the
+    /// callback must not block or submit new jobs (deadlock) — hand results
+    /// off (e.g. `ndjson_exporter::write`) and return. A callback that
+    /// throws abandons the remaining reports of the current job (they are
+    /// neither recorded nor delivered) but never wedges the service.
+    std::function<void(const runtime::building_report&)> on_report;
+};
+
+/// Point-in-time service counters. Latency percentiles are over the
+/// per-building pipeline wall times of every finished building so far
+/// (0 when nothing finished yet).
+struct service_stats {
+    std::size_t jobs_submitted = 0;
+    std::size_t jobs_queued = 0;     ///< submitted, not yet picked up by a worker
+    std::size_t jobs_running = 0;
+    std::size_t jobs_done = 0;       ///< finished without any cancelled building
+    std::size_t jobs_cancelled = 0;  ///< finished with ≥ 1 building skipped
+    std::size_t buildings_done = 0;  ///< ok + failed + cancelled
+    std::size_t buildings_ok = 0;
+    std::size_t buildings_failed = 0;     ///< pipeline threw (excludes cancelled)
+    std::size_t buildings_cancelled = 0;  ///< skipped by job cancellation
+    double latency_p50 = 0.0;  ///< seconds per building, nearest-rank
+    double latency_p90 = 0.0;
+    double latency_p99 = 0.0;
+};
+
+class floor_service {
+public:
+    /// Handle to one submitted job. Cheap to copy; all copies share state.
+    /// A default-constructed handle is empty (`valid() == false`) and every
+    /// other member throws `std::logic_error` on it.
+    class job {
+    public:
+        job() = default;
+
+        [[nodiscard]] bool valid() const noexcept { return impl_ != nullptr; }
+        [[nodiscard]] job_state state() const;
+
+        /// Block until the job leaves the queue *and* finishes running.
+        void wait() const;
+
+        /// Request cancellation. Returns true when the request landed
+        /// before the job finished (its remaining buildings will be
+        /// skipped); false when the job was already complete.
+        bool cancel();
+
+        /// Reports of the job's buildings in the job's own input order
+        /// (one for a building submit, `num_buildings` for a shard).
+        /// Blocks until the job finishes.
+        [[nodiscard]] const std::vector<runtime::building_report>& reports() const;
+
+    private:
+        friend class floor_service;
+        struct impl;
+        explicit job(std::shared_ptr<impl> state) : impl_(std::move(state)) {}
+        std::shared_ptr<impl> impl_;
+    };
+
+    /// Spins up the worker pool immediately.
+    /// \throws std::invalid_argument on a zero `max_pending_jobs`.
+    explicit floor_service(service_config cfg);
+
+    /// Resumes if paused, then waits for every submitted job to finish.
+    ~floor_service();
+
+    floor_service(const floor_service&) = delete;
+    floor_service& operator=(const floor_service&) = delete;
+
+    /// Submit one building; its corpus index (and thus seed) is the next
+    /// unused index, so submitting a corpus building-by-building reproduces
+    /// the batch over that corpus. Blocks while the service is at
+    /// `max_pending_jobs`.
+    job submit(data::building b);
+
+    /// Submit one building at an explicit corpus index.
+    job submit(data::building b, std::size_t corpus_index);
+
+    /// Submit a shard by reference: a worker streams its buildings straight
+    /// from disk, one at a time — the shard is never resident as a whole.
+    /// Building i of the shard runs at corpus index `first_index + i`.
+    job submit(shard_ref ref);
+
+    /// Block until every job submitted so far has finished. Throws
+    /// `std::logic_error` when called on a paused service with pending
+    /// jobs (it would never return).
+    void wait_all();
+
+    /// Hold queued jobs at the gate (running buildings finish normally).
+    void pause();
+
+    /// Release the gate.
+    void resume();
+
+    [[nodiscard]] service_stats stats() const;
+    [[nodiscard]] const service_config& config() const noexcept { return cfg_; }
+
+    /// Concurrent jobs the pool can run (resolved `num_threads`).
+    [[nodiscard]] std::size_t num_workers() const noexcept { return workers_; }
+
+private:
+    struct state;
+
+    /// How a building's report came to exist, for the stats counters.
+    enum class report_kind { ran, skipped_cancelled, skipped_failed };
+    static void record_report(job::impl& im, state& st, runtime::building_report&& report,
+                              report_kind kind);
+
+    job enqueue(std::function<void(job::impl&)> body, std::size_t num_buildings);
+
+    service_config cfg_;
+    std::size_t workers_ = 1;
+    std::size_t next_index_ = 0;  // guarded by the state mutex
+    std::shared_ptr<state> state_;
+    std::unique_ptr<util::thread_pool> pool_;
+};
+
+}  // namespace fisone::service

@@ -1,0 +1,172 @@
+#include "ndjson_export.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+#include <stdexcept>
+
+namespace fisone::service {
+
+namespace {
+
+/// Shortest representation that round-trips the exact double — identical
+/// doubles always serialise to identical bytes. JSON has no NaN/Inf, so
+/// those become null.
+void append_double(std::string& out, double x) {
+    if (!std::isfinite(x)) {
+        out += "null";
+        return;
+    }
+    char buf[32];
+    const auto [end, ec] = std::to_chars(buf, buf + sizeof(buf), x);
+    if (ec != std::errc{}) throw std::logic_error("ndjson: to_chars failed");
+    out.append(buf, end);
+}
+
+void append_field_name(std::string& out, const char* name) {
+    out += '"';
+    out += name;
+    out += "\":";
+}
+
+}  // namespace
+
+std::string json_escape(const std::string& text) {
+    std::string out;
+    out.reserve(text.size());
+    for (const char c : text) {
+        switch (c) {
+            case '"': out += "\\\""; break;
+            case '\\': out += "\\\\"; break;
+            case '\b': out += "\\b"; break;
+            case '\f': out += "\\f"; break;
+            case '\n': out += "\\n"; break;
+            case '\r': out += "\\r"; break;
+            case '\t': out += "\\t"; break;
+            default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof(buf), "\\u%04x",
+                                  static_cast<unsigned>(static_cast<unsigned char>(c)));
+                    out += buf;
+                } else {
+                    out += c;
+                }
+        }
+    }
+    return out;
+}
+
+std::string to_ndjson(const runtime::building_report& report, const ndjson_options& opts) {
+    std::string out;
+    out.reserve(128);
+    out += '{';
+    append_field_name(out, "index");
+    out += std::to_string(report.index);
+    out += ',';
+    append_field_name(out, "name");
+    out += '"';
+    out += json_escape(report.name);
+    out += "\",";
+    append_field_name(out, "ok");
+    out += report.ok ? "true" : "false";
+    out += ',';
+    append_field_name(out, "seed");
+    out += std::to_string(report.seed);
+    out += ',';
+    if (report.ok) {
+        append_field_name(out, "num_clusters");
+        out += std::to_string(report.result.num_clusters);
+        out += ',';
+        append_field_name(out, "cluster_to_floor");
+        out += '[';
+        for (std::size_t i = 0; i < report.result.cluster_to_floor.size(); ++i) {
+            if (i != 0) out += ',';
+            out += std::to_string(report.result.cluster_to_floor[i]);
+        }
+        out += "],";
+        append_field_name(out, "has_ground_truth");
+        out += report.result.has_ground_truth ? "true" : "false";
+        out += ',';
+        append_field_name(out, "ari");
+        if (report.result.has_ground_truth)
+            append_double(out, report.result.ari);
+        else
+            out += "null";
+        out += ',';
+        append_field_name(out, "nmi");
+        if (report.result.has_ground_truth)
+            append_double(out, report.result.nmi);
+        else
+            out += "null";
+        out += ',';
+        append_field_name(out, "edit_distance");
+        if (report.result.has_ground_truth)
+            append_double(out, report.result.edit_distance);
+        else
+            out += "null";
+        out += ',';
+    } else {
+        // Keep the schema shape stable so line consumers never branch on
+        // key presence, only on null.
+        out += "\"num_clusters\":null,\"cluster_to_floor\":null,"
+               "\"has_ground_truth\":null,\"ari\":null,\"nmi\":null,"
+               "\"edit_distance\":null,";
+    }
+    if (opts.include_timing) {
+        append_field_name(out, "seconds");
+        append_double(out, report.seconds);
+        out += ',';
+    }
+    append_field_name(out, "error");
+    if (report.ok) {
+        out += "null";
+    } else {
+        out += '"';
+        out += json_escape(report.error);
+        out += '"';
+    }
+    out += '}';
+    return out;
+}
+
+void write_ndjson_line(std::ostream& out, const runtime::building_report& report,
+                       const ndjson_options& opts) {
+    out << to_ndjson(report, opts) << '\n';
+    if (!out) throw std::ios_base::failure("write_ndjson_line: write error");
+}
+
+ndjson_exporter::ndjson_exporter(std::ostream& out, ndjson_options opts)
+    : out_(out), opts_(opts) {}
+
+void ndjson_exporter::write(const runtime::building_report& report) {
+    // Serialise outside the lock; only the stream append is critical.
+    const std::string line = to_ndjson(report, opts_);
+    const std::lock_guard<std::mutex> lock(m_);
+    out_ << line << '\n';
+    if (!out_) throw std::ios_base::failure("ndjson_exporter: write error");
+    ++lines_;
+}
+
+std::size_t ndjson_exporter::lines_written() const {
+    const std::lock_guard<std::mutex> lock(m_);
+    return lines_;
+}
+
+void export_input_order(std::ostream& out, std::vector<runtime::building_report> reports) {
+    std::sort(reports.begin(), reports.end(),
+              [](const runtime::building_report& a, const runtime::building_report& b) {
+                  return a.index < b.index;
+              });
+    for (std::size_t i = 1; i < reports.size(); ++i)
+        if (reports[i].index == reports[i - 1].index)
+            throw std::invalid_argument("export_input_order: duplicate report index " +
+                                        std::to_string(reports[i].index));
+    ndjson_options opts;
+    opts.include_timing = false;
+    for (const runtime::building_report& report : reports) write_ndjson_line(out, report, opts);
+}
+
+}  // namespace fisone::service

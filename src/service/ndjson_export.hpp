@@ -1,0 +1,76 @@
+#pragma once
+
+/// \file ndjson_export.hpp
+/// Machine-readable result streaming: each finished `building_report`
+/// becomes exactly one newline-delimited JSON object. One line looks like
+/// (wrapped here for the docs):
+///
+///   {"index":3,"name":"campus-3","ok":true,"seed":1234567890123456789,
+///    "num_clusters":4,"cluster_to_floor":[0,1,2,3],
+///    "has_ground_truth":true,"ari":0.93125,"nmi":0.9017,
+///    "edit_distance":0.0,"seconds":0.42,"error":null}
+///
+/// Failed buildings carry `"ok":false`, an `"error"` string, and null
+/// result fields. Number formatting uses shortest-round-trip `to_chars`,
+/// so two bit-identical reports always serialise to the same bytes — the
+/// foundation of the service's byte-identical re-export contract. The
+/// only non-deterministic field is `seconds` (wall time); disable it via
+/// `ndjson_options::include_timing` for reproducible output.
+
+#include <cstddef>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "runtime/batch_runner.hpp"
+
+namespace fisone::service {
+
+/// Serialisation knobs.
+struct ndjson_options {
+    /// Emit the `"seconds"` field (per-building wall time). Wall time is
+    /// the one field that varies run to run; the deterministic re-export
+    /// path turns it off.
+    bool include_timing = true;
+};
+
+/// Escape \p text as JSON string *contents* (no surrounding quotes).
+[[nodiscard]] std::string json_escape(const std::string& text);
+
+/// \p report as one JSON object — the line *without* the trailing newline.
+[[nodiscard]] std::string to_ndjson(const runtime::building_report& report,
+                                    const ndjson_options& opts = {});
+
+/// Write one `\n`-terminated NDJSON line.
+void write_ndjson_line(std::ostream& out, const runtime::building_report& report,
+                       const ndjson_options& opts = {});
+
+/// Thread-safe streaming sink, built to hang off
+/// `service_config::on_report` or `batch_config::on_progress`: every
+/// `write` appends one line in call (= completion) order.
+class ndjson_exporter {
+public:
+    explicit ndjson_exporter(std::ostream& out, ndjson_options opts = {});
+
+    /// Serialise and append \p report; serialised across threads.
+    /// \throws std::ios_base::failure when the stream goes bad.
+    void write(const runtime::building_report& report);
+
+    [[nodiscard]] std::size_t lines_written() const;
+
+private:
+    std::ostream& out_;
+    ndjson_options opts_;
+    mutable std::mutex m_;
+    std::size_t lines_ = 0;
+};
+
+/// Deterministic re-export: sort \p reports by `index` (input order) and
+/// write them without timing. Given the runtime's determinism contract,
+/// the bytes produced are identical for any thread count and — via the
+/// corpus store's order-preserving split — any shard size.
+/// \throws std::invalid_argument when two reports share an index.
+void export_input_order(std::ostream& out, std::vector<runtime::building_report> reports);
+
+}  // namespace fisone::service

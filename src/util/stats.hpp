@@ -5,6 +5,7 @@
 /// as mean(std) over buildings; `running_stats` provides numerically stable
 /// (Welford) accumulation for that.
 
+#include <algorithm>
 #include <cmath>
 #include <cstddef>
 #include <stdexcept>
@@ -96,6 +97,28 @@ private:
     running_stats s;
     for (const double x : xs) s.add(x);
     return s.stddev();
+}
+
+/// Nearest-rank percentile of an ascending-sorted \p xs: the smallest
+/// observation x such that at least p% of the observations are ≤ x.
+/// Callers taking several percentiles of one dataset sort once and use
+/// this directly (the service layer's latency p50/p90/p99 snapshot).
+/// \param p percentile in [0, 100]; 0 yields the minimum, 100 the maximum.
+/// \throws std::invalid_argument when \p xs is empty or \p p is outside
+///         [0, 100] (including NaN).
+[[nodiscard]] inline double percentile_sorted(const std::vector<double>& xs, double p) {
+    if (xs.empty()) throw std::invalid_argument("percentile: empty input");
+    if (!(p >= 0.0 && p <= 100.0)) throw std::invalid_argument("percentile: p outside [0, 100]");
+    if (p == 0.0) return xs.front();
+    const auto rank =
+        static_cast<std::size_t>(std::ceil(p / 100.0 * static_cast<double>(xs.size())));
+    return xs[std::min(rank, xs.size()) - 1];
+}
+
+/// Nearest-rank percentile of unsorted data; sorts a by-value copy.
+[[nodiscard]] inline double percentile(std::vector<double> xs, double p) {
+    std::sort(xs.begin(), xs.end());
+    return percentile_sorted(xs, p);
 }
 
 }  // namespace fisone::util

@@ -8,6 +8,7 @@
 
 #include "data/dataset_io.hpp"
 #include "data/rf_sample.hpp"
+#include "sim/building_generator.hpp"
 
 namespace {
 
@@ -141,6 +142,72 @@ TEST(dataset_io, rejects_malformed_input) {
         "# fisone-building v1\nname,x\nfloors,2\nmacs,1\nlabeled_sample,0\n"
         "labeled_floor,0\nsample,0,0,0;-40\n");
     EXPECT_THROW((void)load_building(bad_obs), std::invalid_argument);
+}
+
+TEST(dataset_io, rejects_truncated_header) {
+    // File ends mid-header: the magic parsed but no samples ever arrived.
+    std::stringstream no_samples("# fisone-building v1\nname,x\nfloors,2\n");
+    EXPECT_THROW((void)load_building(no_samples), std::invalid_argument);
+
+    // Truncated magic line itself.
+    std::stringstream cut_magic("# fisone-build");
+    EXPECT_THROW((void)load_building(cut_magic), std::invalid_argument);
+
+    // Empty stream.
+    std::stringstream empty;
+    EXPECT_THROW((void)load_building(empty), std::invalid_argument);
+}
+
+TEST(dataset_io, rejects_macs_count_mismatch) {
+    // Header claims 1 MAC; a sample references mac_id 2.
+    std::stringstream mismatch(
+        "# fisone-building v1\nname,x\nfloors,2\nmacs,1\nlabeled_sample,0\n"
+        "labeled_floor,0\nsample,0,0,0:-40\nsample,1,0,2:-60\n");
+    EXPECT_THROW((void)load_building(mismatch), std::invalid_argument);
+}
+
+TEST(dataset_io, rejects_out_of_range_labeled_sample) {
+    // labeled_sample points past the two samples present.
+    std::stringstream bad_label(
+        "# fisone-building v1\nname,x\nfloors,2\nmacs,1\nlabeled_sample,7\n"
+        "labeled_floor,0\nsample,0,0,0:-40\nsample,1,0,0:-60\n");
+    EXPECT_THROW((void)load_building(bad_label), std::invalid_argument);
+}
+
+TEST(dataset_io, generated_building_round_trips_exactly) {
+    fisone::sim::building_spec spec;
+    spec.name = "roundtrip";
+    spec.num_floors = 4;
+    spec.samples_per_floor = 25;
+    spec.aps_per_floor = 8;
+    spec.seed = 1234;
+    const building original = fisone::sim::generate_building(spec).building;
+
+    std::stringstream ss;
+    save_building(original, ss);
+    const building loaded = load_building(ss);
+
+    EXPECT_EQ(loaded.name, original.name);
+    EXPECT_EQ(loaded.num_floors, original.num_floors);
+    EXPECT_EQ(loaded.num_macs, original.num_macs);
+    EXPECT_EQ(loaded.labeled_sample, original.labeled_sample);
+    EXPECT_EQ(loaded.labeled_floor, original.labeled_floor);
+    ASSERT_EQ(loaded.samples.size(), original.samples.size());
+    for (std::size_t i = 0; i < loaded.samples.size(); ++i) {
+        EXPECT_EQ(loaded.samples[i].true_floor, original.samples[i].true_floor);
+        EXPECT_EQ(loaded.samples[i].device_id, original.samples[i].device_id);
+        ASSERT_EQ(loaded.samples[i].observations.size(),
+                  original.samples[i].observations.size());
+        for (std::size_t j = 0; j < loaded.samples[i].observations.size(); ++j) {
+            EXPECT_EQ(loaded.samples[i].observations[j].mac_id,
+                      original.samples[i].observations[j].mac_id);
+            // RSS values survive the text round-trip bit-exactly: the writer
+            // emits shortest-round-trip text (std::to_chars), which is what
+            // keeps a sharded corpus bit-identical to its in-memory source.
+            EXPECT_EQ(loaded.samples[i].observations[j].rss_dbm,
+                      original.samples[i].observations[j].rss_dbm);
+        }
+    }
 }
 
 // ---------- matrix view ----------

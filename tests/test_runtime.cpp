@@ -222,6 +222,39 @@ TEST(batch_runner, failed_building_is_reported_not_fatal) {
     EXPECT_FALSE(result.reports[1].error.empty());
 }
 
+TEST(batch_runner, reused_pool_gives_identical_results_across_runs) {
+    // The pool is constructed with the runner and shared by every run();
+    // repeated campaigns must be bit-identical to each other and carry the
+    // derived per-task seed in their reports.
+    const std::vector<data::building> fleet = make_fleet(3);
+    const runtime::batch_runner runner(fast_batch_config(4));
+    const runtime::batch_result first = runner.run(fleet);
+    const runtime::batch_result second = runner.run(fleet);
+    ASSERT_EQ(first.reports.size(), second.reports.size());
+    for (std::size_t i = 0; i < first.reports.size(); ++i) {
+        EXPECT_EQ(first.reports[i].seed, runtime::task_seed(99, i));
+        EXPECT_EQ(second.reports[i].seed, first.reports[i].seed);
+        EXPECT_EQ(first.reports[i].result.assignment, second.reports[i].result.assignment);
+        EXPECT_EQ(first.reports[i].result.embeddings, second.reports[i].result.embeddings);
+    }
+}
+
+TEST(batch_runner, run_building_task_isolates_failures) {
+    const std::vector<data::building> fleet = make_fleet(1);
+    const runtime::building_report ok_report = runtime::run_building_task(
+        fast_batch_config(1).pipeline, 99, 0, fleet[0], /*single_thread_kernels=*/false);
+    EXPECT_TRUE(ok_report.ok);
+    EXPECT_EQ(ok_report.name, fleet[0].name);
+    EXPECT_EQ(ok_report.seed, runtime::task_seed(99, 0));
+
+    data::building broken = fleet[0];
+    broken.labeled_sample = broken.samples.size() + 1;
+    const runtime::building_report bad_report = runtime::run_building_task(
+        fast_batch_config(1).pipeline, 99, 0, broken, /*single_thread_kernels=*/false);
+    EXPECT_FALSE(bad_report.ok);
+    EXPECT_FALSE(bad_report.error.empty());
+}
+
 TEST(batch_runner, corpus_overload_matches_vector_overload) {
     data::corpus corpus;
     corpus.name = "fleet";

@@ -206,6 +206,21 @@ TEST(stats_helpers, mean_and_stddev) {
     EXPECT_THROW((void)mean_of({}), std::invalid_argument);
 }
 
+TEST(stats_helpers, nearest_rank_percentile) {
+    const std::vector<double> xs = {5.0, 1.0, 3.0, 2.0, 4.0};  // unsorted on purpose
+    EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 1.0);
+    EXPECT_DOUBLE_EQ(percentile(xs, 50.0), 3.0);
+    EXPECT_DOUBLE_EQ(percentile(xs, 90.0), 5.0);
+    EXPECT_DOUBLE_EQ(percentile(xs, 100.0), 5.0);
+    EXPECT_DOUBLE_EQ(percentile({7.0}, 99.0), 7.0);
+    // 20% of 5 observations is exactly the first rank.
+    EXPECT_DOUBLE_EQ(percentile(xs, 20.0), 1.0);
+    EXPECT_THROW((void)percentile({}, 50.0), std::invalid_argument);
+    EXPECT_THROW((void)percentile(xs, -1.0), std::invalid_argument);
+    EXPECT_THROW((void)percentile(xs, 101.0), std::invalid_argument);
+    EXPECT_THROW((void)percentile(xs, std::nan("")), std::invalid_argument);
+}
+
 // ---------- csv ----------
 
 TEST(csv, split_and_trim) {
