@@ -1,160 +1,333 @@
 /// \file bench_kernels.cpp
-/// google-benchmark micro-benchmarks for the library's computational
-/// kernels: propagation + building synthesis, bipartite-graph build,
-/// RF-GNN training epochs, UPGMA, k-means, Held–Karp vs 2-opt, adapted
-/// Jaccard, and the metrics. These quantify where pipeline time goes and
-/// back the complexity claims in DESIGN.md (e.g. O(N²·2^N) Held–Karp).
+/// Kernel-layer throughput harness with a machine-readable perf
+/// trajectory. For every shape it times the scalar reference kernels
+/// against the cache-blocked ones (GFLOP/s + speedup, serial and pooled),
+/// verifies the bit-identity contract (`memcmp`, not epsilon), and runs a
+/// small `batch_runner` fleet so the JSON also carries end-to-end
+/// buildings/sec deltas. Any bitwise divergence makes the process exit
+/// non-zero — CI runs this in quick mode, so a kernel that silently
+/// changes bits fails the build.
+///
+/// Run:  ./bench_kernels [--quick] [--json] [--out BENCH_kernels.json]
+///                       [--seed S] [--reps R]
+///
+///  --quick   CI-sized shapes and fleet (a few seconds total)
+///  --json    write the JSON report to --out (and echo the path)
+///
+/// The JSON schema is documented in README.md § Performance.
 
-#include <benchmark/benchmark.h>
+#include <charconv>
+#include <chrono>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <exception>
+#include <fstream>
+#include <iostream>
+#include <limits>
+#include <string>
+#include <vector>
 
-#include "cluster/hierarchical.hpp"
-#include "cluster/kmeans.hpp"
-#include "core/fis_one.hpp"
-#include "eval/metrics.hpp"
-#include "gnn/rf_gnn.hpp"
-#include "graph/bipartite_graph.hpp"
-#include "indexing/similarity.hpp"
+#include "linalg/kernels.hpp"
+#include "linalg/matrix.hpp"
+#include "linalg/parallel_policy.hpp"
+#include "runtime/batch_runner.hpp"
 #include "sim/building_generator.hpp"
-#include "tsp/tsp.hpp"
+#include "util/cli.hpp"
+#include "util/rng.hpp"
+#include "util/table_printer.hpp"
+#include "util/thread_pool.hpp"
 
 namespace {
 
 using namespace fisone;
+using linalg::matrix;
 
-data::building cached_building(std::size_t floors, std::size_t samples_per_floor) {
-    sim::building_spec spec;
-    spec.num_floors = floors;
-    spec.samples_per_floor = samples_per_floor;
-    spec.aps_per_floor = 16;
-    spec.model.path_loss_exponent = 3.3;
-    spec.floor_width_m = 60.0;
-    spec.floor_depth_m = 40.0;
-    spec.seed = 17;
-    return sim::generate_building(spec).building;
+using kernel_fn = void (*)(const double*, const double*, double*, std::size_t, std::size_t,
+                           std::size_t, std::size_t, std::size_t) noexcept;
+using wrapper_fn = matrix (*)(const matrix&, const matrix&, util::thread_pool*);
+
+struct op_spec {
+    const char* name;
+    kernel_fn scalar;
+    kernel_fn blocked;
+    wrapper_fn wrapper;  // the public pooled entry point
+};
+
+constexpr op_spec kOps[] = {
+    {"matmul", linalg::kernels::matmul_scalar, linalg::kernels::matmul_blocked, linalg::matmul},
+    {"matmul_nt", linalg::kernels::matmul_nt_scalar, linalg::kernels::matmul_nt_blocked,
+     linalg::matmul_nt},
+    {"matmul_tn", linalg::kernels::matmul_tn_scalar, linalg::kernels::matmul_tn_blocked,
+     linalg::matmul_tn},
+};
+
+struct shape {
+    std::size_t m, k, n;
+};
+
+struct kernel_record {
+    std::string op;
+    shape s{};
+    double flops = 0.0;
+    double scalar_gflops = 0.0;
+    double blocked_gflops = 0.0;
+    double speedup = 0.0;
+    std::size_t pool_threads = 1;
+    double pooled_gflops = 0.0;
+    double pooled_speedup = 0.0;
+    bool bit_identical = false;
+};
+
+struct pipeline_record {
+    std::size_t buildings = 0;
+    std::size_t samples_per_floor = 0;
+    double serial_buildings_per_sec = 0.0;
+    std::size_t pooled_threads = 0;
+    double pooled_buildings_per_sec = 0.0;
+    double speedup = 0.0;
+    bool bit_identical = false;
+};
+
+matrix random_matrix(std::size_t r, std::size_t c, util::rng& gen) {
+    matrix m = matrix::uninit(r, c);
+    for (double& x : m.flat()) x = gen.uniform(-1.0, 1.0);
+    return m;
 }
 
-void bm_building_synthesis(benchmark::State& state) {
-    sim::building_spec spec;
-    spec.num_floors = static_cast<std::size_t>(state.range(0));
-    spec.samples_per_floor = 100;
-    spec.seed = 1;
-    for (auto _ : state) {
-        spec.seed++;
-        benchmark::DoNotOptimize(sim::generate_building(spec));
+/// Best-of-\p reps wall seconds of \p fn (one untimed warm-up call).
+template <class F>
+double time_best(F&& fn, int reps) {
+    fn();
+    double best = std::numeric_limits<double>::max();
+    for (int r = 0; r < reps; ++r) {
+        const auto t0 = std::chrono::steady_clock::now();
+        fn();
+        const auto t1 = std::chrono::steady_clock::now();
+        best = std::min(best, std::chrono::duration<double>(t1 - t0).count());
     }
-}
-BENCHMARK(bm_building_synthesis)->Arg(3)->Arg(6)->Arg(10)->Unit(benchmark::kMillisecond);
-
-void bm_graph_construction(benchmark::State& state) {
-    const auto b = cached_building(5, static_cast<std::size_t>(state.range(0)));
-    for (auto _ : state)
-        benchmark::DoNotOptimize(graph::bipartite_graph::from_building(b));
-}
-BENCHMARK(bm_graph_construction)->Arg(50)->Arg(150)->Arg(400)->Unit(benchmark::kMillisecond);
-
-void bm_gnn_train_epoch(benchmark::State& state) {
-    const auto b = cached_building(5, static_cast<std::size_t>(state.range(0)));
-    const auto g = graph::bipartite_graph::from_building(b);
-    gnn::rf_gnn_config cfg;
-    cfg.seed = 3;
-    gnn::rf_gnn model(g, cfg);
-    for (auto _ : state) benchmark::DoNotOptimize(model.train_epoch());
-}
-BENCHMARK(bm_gnn_train_epoch)->Arg(50)->Arg(150)->Unit(benchmark::kMillisecond);
-
-void bm_gnn_inference(benchmark::State& state) {
-    const auto b = cached_building(5, 150);
-    const auto g = graph::bipartite_graph::from_building(b);
-    gnn::rf_gnn_config cfg;
-    cfg.seed = 3;
-    cfg.epochs = 1;
-    gnn::rf_gnn model(g, cfg);
-    model.train();
-    const auto& obs = b.samples[7].observations;
-    (void)model.embed_new_sample(obs);  // warm the layer cache
-    for (auto _ : state) benchmark::DoNotOptimize(model.embed_new_sample(obs));
-}
-BENCHMARK(bm_gnn_inference)->Unit(benchmark::kMicrosecond);
-
-void bm_upgma(benchmark::State& state) {
-    util::rng gen(5);
-    const std::size_t n = static_cast<std::size_t>(state.range(0));
-    linalg::matrix pts(n, 16);
-    for (double& x : pts.flat()) x = gen.normal();
-    for (auto _ : state) benchmark::DoNotOptimize(cluster::upgma_cluster(pts, 5));
-}
-BENCHMARK(bm_upgma)->Arg(250)->Arg(500)->Arg(1000)->Unit(benchmark::kMillisecond);
-
-void bm_kmeans(benchmark::State& state) {
-    util::rng gen(6);
-    const std::size_t n = static_cast<std::size_t>(state.range(0));
-    linalg::matrix pts(n, 16);
-    for (double& x : pts.flat()) x = gen.normal();
-    for (auto _ : state) benchmark::DoNotOptimize(cluster::kmeans(pts, 5, gen));
-}
-BENCHMARK(bm_kmeans)->Arg(250)->Arg(1000)->Unit(benchmark::kMillisecond);
-
-linalg::matrix random_distances(std::size_t n, util::rng& gen) {
-    linalg::matrix d(n, n, 0.0);
-    for (std::size_t i = 0; i < n; ++i)
-        for (std::size_t j = i + 1; j < n; ++j) {
-            const double w = gen.uniform(0.1, 1.0);
-            d(i, j) = w;
-            d(j, i) = w;
-        }
-    return d;
+    return best;
 }
 
-void bm_held_karp(benchmark::State& state) {
-    util::rng gen(7);
-    const auto d = random_distances(static_cast<std::size_t>(state.range(0)), gen);
-    for (auto _ : state) benchmark::DoNotOptimize(tsp::held_karp_path(d, 0));
+bool bits_equal(const matrix& a, const matrix& b) {
+    return a.rows() == b.rows() && a.cols() == b.cols() &&
+           std::memcmp(a.data(), b.data(), a.size() * sizeof(double)) == 0;
 }
-BENCHMARK(bm_held_karp)->Arg(5)->Arg(10)->Arg(15)->Arg(18)->Unit(benchmark::kMicrosecond);
 
-void bm_two_opt(benchmark::State& state) {
-    util::rng gen(8);
-    const auto d = random_distances(static_cast<std::size_t>(state.range(0)), gen);
-    for (auto _ : state) benchmark::DoNotOptimize(tsp::two_opt_path(d, 0, gen));
+kernel_record bench_one(const op_spec& op, const shape& s, util::thread_pool& pool, int reps,
+                        util::rng& gen) {
+    // Operand shapes per op: matmul A(m×k)·B(k×n); nt A(m×k)·B(n×k)ᵀ;
+    // tn A(k×m)ᵀ·B(k×n). Output is always m×n.
+    const bool tn = std::strcmp(op.name, "matmul_tn") == 0;
+    const bool nt = std::strcmp(op.name, "matmul_nt") == 0;
+    const matrix a = tn ? random_matrix(s.k, s.m, gen) : random_matrix(s.m, s.k, gen);
+    const matrix b = nt ? random_matrix(s.n, s.k, gen) : random_matrix(s.k, s.n, gen);
+
+    matrix c_scalar = matrix::uninit(s.m, s.n);
+    matrix c_blocked = matrix::uninit(s.m, s.n);
+
+    kernel_record rec;
+    rec.op = op.name;
+    rec.s = s;
+    rec.flops = 2.0 * static_cast<double>(s.m) * static_cast<double>(s.k) *
+                static_cast<double>(s.n);
+
+    const double t_scalar = time_best(
+        [&] { op.scalar(a.data(), b.data(), c_scalar.data(), s.m, s.k, s.n, 0, s.m); }, reps);
+    const double t_blocked = time_best(
+        [&] { op.blocked(a.data(), b.data(), c_blocked.data(), s.m, s.k, s.n, 0, s.m); }, reps);
+
+    rec.scalar_gflops = rec.flops / t_scalar / 1e9;
+    rec.blocked_gflops = rec.flops / t_blocked / 1e9;
+    rec.speedup = t_scalar / t_blocked;
+    rec.bit_identical = bits_equal(c_scalar, c_blocked);
+
+    // The production entry point: policy-gated pool dispatch over rows.
+    rec.pool_threads = pool.size();
+    matrix c_pooled;
+    const double t_pooled = time_best([&] { c_pooled = op.wrapper(a, b, &pool); }, reps);
+    rec.pooled_gflops = rec.flops / t_pooled / 1e9;
+    rec.pooled_speedup = t_scalar / t_pooled;
+    rec.bit_identical = rec.bit_identical && bits_equal(c_scalar, c_pooled);
+    return rec;
 }
-BENCHMARK(bm_two_opt)->Arg(10)->Arg(18)->Arg(40)->Unit(benchmark::kMicrosecond);
 
-void bm_adapted_jaccard_matrix(benchmark::State& state) {
-    const auto b = cached_building(static_cast<std::size_t>(state.range(0)), 150);
-    std::vector<int> assignment;
-    assignment.reserve(b.samples.size());
-    for (const auto& s : b.samples) assignment.push_back(s.true_floor);
-    const auto profiles = indexing::build_profiles(b, assignment, b.num_floors);
-    for (auto _ : state)
-        benchmark::DoNotOptimize(
-            indexing::similarity_matrix(profiles, indexing::similarity_kind::adapted_jaccard));
-}
-BENCHMARK(bm_adapted_jaccard_matrix)->Arg(5)->Arg(8)->Unit(benchmark::kMicrosecond);
+// --- end-to-end fleet deltas (the bench_batch_throughput path) --------------
 
-void bm_metrics(benchmark::State& state) {
-    util::rng gen(9);
-    const std::size_t n = 2000;
-    std::vector<int> a(n), b(n);
-    for (std::size_t i = 0; i < n; ++i) {
-        a[i] = static_cast<int>(gen.uniform_index(8));
-        b[i] = static_cast<int>(gen.uniform_index(8));
+std::vector<data::building> make_fleet(std::size_t count, std::size_t samples_per_floor,
+                                       std::uint64_t seed) {
+    std::vector<data::building> fleet;
+    fleet.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+        sim::building_spec spec;
+        spec.name = "kernel-fleet-" + std::to_string(i);
+        spec.num_floors = 3 + i % 4;
+        spec.samples_per_floor = samples_per_floor;
+        spec.aps_per_floor = 12;
+        spec.seed = seed + i;
+        fleet.push_back(sim::generate_building(spec).building);
     }
-    for (auto _ : state) {
-        benchmark::DoNotOptimize(eval::adjusted_rand_index(a, b));
-        benchmark::DoNotOptimize(eval::normalized_mutual_information(a, b));
-    }
+    return fleet;
 }
-BENCHMARK(bm_metrics)->Unit(benchmark::kMicrosecond);
 
-void bm_full_pipeline(benchmark::State& state) {
-    const auto b = cached_building(4, static_cast<std::size_t>(state.range(0)));
-    core::fis_one_config cfg;
-    cfg.gnn.seed = 11;
-    const core::fis_one system(cfg);
-    for (auto _ : state) benchmark::DoNotOptimize(system.run(b));
+bool reports_identical(const runtime::batch_result& a, const runtime::batch_result& b) {
+    if (a.reports.size() != b.reports.size()) return false;
+    for (std::size_t i = 0; i < a.reports.size(); ++i) {
+        const core::fis_one_result& ra = a.reports[i].result;
+        const core::fis_one_result& rb = b.reports[i].result;
+        if (a.reports[i].ok != b.reports[i].ok) return false;
+        if (ra.assignment != rb.assignment) return false;
+        if (ra.predicted_floor != rb.predicted_floor) return false;
+        if (!(ra.embeddings == rb.embeddings)) return false;
+    }
+    return true;
 }
-BENCHMARK(bm_full_pipeline)->Arg(60)->Arg(120)->Unit(benchmark::kMillisecond);
+
+pipeline_record bench_pipeline(std::size_t buildings, std::size_t samples, std::uint64_t seed) {
+    const std::vector<data::building> fleet = make_fleet(buildings, samples, seed);
+
+    auto run_at = [&](std::size_t num_threads) {
+        runtime::batch_config cfg;
+        cfg.pipeline.gnn.embedding_dim = 16;
+        cfg.pipeline.gnn.epochs = 3;
+        cfg.pipeline.gnn.walks.walks_per_node = 3;
+        cfg.pipeline.num_threads = 1;  // building-level parallelism only
+        cfg.seed = seed;
+        cfg.num_threads = num_threads;
+        const runtime::batch_runner runner(cfg);
+        return runner.run(fleet);
+    };
+
+    pipeline_record rec;
+    rec.buildings = buildings;
+    rec.samples_per_floor = samples;
+    const runtime::batch_result serial = run_at(1);
+    rec.serial_buildings_per_sec = serial.buildings_per_second;
+    rec.pooled_threads = std::max<std::size_t>(2, util::resolve_num_threads(0));
+    const runtime::batch_result pooled = run_at(rec.pooled_threads);
+    rec.pooled_buildings_per_sec = pooled.buildings_per_second;
+    rec.speedup = rec.serial_buildings_per_sec > 0.0
+                      ? rec.pooled_buildings_per_sec / rec.serial_buildings_per_sec
+                      : 0.0;
+    rec.bit_identical = serial.num_failed == 0 && pooled.num_failed == 0 &&
+                        reports_identical(serial, pooled);
+    return rec;
+}
+
+// --- JSON emission ----------------------------------------------------------
+
+std::string json_num(double v) {
+    if (!std::isfinite(v)) return "null";  // JSON has no inf/nan tokens
+    char buf[64];
+    const auto [p, ec] = std::to_chars(buf, buf + sizeof buf, v);
+    return ec == std::errc{} ? std::string(buf, p) : std::string("0");
+}
+
+void write_json(std::ostream& out, bool quick, const std::vector<kernel_record>& kernels,
+                const pipeline_record& pipe) {
+    out << "{\n";
+    out << "  \"schema\": \"fisone-bench-kernels/v1\",\n";
+    out << "  \"quick\": " << (quick ? "true" : "false") << ",\n";
+    out << "  \"hardware_threads\": " << util::resolve_num_threads(0) << ",\n";
+    out << "  \"kernels\": [\n";
+    for (std::size_t i = 0; i < kernels.size(); ++i) {
+        const kernel_record& r = kernels[i];
+        out << "    {\"op\": \"" << r.op << "\", \"m\": " << r.s.m << ", \"k\": " << r.s.k
+            << ", \"n\": " << r.s.n << ", \"flops\": " << json_num(r.flops)
+            << ", \"scalar_gflops\": " << json_num(r.scalar_gflops)
+            << ", \"blocked_gflops\": " << json_num(r.blocked_gflops)
+            << ", \"speedup\": " << json_num(r.speedup)
+            << ", \"pool_threads\": " << r.pool_threads
+            << ", \"pooled_gflops\": " << json_num(r.pooled_gflops)
+            << ", \"pooled_speedup\": " << json_num(r.pooled_speedup)
+            << ", \"bit_identical\": " << (r.bit_identical ? "true" : "false") << "}"
+            << (i + 1 < kernels.size() ? "," : "") << "\n";
+    }
+    out << "  ],\n";
+    out << "  \"pipeline\": {\"buildings\": " << pipe.buildings
+        << ", \"samples_per_floor\": " << pipe.samples_per_floor
+        << ", \"serial_buildings_per_sec\": " << json_num(pipe.serial_buildings_per_sec)
+        << ", \"pooled_threads\": " << pipe.pooled_threads
+        << ", \"pooled_buildings_per_sec\": " << json_num(pipe.pooled_buildings_per_sec)
+        << ", \"speedup\": " << json_num(pipe.speedup)
+        << ", \"bit_identical\": " << (pipe.bit_identical ? "true" : "false") << "}\n";
+    out << "}\n";
+}
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) try {
+    const util::cli_args args(argc, argv);
+    const bool quick = args.has("quick");
+    const bool emit_json = args.has("json");
+    const std::string out_path = args.get("out", "BENCH_kernels.json");
+    const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1234));
+    const int reps = static_cast<int>(args.get_int("reps", quick ? 3 : 5));
+
+    std::vector<shape> shapes{{64, 64, 64}, {256, 256, 256}, {203, 97, 151}};
+    if (!quick) {
+        shapes.push_back({128, 128, 128});
+        shapes.push_back({384, 384, 384});
+        shapes.push_back({512, 64, 32});   // tape dense-layer shape
+        shapes.push_back({1024, 32, 64});  // propagation shape
+    }
+
+    util::rng gen(seed);
+    util::thread_pool pool(std::max<std::size_t>(2, util::resolve_num_threads(0)));
+
+    std::vector<kernel_record> records;
+    bool all_identical = true;
+    for (const shape& s : shapes)
+        for (const op_spec& op : kOps) {
+            const kernel_record rec = bench_one(op, s, pool, reps, gen);
+            all_identical = all_identical && rec.bit_identical;
+            records.push_back(rec);
+            std::cerr << rec.op << " " << s.m << "x" << s.k << "x" << s.n << " done\n";
+        }
+
+    std::cerr << "pipeline fleet...\n";
+    const pipeline_record pipe = quick ? bench_pipeline(3, 20, seed)
+                                       : bench_pipeline(8, 40, seed);
+    all_identical = all_identical && pipe.bit_identical;
+
+    util::table_printer table("Kernel throughput — scalar vs cache-blocked (best of " +
+                              std::to_string(reps) + ")");
+    table.header({"op", "shape", "scalar GF/s", "blocked GF/s", "speedup", "pooled GF/s",
+                  "bit-identical"});
+    for (const kernel_record& r : records)
+        table.row({r.op,
+                   std::to_string(r.s.m) + "x" + std::to_string(r.s.k) + "x" +
+                       std::to_string(r.s.n),
+                   util::table_printer::num(r.scalar_gflops, 2),
+                   util::table_printer::num(r.blocked_gflops, 2),
+                   util::table_printer::num(r.speedup, 2),
+                   util::table_printer::num(r.pooled_gflops, 2),
+                   r.bit_identical ? "yes" : "NO"});
+    table.print(std::cout);
+    std::cout << "\nPipeline fleet (" << pipe.buildings << " buildings): serial "
+              << util::table_printer::num(pipe.serial_buildings_per_sec, 2) << " b/s, "
+              << pipe.pooled_threads << " threads "
+              << util::table_printer::num(pipe.pooled_buildings_per_sec, 2) << " b/s ("
+              << util::table_printer::num(pipe.speedup, 2) << "x, bit-identical: "
+              << (pipe.bit_identical ? "yes" : "NO") << ")\n";
+
+    if (emit_json) {
+        std::ofstream f(out_path);
+        if (!f) {
+            std::cerr << "bench_kernels: cannot open " << out_path << " for writing\n";
+            return EXIT_FAILURE;
+        }
+        write_json(f, quick, records, pipe);
+        std::cout << "JSON perf trajectory: " << out_path << "\n";
+    }
+
+    if (!all_identical) {
+        std::cerr << "bench_kernels: blocked kernels diverged bitwise from the scalar "
+                     "reference\n";
+        return EXIT_FAILURE;
+    }
+    return EXIT_SUCCESS;
+} catch (const std::exception& e) {
+    std::cerr << "bench_kernels: " << e.what() << '\n';
+    return EXIT_FAILURE;
+}

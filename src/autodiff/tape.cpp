@@ -3,6 +3,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "linalg/parallel_policy.hpp"
 #include "util/thread_pool.hpp"
 
 namespace fisone::autodiff {
@@ -19,6 +20,14 @@ var tape::push(matrix value, bool requires_grad, std::function<void()> backprop)
     return var{nodes_.size() - 1};
 }
 
+void tape::reset() noexcept {
+    for (node& n : nodes_) {
+        if (!n.value.empty()) ws_.recycle(std::move(n.value));
+        if (!n.grad.empty()) ws_.recycle(std::move(n.grad));
+    }
+    nodes_.clear();
+}
+
 tape::node& tape::at(var v) {
     if (!v.valid() || v.index >= nodes_.size()) throw std::out_of_range("tape: invalid var");
     return nodes_[v.index];
@@ -32,17 +41,19 @@ const tape::node& tape::at(var v) const {
 matrix& tape::grad_buffer(std::size_t index) {
     node& n = nodes_[index];
     if (n.grad.empty() && !n.value.empty())
-        n.grad = matrix(n.value.rows(), n.value.cols(), 0.0);
+        n.grad = ws_.take_zero(n.value.rows(), n.value.cols());
     return n.grad;
 }
 
-var tape::constant(matrix value) { return push(std::move(value), false, {}); }
+var tape::constant(const matrix& value) { return push(ws_.take_copy(value), false, {}); }
+var tape::constant(matrix&& value) { return push(std::move(value), false, {}); }
 
-var tape::parameter(matrix value) { return push(std::move(value), true, {}); }
+var tape::parameter(const matrix& value) { return push(ws_.take_copy(value), true, {}); }
+var tape::parameter(matrix&& value) { return push(std::move(value), true, {}); }
 
 var tape::add(var a, var b) {
     check_same_shape(at(a).value, at(b).value, "tape::add");
-    matrix out = at(a).value;
+    matrix out = ws_.take_copy(at(a).value);
     out += at(b).value;
     const bool rg = at(a).requires_grad || at(b).requires_grad;
     var v = push(std::move(out), rg, {});
@@ -58,7 +69,7 @@ var tape::add(var a, var b) {
 
 var tape::sub(var a, var b) {
     check_same_shape(at(a).value, at(b).value, "tape::sub");
-    matrix out = at(a).value;
+    matrix out = ws_.take_copy(at(a).value);
     out -= at(b).value;
     const bool rg = at(a).requires_grad || at(b).requires_grad;
     var v = push(std::move(out), rg, {});
@@ -76,7 +87,7 @@ var tape::sub(var a, var b) {
 }
 
 var tape::scale(var a, double s) {
-    matrix out = at(a).value;
+    matrix out = ws_.take_copy(at(a).value);
     out *= s;
     const bool rg = at(a).requires_grad;
     var v = push(std::move(out), rg, {});
@@ -91,7 +102,7 @@ var tape::scale(var a, double s) {
 }
 
 var tape::add_scalar(var a, double s) {
-    matrix out = at(a).value;
+    matrix out = ws_.take_copy(at(a).value);
     for (double& x : out.flat()) x += s;
     const bool rg = at(a).requires_grad;
     var v = push(std::move(out), rg, {});
@@ -105,7 +116,8 @@ var tape::add_scalar(var a, double s) {
 
 var tape::hadamard(var a, var b) {
     check_same_shape(at(a).value, at(b).value, "tape::hadamard");
-    matrix out = linalg::hadamard(at(a).value, at(b).value);
+    matrix out = ws_.take(at(a).value.rows(), at(a).value.cols());
+    linalg::hadamard_into(out, at(a).value, at(b).value);
     const bool rg = at(a).requires_grad || at(b).requires_grad;
     var v = push(std::move(out), rg, {});
     if (rg) {
@@ -129,16 +141,25 @@ var tape::hadamard(var a, var b) {
 }
 
 var tape::matmul(var a, var b) {
-    matrix out = linalg::matmul(at(a).value, at(b).value, pool_);
+    matrix out = ws_.take(at(a).value.rows(), at(b).value.cols());
+    linalg::matmul_into(out, at(a).value, at(b).value, pool_);
     const bool rg = at(a).requires_grad || at(b).requires_grad;
     var v = push(std::move(out), rg, {});
     if (rg) {
         nodes_.back().backprop = [this, a, b, v] {
             const matrix& g = nodes_[v.index].grad;
-            if (nodes_[a.index].requires_grad)
-                grad_buffer(a.index) += linalg::matmul_nt(g, nodes_[b.index].value, pool_);
-            if (nodes_[b.index].requires_grad)
-                grad_buffer(b.index) += linalg::matmul_tn(nodes_[a.index].value, g, pool_);
+            if (nodes_[a.index].requires_grad) {
+                matrix t = ws_.take(g.rows(), nodes_[b.index].value.rows());
+                linalg::matmul_nt_into(t, g, nodes_[b.index].value, pool_);
+                grad_buffer(a.index) += t;
+                ws_.recycle(std::move(t));
+            }
+            if (nodes_[b.index].requires_grad) {
+                matrix t = ws_.take(nodes_[a.index].value.cols(), g.cols());
+                linalg::matmul_tn_into(t, nodes_[a.index].value, g, pool_);
+                grad_buffer(b.index) += t;
+                ws_.recycle(std::move(t));
+            }
         };
     }
     return v;
@@ -149,7 +170,7 @@ var tape::add_broadcast_row(var a, var bias) {
     const matrix& bv = at(bias).value;
     if (bv.rows() != 1 || bv.cols() != av.cols())
         throw std::invalid_argument("tape::add_broadcast_row: bias must be 1×cols(a)");
-    matrix out = av;
+    matrix out = ws_.take_copy(av);
     for (std::size_t i = 0; i < out.rows(); ++i)
         for (std::size_t j = 0; j < out.cols(); ++j) out(i, j) += bv(0, j);
     const bool rg = at(a).requires_grad || at(bias).requires_grad;
@@ -173,7 +194,7 @@ var tape::concat_cols(var a, var b) {
     const matrix& bv = at(b).value;
     if (av.rows() != bv.rows())
         throw std::invalid_argument("tape::concat_cols: row count mismatch");
-    matrix out(av.rows(), av.cols() + bv.cols());
+    matrix out = ws_.take(av.rows(), av.cols() + bv.cols());
     for (std::size_t i = 0; i < av.rows(); ++i) {
         for (std::size_t j = 0; j < av.cols(); ++j) out(i, j) = av(i, j);
         for (std::size_t j = 0; j < bv.cols(); ++j) out(i, av.cols() + j) = bv(i, j);
@@ -201,7 +222,7 @@ var tape::concat_cols(var a, var b) {
 }
 
 var tape::sigmoid(var a) {
-    matrix out = at(a).value;
+    matrix out = ws_.take_copy(at(a).value);
     for (double& x : out.flat()) x = 1.0 / (1.0 + std::exp(-x));
     const bool rg = at(a).requires_grad;
     var v = push(std::move(out), rg, {});
@@ -220,7 +241,7 @@ var tape::sigmoid(var a) {
 }
 
 var tape::tanh_act(var a) {
-    matrix out = at(a).value;
+    matrix out = ws_.take_copy(at(a).value);
     for (double& x : out.flat()) x = std::tanh(x);
     const bool rg = at(a).requires_grad;
     var v = push(std::move(out), rg, {});
@@ -237,7 +258,7 @@ var tape::tanh_act(var a) {
 }
 
 var tape::relu(var a) {
-    matrix out = at(a).value;
+    matrix out = ws_.take_copy(at(a).value);
     for (double& x : out.flat()) x = x > 0.0 ? x : 0.0;
     const bool rg = at(a).requires_grad;
     var v = push(std::move(out), rg, {});
@@ -254,7 +275,7 @@ var tape::relu(var a) {
 }
 
 var tape::log_op(var a) {
-    matrix out = at(a).value;
+    matrix out = ws_.take_copy(at(a).value);
     for (double& x : out.flat()) {
         if (x <= 0.0) throw std::domain_error("tape::log_op: non-positive input");
         x = std::log(x);
@@ -273,7 +294,7 @@ var tape::log_op(var a) {
 }
 
 var tape::reciprocal(var a) {
-    matrix out = at(a).value;
+    matrix out = ws_.take_copy(at(a).value);
     for (double& x : out.flat()) {
         if (x == 0.0) throw std::domain_error("tape::reciprocal: zero input");
         x = 1.0 / x;
@@ -293,7 +314,7 @@ var tape::reciprocal(var a) {
 }
 
 var tape::log_sigmoid(var a) {
-    matrix out = at(a).value;
+    matrix out = ws_.take_copy(at(a).value);
     for (double& x : out.flat()) {
         // log σ(x) = -log(1+e^{-x}) = x - log(1+e^{x}); branch for stability.
         x = x >= 0.0 ? -std::log1p(std::exp(-x)) : x - std::log1p(std::exp(x));
@@ -319,7 +340,7 @@ var tape::log_sigmoid(var a) {
 
 var tape::l2_normalize_rows(var a, double eps) {
     const matrix& av = at(a).value;
-    matrix out = av;
+    matrix out = ws_.take_copy(av);
     std::vector<double> norms(av.rows());
     for (std::size_t i = 0; i < av.rows(); ++i) {
         double n = linalg::norm2(av.row(i));
@@ -349,7 +370,7 @@ var tape::gather_rows(var a, std::vector<std::size_t> indices) {
     const matrix& av = at(a).value;
     for (const std::size_t idx : indices)
         if (idx >= av.rows()) throw std::out_of_range("tape::gather_rows: index out of range");
-    matrix out(indices.size(), av.cols());
+    matrix out = ws_.take(indices.size(), av.cols());
     for (std::size_t i = 0; i < indices.size(); ++i)
         for (std::size_t j = 0; j < av.cols(); ++j) out(i, j) = av(indices[i], j);
     const bool rg = at(a).requires_grad;
@@ -374,10 +395,11 @@ var tape::weighted_sum_rows(var a,
             if (idx >= av.rows())
                 throw std::out_of_range("tape::weighted_sum_rows: index out of range");
         }
-    matrix out(groups.size(), av.cols(), 0.0);
+    matrix out = ws_.take_zero(groups.size(), av.cols());
     // Output rows are independent, so pooled aggregation is bit-exact; the
     // backward scatter below stays serial (groups share source rows).
-    util::parallel_for(pool_, 0, groups.size(), util::row_grain(groups.size()),
+    util::parallel_for(pool_, 0, groups.size(),
+                       linalg::parallel_policy::row_grain(groups.size()),
                        [&](std::size_t r0, std::size_t r1) {
                            for (std::size_t i = r0; i < r1; ++i)
                                for (const auto& [idx, w] : groups[i])
@@ -402,7 +424,7 @@ var tape::row_dot(var a, var b) {
     check_same_shape(at(a).value, at(b).value, "tape::row_dot");
     const matrix& av = at(a).value;
     const matrix& bv = at(b).value;
-    matrix out(av.rows(), 1);
+    matrix out = ws_.take(av.rows(), 1);
     for (std::size_t i = 0; i < av.rows(); ++i) out(i, 0) = linalg::dot(av.row(i), bv.row(i));
     const bool rg = at(a).requires_grad || at(b).requires_grad;
     var v = push(std::move(out), rg, {});
@@ -431,7 +453,7 @@ var tape::pairwise_sqdist(var a, var b) {
     const matrix& bv = at(b).value;
     if (av.cols() != bv.cols())
         throw std::invalid_argument("tape::pairwise_sqdist: dimension mismatch");
-    matrix out(av.rows(), bv.rows());
+    matrix out = ws_.take(av.rows(), bv.rows());
     for (std::size_t i = 0; i < av.rows(); ++i)
         for (std::size_t j = 0; j < bv.rows(); ++j)
             out(i, j) = linalg::squared_distance(av.row(i), bv.row(j));
@@ -463,7 +485,7 @@ var tape::pairwise_sqdist(var a, var b) {
 
 var tape::row_normalize(var a) {
     const matrix& av = at(a).value;
-    matrix out = av;
+    matrix out = ws_.take_copy(av);
     std::vector<double> sums(av.rows());
     for (std::size_t i = 0; i < av.rows(); ++i) {
         double s = 0.0;
@@ -492,7 +514,7 @@ var tape::row_normalize(var a) {
 
 var tape::softmax_rows(var a) {
     const matrix& av = at(a).value;
-    matrix out = av;
+    matrix out = ws_.take_copy(av);
     for (std::size_t i = 0; i < av.rows(); ++i) {
         double mx = out(i, 0);
         for (std::size_t j = 1; j < av.cols(); ++j) mx = std::max(mx, out(i, j));
@@ -524,7 +546,8 @@ var tape::softmax_rows(var a) {
 var tape::sum_all(var a) {
     double total = 0.0;
     for (const double x : at(a).value.flat()) total += x;
-    matrix out(1, 1, total);
+    matrix out = ws_.take(1, 1);
+    out(0, 0) = total;
     const bool rg = at(a).requires_grad;
     var v = push(std::move(out), rg, {});
     if (rg) {
@@ -542,7 +565,8 @@ var tape::mean_all(var a) {
     if (n == 0) throw std::invalid_argument("tape::mean_all: empty input");
     double total = 0.0;
     for (const double x : at(a).value.flat()) total += x;
-    matrix out(1, 1, total / static_cast<double>(n));
+    matrix out = ws_.take(1, 1);
+    out(0, 0) = total / static_cast<double>(n);
     const bool rg = at(a).requires_grad;
     var v = push(std::move(out), rg, {});
     if (rg) {
@@ -563,7 +587,11 @@ void tape::backward(var root) {
     const node& r = at(root);
     if (r.value.rows() != 1 || r.value.cols() != 1)
         throw std::invalid_argument("tape::backward: root must be 1×1");
-    for (node& n : nodes_) n.grad = matrix{};
+    // Recycle previous gradients; moved-from matrices are clean 0×0, so
+    // grad() keeps returning the well-defined empty sentinel for nodes
+    // this backward pass never reaches.
+    for (node& n : nodes_)
+        if (!n.grad.empty()) ws_.recycle(std::move(n.grad));
     grad_buffer(root.index)(0, 0) = 1.0;
     for (std::size_t i = root.index + 1; i-- > 0;) {
         node& n = nodes_[i];

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "linalg/matrix.hpp"
+#include "linalg/workspace.hpp"
 
 namespace fisone::util {
 class thread_pool;
@@ -43,10 +44,13 @@ struct var {
     [[nodiscard]] bool valid() const noexcept { return index != static_cast<std::size_t>(-1); }
 };
 
-/// Append-only computation tape. Not thread-safe; use one per training step
-/// (or call `reset()` between steps to reuse allocations). An optional
-/// thread pool parallelises the dense products (forward and backward) —
-/// pooled runs are bit-identical to serial ones (see matrix.hpp).
+/// Append-only computation tape. Not thread-safe; call `reset()` between
+/// training steps to reuse the tape: every node's value and gradient
+/// storage is recycled through an internal `linalg::workspace`, so a
+/// steady-state forward+backward pass allocates no matrix temporaries at
+/// all. An optional thread pool parallelises the dense products (forward
+/// and backward) — pooled runs are bit-identical to serial ones (see
+/// matrix.hpp / kernels.hpp).
 class tape {
 public:
     tape() = default;
@@ -58,18 +62,24 @@ public:
     void set_pool(util::thread_pool* pool) noexcept { pool_ = pool; }
 
     /// Remove all nodes; handles from before the reset become invalid.
-    void reset() noexcept { nodes_.clear(); }
+    /// Node storage (values and gradients) is recycled into the tape's
+    /// workspace so the next step's operations reuse it.
+    void reset() noexcept;
 
     /// Number of nodes currently recorded.
     [[nodiscard]] std::size_t size() const noexcept { return nodes_.size(); }
 
     // --- leaves ---
 
-    /// Non-trainable input (no gradient will be computed for it).
-    var constant(matrix value);
+    /// Non-trainable input (no gradient will be computed for it). The
+    /// const& overloads copy through the workspace, so feeding the same
+    /// leaves to a reused tape every step is allocation-free.
+    var constant(const matrix& value);
+    var constant(matrix&& value);
 
     /// Trainable leaf; after backward(), read its gradient with grad().
-    var parameter(matrix value);
+    var parameter(const matrix& value);
+    var parameter(matrix&& value);
 
     // --- elementwise / arithmetic ---
     var add(var a, var b);                     ///< a + b, same shape
@@ -152,6 +162,7 @@ private:
 
     std::vector<node> nodes_;
     util::thread_pool* pool_ = nullptr;
+    linalg::workspace ws_;  ///< recycled storage for node values/grads
 };
 
 }  // namespace fisone::autodiff

@@ -6,6 +6,7 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "linalg/parallel_policy.hpp"
 #include "util/thread_pool.hpp"
 
 namespace fisone::cluster {
@@ -43,7 +44,8 @@ std::vector<linkage_merge> upgma_linkage(const linalg::matrix& points, util::thr
     // cells (i, j) and their mirrors (j, i) for every j > i, so each cell
     // has exactly one writer and the values match the serial fill exactly.
     std::vector<float> dist(n * n, 0.0f);
-    util::parallel_for(pool, 0, n, util::row_grain(n), [&](std::size_t rb, std::size_t re) {
+    util::parallel_for(pool, 0, n, linalg::parallel_policy::row_grain(n),
+                       [&](std::size_t rb, std::size_t re) {
         for (std::size_t i = rb; i < re; ++i)
             for (std::size_t j = i + 1; j < n; ++j) {
                 const auto d = static_cast<float>(
@@ -90,15 +92,31 @@ std::vector<linkage_merge> upgma_linkage(const linalg::matrix& points, util::thr
                 const double height = best_d;
 
                 // Lance–Williams update for average linkage into slot a.
+                // Every x owns its two mirror cells (a,x)/(x,a) and reads
+                // only row b and its own cells, so the sweep splits over
+                // the pool with one writer per cell — bit-identical to
+                // serial. `span_grain` collapses sweeps below the policy's
+                // dispatch break-even into a single inline chunk, so the
+                // pool only engages at city-scale point counts.
                 const auto sa = static_cast<float>(size[a]);
                 const auto sb = static_cast<float>(size[b]);
-                for (std::size_t x = 0; x < n; ++x) {
-                    if (!active[x] || x == a || x == b) continue;
-                    const float d_new =
-                        (sa * dist[a * n + x] + sb * dist[b * n + x]) / (sa + sb);
-                    dist[a * n + x] = d_new;
-                    dist[x * n + a] = d_new;
-                }
+                auto update_rows = [&](std::size_t x0, std::size_t x1) {
+                    for (std::size_t x = x0; x < x1; ++x) {
+                        if (!active[x] || x == a || x == b) continue;
+                        const float d_new =
+                            (sa * dist[a * n + x] + sb * dist[b * n + x]) / (sa + sb);
+                        dist[a * n + x] = d_new;
+                        dist[x * n + a] = d_new;
+                    }
+                };
+                // Below the policy span the sweep is one chunk anyway; run
+                // it directly instead of paying a std::function wrap on
+                // every one of the n−1 merges.
+                if (pool == nullptr || n < linalg::parallel_policy::min_span)
+                    update_rows(0, n);
+                else
+                    util::parallel_for(pool, 0, n, linalg::parallel_policy::span_grain(n),
+                                       update_rows);
                 active[b] = false;
                 size[a] += size[b];
                 merges.push_back(linkage_merge{a, b, height});

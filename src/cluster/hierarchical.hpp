@@ -34,9 +34,12 @@ struct linkage_merge {
 /// Full UPGMA dendrogram of the rows of \p points (n−1 merges).
 /// \param pool optional worker pool for the O(n²) pairwise-distance
 ///        initialisation (the dominant cost for the pipeline's sample
-///        counts). Rows are partitioned and every matrix cell has exactly
-///        one writer, so pooled runs are bit-identical to serial ones; the
-///        NN-chain merge loop itself stays serial.
+///        counts) and for the per-merge Lance–Williams distance-row
+///        update. In both sweeps every matrix cell has exactly one
+///        writer, so pooled runs are bit-identical to serial ones; the
+///        NN-chain scan itself stays serial, and the update only engages
+///        the pool above `parallel_policy::min_span` points (below that
+///        it collapses to one inline chunk).
 /// \throws std::invalid_argument if points has fewer than 1 row.
 [[nodiscard]] std::vector<linkage_merge> upgma_linkage(const linalg::matrix& points,
                                                        util::thread_pool* pool = nullptr);

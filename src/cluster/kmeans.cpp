@@ -3,6 +3,7 @@
 #include <limits>
 #include <stdexcept>
 
+#include "linalg/parallel_policy.hpp"
 #include "util/thread_pool.hpp"
 
 namespace fisone::cluster {
@@ -60,7 +61,8 @@ kmeans_result run_once(const linalg::matrix& points, std::size_t k, util::rng& g
     double prev_inertia = std::numeric_limits<double>::max();
     for (std::size_t iter = 0; iter < cfg.max_iterations; ++iter) {
         // Assignment step.
-        util::parallel_for(pool, 0, n, util::row_grain(n), [&](std::size_t i0, std::size_t i1) {
+        util::parallel_for(pool, 0, n, linalg::parallel_policy::row_grain(n),
+                           [&](std::size_t i0, std::size_t i1) {
             for (std::size_t i = i0; i < i1; ++i) {
                 double best = std::numeric_limits<double>::max();
                 int best_c = 0;

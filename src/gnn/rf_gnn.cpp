@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <unordered_map>
 
+#include "linalg/parallel_policy.hpp"
 #include "util/thread_pool.hpp"
 
 namespace fisone::gnn {
@@ -19,7 +20,8 @@ rf_gnn::rf_gnn(const graph::bipartite_graph& g, rf_gnn_config cfg, util::thread_
       rng_(cfg.seed),
       sampler_(g, cfg.use_attention),
       negatives_(g, cfg.negative_exponent),
-      optimizer_(autodiff::adam::config{cfg.learning_rate, 0.9, 0.999, 1e-8, cfg.grad_clip}) {
+      optimizer_(autodiff::adam::config{cfg.learning_rate, 0.9, 0.999, 1e-8, cfg.grad_clip}),
+      tape_(pool) {
     if (cfg.embedding_dim == 0) throw std::invalid_argument("rf_gnn: embedding_dim must be > 0");
     if (cfg.num_hops == 0) throw std::invalid_argument("rf_gnn: num_hops must be > 0");
     if (cfg.neighbor_samples == 0)
@@ -159,8 +161,10 @@ double rf_gnn::train_batch(const std::vector<graph::walk_pair>& pairs, std::size
         }
     }
 
-    // --- forward pass on a fresh tape ---
-    autodiff::tape t(pool_);
+    // --- forward pass on the reused tape (reset recycles node storage
+    //     into the tape's workspace, making the step allocation-free) ---
+    tape_.reset();
+    autodiff::tape& t = tape_;
     const var base_var = cfg_.train_base_embeddings ? t.parameter(base_) : t.constant(base_);
     std::vector<var> weight_vars;
     weight_vars.reserve(K);
@@ -217,8 +221,9 @@ matrix rf_gnn::propagate_full(const matrix& prev, std::size_t hop) const {
 
     // Aggregate over the *full* neighbourhood (deterministic inference).
     // Every node writes only its own output row, so pooling is bit-exact.
-    matrix agg(n, d, 0.0);
-    util::parallel_for(pool_, 0, n, util::row_grain(n), [&](std::size_t n0, std::size_t n1) {
+    matrix agg = ws_.take_zero(n, d);
+    util::parallel_for(pool_, 0, n, linalg::parallel_policy::row_grain(n),
+                       [&](std::size_t n0, std::size_t n1) {
         for (std::uint32_t node = static_cast<std::uint32_t>(n0); node < n1; ++node) {
             const auto nbrs = graph_->neighbors(node);
             if (nbrs.empty()) continue;
@@ -236,7 +241,7 @@ matrix rf_gnn::propagate_full(const matrix& prev, std::size_t hop) const {
     });
 
     // cat = [prev | agg], z = cat · W_hop, σ, normalise
-    matrix cat(n, 2 * d);
+    matrix cat = ws_.take(n, 2 * d);
     for (std::size_t i = 0; i < n; ++i) {
         const auto prow = prev.row(i);
         for (std::size_t j = 0; j < d; ++j) {
@@ -244,7 +249,10 @@ matrix rf_gnn::propagate_full(const matrix& prev, std::size_t hop) const {
             cat(i, d + j) = agg(i, j);
         }
     }
-    matrix z = linalg::matmul(cat, weights_[hop], pool_);
+    matrix z = ws_.take(n, d);
+    linalg::matmul_into(z, cat, weights_[hop], pool_);
+    ws_.recycle(std::move(agg));
+    ws_.recycle(std::move(cat));
     apply_activation(z);
     for (std::size_t i = 0; i < n; ++i) {
         double nrm = linalg::norm2(z.row(i));
@@ -256,6 +264,8 @@ matrix rf_gnn::propagate_full(const matrix& prev, std::size_t hop) const {
 
 const matrix& rf_gnn::embed_all_nodes() {
     if (!cache_valid_) {
+        // Stale layers go back to the arena; the rebuild takes them out again.
+        for (matrix& layer : layer_cache_) ws_.recycle(std::move(layer));
         layer_cache_.clear();
         layer_cache_.push_back(base_);
         for (std::size_t k = 0; k < cfg_.num_hops; ++k)
@@ -267,7 +277,7 @@ const matrix& rf_gnn::embed_all_nodes() {
 
 matrix rf_gnn::embed_samples() {
     const matrix& all = embed_all_nodes();
-    matrix out(graph_->num_samples(), cfg_.embedding_dim);
+    matrix out = matrix::uninit(graph_->num_samples(), cfg_.embedding_dim);
     for (std::size_t i = 0; i < graph_->num_samples(); ++i) {
         const auto row = all.row(graph_->sample_node(i));
         for (std::size_t j = 0; j < cfg_.embedding_dim; ++j) out(i, j) = row[j];
@@ -313,13 +323,17 @@ std::vector<double> rf_gnn::embed_new_sample(
             const auto row = layer_cache_[k - 1].row(node);
             for (std::size_t j = 0; j < d; ++j) agg[j] += ww * row[j];
         }
-        // z = [h | agg] · W_{k-1}
-        matrix cat(1, 2 * d);
+        // z = [h | agg] · W_{k-1}. Deliberately plain locals, not the
+        // shared ws_ arena: once the layer cache is warm this method only
+        // reads model state, so concurrent inference on one fitted model
+        // stays safe (the 1×2d scratch is too small to matter anyway).
+        matrix cat = matrix::uninit(1, 2 * d);
         for (std::size_t j = 0; j < d; ++j) {
             cat(0, j) = h[j];
             cat(0, d + j) = agg[j];
         }
-        matrix z = linalg::matmul(cat, weights_[k - 1]);
+        matrix z = matrix::uninit(1, d);
+        linalg::matmul_into(z, cat, weights_[k - 1]);
         apply_activation(z);
         double nrm = linalg::norm2(z.row(0));
         if (nrm < 1e-12) nrm = 1e-12;

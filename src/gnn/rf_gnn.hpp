@@ -23,6 +23,7 @@
 #include "graph/bipartite_graph.hpp"
 #include "graph/sampling.hpp"
 #include "linalg/matrix.hpp"
+#include "linalg/workspace.hpp"
 #include "util/rng.hpp"
 
 namespace fisone::util {
@@ -119,6 +120,17 @@ private:
     graph::neighbor_sampler sampler_;
     graph::negative_table negatives_;
     autodiff::adam optimizer_;
+
+    /// Training tape, reused across batches: `reset()` recycles every
+    /// node's storage through the tape's workspace, so steady-state
+    /// forward+backward passes allocate no matrix temporaries.
+    autodiff::tape tape_;
+    /// Scratch arena for full-graph propagation; mutable because
+    /// propagation is logically const but reuses these buffers. Only
+    /// touched on the (already mutating) cache-rebuild path —
+    /// `embed_new_sample` deliberately uses locals so warm-cache
+    /// inference never mutates shared model state.
+    mutable linalg::workspace ws_;
 
     linalg::matrix base_;                  // (num_nodes × d)
     std::vector<linalg::matrix> weights_;  // per hop, (2d × d)

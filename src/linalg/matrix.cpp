@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "linalg/parallel_policy.hpp"
 #include "util/thread_pool.hpp"
 
 namespace fisone::linalg {
@@ -15,100 +16,78 @@ void check_same_length(std::span<const double> a, std::span<const double> b, con
     if (a.size() != b.size()) throw std::invalid_argument(std::string(what) + ": length mismatch");
 }
 
-/// Pooled products only pay off above a work threshold; below it the
-/// chunk hand-off costs more than the arithmetic.
-constexpr std::size_t kMinParallelFlops = 1 << 15;
-
-util::thread_pool* effective_pool(util::thread_pool* pool, std::size_t flops) noexcept {
-    return flops >= kMinParallelFlops ? pool : nullptr;
+constexpr std::size_t row_grain(std::size_t rows) noexcept {
+    return parallel_policy::row_grain(rows);
 }
-
-using util::row_grain;
 }  // namespace
 
 matrix& matrix::operator+=(const matrix& other) {
     check_same_shape(*this, other, "matrix::operator+=");
-    for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+    kernels::axpy(data_.size(), 1.0, other.data_.data(), data_.data());
     return *this;
 }
 
 matrix& matrix::operator-=(const matrix& other) {
     check_same_shape(*this, other, "matrix::operator-=");
-    for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
+    kernels::axpy(data_.size(), -1.0, other.data_.data(), data_.data());
     return *this;
 }
 
 matrix& matrix::operator*=(double scalar) noexcept {
-    for (double& x : data_) x *= scalar;
+    kernels::scale(data_.size(), scalar, data_.data());
     return *this;
 }
 
-matrix matmul(const matrix& a, const matrix& b, util::thread_pool* pool) {
+void matmul_into(matrix& out, const matrix& a, const matrix& b, util::thread_pool* pool) {
     if (a.cols() != b.rows()) throw std::invalid_argument("matmul: inner dimension mismatch");
-    matrix out(a.rows(), b.cols(), 0.0);
-    pool = effective_pool(pool, a.rows() * a.cols() * b.cols());
-    // i-k-j loop order keeps the inner loop contiguous over both b and out.
-    util::parallel_for(pool, 0, a.rows(), row_grain(a.rows()),
-                       [&](std::size_t r0, std::size_t r1) {
-                           for (std::size_t i = r0; i < r1; ++i) {
-                               for (std::size_t k = 0; k < a.cols(); ++k) {
-                                   const double aik = a(i, k);
-                                   if (aik == 0.0) continue;
-                                   const double* brow = &b(k, 0);
-                                   double* orow = &out(i, 0);
-                                   for (std::size_t j = 0; j < b.cols(); ++j)
-                                       orow[j] += aik * brow[j];
-                               }
-                           }
-                       });
+    const std::size_t m = a.rows(), k = a.cols(), n = b.cols();
+    out.resize_uninit(m, n);
+    pool = parallel_policy::effective(pool, m * k * n);
+    util::parallel_for(pool, 0, m, row_grain(m), [&](std::size_t r0, std::size_t r1) {
+        kernels::matmul_blocked(a.data(), b.data(), out.data(), m, k, n, r0, r1);
+    });
+}
+
+void matmul_nt_into(matrix& out, const matrix& a, const matrix& b, util::thread_pool* pool) {
+    if (a.cols() != b.cols()) throw std::invalid_argument("matmul_nt: dimension mismatch");
+    const std::size_t m = a.rows(), k = a.cols(), n = b.rows();
+    out.resize_uninit(m, n);
+    pool = parallel_policy::effective(pool, m * k * n);
+    util::parallel_for(pool, 0, m, row_grain(m), [&](std::size_t r0, std::size_t r1) {
+        kernels::matmul_nt_blocked(a.data(), b.data(), out.data(), m, k, n, r0, r1);
+    });
+}
+
+void matmul_tn_into(matrix& out, const matrix& a, const matrix& b, util::thread_pool* pool) {
+    if (a.rows() != b.rows()) throw std::invalid_argument("matmul_tn: dimension mismatch");
+    const std::size_t m = a.cols(), k = a.rows(), n = b.cols();
+    out.resize_uninit(m, n);
+    pool = parallel_policy::effective(pool, m * k * n);
+    util::parallel_for(pool, 0, m, row_grain(m), [&](std::size_t r0, std::size_t r1) {
+        kernels::matmul_tn_blocked(a.data(), b.data(), out.data(), m, k, n, r0, r1);
+    });
+}
+
+matrix matmul(const matrix& a, const matrix& b, util::thread_pool* pool) {
+    matrix out;
+    matmul_into(out, a, b, pool);
     return out;
 }
 
 matrix matmul_nt(const matrix& a, const matrix& b, util::thread_pool* pool) {
-    if (a.cols() != b.cols()) throw std::invalid_argument("matmul_nt: dimension mismatch");
-    matrix out(a.rows(), b.rows(), 0.0);
-    pool = effective_pool(pool, a.rows() * a.cols() * b.rows());
-    util::parallel_for(pool, 0, a.rows(), row_grain(a.rows()),
-                       [&](std::size_t r0, std::size_t r1) {
-                           for (std::size_t i = r0; i < r1; ++i) {
-                               const double* arow = &a(i, 0);
-                               for (std::size_t j = 0; j < b.rows(); ++j) {
-                                   const double* brow = &b(j, 0);
-                                   double acc = 0.0;
-                                   for (std::size_t k = 0; k < a.cols(); ++k)
-                                       acc += arow[k] * brow[k];
-                                   out(i, j) = acc;
-                               }
-                           }
-                       });
+    matrix out;
+    matmul_nt_into(out, a, b, pool);
     return out;
 }
 
 matrix matmul_tn(const matrix& a, const matrix& b, util::thread_pool* pool) {
-    if (a.rows() != b.rows()) throw std::invalid_argument("matmul_tn: dimension mismatch");
-    matrix out(a.cols(), b.cols(), 0.0);
-    pool = effective_pool(pool, a.rows() * a.cols() * b.cols());
-    // Each output row i accumulates over k in ascending order exactly as the
-    // serial k-outer loop did, so splitting by output rows stays bit-exact.
-    util::parallel_for(pool, 0, a.cols(), row_grain(a.cols()),
-                       [&](std::size_t r0, std::size_t r1) {
-                           for (std::size_t k = 0; k < a.rows(); ++k) {
-                               const double* arow = &a(k, 0);
-                               const double* brow = &b(k, 0);
-                               for (std::size_t i = r0; i < r1; ++i) {
-                                   const double aki = arow[i];
-                                   if (aki == 0.0) continue;
-                                   double* orow = &out(i, 0);
-                                   for (std::size_t j = 0; j < b.cols(); ++j)
-                                       orow[j] += aki * brow[j];
-                               }
-                           }
-                       });
+    matrix out;
+    matmul_tn_into(out, a, b, pool);
     return out;
 }
 
 matrix transpose(const matrix& a) {
-    matrix out(a.cols(), a.rows());
+    matrix out = matrix::uninit(a.cols(), a.rows());
     for (std::size_t i = 0; i < a.rows(); ++i)
         for (std::size_t j = 0; j < a.cols(); ++j) out(j, i) = a(i, j);
     return out;
@@ -120,10 +99,15 @@ matrix identity(std::size_t n) {
     return out;
 }
 
-matrix hadamard(const matrix& a, const matrix& b) {
+void hadamard_into(matrix& out, const matrix& a, const matrix& b) {
     check_same_shape(a, b, "hadamard");
-    matrix out(a.rows(), a.cols());
+    out.resize_uninit(a.rows(), a.cols());
     for (std::size_t i = 0; i < a.size(); ++i) out.flat()[i] = a.flat()[i] * b.flat()[i];
+}
+
+matrix hadamard(const matrix& a, const matrix& b) {
+    matrix out;
+    hadamard_into(out, a, b);
     return out;
 }
 
@@ -143,9 +127,7 @@ double euclidean_distance(std::span<const double> a, std::span<const double> b) 
 
 double dot(std::span<const double> a, std::span<const double> b) {
     check_same_length(a, b, "dot");
-    double acc = 0.0;
-    for (std::size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
-    return acc;
+    return kernels::dot(a.size(), a.data(), b.data());
 }
 
 double norm2(std::span<const double> a) {

@@ -4,13 +4,19 @@
 /// Dense row-major matrix of doubles — the numeric workhorse shared by the
 /// autodiff engine, the classical-MDS baseline and the evaluation code.
 /// Deliberately small: only the operations the library needs, all bounds-
-/// checked at API boundaries.
+/// checked at API boundaries. Storage is 64-byte aligned (one cache line)
+/// and the dense products route through the cache-blocked kernel layer in
+/// kernels.hpp, whose results are bit-identical to the scalar reference
+/// kernels at any thread count.
 
 #include <cstddef>
 #include <initializer_list>
 #include <span>
 #include <stdexcept>
+#include <utility>
 #include <vector>
+
+#include "linalg/kernels.hpp"
 
 namespace fisone::util {
 class thread_pool;
@@ -21,11 +27,44 @@ namespace fisone::linalg {
 /// Dense row-major matrix. Value-semantic; copies are deep.
 class matrix {
 public:
+    using storage = std::vector<double, kernels::aligned_allocator<double>>;
+
     matrix() = default;
+    matrix(const matrix&) = default;
+    matrix& operator=(const matrix&) = default;
+
+    /// Moves leave the source as a clean 0×0 matrix, so a moved-from
+    /// matrix never reports stale dimensions over empty storage (the
+    /// workspace recycles matrices by move and tape::grad exposes them).
+    matrix(matrix&& other) noexcept
+        : rows_(std::exchange(other.rows_, 0)),
+          cols_(std::exchange(other.cols_, 0)),
+          data_(std::move(other.data_)) {
+        other.data_.clear();
+    }
+    matrix& operator=(matrix&& other) noexcept {
+        rows_ = std::exchange(other.rows_, 0);
+        cols_ = std::exchange(other.cols_, 0);
+        data_ = std::move(other.data_);
+        other.data_.clear();
+        return *this;
+    }
 
     /// Construct a \p rows × \p cols matrix filled with \p fill.
     matrix(std::size_t rows, std::size_t cols, double fill = 0.0)
         : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+    /// Construct a \p rows × \p cols matrix with **uninitialised** cells —
+    /// the allocation path for outputs that are fully overwritten before
+    /// any read (matmul results, gathers, workspace scratch). Never read
+    /// an element before writing it.
+    [[nodiscard]] static matrix uninit(std::size_t rows, std::size_t cols) {
+        matrix m;
+        m.rows_ = rows;
+        m.cols_ = cols;
+        m.data_.resize(rows * cols);  // default-init: aligned_allocator leaves cells untouched
+        return m;
+    }
 
     /// Construct from nested braces: `matrix{{1,2},{3,4}}`.
     /// \throws std::invalid_argument on ragged rows.
@@ -43,6 +82,9 @@ public:
     [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
     [[nodiscard]] std::size_t size() const noexcept { return data_.size(); }
     [[nodiscard]] bool empty() const noexcept { return data_.empty(); }
+
+    /// Allocated capacity in elements (used by the workspace recycler).
+    [[nodiscard]] std::size_t capacity() const noexcept { return data_.capacity(); }
 
     /// Unchecked element access (hot paths).
     [[nodiscard]] double& operator()(std::size_t r, std::size_t c) noexcept {
@@ -88,6 +130,16 @@ public:
         cols_ = cols;
     }
 
+    /// Re-shape to \p rows × \p cols, reusing the allocation when it is
+    /// large enough; any newly exposed cells are **uninitialised**. This
+    /// is how the workspace turns a recycled buffer into fresh scratch
+    /// without paying a zero-fill.
+    void resize_uninit(std::size_t rows, std::size_t cols) {
+        rows_ = rows;
+        cols_ = cols;
+        data_.resize(rows * cols);  // default-init via aligned_allocator
+    }
+
     // --- elementwise arithmetic (shape-checked) ---
     matrix& operator+=(const matrix& other);
     matrix& operator-=(const matrix& other);
@@ -109,13 +161,13 @@ private:
 
     std::size_t rows_ = 0;
     std::size_t cols_ = 0;
-    std::vector<double> data_;
+    storage data_;
 };
 
 /// Matrix product A·B. \throws std::invalid_argument on inner-dim mismatch.
 /// All three products optionally split work over \p pool by *output rows*;
 /// each output element keeps its serial accumulation order, so pooled
-/// results are bit-identical to the single-threaded ones.
+/// results are bit-identical to the single-threaded ones (kernels.hpp).
 [[nodiscard]] matrix matmul(const matrix& a, const matrix& b, util::thread_pool* pool = nullptr);
 
 /// A·Bᵀ without materialising the transpose.
@@ -125,6 +177,19 @@ private:
 /// Aᵀ·B without materialising the transpose.
 [[nodiscard]] matrix matmul_tn(const matrix& a, const matrix& b,
                                util::thread_pool* pool = nullptr);
+
+/// Destination-passing forms of the three products: \p out is reshaped
+/// (allocation-free when its capacity suffices — the workspace path) and
+/// fully overwritten. \p out must not alias \p a or \p b.
+void matmul_into(matrix& out, const matrix& a, const matrix& b, util::thread_pool* pool = nullptr);
+void matmul_nt_into(matrix& out, const matrix& a, const matrix& b,
+                    util::thread_pool* pool = nullptr);
+void matmul_tn_into(matrix& out, const matrix& a, const matrix& b,
+                    util::thread_pool* pool = nullptr);
+
+/// Destination-passing Hadamard product, same contract as the products
+/// above. \throws std::invalid_argument on shape mismatch.
+void hadamard_into(matrix& out, const matrix& a, const matrix& b);
 
 /// Transpose.
 [[nodiscard]] matrix transpose(const matrix& a);

@@ -1,0 +1,58 @@
+#include "workspace.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace fisone::linalg {
+
+matrix workspace::take(std::size_t rows, std::size_t cols) {
+    const std::size_t need = rows * cols;
+    if (pool_.empty()) {
+        return matrix::uninit(rows, cols);
+    }
+    // Best fit: the smallest pooled capacity that holds the request, so a
+    // 1×1 loss scratch never pins a layer-sized buffer.
+    std::size_t best = pool_.size();
+    std::size_t largest = 0;
+    for (std::size_t i = 0; i < pool_.size(); ++i) {
+        const std::size_t cap = pool_[i].capacity();
+        if (cap >= need && (best == pool_.size() || cap < pool_[best].capacity())) best = i;
+        if (pool_[i].capacity() >= pool_[largest].capacity()) largest = i;
+    }
+    if (best == pool_.size()) {
+        // Nothing fits. Replace the largest buffer with a fresh allocation
+        // rather than resize()-growing it, which would memcpy its garbage
+        // scratch contents into the new block; the bigger buffer joins the
+        // pool on recycle and serves later requests of this size.
+        pool_.erase(pool_.begin() + static_cast<std::ptrdiff_t>(largest));
+        return matrix::uninit(rows, cols);
+    }
+    matrix m = std::move(pool_[best]);
+    pool_.erase(pool_.begin() + static_cast<std::ptrdiff_t>(best));
+    m.resize_uninit(rows, cols);
+    return m;
+}
+
+matrix workspace::take_zero(std::size_t rows, std::size_t cols) {
+    matrix m = take(rows, cols);
+    m.fill(0.0);
+    return m;
+}
+
+matrix workspace::take_copy(const matrix& src) {
+    matrix m = take(src.rows(), src.cols());
+    std::copy(src.flat().begin(), src.flat().end(), m.flat().begin());
+    return m;
+}
+
+void workspace::recycle(matrix&& m) noexcept {
+    if (m.capacity() == 0) return;
+    try {
+        pool_.push_back(std::move(m));
+    } catch (...) {
+        // Out of memory growing the pool vector: drop the buffer instead
+        // (freeing memory is the right response to allocation pressure).
+    }
+}
+
+}  // namespace fisone::linalg

@@ -32,14 +32,9 @@ namespace fisone::util {
 /// with a floor of 1 when `hardware_concurrency` is unknown.
 [[nodiscard]] std::size_t resolve_num_threads(std::size_t requested) noexcept;
 
-/// Rows per `parallel_for` chunk for row-partitioned kernels. Any grain is
-/// bit-exact for those kernels (rows are independent); this one balances
-/// scheduling overhead against load skew. Shared so every kernel grains
-/// the same way and a tuning change happens in one place.
-[[nodiscard]] constexpr std::size_t row_grain(std::size_t rows) noexcept {
-    const std::size_t g = rows / 32;
-    return g == 0 ? 1 : g;
-}
+// Graining heuristics for row-partitioned kernels live in
+// linalg/parallel_policy.hpp (`parallel_policy::row_grain`), next to the
+// other pool-dispatch thresholds.
 
 class thread_pool {
 public:
