@@ -1,0 +1,167 @@
+/// \file bench_api_cache.cpp
+/// API-layer result-cache throughput: submit a corpus through the
+/// wire-framed API server (in-process loopback transport — the full
+/// encode/decode path) twice, cold then warm, and measure the warm-cache
+/// resubmission speedup. The harness asserts the PR's two contracts and
+/// exits non-zero when either fails:
+///  - the cold run, the warm (cache-served) run, and a cache-off run
+///    produce byte-identical input-order NDJSON re-exports;
+///  - warm resubmission is ≥ 10× faster than the cold run.
+///
+/// Run:  ./bench_api_cache [--quick] [--json] [--out BENCH_api.json]
+///                         [--buildings N] [--samples-per-floor M] [--seed S]
+///
+///  --quick   CI-sized corpus (a few seconds total)
+///  --json    write the JSON report (schema `fisone-bench-api/v1`) to --out
+///
+/// The JSON schema is documented in README.md § Performance.
+
+#include <charconv>
+#include <chrono>
+#include <cmath>
+#include <cstdlib>
+#include <exception>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "api/client.hpp"
+#include "api/server.hpp"
+#include "service/ndjson_export.hpp"
+#include "sim/building_generator.hpp"
+#include "util/cli.hpp"
+#include "util/table_printer.hpp"
+#include "util/thread_pool.hpp"
+
+namespace {
+
+using namespace fisone;
+using clock_type = std::chrono::steady_clock;
+
+std::vector<data::building> make_fleet(std::size_t count, std::size_t samples_per_floor,
+                                       std::uint64_t seed) {
+    std::vector<data::building> fleet;
+    fleet.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+        sim::building_spec spec;
+        spec.name = "api-fleet-" + std::to_string(i);
+        spec.num_floors = 3 + i % 4;
+        spec.samples_per_floor = samples_per_floor;
+        spec.aps_per_floor = 12;
+        spec.seed = seed + i;
+        fleet.push_back(sim::generate_building(spec).building);
+    }
+    return fleet;
+}
+
+api::server_config make_server_config(bool enable_cache, std::uint64_t seed) {
+    api::server_config cfg;
+    cfg.service.pipeline.gnn.embedding_dim = 16;
+    cfg.service.pipeline.gnn.epochs = 3;
+    cfg.service.pipeline.gnn.walks.walks_per_node = 3;
+    cfg.service.pipeline.num_threads = 1;  // building-level parallelism only
+    cfg.service.seed = seed;
+    cfg.enable_cache = enable_cache;
+    return cfg;
+}
+
+/// Submit the whole fleet at pinned indices, flush, return (ndjson, wall s).
+std::pair<std::string, double> run_pass(api::server& srv,
+                                        const std::vector<data::building>& fleet) {
+    api::client cli(srv);
+    const clock_type::time_point start = clock_type::now();
+    for (std::size_t i = 0; i < fleet.size(); ++i) static_cast<void>(cli.identify(fleet[i], i));
+    static_cast<void>(cli.flush());
+    const double wall = std::chrono::duration<double>(clock_type::now() - start).count();
+    std::ostringstream out;
+    service::export_input_order(out, cli.reports());
+    return {out.str(), wall};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) try {
+    const util::cli_args args(argc, argv);
+    const bool quick = args.has("quick");
+    const bool emit_json = args.has("json");
+    const std::string out_path = args.get("out", "BENCH_api.json");
+    const auto buildings =
+        static_cast<std::size_t>(args.get_int("buildings", quick ? 4 : 32));
+    const auto samples =
+        static_cast<std::size_t>(args.get_int("samples-per-floor", quick ? 20 : 40));
+    const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 7));
+
+    std::cerr << "Synthesising " << buildings << " buildings (" << samples
+              << " scans/floor)...\n";
+    const std::vector<data::building> fleet = make_fleet(buildings, samples, seed);
+
+    api::server cached_srv(make_server_config(true, seed));
+    std::cerr << "cold pass (cache empty)...\n";
+    const auto [cold_ndjson, cold_s] = run_pass(cached_srv, fleet);
+    std::cerr << "warm pass (cache full)...\n";
+    const auto [warm_ndjson, warm_s] = run_pass(cached_srv, fleet);
+    const api::result_cache_stats cache = cached_srv.cache_stats();
+
+    std::cerr << "cache-off pass...\n";
+    api::server uncached_srv(make_server_config(false, seed));
+    const auto [uncached_ndjson, uncached_s] = run_pass(uncached_srv, fleet);
+
+    const bool identical = cold_ndjson == warm_ndjson && cold_ndjson == uncached_ndjson;
+    const double speedup = warm_s > 0.0 ? cold_s / warm_s : 0.0;
+
+    util::table_printer table("API result cache — " + std::to_string(buildings) +
+                              " buildings through the loopback wire path");
+    table.header({"pass", "wall s", "buildings/s", "speedup"});
+    const auto rate = [&](double s) {
+        return s > 0.0 ? util::table_printer::num(static_cast<double>(buildings) / s, 2) : "-";
+    };
+    table.row({"cold (cache miss)", util::table_printer::num(cold_s, 3), rate(cold_s), "1.00"});
+    table.row({"warm (cache hit)", util::table_printer::num(warm_s, 3), rate(warm_s),
+               util::table_printer::num(speedup, 1)});
+    table.row({"cache off", util::table_printer::num(uncached_s, 3), rate(uncached_s),
+               util::table_printer::num(uncached_s > 0.0 ? cold_s / uncached_s : 0.0, 2)});
+    table.print(std::cout);
+    std::cout << "\nCache: " << cache.hits << " hits, " << cache.misses << " misses, "
+              << cache.entries << " entries.  NDJSON byte-identical across passes: "
+              << (identical ? "yes" : "NO") << "\n";
+
+    if (emit_json) {
+        std::ofstream f(out_path);
+        if (!f) {
+            std::cerr << "bench_api_cache: cannot open " << out_path << " for writing\n";
+            return EXIT_FAILURE;
+        }
+        f << "{\n";
+        f << "  \"schema\": \"fisone-bench-api/v1\",\n";
+        f << "  \"quick\": " << (quick ? "true" : "false") << ",\n";
+        f << "  \"buildings\": " << buildings << ",\n";
+        f << "  \"samples_per_floor\": " << samples << ",\n";
+        f << "  \"hardware_threads\": " << util::resolve_num_threads(0) << ",\n";
+        f << "  \"cold_seconds\": " << bench::json_num(cold_s) << ",\n";
+        f << "  \"warm_seconds\": " << bench::json_num(warm_s) << ",\n";
+        f << "  \"cache_off_seconds\": " << bench::json_num(uncached_s) << ",\n";
+        f << "  \"warm_speedup\": " << bench::json_num(speedup) << ",\n";
+        f << "  \"cache_hits\": " << cache.hits << ",\n";
+        f << "  \"cache_misses\": " << cache.misses << ",\n";
+        f << "  \"ndjson_identical\": " << (identical ? "true" : "false") << "\n";
+        f << "}\n";
+        std::cout << "JSON perf trajectory: " << out_path << "\n";
+    }
+
+    if (!identical) {
+        std::cerr << "bench_api_cache: cache-served responses diverged from cache-off runs\n";
+        return EXIT_FAILURE;
+    }
+    if (speedup < 10.0) {
+        std::cerr << "bench_api_cache: warm-cache resubmission only " << speedup
+                  << "x faster than cold (contract: >= 10x)\n";
+        return EXIT_FAILURE;
+    }
+    return EXIT_SUCCESS;
+} catch (const std::exception& e) {
+    std::cerr << "bench_api_cache: " << e.what() << '\n';
+    return EXIT_FAILURE;
+}

@@ -7,16 +7,25 @@
 ///
 /// Run:  ./bench_batch_throughput [--buildings N] [--samples-per-floor M]
 ///                                [--seed S] [--max-threads T]
+///                                [--json] [--out BENCH_batch.json]
+///
+/// `--json` writes a machine-readable perf trajectory (schema
+/// `fisone-bench-batch/v1`, same conventions as BENCH_kernels.json) to
+/// `--out`; CI uploads it per compiler.
 ///
 /// Expect ≳2× buildings/sec at 4 threads on a ≥4-core machine; on fewer
 /// cores the speedup saturates at the core count.
 
+#include <charconv>
+#include <cmath>
 #include <cstdlib>
 #include <exception>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
 
+#include "bench_common.hpp"
 #include "runtime/batch_runner.hpp"
 #include "sim/building_generator.hpp"
 #include "util/cli.hpp"
@@ -69,6 +78,37 @@ bool identical(const runtime::batch_result& a, const runtime::batch_result& b) {
     return true;
 }
 
+/// One thread-count measurement, as serialised into BENCH_batch.json.
+struct thread_record {
+    std::size_t threads = 0;
+    double wall_seconds = 0.0;
+    double buildings_per_second = 0.0;
+    double speedup = 0.0;
+    bool bit_identical = false;
+};
+
+void write_json(std::ostream& out, std::size_t buildings, std::size_t samples,
+                const std::vector<thread_record>& runs, double mean_ari) {
+    out << "{\n";
+    out << "  \"schema\": \"fisone-bench-batch/v1\",\n";
+    out << "  \"buildings\": " << buildings << ",\n";
+    out << "  \"samples_per_floor\": " << samples << ",\n";
+    out << "  \"hardware_threads\": " << fisone::util::resolve_num_threads(0) << ",\n";
+    out << "  \"mean_ari\": " << bench::json_num(mean_ari) << ",\n";
+    out << "  \"runs\": [\n";
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+        const thread_record& r = runs[i];
+        out << "    {\"threads\": " << r.threads
+            << ", \"wall_seconds\": " << bench::json_num(r.wall_seconds)
+            << ", \"buildings_per_sec\": " << bench::json_num(r.buildings_per_second)
+            << ", \"speedup\": " << bench::json_num(r.speedup)
+            << ", \"bit_identical\": " << (r.bit_identical ? "true" : "false") << "}"
+            << (i + 1 < runs.size() ? "," : "") << "\n";
+    }
+    out << "  ]\n";
+    out << "}\n";
+}
+
 }  // namespace
 
 int main(int argc, char** argv) try {
@@ -77,6 +117,8 @@ int main(int argc, char** argv) try {
     const auto samples = static_cast<std::size_t>(args.get_int("samples-per-floor", 60));
     const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 7));
     const auto max_threads = static_cast<std::size_t>(args.get_int("max-threads", 8));
+    const bool emit_json = args.has("json");
+    const std::string out_path = args.get("out", "BENCH_batch.json");
 
     std::cerr << "Synthesising " << buildings << " buildings (" << samples
               << " scans/floor), hardware_concurrency="
@@ -89,6 +131,7 @@ int main(int argc, char** argv) try {
 
     runtime::batch_result baseline;
     double baseline_rate = 0.0;
+    std::vector<thread_record> records;
     for (std::size_t threads = 1; threads <= max_threads; threads *= 2) {
         const runtime::batch_runner runner(make_config(threads, seed));
         const runtime::batch_result result = runner.run(fleet);
@@ -102,6 +145,14 @@ int main(int argc, char** argv) try {
             baseline = result;
             baseline_rate = result.buildings_per_second;
         }
+        thread_record rec;
+        rec.threads = threads;
+        rec.wall_seconds = result.wall_seconds;
+        rec.buildings_per_second = result.buildings_per_second;
+        rec.speedup =
+            baseline_rate > 0.0 ? result.buildings_per_second / baseline_rate : 1.0;
+        rec.bit_identical = matches;
+        records.push_back(rec);
         table.row({std::to_string(threads), util::table_printer::num(result.wall_seconds, 2),
                    util::table_printer::num(result.buildings_per_second, 2),
                    baseline_rate > 0.0
@@ -117,6 +168,17 @@ int main(int argc, char** argv) try {
     table.print(std::cout);
     std::cout << "\nMean ARI over fleet: " << util::table_printer::num(baseline.ari.mean(), 3)
               << "  (identical at every thread count by construction)\n";
+
+    if (emit_json) {
+        std::ofstream f(out_path);
+        if (!f) {
+            std::cerr << "bench_batch_throughput: cannot open " << out_path
+                      << " for writing\n";
+            return EXIT_FAILURE;
+        }
+        write_json(f, buildings, samples, records, baseline.ari.mean());
+        std::cout << "JSON perf trajectory: " << out_path << "\n";
+    }
     return EXIT_SUCCESS;
 } catch (const std::exception& e) {
     std::cerr << "bench_batch_throughput: " << e.what() << '\n';

@@ -2,12 +2,16 @@
 
 /// \file bench_common.hpp
 /// Shared plumbing for the table/figure harnesses: corpus synthesis from
-/// CLI flags and mean/std aggregation of pipeline scores over buildings.
+/// CLI flags, mean/std aggregation of pipeline scores over buildings, and
+/// the number formatting shared by every BENCH_*.json emitter.
 
+#include <charconv>
+#include <cmath>
 #include <cstdint>
 #include <functional>
 #include <iostream>
 #include <string>
+#include <system_error>
 #include <vector>
 
 #include "core/fis_one.hpp"
@@ -17,6 +21,15 @@
 #include "util/table_printer.hpp"
 
 namespace fisone::bench {
+
+/// Shortest-round-trip JSON number token for the BENCH_*.json schemas.
+/// JSON has no inf/nan tokens, so non-finite values serialise as null.
+inline std::string json_num(double v) {
+    if (!std::isfinite(v)) return "null";
+    char buf[64];
+    const auto [p, ec] = std::to_chars(buf, buf + sizeof buf, v);
+    return ec == std::errc{} ? std::string(buf, p) : std::string("0");
+}
 
 /// The two corpora of the paper, synthesised at CLI-selected scale.
 struct corpora {

@@ -28,6 +28,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_common.hpp"
 #include "linalg/kernels.hpp"
 #include "linalg/matrix.hpp"
 #include "linalg/parallel_policy.hpp"
@@ -216,13 +217,6 @@ pipeline_record bench_pipeline(std::size_t buildings, std::size_t samples, std::
 
 // --- JSON emission ----------------------------------------------------------
 
-std::string json_num(double v) {
-    if (!std::isfinite(v)) return "null";  // JSON has no inf/nan tokens
-    char buf[64];
-    const auto [p, ec] = std::to_chars(buf, buf + sizeof buf, v);
-    return ec == std::errc{} ? std::string(buf, p) : std::string("0");
-}
-
 void write_json(std::ostream& out, bool quick, const std::vector<kernel_record>& kernels,
                 const pipeline_record& pipe) {
     out << "{\n";
@@ -233,23 +227,23 @@ void write_json(std::ostream& out, bool quick, const std::vector<kernel_record>&
     for (std::size_t i = 0; i < kernels.size(); ++i) {
         const kernel_record& r = kernels[i];
         out << "    {\"op\": \"" << r.op << "\", \"m\": " << r.s.m << ", \"k\": " << r.s.k
-            << ", \"n\": " << r.s.n << ", \"flops\": " << json_num(r.flops)
-            << ", \"scalar_gflops\": " << json_num(r.scalar_gflops)
-            << ", \"blocked_gflops\": " << json_num(r.blocked_gflops)
-            << ", \"speedup\": " << json_num(r.speedup)
+            << ", \"n\": " << r.s.n << ", \"flops\": " << bench::json_num(r.flops)
+            << ", \"scalar_gflops\": " << bench::json_num(r.scalar_gflops)
+            << ", \"blocked_gflops\": " << bench::json_num(r.blocked_gflops)
+            << ", \"speedup\": " << bench::json_num(r.speedup)
             << ", \"pool_threads\": " << r.pool_threads
-            << ", \"pooled_gflops\": " << json_num(r.pooled_gflops)
-            << ", \"pooled_speedup\": " << json_num(r.pooled_speedup)
+            << ", \"pooled_gflops\": " << bench::json_num(r.pooled_gflops)
+            << ", \"pooled_speedup\": " << bench::json_num(r.pooled_speedup)
             << ", \"bit_identical\": " << (r.bit_identical ? "true" : "false") << "}"
             << (i + 1 < kernels.size() ? "," : "") << "\n";
     }
     out << "  ],\n";
     out << "  \"pipeline\": {\"buildings\": " << pipe.buildings
         << ", \"samples_per_floor\": " << pipe.samples_per_floor
-        << ", \"serial_buildings_per_sec\": " << json_num(pipe.serial_buildings_per_sec)
+        << ", \"serial_buildings_per_sec\": " << bench::json_num(pipe.serial_buildings_per_sec)
         << ", \"pooled_threads\": " << pipe.pooled_threads
-        << ", \"pooled_buildings_per_sec\": " << json_num(pipe.pooled_buildings_per_sec)
-        << ", \"speedup\": " << json_num(pipe.speedup)
+        << ", \"pooled_buildings_per_sec\": " << bench::json_num(pipe.pooled_buildings_per_sec)
+        << ", \"speedup\": " << bench::json_num(pipe.speedup)
         << ", \"bit_identical\": " << (pipe.bit_identical ? "true" : "false") << "}\n";
     out << "}\n";
 }

@@ -1,0 +1,123 @@
+/// \file api_city.cpp
+/// End-to-end walkthrough of the versioned request/response API — the one
+/// public surface over the whole system:
+///
+///   1. synthesise a small city and shard it to an on-disk corpus store;
+///   2. speak the *framed wire path*: a typed `api::client` encodes
+///      `identify_shard` + `get_stats` + `flush` request frames into a
+///      byte stream, `api::server::serve` decodes them from any
+///      `std::istream`, runs the jobs on its `floor_service`, and streams
+///      response frames back in completion order with correlation ids;
+///   3. re-export the decoded building responses as input-order NDJSON —
+///      byte-identical to a direct `floor_service` run by the determinism
+///      contract;
+///   4. resubmit one building twice through the in-process loopback
+///      transport: the second submission is served from the
+///      content-addressed result cache without touching the pipeline
+///      (watch `cache_hits` in the stats response).
+///
+/// A real network front-end is "step 2 with sockets": the codec, server
+/// and cache are transport-agnostic by construction.
+///
+/// Run:  ./api_city [--buildings N] [--samples-per-floor M] [--shard-size K]
+///                  [--threads T] [--seed S] [--dir PATH] [--quiet]
+
+#include <cstdlib>
+#include <exception>
+#include <filesystem>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "api/client.hpp"
+#include "api/server.hpp"
+#include "data/corpus_store.hpp"
+#include "service/ndjson_export.hpp"
+#include "sim/building_generator.hpp"
+#include "util/cli.hpp"
+
+int main(int argc, char** argv) try {
+    using namespace fisone;
+    const util::cli_args args(argc, argv);
+    const auto num_buildings = static_cast<std::size_t>(args.get_int("buildings", 12));
+    const auto samples = static_cast<std::size_t>(args.get_int("samples-per-floor", 40));
+    const auto shard_size = static_cast<std::size_t>(args.get_int("shard-size", 4));
+    const auto threads = static_cast<std::size_t>(args.get_int("threads", 0));
+    const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 2026));
+    const std::string dir = args.get(
+        "dir", (std::filesystem::temp_directory_path() / "fisone_api_store").string());
+    const bool quiet = args.has("quiet");
+
+    // --- 1. simulate and shard ------------------------------------------------
+    data::building first;  // kept around for the cache demo
+    {
+        data::corpus city;
+        city.name = "api-city";
+        city.buildings.reserve(num_buildings);
+        for (std::size_t i = 0; i < num_buildings; ++i) {
+            sim::building_spec spec;
+            spec.name = "city-" + std::to_string(i);
+            spec.num_floors = 3 + i % 5;
+            spec.samples_per_floor = samples;
+            spec.aps_per_floor = 10;
+            spec.seed = seed + i;
+            city.buildings.push_back(sim::generate_building(spec).building);
+        }
+        first = city.buildings.front();
+        static_cast<void>(data::write_corpus_store(city, dir, shard_size));
+    }
+    const data::corpus_store store = data::corpus_store::open(dir);
+    std::cerr << "Sharded " << num_buildings << " buildings into " << store.num_shards()
+              << " shards under " << dir << "\n";
+
+    api::server_config cfg;
+    cfg.service.pipeline.gnn.embedding_dim = 16;
+    cfg.service.pipeline.gnn.epochs = 3;
+    cfg.service.seed = seed;
+    cfg.service.num_threads = threads;
+    api::server srv(cfg);
+
+    // --- 2. the framed wire path ---------------------------------------------
+    // One stringstream per direction stands in for a socket; the frames
+    // are the same bytes a network transport would carry.
+    std::stringstream wire_in, wire_out;
+    api::client cli(static_cast<std::ostream&>(wire_in));
+    for (std::size_t s = 0; s < store.num_shards(); ++s)
+        static_cast<void>(cli.identify_shard(service::make_shard_ref(store, s)));
+    static_cast<void>(cli.get_stats());
+    static_cast<void>(cli.flush());
+    std::cerr << "Encoded " << wire_in.str().size() << " request bytes; serving...\n";
+
+    srv.serve(wire_in, wire_out);
+    static_cast<void>(cli.ingest(wire_out));
+    if (!cli.errors().empty()) {
+        std::cerr << "api_city: protocol error: " << cli.errors().front().message << "\n";
+        return EXIT_FAILURE;
+    }
+
+    // --- 3. deterministic NDJSON re-export ------------------------------------
+    std::ostringstream ndjson;
+    service::export_input_order(ndjson, cli.reports());
+    if (!quiet) std::cout << ndjson.str();
+    std::cerr << "Decoded " << cli.reports().size() << " building responses ("
+              << wire_out.str().size() << " response bytes)\n";
+
+    // --- 4. warm-cache resubmission over loopback -----------------------------
+    // Shard jobs stream from disk and bypass the cache; building
+    // submissions are content-addressed. The first loopback submission
+    // runs and fills the cache, the identical resubmission is served from
+    // it without touching the pipeline.
+    api::client warm(srv);
+    static_cast<void>(warm.identify(first, 0));
+    static_cast<void>(warm.flush());
+    static_cast<void>(warm.identify(first, 0));
+    static_cast<void>(warm.get_stats());
+    const auto stats = warm.last_stats();
+    std::cerr << "Resubmitted " << first.name << " twice: cache "
+              << (stats ? stats->cache_hits : 0) << " hit / "
+              << (stats ? stats->cache_misses : 0) << " miss\n";
+    return EXIT_SUCCESS;
+} catch (const std::exception& e) {
+    std::cerr << "api_city: " << e.what() << '\n';
+    return EXIT_FAILURE;
+}

@@ -1,0 +1,133 @@
+#include "client.hpp"
+
+#include <istream>
+#include <ostream>
+
+#include "codec.hpp"
+
+namespace fisone::api {
+
+client::client(server& srv) {
+    session_ = srv.open([this](std::string_view frame) { collect_frame(frame); });
+}
+
+client::client(std::ostream& to_server) : to_server_(&to_server) {}
+
+void client::collect_frame(std::string_view frame) {
+    // Decoding our own server's frames can only fail if the codec itself
+    // is broken; surface that as a collected error_response rather than
+    // throwing through the server's emit path.
+    decode_result<response> decoded = decode_response(frame);
+    const std::lock_guard<std::mutex> lock(collect_m_);
+    raw_.append(frame.data(), frame.size());
+    if (decoded.value)
+        responses_.push_back(*std::move(decoded.value));
+    else
+        responses_.push_back(error_response{
+            0, decoded.error ? decoded.error->code : error_code::bad_payload,
+            decoded.error ? decoded.error->message : "unreadable response frame"});
+}
+
+void client::send(const request& req) {
+    const std::string frame = encode(req);
+    if (session_) {
+        session_->handle_frame(frame);
+        return;
+    }
+    to_server_->write(frame.data(), static_cast<std::streamsize>(frame.size()));
+    if (!*to_server_) throw std::ios_base::failure("api::client: request stream went bad");
+}
+
+std::uint64_t client::identify(const data::building& b) {
+    const std::uint64_t corr = next_correlation_++;
+    identify_building_request m;
+    m.correlation_id = corr;
+    m.b = b;
+    send(request(std::move(m)));
+    return corr;
+}
+
+std::uint64_t client::identify(const data::building& b, std::uint64_t corpus_index) {
+    const std::uint64_t corr = next_correlation_++;
+    identify_building_request m;
+    m.correlation_id = corr;
+    m.has_index = true;
+    m.corpus_index = corpus_index;
+    m.b = b;
+    send(request(std::move(m)));
+    return corr;
+}
+
+std::uint64_t client::identify_shard(const service::shard_ref& ref) {
+    const std::uint64_t corr = next_correlation_++;
+    identify_shard_request m;
+    m.correlation_id = corr;
+    m.ref = ref;
+    send(request(std::move(m)));
+    return corr;
+}
+
+std::uint64_t client::get_stats() {
+    const std::uint64_t corr = next_correlation_++;
+    send(request(get_stats_request{corr}));
+    return corr;
+}
+
+std::uint64_t client::cancel(std::uint64_t target_correlation_id) {
+    const std::uint64_t corr = next_correlation_++;
+    send(request(cancel_job_request{corr, target_correlation_id}));
+    return corr;
+}
+
+std::uint64_t client::flush() {
+    const std::uint64_t corr = next_correlation_++;
+    send(request(flush_request{corr}));
+    return corr;
+}
+
+std::size_t client::ingest(std::istream& from_server) {
+    std::size_t decoded_frames = 0;
+    for (;;) {
+        decode_result<response> r = read_response(from_server);
+        if (r.eof) break;
+        ++decoded_frames;
+        if (r.value) {
+            responses_.push_back(*std::move(r.value));
+        } else {
+            responses_.push_back(error_response{0, r.error->code, r.error->message});
+            if (r.fatal) break;
+        }
+    }
+    return decoded_frames;
+}
+
+std::vector<runtime::building_report> client::reports() const {
+    std::vector<runtime::building_report> out;
+    for (const response& r : responses_)
+        if (const auto* b = std::get_if<building_response>(&r)) out.push_back(b->report);
+    return out;
+}
+
+std::vector<runtime::building_report> client::reports(std::uint64_t correlation_id) const {
+    std::vector<runtime::building_report> out;
+    for (const response& r : responses_)
+        if (const auto* b = std::get_if<building_response>(&r))
+            if (b->correlation_id == correlation_id) out.push_back(b->report);
+    return out;
+}
+
+std::optional<service::service_stats> client::last_stats() const {
+    std::optional<service::service_stats> out;
+    for (const response& r : responses_)
+        if (const auto* s = std::get_if<stats_response>(&r)) out = s->stats;
+    return out;
+}
+
+std::vector<error_response> client::errors() const {
+    std::vector<error_response> out;
+    for (const response& r : responses_)
+        if (const auto* e = std::get_if<error_response>(&r)) out.push_back(*e);
+    return out;
+}
+
+}  // namespace fisone::api

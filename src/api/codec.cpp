@@ -1,0 +1,594 @@
+#include "codec.hpp"
+
+#include <bit>
+#include <cstring>
+#include <istream>
+#include <stdexcept>
+
+namespace fisone::api {
+
+namespace {
+
+// --- canonical scalar encoding ----------------------------------------------
+
+/// Append-only little-endian byte writer over a std::string.
+class wire_writer {
+public:
+    void u8(std::uint8_t v) { out_.push_back(static_cast<char>(v)); }
+
+    void u16(std::uint16_t v) {
+        u8(static_cast<std::uint8_t>(v));
+        u8(static_cast<std::uint8_t>(v >> 8));
+    }
+
+    void u32(std::uint32_t v) {
+        u16(static_cast<std::uint16_t>(v));
+        u16(static_cast<std::uint16_t>(v >> 16));
+    }
+
+    void u64(std::uint64_t v) {
+        u32(static_cast<std::uint32_t>(v));
+        u32(static_cast<std::uint32_t>(v >> 32));
+    }
+
+    void i32(std::int32_t v) { u32(static_cast<std::uint32_t>(v)); }
+    void boolean(bool v) { u8(v ? 1 : 0); }
+    void f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
+
+    void str(std::string_view s) {
+        u64(s.size());
+        out_.append(s.data(), s.size());
+    }
+
+    void vec_i32(const std::vector<int>& v) {
+        u64(v.size());
+        for (const int x : v) i32(static_cast<std::int32_t>(x));
+    }
+
+    void matrix(const linalg::matrix& m) {
+        u64(m.rows());
+        u64(m.cols());
+        for (std::size_t r = 0; r < m.rows(); ++r)
+            for (std::size_t c = 0; c < m.cols(); ++c) f64(m(r, c));
+    }
+
+    [[nodiscard]] std::string take() && { return std::move(out_); }
+    [[nodiscard]] const std::string& bytes() const noexcept { return out_; }
+
+private:
+    std::string out_;
+};
+
+/// Bounds-checked little-endian reader over a byte span. Any overrun (or
+/// hostile count) sets `failed` and makes every further read a no-op
+/// returning zeros — callers check once at the end.
+class wire_reader {
+public:
+    explicit wire_reader(std::string_view bytes) : p_(bytes.data()), end_(bytes.data() + bytes.size()) {}
+
+    [[nodiscard]] std::size_t remaining() const noexcept {
+        return static_cast<std::size_t>(end_ - p_);
+    }
+    [[nodiscard]] bool failed() const noexcept { return failed_; }
+    [[nodiscard]] bool exhausted() const noexcept { return p_ == end_; }
+    void fail() noexcept { failed_ = true; }
+
+    std::uint8_t u8() {
+        if (remaining() < 1) return fail_zero<std::uint8_t>();
+        return static_cast<std::uint8_t>(*p_++);
+    }
+
+    std::uint16_t u16() {
+        const std::uint16_t lo = u8();
+        const std::uint16_t hi = u8();
+        return static_cast<std::uint16_t>(lo | (hi << 8));
+    }
+
+    std::uint32_t u32() {
+        const std::uint32_t lo = u16();
+        const std::uint32_t hi = u16();
+        return lo | (hi << 16);
+    }
+
+    std::uint64_t u64() {
+        const std::uint64_t lo = u32();
+        const std::uint64_t hi = u32();
+        return lo | (hi << 32);
+    }
+
+    std::int32_t i32() { return static_cast<std::int32_t>(u32()); }
+    bool boolean() { return u8() != 0; }
+    double f64() { return std::bit_cast<double>(u64()); }
+
+    /// Element count with a hostile-length guard: a count that could not
+    /// possibly fit in the remaining bytes (each element needs at least
+    /// \p min_element_bytes) fails before any allocation happens.
+    std::size_t count(std::size_t min_element_bytes) {
+        const std::uint64_t n = u64();
+        if (failed_ || n > remaining() / min_element_bytes) {
+            fail();
+            return 0;
+        }
+        return static_cast<std::size_t>(n);
+    }
+
+    std::string str() {
+        const std::size_t n = count(1);
+        if (failed_) return {};
+        std::string s(p_, n);
+        p_ += n;
+        return s;
+    }
+
+    std::vector<int> vec_i32() {
+        const std::size_t n = count(4);
+        std::vector<int> v;
+        if (failed_) return v;
+        v.reserve(n);
+        for (std::size_t i = 0; i < n; ++i) v.push_back(static_cast<int>(i32()));
+        return v;
+    }
+
+    linalg::matrix matrix() {
+        const std::uint64_t rows = u64();
+        const std::uint64_t cols = u64();
+        // Overflow-safe rows*cols*8 <= remaining check before allocating.
+        // An R×0 matrix carries no payload bytes (the encoder legally
+        // produces one, e.g. failed reports) — any row count is fine.
+        if (failed_ || (cols != 0 && rows > remaining() / 8 / cols)) {
+            fail();
+            return {};
+        }
+        linalg::matrix m =
+            linalg::matrix::uninit(static_cast<std::size_t>(rows), static_cast<std::size_t>(cols));
+        for (std::size_t r = 0; r < rows; ++r)
+            for (std::size_t c = 0; c < cols; ++c) m(r, c) = f64();
+        return m;
+    }
+
+private:
+    template <class T>
+    T fail_zero() noexcept {
+        failed_ = true;
+        return T{};
+    }
+
+    const char* p_;
+    const char* end_;
+    bool failed_ = false;
+};
+
+// --- message bodies ----------------------------------------------------------
+
+void put_building(wire_writer& w, const data::building& b) {
+    // The shared canonical walk — the same field sequence content_hash
+    // digests, so the wire form and the content address cannot drift.
+    // get_building below must mirror it (the round-trip tests pin that).
+    data::visit_building_canonical(b, w);
+}
+
+data::building get_building(wire_reader& r) {
+    data::building b;
+    b.name = r.str();
+    b.num_floors = static_cast<std::size_t>(r.u64());
+    b.num_macs = static_cast<std::size_t>(r.u64());
+    b.labeled_sample = static_cast<std::size_t>(r.u64());
+    b.labeled_floor = r.i32();
+    // One encoded sample is at least true_floor + device_id + count.
+    const std::size_t num_samples = r.count(4 + 4 + 8);
+    b.samples.reserve(num_samples);
+    for (std::size_t i = 0; i < num_samples && !r.failed(); ++i) {
+        data::rf_sample s;
+        s.true_floor = r.i32();
+        s.device_id = r.u32();
+        const std::size_t num_obs = r.count(4 + 8);
+        s.observations.reserve(num_obs);
+        for (std::size_t j = 0; j < num_obs; ++j) {
+            data::rf_observation o;
+            o.mac_id = r.u32();
+            o.rss_dbm = r.f64();
+            s.observations.push_back(o);
+        }
+        b.samples.push_back(std::move(s));
+    }
+    return b;
+}
+
+void put_report(wire_writer& w, const runtime::building_report& report) {
+    w.u64(report.index);
+    w.str(report.name);
+    w.boolean(report.ok);
+    w.str(report.error);
+    w.u64(report.seed);
+    w.f64(report.seconds);
+    const core::fis_one_result& res = report.result;
+    w.u64(res.num_clusters);
+    w.vec_i32(res.assignment);
+    w.vec_i32(res.cluster_to_floor);
+    w.vec_i32(res.predicted_floor);
+    w.matrix(res.embeddings);
+    w.boolean(res.ambiguous);
+    w.boolean(res.has_ground_truth);
+    w.f64(res.ari);
+    w.f64(res.nmi);
+    w.f64(res.edit_distance);
+}
+
+runtime::building_report get_report(wire_reader& r) {
+    runtime::building_report report;
+    report.index = static_cast<std::size_t>(r.u64());
+    report.name = r.str();
+    report.ok = r.boolean();
+    report.error = r.str();
+    report.seed = r.u64();
+    report.seconds = r.f64();
+    core::fis_one_result& res = report.result;
+    res.num_clusters = static_cast<std::size_t>(r.u64());
+    res.assignment = r.vec_i32();
+    res.cluster_to_floor = r.vec_i32();
+    res.predicted_floor = r.vec_i32();
+    res.embeddings = r.matrix();
+    res.ambiguous = r.boolean();
+    res.has_ground_truth = r.boolean();
+    res.ari = r.f64();
+    res.nmi = r.f64();
+    res.edit_distance = r.f64();
+    return report;
+}
+
+void put_stats(wire_writer& w, const service::service_stats& s) {
+    w.u64(s.jobs_submitted);
+    w.u64(s.jobs_queued);
+    w.u64(s.jobs_running);
+    w.u64(s.jobs_done);
+    w.u64(s.jobs_cancelled);
+    w.u64(s.buildings_done);
+    w.u64(s.buildings_ok);
+    w.u64(s.buildings_failed);
+    w.u64(s.buildings_cancelled);
+    w.f64(s.latency_p50);
+    w.f64(s.latency_p90);
+    w.f64(s.latency_p99);
+    w.u64(s.cache_hits);
+    w.u64(s.cache_misses);
+}
+
+service::service_stats get_stats_body(wire_reader& r) {
+    service::service_stats s;
+    s.jobs_submitted = static_cast<std::size_t>(r.u64());
+    s.jobs_queued = static_cast<std::size_t>(r.u64());
+    s.jobs_running = static_cast<std::size_t>(r.u64());
+    s.jobs_done = static_cast<std::size_t>(r.u64());
+    s.jobs_cancelled = static_cast<std::size_t>(r.u64());
+    s.buildings_done = static_cast<std::size_t>(r.u64());
+    s.buildings_ok = static_cast<std::size_t>(r.u64());
+    s.buildings_failed = static_cast<std::size_t>(r.u64());
+    s.buildings_cancelled = static_cast<std::size_t>(r.u64());
+    s.latency_p50 = r.f64();
+    s.latency_p90 = r.f64();
+    s.latency_p99 = r.f64();
+    s.cache_hits = static_cast<std::size_t>(r.u64());
+    s.cache_misses = static_cast<std::size_t>(r.u64());
+    return s;
+}
+
+// --- per-message payload encoders -------------------------------------------
+
+struct request_payload_encoder {
+    wire_writer& w;
+
+    void operator()(const identify_building_request& m) const {
+        w.u64(m.correlation_id);
+        w.boolean(m.has_index);
+        w.u64(m.corpus_index);
+        put_building(w, m.b);
+    }
+    void operator()(const identify_shard_request& m) const {
+        w.u64(m.correlation_id);
+        w.str(m.ref.path);
+        w.u64(m.ref.first_index);
+        w.u64(m.ref.num_buildings);
+    }
+    void operator()(const get_stats_request& m) const { w.u64(m.correlation_id); }
+    void operator()(const cancel_job_request& m) const {
+        w.u64(m.correlation_id);
+        w.u64(m.target_correlation_id);
+    }
+    void operator()(const flush_request& m) const { w.u64(m.correlation_id); }
+};
+
+struct response_payload_encoder {
+    wire_writer& w;
+
+    void operator()(const building_response& m) const {
+        w.u64(m.correlation_id);
+        put_report(w, m.report);
+    }
+    void operator()(const stats_response& m) const {
+        w.u64(m.correlation_id);
+        put_stats(w, m.stats);
+    }
+    void operator()(const cancel_response& m) const {
+        w.u64(m.correlation_id);
+        w.u64(m.target_correlation_id);
+        w.boolean(m.accepted);
+    }
+    void operator()(const flush_response& m) const { w.u64(m.correlation_id); }
+    void operator()(const error_response& m) const {
+        w.u64(m.correlation_id);
+        w.u16(static_cast<std::uint16_t>(m.code));
+        w.str(m.message);
+    }
+};
+
+// --- per-tag payload decoders -----------------------------------------------
+
+/// nullopt ⇔ the tag is not a request tag.
+std::optional<request> parse_request(std::uint16_t tag, wire_reader& r) {
+    switch (static_cast<message_tag>(tag)) {
+        case message_tag::identify_building: {
+            identify_building_request m;
+            m.correlation_id = r.u64();
+            m.has_index = r.boolean();
+            m.corpus_index = r.u64();
+            m.b = get_building(r);
+            return request(std::move(m));
+        }
+        case message_tag::identify_shard: {
+            identify_shard_request m;
+            m.correlation_id = r.u64();
+            m.ref.path = r.str();
+            m.ref.first_index = static_cast<std::size_t>(r.u64());
+            m.ref.num_buildings = static_cast<std::size_t>(r.u64());
+            return request(std::move(m));
+        }
+        case message_tag::get_stats: {
+            get_stats_request m;
+            m.correlation_id = r.u64();
+            return request(m);
+        }
+        case message_tag::cancel_job: {
+            cancel_job_request m;
+            m.correlation_id = r.u64();
+            m.target_correlation_id = r.u64();
+            return request(m);
+        }
+        case message_tag::flush: {
+            flush_request m;
+            m.correlation_id = r.u64();
+            return request(m);
+        }
+        default: return std::nullopt;
+    }
+}
+
+/// nullopt ⇔ the tag is not a response tag.
+std::optional<response> parse_response(std::uint16_t tag, wire_reader& r) {
+    switch (static_cast<message_tag>(tag)) {
+        case message_tag::building_result: {
+            building_response m;
+            m.correlation_id = r.u64();
+            m.report = get_report(r);
+            return response(std::move(m));
+        }
+        case message_tag::stats_result: {
+            stats_response m;
+            m.correlation_id = r.u64();
+            m.stats = get_stats_body(r);
+            return response(m);
+        }
+        case message_tag::cancel_result: {
+            cancel_response m;
+            m.correlation_id = r.u64();
+            m.target_correlation_id = r.u64();
+            m.accepted = r.boolean();
+            return response(m);
+        }
+        case message_tag::flush_done: {
+            flush_response m;
+            m.correlation_id = r.u64();
+            return response(m);
+        }
+        case message_tag::error: {
+            error_response m;
+            m.correlation_id = r.u64();
+            m.code = static_cast<error_code>(r.u16());
+            m.message = r.str();
+            return response(std::move(m));
+        }
+        default: return std::nullopt;
+    }
+}
+
+// --- shared frame machinery --------------------------------------------------
+
+template <class M>
+decode_result<M> fail(error_code code, std::string message, bool fatal) {
+    decode_result<M> out;
+    out.error = decode_error{code, std::move(message)};
+    out.fatal = fatal;
+    return out;
+}
+
+/// Decode the payload of an already-framed message (header validated,
+/// payload fully read — from here on every failure is recoverable).
+template <class M, class ParseFn>
+decode_result<M> decode_payload(std::uint32_t version, std::uint16_t tag,
+                                std::string_view payload, ParseFn parse) {
+    if (version != k_schema_version)
+        return fail<M>(error_code::bad_version,
+                       "schema version " + std::to_string(version) + " (speaking " +
+                           std::to_string(k_schema_version) + ")",
+                       false);
+    wire_reader r(payload);
+    std::optional<M> parsed = parse(tag, r);
+    if (!parsed)
+        return fail<M>(error_code::unknown_tag, "unknown message tag " + std::to_string(tag),
+                       false);
+    if (r.failed())
+        return fail<M>(error_code::bad_payload,
+                       "payload of tag " + std::to_string(tag) + " is malformed or too short",
+                       false);
+    if (!r.exhausted())
+        return fail<M>(error_code::bad_payload,
+                       "payload of tag " + std::to_string(tag) + " has " +
+                           std::to_string(r.remaining()) + " trailing bytes",
+                       false);
+    decode_result<M> out;
+    out.value = std::move(parsed);
+    return out;
+}
+
+/// Split one frame header; shared by the stream and memory entry points.
+struct frame_header {
+    std::uint32_t version = 0;
+    std::uint16_t tag = 0;
+    std::uint32_t payload_len = 0;
+};
+
+template <class M>
+std::optional<decode_result<M>> check_header(const char* header, frame_header& h) {
+    if (std::memcmp(header, k_frame_magic, sizeof k_frame_magic) != 0)
+        return fail<M>(error_code::bad_magic, "frame does not start with FIS1 magic", true);
+    wire_reader r(std::string_view(header + 4, k_frame_header_size - 4));
+    h.version = r.u32();
+    h.tag = r.u16();
+    h.payload_len = r.u32();
+    if (h.payload_len > k_max_payload)
+        return fail<M>(error_code::oversized,
+                       "declared payload length " + std::to_string(h.payload_len) +
+                           " exceeds the " + std::to_string(k_max_payload) + "-byte bound",
+                       true);
+    return std::nullopt;
+}
+
+template <class M, class ParseFn>
+decode_result<M> read_frame(std::istream& in, ParseFn parse) {
+    char header[k_frame_header_size];
+    in.read(header, static_cast<std::streamsize>(sizeof header));
+    const auto got = static_cast<std::size_t>(in.gcount());
+    if (got == 0) {
+        decode_result<M> out;
+        out.eof = true;
+        return out;
+    }
+    if (got < sizeof header)
+        return fail<M>(error_code::truncated,
+                       "stream ended inside a frame header (" + std::to_string(got) + " of " +
+                           std::to_string(sizeof header) + " bytes)",
+                       true);
+
+    frame_header h;
+    if (auto bad = check_header<M>(header, h)) return *std::move(bad);
+
+    std::string payload(h.payload_len, '\0');
+    in.read(payload.data(), static_cast<std::streamsize>(h.payload_len));
+    if (static_cast<std::size_t>(in.gcount()) < h.payload_len)
+        return fail<M>(error_code::truncated,
+                       "stream ended inside a " + std::to_string(h.payload_len) +
+                           "-byte payload",
+                       true);
+
+    return decode_payload<M>(h.version, h.tag, payload, parse);
+}
+
+template <class M, class ParseFn>
+decode_result<M> decode_frame(std::string_view bytes, std::size_t* consumed, ParseFn parse) {
+    if (consumed) *consumed = 0;
+    if (bytes.empty()) {
+        decode_result<M> out;
+        out.eof = true;
+        return out;
+    }
+    if (bytes.size() < k_frame_header_size)
+        return fail<M>(error_code::truncated,
+                       "buffer ended inside a frame header (" + std::to_string(bytes.size()) +
+                           " of " + std::to_string(k_frame_header_size) + " bytes)",
+                       true);
+
+    frame_header h;
+    if (auto bad = check_header<M>(bytes.data(), h)) return *std::move(bad);
+
+    if (bytes.size() - k_frame_header_size < h.payload_len)
+        return fail<M>(error_code::truncated,
+                       "buffer ended inside a " + std::to_string(h.payload_len) +
+                           "-byte payload",
+                       true);
+    if (consumed) *consumed = k_frame_header_size + h.payload_len;
+    return decode_payload<M>(h.version, h.tag,
+                             bytes.substr(k_frame_header_size, h.payload_len), parse);
+}
+
+template <class M, class Encoder>
+std::string encode_message(const M& m) {
+    wire_writer body;
+    std::visit(Encoder{body}, m);
+    // A frame the protocol cannot carry must fail loudly at the encode
+    // boundary: past the bound the decoder would fatally reject it, and
+    // past 2^32 the u32 length field would wrap and desynchronise the
+    // stream.
+    if (body.bytes().size() > k_max_payload)
+        throw std::length_error("api::encode: " + std::to_string(body.bytes().size()) +
+                                "-byte payload exceeds the " + std::to_string(k_max_payload) +
+                                "-byte frame bound");
+
+    wire_writer frame;
+    frame.u8(static_cast<std::uint8_t>(k_frame_magic[0]));
+    frame.u8(static_cast<std::uint8_t>(k_frame_magic[1]));
+    frame.u8(static_cast<std::uint8_t>(k_frame_magic[2]));
+    frame.u8(static_cast<std::uint8_t>(k_frame_magic[3]));
+    frame.u32(k_schema_version);
+    frame.u16(static_cast<std::uint16_t>(tag_of(m)));
+    frame.u32(static_cast<std::uint32_t>(body.bytes().size()));
+    std::string out = std::move(frame).take();
+    out += body.bytes();
+    return out;
+}
+
+}  // namespace
+
+std::string encode(const request& r) {
+    return encode_message<request, request_payload_encoder>(r);
+}
+
+std::string encode(const response& r) {
+    return encode_message<response, response_payload_encoder>(r);
+}
+
+decode_result<request> read_request(std::istream& in) {
+    return read_frame<request>(in, [](std::uint16_t tag, wire_reader& r) {
+        return parse_request(tag, r);
+    });
+}
+
+decode_result<response> read_response(std::istream& in) {
+    return read_frame<response>(in, [](std::uint16_t tag, wire_reader& r) {
+        return parse_response(tag, r);
+    });
+}
+
+decode_result<request> decode_request(std::string_view bytes, std::size_t* consumed) {
+    return decode_frame<request>(bytes, consumed, [](std::uint16_t tag, wire_reader& r) {
+        return parse_request(tag, r);
+    });
+}
+
+decode_result<response> decode_response(std::string_view bytes, std::size_t* consumed) {
+    return decode_frame<response>(bytes, consumed, [](std::uint16_t tag, wire_reader& r) {
+        return parse_response(tag, r);
+    });
+}
+
+std::string make_frame(std::uint16_t tag, std::string_view payload, std::uint32_t version,
+                       std::string_view magic) {
+    wire_writer frame;
+    for (const char c : magic) frame.u8(static_cast<std::uint8_t>(c));
+    frame.u32(version);
+    frame.u16(tag);
+    frame.u32(static_cast<std::uint32_t>(payload.size()));
+    std::string out = std::move(frame).take();
+    out.append(payload.data(), payload.size());
+    return out;
+}
+
+}  // namespace fisone::api

@@ -1,0 +1,98 @@
+#pragma once
+
+/// \file codec.hpp
+/// Canonical binary codec for the API messages: length-prefixed frames,
+/// little-endian scalars, explicit schema version. One frame is
+///
+///   offset  size  field
+///        0     4  magic "FIS1"
+///        4     4  u32 schema version (`k_schema_version`)
+///        8     2  u16 message tag (`message_tag`)
+///       10     4  u32 payload length (bytes that follow)
+///       14     …  payload (message body, correlation id first)
+///
+/// Everything is encoded with fixed-width little-endian integers and
+/// IEEE-754 bit patterns for doubles, independent of the host — encoding
+/// is a *canonical serialisation*: the same logical message always
+/// produces the same bytes, which is what makes the in-process loopback
+/// transport byte-identical to the framed-stream path.
+///
+/// Decoding never exhibits UB on hostile input. Every failure is typed
+/// (`error_code`) and classified as *fatal* (framing integrity lost —
+/// bad magic, truncation, oversized declared length; the stream cannot be
+/// resynchronised and reading must stop) or *recoverable* (the frame
+/// boundary is still trustworthy — wrong schema version, unknown tag,
+/// malformed payload; the decoder skips the frame and the next read
+/// proceeds). Declared payload lengths are bounds-checked *before* any
+/// allocation, so an adversarial length cannot trigger a huge allocation.
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "message.hpp"
+
+namespace fisone::api {
+
+/// Frame magic: the four ASCII bytes "FIS1".
+inline constexpr char k_frame_magic[4] = {'F', 'I', 'S', '1'};
+
+/// Fixed frame-header size in bytes (magic + version + tag + length).
+inline constexpr std::size_t k_frame_header_size = 14;
+
+/// Hard bound on a declared payload length. Generous for any real
+/// building (a 64 MiB payload is ≈ 8M observations) while keeping a
+/// hostile length from looking like a plausible allocation.
+inline constexpr std::size_t k_max_payload = 64u << 20;
+
+/// Encode one message as a complete frame (header + payload).
+/// \throws std::length_error when the payload exceeds `k_max_payload` —
+///         the protocol cannot carry such a frame, and silently emitting
+///         one would only move the failure to the peer's decoder.
+[[nodiscard]] std::string encode(const request& r);
+[[nodiscard]] std::string encode(const response& r);
+
+/// A typed decode failure.
+struct decode_error {
+    error_code code = error_code::none;
+    std::string message;
+};
+
+/// Outcome of pulling one frame off a stream. Exactly one of
+/// {value, error, eof} is active: `eof` is a clean end-of-stream before
+/// any header byte; `error` carries the typed failure (with `fatal`
+/// saying whether the stream can still be read); otherwise `value` holds
+/// the decoded message.
+template <class M>
+struct decode_result {
+    std::optional<M> value;
+    std::optional<decode_error> error;
+    bool eof = false;
+    bool fatal = false;  ///< meaningful only when `error` is set
+
+    [[nodiscard]] bool ok() const noexcept { return value.has_value(); }
+};
+
+/// Read and decode one request / response frame from \p in. Recoverable
+/// failures consume the whole frame, so the next call reads the next one.
+[[nodiscard]] decode_result<request> read_request(std::istream& in);
+[[nodiscard]] decode_result<response> read_response(std::istream& in);
+
+/// Decode one frame from memory. \p consumed (optional) receives how many
+/// bytes of \p bytes the frame spanned (0 when eof/fatal before a length
+/// was trusted).
+[[nodiscard]] decode_result<request> decode_request(std::string_view bytes,
+                                                    std::size_t* consumed = nullptr);
+[[nodiscard]] decode_result<response> decode_response(std::string_view bytes,
+                                                      std::size_t* consumed = nullptr);
+
+/// Assemble a raw frame around an arbitrary payload — the adversarial
+/// tests' tool for crafting wrong-version / unknown-tag / short frames.
+[[nodiscard]] std::string make_frame(std::uint16_t tag, std::string_view payload,
+                                     std::uint32_t version = k_schema_version,
+                                     std::string_view magic = {k_frame_magic, 4});
+
+}  // namespace fisone::api

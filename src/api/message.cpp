@@ -1,0 +1,55 @@
+#include "message.hpp"
+
+namespace fisone::api {
+
+const char* error_code_name(error_code code) noexcept {
+    switch (code) {
+        case error_code::none: return "none";
+        case error_code::bad_magic: return "bad_magic";
+        case error_code::truncated: return "truncated";
+        case error_code::oversized: return "oversized";
+        case error_code::bad_version: return "bad_version";
+        case error_code::unknown_tag: return "unknown_tag";
+        case error_code::bad_payload: return "bad_payload";
+        case error_code::bad_request: return "bad_request";
+    }
+    return "unknown";
+}
+
+std::uint64_t correlation_id(const request& r) noexcept {
+    return std::visit([](const auto& m) { return m.correlation_id; }, r);
+}
+
+std::uint64_t correlation_id(const response& r) noexcept {
+    return std::visit([](const auto& m) { return m.correlation_id; }, r);
+}
+
+message_tag tag_of(const request& r) noexcept {
+    struct visitor {
+        message_tag operator()(const identify_building_request&) const {
+            return message_tag::identify_building;
+        }
+        message_tag operator()(const identify_shard_request&) const {
+            return message_tag::identify_shard;
+        }
+        message_tag operator()(const get_stats_request&) const { return message_tag::get_stats; }
+        message_tag operator()(const cancel_job_request&) const { return message_tag::cancel_job; }
+        message_tag operator()(const flush_request&) const { return message_tag::flush; }
+    };
+    return std::visit(visitor{}, r);
+}
+
+message_tag tag_of(const response& r) noexcept {
+    struct visitor {
+        message_tag operator()(const building_response&) const {
+            return message_tag::building_result;
+        }
+        message_tag operator()(const stats_response&) const { return message_tag::stats_result; }
+        message_tag operator()(const cancel_response&) const { return message_tag::cancel_result; }
+        message_tag operator()(const flush_response&) const { return message_tag::flush_done; }
+        message_tag operator()(const error_response&) const { return message_tag::error; }
+    };
+    return std::visit(visitor{}, r);
+}
+
+}  // namespace fisone::api

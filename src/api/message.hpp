@@ -1,0 +1,158 @@
+#pragma once
+
+/// \file message.hpp
+/// The versioned request/response message model of the FIS-ONE API — the
+/// one public contract that subsumes the library's three historical entry
+/// points (`core::fis_one::run`, `runtime::batch_runner`,
+/// `service::floor_service::submit`). Every front-end — the in-process
+/// loopback, the framed-stream server, and any future HTTP/gRPC or
+/// federation adapter — speaks exactly these messages; transports differ
+/// only in how the encoded frames move.
+///
+/// Conventions:
+///  - every message carries a caller-chosen `correlation_id`; responses
+///    echo the id of the request they answer, so a transport may stream
+///    responses in completion order;
+///  - a shard request fans out into one `building_response` per building,
+///    all sharing the request's correlation id;
+///  - protocol-level failures arrive as a typed `error_response`, never as
+///    a broken stream (see `codec.hpp` for the framing rules).
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "data/rf_sample.hpp"
+#include "runtime/batch_runner.hpp"
+#include "service/floor_service.hpp"
+
+namespace fisone::api {
+
+/// Wire schema version. Bump on any change to message layouts; decoders
+/// reject frames from a different version with `error_code::bad_version`.
+inline constexpr std::uint32_t k_schema_version = 1;
+
+/// Frame tag: which message a frame's payload holds. Requests live in
+/// [1, 64), responses in [64, 128); the split leaves both ranges room to
+/// grow without renumbering.
+enum class message_tag : std::uint16_t {
+    // requests
+    identify_building = 1,
+    identify_shard = 2,
+    get_stats = 3,
+    cancel_job = 4,
+    flush = 5,
+    // responses
+    building_result = 64,
+    stats_result = 65,
+    cancel_result = 66,
+    flush_done = 67,
+    error = 127,
+};
+
+/// Typed protocol-failure codes carried by `error_response`.
+enum class error_code : std::uint16_t {
+    none = 0,
+    bad_magic = 1,     ///< frame does not start with the FIS1 magic (fatal)
+    truncated = 2,     ///< stream ended inside a header or payload (fatal)
+    oversized = 3,     ///< declared payload length exceeds the codec bound (fatal)
+    bad_version = 4,   ///< frame from a different schema version (skippable)
+    unknown_tag = 5,   ///< well-framed payload with an unknown tag (skippable)
+    bad_payload = 6,   ///< payload too short, malformed, or with trailing bytes
+    bad_request = 7,   ///< decoded fine but semantically unservable
+};
+
+/// Human-readable name of \p code (for logs and error messages).
+[[nodiscard]] const char* error_code_name(error_code code) noexcept;
+
+// --- requests ---------------------------------------------------------------
+
+/// Run the pipeline on one building. Without `has_index` the server
+/// assigns the next unused corpus index (and thus seed); with it, the
+/// caller pins the building's place in the campaign — resubmitting a
+/// corpus at the same indices is what makes the result cache hit.
+struct identify_building_request {
+    std::uint64_t correlation_id = 0;
+    bool has_index = false;
+    std::uint64_t corpus_index = 0;
+    data::building b;
+};
+
+/// Stream an on-disk shard through the service (one `building_response`
+/// per building, shared correlation id). Never served from the cache —
+/// shard contents are not resident to hash.
+struct identify_shard_request {
+    std::uint64_t correlation_id = 0;
+    service::shard_ref ref;
+};
+
+/// Snapshot the service + cache counters.
+struct get_stats_request {
+    std::uint64_t correlation_id = 0;
+};
+
+/// Cooperatively cancel the job submitted under `target_correlation_id`.
+struct cancel_job_request {
+    std::uint64_t correlation_id = 0;
+    std::uint64_t target_correlation_id = 0;
+};
+
+/// Barrier: answered (with `flush_response`) only after every building of
+/// every job submitted before it has produced its response.
+struct flush_request {
+    std::uint64_t correlation_id = 0;
+};
+
+using request = std::variant<identify_building_request, identify_shard_request,
+                             get_stats_request, cancel_job_request, flush_request>;
+
+// --- responses --------------------------------------------------------------
+
+/// One finished building (ok, failed, cancelled — exactly as
+/// `runtime::building_report` models it).
+struct building_response {
+    std::uint64_t correlation_id = 0;
+    runtime::building_report report;
+};
+
+/// Answer to `get_stats_request`; `stats.cache_hits` / `cache_misses` are
+/// filled from the server's `result_cache`.
+struct stats_response {
+    std::uint64_t correlation_id = 0;
+    service::service_stats stats;
+};
+
+/// Answer to `cancel_job_request`. `accepted` mirrors
+/// `floor_service::job::cancel`: true when the request landed before the
+/// target finished; false when the target was already complete or the
+/// target correlation id is unknown.
+struct cancel_response {
+    std::uint64_t correlation_id = 0;
+    std::uint64_t target_correlation_id = 0;
+    bool accepted = false;
+};
+
+/// Answer to `flush_request`.
+struct flush_response {
+    std::uint64_t correlation_id = 0;
+};
+
+/// Typed protocol failure. `correlation_id` is 0 when the failure happened
+/// before a correlation id could be decoded (e.g. a truncated header).
+struct error_response {
+    std::uint64_t correlation_id = 0;
+    error_code code = error_code::none;
+    std::string message;
+};
+
+using response = std::variant<building_response, stats_response, cancel_response,
+                              flush_response, error_response>;
+
+// --- uniform accessors ------------------------------------------------------
+
+[[nodiscard]] std::uint64_t correlation_id(const request& r) noexcept;
+[[nodiscard]] std::uint64_t correlation_id(const response& r) noexcept;
+[[nodiscard]] message_tag tag_of(const request& r) noexcept;
+[[nodiscard]] message_tag tag_of(const response& r) noexcept;
+
+}  // namespace fisone::api

@@ -1,0 +1,56 @@
+#include "result_cache.hpp"
+
+#include <stdexcept>
+
+namespace fisone::api {
+
+result_cache::result_cache(std::size_t capacity) : capacity_(capacity) {
+    if (capacity == 0) throw std::invalid_argument("result_cache: capacity must be >= 1");
+}
+
+std::optional<runtime::building_report> result_cache::lookup(const cache_key& key) {
+    const std::lock_guard<std::mutex> lock(m_);
+    const auto it = index_.find(key);
+    if (it == index_.end()) {
+        ++misses_;
+        return std::nullopt;
+    }
+    ++hits_;
+    entries_.splice(entries_.begin(), entries_, it->second);  // refresh recency
+    return it->second->second;
+}
+
+void result_cache::insert(const cache_key& key, runtime::building_report report) {
+    const std::lock_guard<std::mutex> lock(m_);
+    const auto it = index_.find(key);
+    if (it != index_.end()) {
+        it->second->second = std::move(report);
+        entries_.splice(entries_.begin(), entries_, it->second);
+        return;
+    }
+    if (entries_.size() >= capacity_) {
+        index_.erase(entries_.back().first);
+        entries_.pop_back();
+        ++evictions_;
+    }
+    entries_.emplace_front(key, std::move(report));
+    index_.emplace(key, entries_.begin());
+}
+
+result_cache_stats result_cache::stats() const {
+    const std::lock_guard<std::mutex> lock(m_);
+    result_cache_stats s;
+    s.hits = hits_;
+    s.misses = misses_;
+    s.entries = entries_.size();
+    s.evictions = evictions_;
+    return s;
+}
+
+void result_cache::clear() {
+    const std::lock_guard<std::mutex> lock(m_);
+    entries_.clear();
+    index_.clear();
+}
+
+}  // namespace fisone::api

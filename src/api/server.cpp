@@ -1,0 +1,253 @@
+#include "server.hpp"
+
+#include <chrono>
+#include <filesystem>
+#include <istream>
+#include <mutex>
+#include <ostream>
+#include <type_traits>
+#include <unordered_map>
+#include <utility>
+
+#include "codec.hpp"
+#include "core/fis_one.hpp"
+#include "runtime/task_executor.hpp"
+
+namespace fisone::api {
+
+namespace {
+
+using clock = std::chrono::steady_clock;
+
+/// True when \p path resolves inside \p root, with symlinks and
+/// dot-segments resolved as far as the filesystem allows. Anything the
+/// filesystem refuses to resolve is *not* allowed — fail closed.
+bool shard_path_allowed(const std::string& root, const std::string& path) try {
+    namespace fs = std::filesystem;
+    const fs::path rel = fs::weakly_canonical(fs::path(path))
+                             .lexically_relative(fs::weakly_canonical(fs::path(root)));
+    return !rel.empty() && rel.begin()->string() != "..";
+} catch (...) {
+    return false;
+}
+
+}  // namespace
+
+/// Shared per-connection state. Jobs' completion callbacks hold it by
+/// shared_ptr, so a session handle may be dropped while jobs are still in
+/// flight without dangling anything.
+struct server::session::state {
+    service::floor_service* svc = nullptr;
+    result_cache* cache = nullptr;  ///< null when caching is disabled
+    std::string shard_root;         ///< empty = shard paths unconstrained
+    frame_sink sink;
+
+    std::mutex emit_m;  ///< serialises sink calls across worker threads
+    bool broken = false;
+
+    std::mutex jobs_m;
+    /// Jobs by request correlation id (the `cancel_job` namespace).
+    /// Resubmitting under an id replaces the cancellable target.
+    std::unordered_map<std::uint64_t, service::floor_service::job> jobs;
+
+    /// Encode and emit one response frame. A sink that throws marks the
+    /// transport broken; later frames are dropped silently — the job
+    /// machinery must never wedge on a dead connection.
+    void emit(const response& resp) {
+        const std::lock_guard<std::mutex> lock(emit_m);
+        if (broken) return;
+        try {
+            const std::string frame = encode(resp);
+            sink(frame);
+        } catch (...) {
+            broken = true;
+        }
+    }
+
+    /// Track \p job as the cancellable target of \p correlation_id,
+    /// dropping finished jobs first so a long-lived connection that never
+    /// flushes cannot accumulate handles (each pins its reports — full
+    /// embeddings matrices — for the job's lifetime).
+    void remember_job(std::uint64_t correlation_id, service::floor_service::job job) {
+        const std::lock_guard<std::mutex> lock(jobs_m);
+        prune_locked();
+        jobs[correlation_id] = std::move(job);
+    }
+
+    /// Drop handles of finished jobs (flush-time housekeeping).
+    void prune_jobs() {
+        const std::lock_guard<std::mutex> lock(jobs_m);
+        prune_locked();
+    }
+
+    void prune_locked() {
+        for (auto it = jobs.begin(); it != jobs.end();) {
+            const service::job_state js = it->second.state();
+            if (js == service::job_state::done || js == service::job_state::cancelled)
+                it = jobs.erase(it);
+            else
+                ++it;
+        }
+    }
+
+    /// Stats exactly as `get_stats` answers them.
+    [[nodiscard]] service::service_stats merged_stats() const {
+        service::service_stats s = svc->stats();
+        if (cache) {
+            const result_cache_stats cs = cache->stats();
+            s.cache_hits = cs.hits;
+            s.cache_misses = cs.misses;
+        }
+        return s;
+    }
+};
+
+void server::session::handle(const request& req) {
+    const std::shared_ptr<state> st = state_;
+    std::visit(
+        [&](const auto& m) {
+            using T = std::decay_t<decltype(m)>;
+            if constexpr (std::is_same_v<T, identify_building_request>) {
+                const std::uint64_t corr = m.correlation_id;
+                const std::size_t index = m.has_index
+                                              ? static_cast<std::size_t>(m.corpus_index)
+                                              : st->svc->allocate_corpus_index();
+                std::optional<cache_key> key;
+                if (st->cache) {
+                    const clock::time_point start = clock::now();
+                    const service::service_config& scfg = st->svc->config();
+                    key = cache_key{
+                        data::content_hash(m.b),
+                        core::config_fingerprint(runtime::effective_task_config(
+                            scfg.pipeline, scfg.seed, index, st->svc->num_workers() > 1))};
+                    if (std::optional<runtime::building_report> hit = st->cache->lookup(*key)) {
+                        // Keep index assignment identical to a cache-off
+                        // run even though the service never sees this one.
+                        st->svc->advance_corpus_index(index + 1);
+                        hit->index = index;
+                        hit->seconds =
+                            std::chrono::duration<double>(clock::now() - start).count();
+                        st->emit(building_response{corr, std::move(*hit)});
+                        return;
+                    }
+                }
+                service::floor_service::job job = st->svc->submit(
+                    m.b, index, [st, corr, key](const runtime::building_report& report) {
+                        if (key && report.ok) st->cache->insert(*key, report);
+                        st->emit(building_response{corr, report});
+                    });
+                st->remember_job(corr, std::move(job));
+            } else if constexpr (std::is_same_v<T, identify_shard_request>) {
+                const std::uint64_t corr = m.correlation_id;
+                if (!st->shard_root.empty() &&
+                    !shard_path_allowed(st->shard_root, m.ref.path)) {
+                    st->emit(error_response{corr, error_code::bad_request,
+                                            "shard path outside the configured shard root: " +
+                                                m.ref.path});
+                    return;
+                }
+                service::floor_service::job job = st->svc->submit(
+                    m.ref, [st, corr](const runtime::building_report& report) {
+                        st->emit(building_response{corr, report});
+                    });
+                st->remember_job(corr, std::move(job));
+            } else if constexpr (std::is_same_v<T, get_stats_request>) {
+                st->emit(stats_response{m.correlation_id, st->merged_stats()});
+            } else if constexpr (std::is_same_v<T, cancel_job_request>) {
+                bool accepted = false;
+                {
+                    const std::lock_guard<std::mutex> lock(st->jobs_m);
+                    const auto it = st->jobs.find(m.target_correlation_id);
+                    if (it != st->jobs.end()) accepted = it->second.cancel();
+                }
+                st->emit(cancel_response{m.correlation_id, m.target_correlation_id, accepted});
+            } else {
+                static_assert(std::is_same_v<T, flush_request>);
+                st->svc->wait_all();
+                st->prune_jobs();
+                st->emit(flush_response{m.correlation_id});
+            }
+        },
+        req);
+}
+
+bool server::session::handle_frame(std::string_view frame) {
+    const decode_result<request> decoded = decode_request(frame);
+    if (decoded.eof) return true;  // empty feed: nothing to do
+    if (decoded.error) {
+        state_->emit(error_response{0, decoded.error->code, decoded.error->message});
+        return !decoded.fatal;
+    }
+    handle(*decoded.value);
+    return true;
+}
+
+void server::session::finish() { state_->svc->wait_all(); }
+
+bool server::session::sink_broken() const {
+    const std::lock_guard<std::mutex> lock(state_->emit_m);
+    return state_->broken;
+}
+
+server::server(server_config cfg) : cfg_(std::move(cfg)) {
+    if (cfg_.enable_cache) cache_ = std::make_unique<result_cache>(cfg_.cache_capacity);
+    svc_ = std::make_unique<service::floor_service>(cfg_.service);
+}
+
+server::~server() = default;
+
+server::session server::open(frame_sink sink) {
+    auto st = std::make_shared<session::state>();
+    st->svc = svc_.get();
+    st->cache = cache_.get();
+    st->shard_root = cfg_.shard_root;
+    st->sink = std::move(sink);
+    return session(std::move(st));
+}
+
+void server::serve(std::istream& in, std::ostream& out) {
+    session s = open([&out](std::string_view frame) {
+        out.write(frame.data(), static_cast<std::streamsize>(frame.size()));
+        if (!out) throw std::ios_base::failure("api::server: response stream went bad");
+        out.flush();
+    });
+    try {
+        for (;;) {
+            const decode_result<request> r = read_request(in);
+            if (r.eof) break;
+            if (r.error) {
+                s.state_->emit(error_response{0, r.error->code, r.error->message});
+                if (r.fatal) break;
+                continue;
+            }
+            s.handle(*r.value);
+            if (s.sink_broken()) break;
+        }
+    } catch (...) {
+        // serve must never return (or unwind) with jobs in flight: their
+        // callbacks write to `out`, which the caller is free to destroy
+        // afterwards. The one in-protocol throw is flush-while-paused
+        // (`wait_all` refuses to deadlock), so release the gate, drain,
+        // and only then let the error propagate.
+        svc_->resume();
+        s.finish();
+        throw;
+    }
+    s.finish();
+}
+
+service::service_stats server::stats() const {
+    service::service_stats s = svc_->stats();
+    if (cache_) {
+        const result_cache_stats cs = cache_->stats();
+        s.cache_hits = cs.hits;
+        s.cache_misses = cs.misses;
+    }
+    return s;
+}
+
+result_cache_stats server::cache_stats() const {
+    return cache_ ? cache_->stats() : result_cache_stats{};
+}
+
+}  // namespace fisone::api

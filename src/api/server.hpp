@@ -1,0 +1,138 @@
+#pragma once
+
+/// \file server.hpp
+/// The API dispatcher: decodes request frames, routes them onto a
+/// `service::floor_service`, and streams encoded response frames back in
+/// completion order with correlation ids. Transports are trivial by
+/// construction:
+///  - `serve(in, out)` speaks the framed codec over any
+///    `std::istream`/`std::ostream` pair (a file, a socketpair wrapper, a
+///    `std::stringstream` in tests);
+///  - `open(sink)` is the in-process loopback: callers hand encoded
+///    request frames to `session::handle_frame` (or decoded messages to
+///    `session::handle`) and receive encoded response frames through the
+///    sink — the exact same codec path as the framed stream, so the two
+///    transports are byte-identical by construction.
+///
+/// Result caching: `identify_building` requests are content-addressed
+/// through an `api::result_cache` keyed by (building content hash,
+/// effective-config fingerprint — seeds included). A hit answers without
+/// touching the service and is bit-identical to what a fresh run would
+/// produce; a miss runs normally and populates the cache on success.
+/// Shard requests always run (their contents are on disk, not hashable
+/// without the streaming read that *is* the job); when
+/// `server_config::shard_root` is set, their paths must resolve inside
+/// it or the request is refused with `error_code::bad_request`.
+///
+/// Protocol failures become typed `error_response` frames. Recoverable
+/// ones (wrong version, unknown tag, malformed payload) keep the
+/// connection alive; fatal ones (bad magic, truncation, oversized length)
+/// end `serve` after the error frame is written.
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <memory>
+#include <string_view>
+
+#include "message.hpp"
+#include "result_cache.hpp"
+#include "service/floor_service.hpp"
+
+namespace fisone::api {
+
+/// Server configuration.
+struct server_config {
+    /// The backing service (pipeline template, campaign seed, workers,
+    /// backpressure). `service.on_report` stays available for the owner's
+    /// observability taps; the server routes its responses through per-job
+    /// callbacks, not this hook.
+    service::service_config service{};
+    bool enable_cache = true;          ///< serve repeat submissions from cache
+    std::size_t cache_capacity = 1024; ///< LRU entries (one building report each)
+    /// Filesystem root that `identify_shard` paths must resolve inside
+    /// (symlinks and dot-segments resolved). Empty — the default — trusts
+    /// the caller, which is right for in-process embedding; SET THIS
+    /// before attaching any network transport, or wire-supplied paths
+    /// become an arbitrary-file probe of the server's filesystem.
+    /// Out-of-root requests are answered with a typed
+    /// `error_code::bad_request`, never executed.
+    std::string shard_root;
+};
+
+class server {
+public:
+    /// Receives each encoded response frame. Calls are serialised by the
+    /// session; the sink must not re-enter the session or block on it.
+    using frame_sink = std::function<void(std::string_view)>;
+
+    /// One client connection: a correlation-id namespace (for `cancel_job`)
+    /// plus the response channel. Cheap handle; copies share state. Jobs
+    /// submitted through a session keep the session state alive until they
+    /// finish, but the *sink targets* (e.g. the output stream) must outlive
+    /// the jobs — call `finish()` (or `server` teardown) before tearing
+    /// them down.
+    class session {
+    public:
+        /// Dispatch one decoded request.
+        void handle(const request& req);
+
+        /// Decode one frame, then dispatch. Protocol failures emit a typed
+        /// `error_response` through the sink. Returns false when the
+        /// failure was fatal (framing integrity lost — the feeder should
+        /// stop), true otherwise.
+        bool handle_frame(std::string_view frame);
+
+        /// Barrier: wait until every building of every job submitted so
+        /// far has produced its response frame. (Same as a `flush` request,
+        /// minus the `flush_response`.)
+        void finish();
+
+        /// True once a sink invocation threw: subsequent response frames
+        /// are dropped (the transport is assumed gone).
+        [[nodiscard]] bool sink_broken() const;
+
+    private:
+        friend class server;
+        struct state;
+        explicit session(std::shared_ptr<state> s) : state_(std::move(s)) {}
+        std::shared_ptr<state> state_;
+    };
+
+    /// Spins up the backing `floor_service` immediately.
+    /// \throws std::invalid_argument exactly as `floor_service` does.
+    explicit server(server_config cfg);
+
+    /// Waits for every submitted job (service teardown semantics).
+    ~server();
+
+    server(const server&) = delete;
+    server& operator=(const server&) = delete;
+
+    /// Open an in-process loopback session.
+    [[nodiscard]] session open(frame_sink sink);
+
+    /// Serve one framed connection: read request frames from \p in until
+    /// EOF or a fatal framing error, stream response frames to \p out.
+    /// Returns after every accepted job has answered (implicit `finish`).
+    void serve(std::istream& in, std::ostream& out);
+
+    /// Service stats with the cache counters folded in — exactly what a
+    /// `get_stats` request returns.
+    [[nodiscard]] service::service_stats stats() const;
+
+    [[nodiscard]] result_cache_stats cache_stats() const;
+
+    /// The backing service (pause/resume, direct submission, raw stats).
+    [[nodiscard]] service::floor_service& backing_service() noexcept { return *svc_; }
+
+private:
+    server_config cfg_;
+    /// Declared before the service so teardown destroys the service first:
+    /// its destructor waits for in-flight jobs, whose callbacks may still
+    /// touch the cache.
+    std::unique_ptr<result_cache> cache_;  ///< null when caching disabled
+    std::unique_ptr<service::floor_service> svc_;
+};
+
+}  // namespace fisone::api

@@ -8,9 +8,47 @@
 #include "cluster/kmeans.hpp"
 #include "eval/metrics.hpp"
 #include "graph/bipartite_graph.hpp"
+#include "util/hash.hpp"
 #include "util/thread_pool.hpp"
 
 namespace fisone::core {
+
+std::uint64_t config_fingerprint(const fis_one_config& cfg) noexcept {
+    util::fnv1a64 h;
+    // Domain separator + layout version: bump whenever a field is added,
+    // removed, or re-ordered below — a stale fingerprint must never alias
+    // a config with different result semantics.
+    h.str("fisone-config-fingerprint/v1");
+    // RF-GNN knobs.
+    h.size(cfg.gnn.embedding_dim);
+    h.size(cfg.gnn.num_hops);
+    h.size(cfg.gnn.neighbor_samples);
+    h.boolean(cfg.gnn.use_attention);
+    h.boolean(cfg.gnn.train_base_embeddings);
+    h.u8(static_cast<std::uint8_t>(cfg.gnn.act));
+    h.size(cfg.gnn.walks.walk_length);
+    h.size(cfg.gnn.walks.walks_per_node);
+    h.size(cfg.gnn.walks.window);
+    h.size(cfg.gnn.negatives);
+    h.f64(cfg.gnn.negative_exponent);
+    h.size(cfg.gnn.epochs);
+    h.size(cfg.gnn.batch_pairs);
+    h.f64(cfg.gnn.learning_rate);
+    h.f64(cfg.gnn.grad_clip);
+    h.u64(cfg.gnn.seed);
+    // Pipeline-level switches.
+    h.u8(static_cast<std::uint8_t>(cfg.clustering));
+    h.u8(static_cast<std::uint8_t>(cfg.similarity));
+    h.u8(static_cast<std::uint8_t>(cfg.solver));
+    h.u8(static_cast<std::uint8_t>(cfg.label));
+    h.boolean(cfg.estimate_floor_count);
+    h.size(cfg.min_floors);
+    h.size(cfg.max_floors);
+    h.u64(cfg.seed);
+    // cfg.num_threads intentionally NOT hashed — results are thread-count
+    // invariant by the repo-wide bit-identity contract.
+    return h.digest();
+}
 
 namespace {
 

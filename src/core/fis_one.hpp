@@ -52,6 +52,17 @@ struct fis_one_config {
     std::size_t num_threads = 0;
 };
 
+/// Canonical fingerprint of a pipeline configuration: an FNV-1a 64 digest
+/// over a fixed, versioned field-by-field serialisation of every knob that
+/// can change pipeline *results* — including the seeds. `num_threads` is
+/// deliberately excluded: every parallel kernel is bit-identical to its
+/// serial form (the repo-wide contract), so results never depend on it and
+/// cached results stay valid across worker counts. Configs fingerprint
+/// equal iff they produce bit-identical results on every building; the API
+/// layer's `result_cache` keys on (building `data::content_hash`, this).
+/// New config fields MUST be folded in here (and the version tag bumped).
+[[nodiscard]] std::uint64_t config_fingerprint(const fis_one_config& cfg) noexcept;
+
 /// Everything the pipeline produces for one building.
 struct fis_one_result {
     /// Number of clusters used (== building::num_floors unless

@@ -1,5 +1,7 @@
 #include "rf_sample.hpp"
 
+#include "util/hash.hpp"
+
 namespace fisone::data {
 
 void building::validate() const {
@@ -36,6 +38,15 @@ std::vector<std::size_t> building::samples_per_floor() const {
         if (s.true_floor >= 0 && static_cast<std::size_t>(s.true_floor) < num_floors)
             ++counts[static_cast<std::size_t>(s.true_floor)];
     return counts;
+}
+
+std::uint64_t content_hash(const building& b) noexcept {
+    util::fnv1a64 h;
+    // Domain separator + layout version: bump when the canonical walk
+    // changes so stale cache entries can never alias new content.
+    h.str("fisone-building-hash/v1");
+    visit_building_canonical(b, h);
+    return h.digest();
 }
 
 }  // namespace fisone::data

@@ -89,6 +89,42 @@ struct building {
     [[nodiscard]] std::vector<std::size_t> samples_per_floor() const;
 };
 
+/// The canonical field walk of a building — ONE place defines "every
+/// field that makes a building the input it is, in a fixed order". Both
+/// `content_hash` (hashing sink) and the API wire codec's encoder
+/// (serialising sink) drive this walk, so the content address and the
+/// wire form can never drift apart: a field added here reaches both.
+/// \p Sink needs `str(string_view)`, `u32`, `u64`, `i32`, `f64`, each
+/// encoding its value canonically (fixed-width little-endian / IEEE-754
+/// bits) — see `util::fnv1a64` and the codec's `wire_writer`.
+template <class Sink>
+void visit_building_canonical(const building& b, Sink& s) {
+    s.str(b.name);
+    s.u64(b.num_floors);
+    s.u64(b.num_macs);
+    s.u64(b.labeled_sample);
+    s.i32(b.labeled_floor);
+    s.u64(b.samples.size());
+    for (const rf_sample& smp : b.samples) {
+        s.i32(smp.true_floor);
+        s.u32(smp.device_id);
+        s.u64(smp.observations.size());
+        for (const rf_observation& o : smp.observations) {
+            s.u32(o.mac_id);
+            s.f64(o.rss_dbm);
+        }
+    }
+}
+
+/// Canonical content hash of a building: an FNV-1a 64 digest over the
+/// `visit_building_canonical` field walk (name, floor/MAC counts, the
+/// one-label protocol, and every sample's observations with RSS as
+/// IEEE-754 bits). Two buildings hash equal iff they are bit-identical
+/// as inputs to the pipeline, so the digest content-addresses results:
+/// the API layer's `result_cache` keys on (content_hash,
+/// `core::config_fingerprint`). Platform-independent.
+[[nodiscard]] std::uint64_t content_hash(const building& b) noexcept;
+
 /// A named collection of buildings ("Microsoft", "Ours").
 struct corpus {
     std::string name;

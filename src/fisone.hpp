@@ -37,8 +37,16 @@
 
 // batch runtime & async service
 #include "runtime/batch_runner.hpp"
+#include "runtime/task_executor.hpp"
 #include "service/floor_service.hpp"
 #include "service/ndjson_export.hpp"
+
+// versioned request/response API (wire codec, server, client, cache)
+#include "api/client.hpp"
+#include "api/codec.hpp"
+#include "api/message.hpp"
+#include "api/result_cache.hpp"
+#include "api/server.hpp"
 
 // baselines & simulation
 #include "baselines/daegc.hpp"
@@ -51,6 +59,7 @@
 
 // utilities
 #include "util/cli.hpp"
+#include "util/hash.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
 #include "util/table_printer.hpp"

@@ -3,6 +3,7 @@
 #include <chrono>
 #include <mutex>
 
+#include "task_executor.hpp"
 #include "util/rng.hpp"
 #include "util/thread_pool.hpp"
 
@@ -28,35 +29,12 @@ std::uint64_t task_seed(std::uint64_t campaign_seed, std::size_t task_index) noe
 building_report run_building_task(const core::fis_one_config& pipeline,
                                   std::uint64_t campaign_seed, std::size_t index,
                                   const data::building& b, bool single_thread_kernels) {
-    building_report report;
-    report.index = index;
-    report.name = b.name;
-
-    core::fis_one_config cfg = pipeline;
-    const std::uint64_t seed = task_seed(campaign_seed, index);
-    report.seed = seed;
-    cfg.seed = seed;
-    cfg.gnn.seed = seed ^ 0x5eedc0de5eedc0deULL;
-    // "auto" kernel threading inside a parallel batch would nest a
-    // hardware-sized pool per in-flight building; keep one pool level.
-    if (cfg.num_threads == 0 && single_thread_kernels) cfg.num_threads = 1;
-
-    const clock::time_point start = clock::now();
-    try {
-        report.result = core::fis_one(cfg).run(b);
-        report.ok = true;
-    } catch (const std::exception& e) {
-        report.error = e.what();
-    } catch (...) {
-        report.error = "unknown exception";
-    }
-    report.seconds = seconds_since(start);
-    return report;
+    return task_executor(pipeline, campaign_seed, single_thread_kernels).run(index, b);
 }
 
 batch_runner::batch_runner(batch_config cfg) : cfg_(std::move(cfg)) {
     // Validate the template eagerly — better one throw here than one per task.
-    static_cast<void>(core::fis_one(cfg_.pipeline));
+    validate_pipeline(cfg_.pipeline);
     const std::size_t batch_threads = util::resolve_num_threads(cfg_.num_threads);
     if (batch_threads > 1) pool_ = std::make_unique<util::thread_pool>(batch_threads);
 }
@@ -69,6 +47,8 @@ batch_result batch_runner::run(const std::vector<data::building>& buildings) con
     // the kernels keep their own "auto" threading (e.g. a 1-building batch
     // on an 8-core host should still use the cores inside the pipeline).
     const bool parallel_batch = pool_ != nullptr && total > 1;
+    const task_executor executor(cfg_.pipeline, cfg_.seed,
+                                 /*single_thread_kernels=*/parallel_batch);
 
     batch_result out;
     out.reports.resize(total);
@@ -77,8 +57,7 @@ batch_result batch_runner::run(const std::vector<data::building>& buildings) con
     std::size_t completed = 0;
 
     const auto run_one = [&](std::size_t i) {
-        out.reports[i] = run_building_task(cfg_.pipeline, cfg_.seed, i, buildings[i],
-                                           /*single_thread_kernels=*/parallel_batch);
+        out.reports[i] = executor.run(i, buildings[i]);
 
         if (cfg_.on_progress) {
             const std::lock_guard<std::mutex> lock(progress_mutex);

@@ -7,6 +7,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "runtime/task_executor.hpp"
 #include "util/stats.hpp"
 #include "util/thread_pool.hpp"
 
@@ -49,24 +50,9 @@ struct floor_service::job::impl {
     /// cancel that lands after the last building still yields `done`.
     bool any_skipped = false;  ///< guarded by svc->m
     std::vector<runtime::building_report> reports;  ///< worker-only until finished
+    /// Per-job completion callback; fires after the service-wide one.
+    floor_service::report_callback on_report;
 };
-
-namespace {
-
-/// Report for a building that never ran (cancelled, or lost to a shard
-/// error). Carries the seed it *would* have run with, for traceability.
-runtime::building_report skipped_report(const std::string& name, std::size_t index,
-                                        std::uint64_t campaign_seed, std::string reason) {
-    runtime::building_report report;
-    report.index = index;
-    report.name = name;
-    report.ok = false;
-    report.error = std::move(reason);
-    report.seed = runtime::task_seed(campaign_seed, index);
-    return report;
-}
-
-}  // namespace
 
 /// Finish one building of a job: record it, update counters, and fire the
 /// service callback — in completion order across all workers.
@@ -95,13 +81,14 @@ void floor_service::record_report(job::impl& im, state& st, runtime::building_re
         }
     }
     if (st.on_report) st.on_report(stored);
+    if (im.on_report) im.on_report(stored);
 }
 
 floor_service::floor_service(service_config cfg) : cfg_(std::move(cfg)) {
     if (cfg_.max_pending_jobs == 0)
         throw std::invalid_argument("floor_service: max_pending_jobs must be >= 1");
     // Validate the pipeline template eagerly, as batch_runner does.
-    static_cast<void>(core::fis_one(cfg_.pipeline));
+    runtime::validate_pipeline(cfg_.pipeline);
     workers_ = util::resolve_num_threads(cfg_.num_threads);
     state_ = std::make_shared<state>();
     state_->on_report = cfg_.on_report;
@@ -152,9 +139,11 @@ const std::vector<runtime::building_report>& floor_service::job::reports() const
 // --- submission -------------------------------------------------------------
 
 floor_service::job floor_service::enqueue(std::function<void(job::impl&)> body,
-                                          std::size_t num_buildings) {
+                                          std::size_t num_buildings,
+                                          report_callback on_report) {
     auto im = std::make_shared<job::impl>();
     im->svc = state_;
+    im->on_report = std::move(on_report);
     im->reports.reserve(num_buildings);
     {
         std::unique_lock<std::mutex> lock(state_->m);
@@ -198,57 +187,54 @@ floor_service::job floor_service::enqueue(std::function<void(job::impl&)> body,
 }
 
 floor_service::job floor_service::submit(data::building b) {
-    std::size_t index = 0;
-    {
-        const std::lock_guard<std::mutex> lock(state_->m);
-        index = next_index_++;
-    }
-    return submit(std::move(b), index);
+    return submit(std::move(b), allocate_corpus_index());
 }
 
 floor_service::job floor_service::submit(data::building b, std::size_t corpus_index) {
+    return submit(std::move(b), corpus_index, nullptr);
+}
+
+floor_service::job floor_service::submit(data::building b, std::size_t corpus_index,
+                                         report_callback on_report) {
     {
         const std::lock_guard<std::mutex> lock(state_->m);
         if (corpus_index >= next_index_) next_index_ = corpus_index + 1;
     }
-    const bool single_thread_kernels = workers_ > 1;
     auto svc = state_;
-    const std::uint64_t seed = cfg_.seed;
-    const core::fis_one_config pipeline = cfg_.pipeline;
+    const runtime::task_executor executor(cfg_.pipeline, cfg_.seed,
+                                          /*single_thread_kernels=*/workers_ > 1);
     return enqueue(
-        [b = std::move(b), corpus_index, seed, pipeline, single_thread_kernels,
-         svc](job::impl& im) {
+        [b = std::move(b), corpus_index, executor, svc](job::impl& im) {
             if (im.cancel_requested.load()) {
-                record_report(im, *svc,
-                              skipped_report(b.name, corpus_index, seed, "cancelled"),
+                record_report(im, *svc, executor.skipped(b.name, corpus_index, "cancelled"),
                               report_kind::skipped_cancelled);
                 return;
             }
-            record_report(im, *svc,
-                          runtime::run_building_task(pipeline, seed, corpus_index, b,
-                                                     single_thread_kernels),
-                          report_kind::ran);
+            record_report(im, *svc, executor.run(corpus_index, b), report_kind::ran);
         },
-        1);
+        1, std::move(on_report));
 }
 
 floor_service::job floor_service::submit(shard_ref ref) {
+    return submit(std::move(ref), nullptr);
+}
+
+floor_service::job floor_service::submit(shard_ref ref, report_callback on_report) {
     {
         const std::lock_guard<std::mutex> lock(state_->m);
         const std::size_t end = ref.first_index + ref.num_buildings;
         if (end > next_index_) next_index_ = end;
     }
-    const bool single_thread_kernels = workers_ > 1;
     auto svc = state_;
-    const std::uint64_t seed = cfg_.seed;
-    const core::fis_one_config pipeline = cfg_.pipeline;
+    const runtime::task_executor executor(cfg_.pipeline, cfg_.seed,
+                                          /*single_thread_kernels=*/workers_ > 1);
     return enqueue(
-        [ref = std::move(ref), seed, pipeline, single_thread_kernels, svc](job::impl& im) {
+        [ref = std::move(ref), executor, svc](job::impl& im) {
             std::size_t offset = 0;
             const auto skip_rest = [&](const std::string& reason, report_kind kind) {
                 for (; offset < ref.num_buildings; ++offset)
                     record_report(im, *svc,
-                                  skipped_report("", ref.first_index + offset, seed, reason),
+                                  executor.skipped("", ref.first_index + offset, reason),
                                   kind);
             };
             try {
@@ -270,16 +256,23 @@ floor_service::job floor_service::submit(shard_ref ref) {
                     // Consume the slot before recording: if on_report
                     // throws mid-record, skip_rest must not re-report it.
                     ++offset;
-                    record_report(im, *svc,
-                                  runtime::run_building_task(pipeline, seed, corpus_index, *b,
-                                                             single_thread_kernels),
-                                  report_kind::ran);
+                    record_report(im, *svc, executor.run(corpus_index, *b), report_kind::ran);
                 }
             } catch (const std::exception& e) {
                 skip_rest(e.what(), report_kind::skipped_failed);
             }
         },
-        ref.num_buildings);
+        ref.num_buildings, std::move(on_report));
+}
+
+std::size_t floor_service::allocate_corpus_index() {
+    const std::lock_guard<std::mutex> lock(state_->m);
+    return next_index_++;
+}
+
+void floor_service::advance_corpus_index(std::size_t end) {
+    const std::lock_guard<std::mutex> lock(state_->m);
+    if (end > next_index_) next_index_ = end;
 }
 
 // --- control & observability ------------------------------------------------

@@ -94,6 +94,11 @@ struct service_stats {
     double latency_p50 = 0.0;  ///< seconds per building, nearest-rank
     double latency_p90 = 0.0;
     double latency_p99 = 0.0;
+    /// Result-cache counters. The bare service runs every submission and
+    /// leaves these 0; `api::server` serves repeat submissions from its
+    /// `api::result_cache` and fills them in its `get_stats` response.
+    std::size_t cache_hits = 0;
+    std::size_t cache_misses = 0;
 };
 
 class floor_service {
@@ -138,6 +143,14 @@ public:
     floor_service(const floor_service&) = delete;
     floor_service& operator=(const floor_service&) = delete;
 
+    /// Per-job completion callback: fires after each of the job's finished
+    /// buildings (ok, failed or cancelled), right after the service-wide
+    /// `on_report`, serialised with it, and under the same constraints
+    /// (must not block or submit jobs). This is how a front-end — e.g.
+    /// `api::server` — routes completion-order results back to the caller
+    /// that owns the job, which the global callback cannot do.
+    using report_callback = std::function<void(const runtime::building_report&)>;
+
     /// Submit one building; its corpus index (and thus seed) is the next
     /// unused index, so submitting a corpus building-by-building reproduces
     /// the batch over that corpus. Blocks while the service is at
@@ -147,10 +160,31 @@ public:
     /// Submit one building at an explicit corpus index.
     job submit(data::building b, std::size_t corpus_index);
 
+    /// Submit one building at an explicit corpus index with a per-job
+    /// completion callback.
+    job submit(data::building b, std::size_t corpus_index, report_callback on_report);
+
     /// Submit a shard by reference: a worker streams its buildings straight
     /// from disk, one at a time — the shard is never resident as a whole.
     /// Building i of the shard runs at corpus index `first_index + i`.
     job submit(shard_ref ref);
+
+    /// Shard submission with a per-job completion callback (fires once per
+    /// building of the shard).
+    job submit(shard_ref ref, report_callback on_report);
+
+    /// Claim the next unused corpus index without submitting anything —
+    /// the index (and thus seed) a subsequent auto-index submission would
+    /// get. Front-ends use it to know a task's identity (for result-cache
+    /// keys) before deciding whether the service needs to run it at all.
+    [[nodiscard]] std::size_t allocate_corpus_index();
+
+    /// Ensure auto-assigned indices start at or after \p end — what an
+    /// explicit-index submission does implicitly. Front-ends call it when
+    /// they satisfy an explicit-index submission *without* submitting
+    /// (e.g. a result-cache hit), keeping index assignment identical to a
+    /// cache-off run.
+    void advance_corpus_index(std::size_t end);
 
     /// Block until every job submitted so far has finished. Throws
     /// `std::logic_error` when called on a paused service with pending
@@ -177,7 +211,8 @@ private:
     static void record_report(job::impl& im, state& st, runtime::building_report&& report,
                               report_kind kind);
 
-    job enqueue(std::function<void(job::impl&)> body, std::size_t num_buildings);
+    job enqueue(std::function<void(job::impl&)> body, std::size_t num_buildings,
+                report_callback on_report);
 
     service_config cfg_;
     std::size_t workers_ = 1;

@@ -1,0 +1,72 @@
+#pragma once
+
+/// \file hash.hpp
+/// Canonical FNV-1a 64-bit hashing for content addressing. Every scalar is
+/// folded in as a fixed-width little-endian byte sequence regardless of the
+/// host's endianness or type widths, so a digest is a stable *canonical
+/// serialisation* hash: the same logical value produces the same digest on
+/// every platform and in every build. Doubles hash their IEEE-754 bit
+/// pattern (bit-identical values — the repo-wide determinism contract —
+/// therefore hash identically; +0.0 and −0.0 deliberately differ).
+///
+/// Used by `data::content_hash` (building content addressing) and
+/// `core::config_fingerprint` (pipeline-config fingerprints), which
+/// together key the API layer's result cache.
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace fisone::util {
+
+/// Incremental FNV-1a 64-bit hasher with canonical scalar encodings.
+class fnv1a64 {
+public:
+    static constexpr std::uint64_t offset_basis = 1469598103934665603ULL;
+    static constexpr std::uint64_t prime = 1099511628211ULL;
+
+    /// Fold one raw byte.
+    constexpr void byte(std::uint8_t b) noexcept {
+        state_ ^= b;
+        state_ *= prime;
+    }
+
+    constexpr void u8(std::uint8_t v) noexcept { byte(v); }
+
+    constexpr void u16(std::uint16_t v) noexcept {
+        byte(static_cast<std::uint8_t>(v));
+        byte(static_cast<std::uint8_t>(v >> 8));
+    }
+
+    constexpr void u32(std::uint32_t v) noexcept {
+        u16(static_cast<std::uint16_t>(v));
+        u16(static_cast<std::uint16_t>(v >> 16));
+    }
+
+    constexpr void u64(std::uint64_t v) noexcept {
+        u32(static_cast<std::uint32_t>(v));
+        u32(static_cast<std::uint32_t>(v >> 32));
+    }
+
+    constexpr void i32(std::int32_t v) noexcept { u32(static_cast<std::uint32_t>(v)); }
+    constexpr void i64(std::int64_t v) noexcept { u64(static_cast<std::uint64_t>(v)); }
+    constexpr void size(std::size_t v) noexcept { u64(static_cast<std::uint64_t>(v)); }
+    constexpr void boolean(bool v) noexcept { byte(v ? 1 : 0); }
+
+    /// IEEE-754 bit pattern; bit-identical doubles hash identically.
+    void f64(double v) noexcept { u64(std::bit_cast<std::uint64_t>(v)); }
+
+    /// Length-prefixed, so "ab"+"c" and "a"+"bc" never collide by framing.
+    constexpr void str(std::string_view s) noexcept {
+        u64(s.size());
+        for (const char c : s) byte(static_cast<std::uint8_t>(c));
+    }
+
+    [[nodiscard]] constexpr std::uint64_t digest() const noexcept { return state_; }
+
+private:
+    std::uint64_t state_ = offset_basis;
+};
+
+}  // namespace fisone::util

@@ -1,0 +1,705 @@
+// Tests for the versioned request/response API layer: canonical hashes
+// (building content hash, config fingerprint), the binary wire codec
+// (round trips, a randomized property test, and adversarial decode), the
+// content-addressed LRU result cache, the server dispatcher over both
+// transports, and the PR's acceptance criterion — responses via
+// in-process loopback, via framed streams, and via direct floor_service
+// submission are byte-identical under NDJSON re-export, with cache-on
+// runs identical to cache-off ones.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <filesystem>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "api/client.hpp"
+#include "api/codec.hpp"
+#include "api/message.hpp"
+#include "api/result_cache.hpp"
+#include "api/server.hpp"
+#include "core/fis_one.hpp"
+#include "runtime/batch_runner.hpp"
+#include "runtime/task_executor.hpp"
+#include "service/ndjson_export.hpp"
+#include "sim/building_generator.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace fisone;
+
+// --- helpers ----------------------------------------------------------------
+
+data::building tiny_building(std::size_t i) {
+    sim::building_spec spec;
+    spec.name = "api-";
+    spec.name += std::to_string(i);
+    spec.num_floors = 3 + i % 2;
+    spec.samples_per_floor = 20;
+    spec.aps_per_floor = 6;
+    spec.seed = 900 + i;
+    return sim::generate_building(spec).building;
+}
+
+data::corpus tiny_corpus(std::size_t count) {
+    data::corpus c;
+    c.name = "api-city";
+    for (std::size_t i = 0; i < count; ++i) c.buildings.push_back(tiny_building(i));
+    return c;
+}
+
+core::fis_one_config fast_pipeline() {
+    core::fis_one_config cfg;
+    cfg.gnn.embedding_dim = 8;
+    cfg.gnn.epochs = 2;
+    cfg.gnn.walks.walks_per_node = 2;
+    return cfg;
+}
+
+api::server_config fast_server_config(bool enable_cache) {
+    api::server_config cfg;
+    cfg.service.pipeline = fast_pipeline();
+    cfg.service.seed = 99;
+    cfg.service.num_threads = 2;
+    cfg.enable_cache = enable_cache;
+    return cfg;
+}
+
+/// Small random building for the codec property test (not a valid
+/// pipeline input — the codec must not care).
+data::building random_building(util::rng& gen) {
+    data::building b;
+    b.name = "rnd-" + std::to_string(gen.uniform_index(1 << 20));
+    b.num_floors = 2 + static_cast<std::size_t>(gen.uniform_index(8));
+    b.num_macs = 1 + static_cast<std::size_t>(gen.uniform_index(40));
+    b.labeled_floor = static_cast<std::int32_t>(gen.uniform_index(4));
+    const std::size_t samples = gen.uniform_index(7);
+    for (std::size_t s = 0; s < samples; ++s) {
+        data::rf_sample smp;
+        smp.true_floor = static_cast<std::int32_t>(gen.uniform_index(7)) - 1;
+        smp.device_id = static_cast<std::uint32_t>(gen.uniform_index(8));
+        const std::size_t obs = gen.uniform_index(9);
+        for (std::size_t o = 0; o < obs; ++o)
+            smp.observations.push_back(
+                {static_cast<std::uint32_t>(gen.uniform_index(40)), gen.uniform(-120.0, 0.0)});
+        b.samples.push_back(std::move(smp));
+    }
+    b.labeled_sample =
+        b.samples.empty() ? 0 : static_cast<std::size_t>(gen.uniform_index(b.samples.size()));
+    return b;
+}
+
+void expect_building_eq(const data::building& a, const data::building& b) {
+    EXPECT_EQ(a.name, b.name);
+    EXPECT_EQ(a.num_floors, b.num_floors);
+    EXPECT_EQ(a.num_macs, b.num_macs);
+    EXPECT_EQ(a.labeled_sample, b.labeled_sample);
+    EXPECT_EQ(a.labeled_floor, b.labeled_floor);
+    ASSERT_EQ(a.samples.size(), b.samples.size());
+    for (std::size_t i = 0; i < a.samples.size(); ++i) {
+        EXPECT_EQ(a.samples[i].true_floor, b.samples[i].true_floor);
+        EXPECT_EQ(a.samples[i].device_id, b.samples[i].device_id);
+        ASSERT_EQ(a.samples[i].observations.size(), b.samples[i].observations.size());
+        for (std::size_t j = 0; j < a.samples[i].observations.size(); ++j) {
+            EXPECT_EQ(a.samples[i].observations[j].mac_id, b.samples[i].observations[j].mac_id);
+            EXPECT_EQ(a.samples[i].observations[j].rss_dbm,
+                      b.samples[i].observations[j].rss_dbm);
+        }
+    }
+}
+
+void expect_report_eq(const runtime::building_report& a, const runtime::building_report& b) {
+    EXPECT_EQ(a.index, b.index);
+    EXPECT_EQ(a.name, b.name);
+    EXPECT_EQ(a.ok, b.ok);
+    EXPECT_EQ(a.error, b.error);
+    EXPECT_EQ(a.seed, b.seed);
+    EXPECT_EQ(a.seconds, b.seconds);
+    EXPECT_EQ(a.result.num_clusters, b.result.num_clusters);
+    EXPECT_EQ(a.result.assignment, b.result.assignment);
+    EXPECT_EQ(a.result.cluster_to_floor, b.result.cluster_to_floor);
+    EXPECT_EQ(a.result.predicted_floor, b.result.predicted_floor);
+    EXPECT_EQ(a.result.embeddings, b.result.embeddings);
+    EXPECT_EQ(a.result.ambiguous, b.result.ambiguous);
+    EXPECT_EQ(a.result.has_ground_truth, b.result.has_ground_truth);
+    EXPECT_EQ(a.result.ari, b.result.ari);
+    EXPECT_EQ(a.result.nmi, b.result.nmi);
+    EXPECT_EQ(a.result.edit_distance, b.result.edit_distance);
+}
+
+std::string ndjson_of(std::vector<runtime::building_report> reports) {
+    std::ostringstream out;
+    service::export_input_order(out, std::move(reports));
+    return out.str();
+}
+
+// --- canonical hashes -------------------------------------------------------
+
+TEST(content_hash, sensitive_to_every_field_and_stable) {
+    const data::building b = tiny_building(0);
+    EXPECT_EQ(data::content_hash(b), data::content_hash(b));
+
+    data::building renamed = b;
+    renamed.name += "x";
+    EXPECT_NE(data::content_hash(renamed), data::content_hash(b));
+
+    data::building relabeled = b;
+    relabeled.labeled_floor ^= 1;
+    EXPECT_NE(data::content_hash(relabeled), data::content_hash(b));
+
+    data::building nudged = b;
+    nudged.samples[0].observations[0].rss_dbm += 1e-12;  // any bit change counts
+    EXPECT_NE(data::content_hash(nudged), data::content_hash(b));
+
+    data::building fewer = b;
+    fewer.samples.pop_back();
+    EXPECT_NE(data::content_hash(fewer), data::content_hash(b));
+}
+
+TEST(config_fingerprint, sensitive_to_results_relevant_fields_only) {
+    const core::fis_one_config base = fast_pipeline();
+    EXPECT_EQ(core::config_fingerprint(base), core::config_fingerprint(base));
+
+    core::fis_one_config seeded = base;
+    seeded.seed += 1;
+    EXPECT_NE(core::config_fingerprint(seeded), core::config_fingerprint(base));
+
+    core::fis_one_config gnn_seeded = base;
+    gnn_seeded.gnn.seed += 1;
+    EXPECT_NE(core::config_fingerprint(gnn_seeded), core::config_fingerprint(base));
+
+    core::fis_one_config wider = base;
+    wider.gnn.embedding_dim *= 2;
+    EXPECT_NE(core::config_fingerprint(wider), core::config_fingerprint(base));
+
+    core::fis_one_config kmeans = base;
+    kmeans.clustering = core::clustering_algorithm::kmeans;
+    EXPECT_NE(core::config_fingerprint(kmeans), core::config_fingerprint(base));
+
+    // num_threads never changes results (bit-identity contract), so it
+    // must not change the fingerprint: cached results stay valid across
+    // worker counts.
+    core::fis_one_config threaded = base;
+    threaded.num_threads = 8;
+    EXPECT_EQ(core::config_fingerprint(threaded), core::config_fingerprint(base));
+}
+
+TEST(config_fingerprint, effective_task_config_keys_by_index) {
+    const core::fis_one_config pipeline = fast_pipeline();
+    const auto fp = [&](std::size_t index) {
+        return core::config_fingerprint(
+            runtime::effective_task_config(pipeline, 99, index, true));
+    };
+    EXPECT_EQ(fp(0), fp(0));
+    EXPECT_NE(fp(0), fp(1));  // different index → different derived seed
+    // Kernel threading must not leak into the identity.
+    EXPECT_EQ(fp(3), core::config_fingerprint(
+                         runtime::effective_task_config(pipeline, 99, 3, false)));
+}
+
+// --- codec: round trips -----------------------------------------------------
+
+TEST(codec, request_round_trips_every_type) {
+    api::identify_building_request ib;
+    ib.correlation_id = 7;
+    ib.has_index = true;
+    ib.corpus_index = 12;
+    ib.b = tiny_building(1);
+
+    api::identify_shard_request is;
+    is.correlation_id = 8;
+    is.ref = {"/tmp/shard-0000.csv", 4, 3};
+
+    const std::vector<api::request> requests{
+        api::request(ib), api::request(is), api::request(api::get_stats_request{9}),
+        api::request(api::cancel_job_request{10, 7}), api::request(api::flush_request{11})};
+
+    for (const api::request& req : requests) {
+        const std::string frame = api::encode(req);
+        std::size_t consumed = 0;
+        const api::decode_result<api::request> decoded = api::decode_request(frame, &consumed);
+        ASSERT_TRUE(decoded.ok()) << (decoded.error ? decoded.error->message : "eof");
+        EXPECT_EQ(consumed, frame.size());
+        EXPECT_EQ(api::tag_of(*decoded.value), api::tag_of(req));
+        EXPECT_EQ(api::correlation_id(*decoded.value), api::correlation_id(req));
+    }
+
+    // Deep checks on the payload-heavy ones.
+    const auto ib2 = std::get<api::identify_building_request>(
+        *api::decode_request(api::encode(api::request(ib))).value);
+    EXPECT_TRUE(ib2.has_index);
+    EXPECT_EQ(ib2.corpus_index, 12u);
+    expect_building_eq(ib2.b, ib.b);
+
+    const auto is2 = std::get<api::identify_shard_request>(
+        *api::decode_request(api::encode(api::request(is))).value);
+    EXPECT_EQ(is2.ref.path, is.ref.path);
+    EXPECT_EQ(is2.ref.first_index, is.ref.first_index);
+    EXPECT_EQ(is2.ref.num_buildings, is.ref.num_buildings);
+}
+
+TEST(codec, response_round_trips_every_type) {
+    runtime::building_report report;
+    report.index = 5;
+    report.name = "hall \"B\"\n";
+    report.ok = true;
+    report.seed = 0xdeadbeefcafef00dULL;
+    report.seconds = 0.25;
+    report.result.num_clusters = 3;
+    report.result.assignment = {0, 1, 2, -1};
+    report.result.cluster_to_floor = {2, 0, 1};
+    report.result.predicted_floor = {2, 0, 1, 0};
+    report.result.embeddings = linalg::matrix{{1.5, -2.25}, {0.0, 1e-300}};
+    report.result.ambiguous = true;
+    report.result.ari = 0.875;
+
+    service::service_stats stats;
+    stats.jobs_submitted = 4;
+    stats.jobs_done = 3;
+    stats.jobs_cancelled = 1;
+    stats.buildings_ok = 9;
+    stats.latency_p90 = 0.125;
+    stats.cache_hits = 6;
+    stats.cache_misses = 2;
+
+    const std::vector<api::response> responses{
+        api::response(api::building_response{21, report}),
+        api::response(api::stats_response{22, stats}),
+        api::response(api::cancel_response{23, 7, true}),
+        api::response(api::flush_response{24}),
+        api::response(api::error_response{25, api::error_code::bad_payload, "odd bytes"})};
+
+    for (const api::response& resp : responses) {
+        const std::string frame = api::encode(resp);
+        const api::decode_result<api::response> decoded = api::decode_response(frame);
+        ASSERT_TRUE(decoded.ok()) << (decoded.error ? decoded.error->message : "eof");
+        EXPECT_EQ(api::tag_of(*decoded.value), api::tag_of(resp));
+        EXPECT_EQ(api::correlation_id(*decoded.value), api::correlation_id(resp));
+    }
+
+    const auto br = std::get<api::building_response>(
+        *api::decode_response(api::encode(api::response(api::building_response{21, report})))
+             .value);
+    expect_report_eq(br.report, report);
+
+    const auto sr = std::get<api::stats_response>(
+        *api::decode_response(api::encode(api::response(api::stats_response{22, stats}))).value);
+    EXPECT_EQ(sr.stats.jobs_submitted, 4u);
+    EXPECT_EQ(sr.stats.jobs_cancelled, 1u);
+    EXPECT_EQ(sr.stats.cache_hits, 6u);
+    EXPECT_EQ(sr.stats.cache_misses, 2u);
+    EXPECT_EQ(sr.stats.latency_p90, 0.125);
+
+    const auto er = std::get<api::error_response>(
+        *api::decode_response(
+             api::encode(api::response(api::error_response{25, api::error_code::bad_payload,
+                                                           "odd bytes"})))
+             .value);
+    EXPECT_EQ(er.code, api::error_code::bad_payload);
+    EXPECT_EQ(er.message, "odd bytes");
+}
+
+TEST(codec, degenerate_matrices_round_trip) {
+    // R×0 / 0×C embeddings carry no payload bytes; the encoder legally
+    // produces them and the decoder must take them back.
+    for (const auto& [rows, cols] : {std::pair<std::size_t, std::size_t>{5, 0},
+                                    std::pair<std::size_t, std::size_t>{0, 7},
+                                    std::pair<std::size_t, std::size_t>{0, 0}}) {
+        runtime::building_report report;
+        report.name = "degenerate";
+        report.result.embeddings = linalg::matrix(rows, cols);
+        const api::decode_result<api::response> decoded = api::decode_response(
+            api::encode(api::response(api::building_response{1, report})));
+        ASSERT_TRUE(decoded.ok()) << rows << "x" << cols << ": "
+                                  << decoded.error->message;
+        const auto& back = std::get<api::building_response>(*decoded.value);
+        EXPECT_EQ(back.report.result.embeddings.rows(), rows);
+        EXPECT_EQ(back.report.result.embeddings.cols(), cols);
+    }
+}
+
+TEST(codec, randomized_request_round_trip_property) {
+    util::rng gen(4242);
+    for (int round = 0; round < 50; ++round) {
+        api::identify_building_request m;
+        m.correlation_id = gen.uniform_index(1ULL << 30);
+        m.has_index = gen.bernoulli(0.5);
+        m.corpus_index = gen.uniform_index(1ULL << 20);
+        m.b = random_building(gen);
+
+        const std::string frame = api::encode(api::request(m));
+        const api::decode_result<api::request> decoded = api::decode_request(frame);
+        ASSERT_TRUE(decoded.ok()) << decoded.error->message;
+        const auto& back = std::get<api::identify_building_request>(*decoded.value);
+        EXPECT_EQ(back.correlation_id, m.correlation_id);
+        EXPECT_EQ(back.has_index, m.has_index);
+        EXPECT_EQ(back.corpus_index, m.corpus_index);
+        expect_building_eq(back.b, m.b);
+
+        // Canonical: re-encoding the decoded message reproduces the bytes.
+        EXPECT_EQ(api::encode(api::request(back)), frame);
+    }
+}
+
+// --- codec: adversarial decode ----------------------------------------------
+
+TEST(codec, rejects_truncation_at_every_prefix_length) {
+    api::identify_building_request m;
+    m.correlation_id = 3;
+    m.b = tiny_building(2);
+    const std::string frame = api::encode(api::request(m));
+
+    for (std::size_t cut = 1; cut < frame.size(); ++cut) {
+        const api::decode_result<api::request> decoded =
+            api::decode_request(std::string_view(frame).substr(0, cut));
+        ASSERT_TRUE(decoded.error.has_value()) << "prefix " << cut << " decoded";
+        EXPECT_EQ(decoded.error->code, api::error_code::truncated);
+        EXPECT_TRUE(decoded.fatal);
+    }
+    EXPECT_TRUE(api::decode_request(std::string_view{}).eof);
+}
+
+TEST(codec, rejects_oversized_declared_length_without_allocating) {
+    // Header declares a payload far beyond the bound; only 4 real bytes follow.
+    std::string frame = api::make_frame(
+        static_cast<std::uint16_t>(api::message_tag::get_stats), "abcd");
+    // Patch the length field (offset 10, little-endian u32) to 256 MiB.
+    const std::uint32_t huge = 256u << 20;
+    std::memcpy(frame.data() + 10, &huge, sizeof huge);
+
+    const api::decode_result<api::request> decoded = api::decode_request(frame);
+    ASSERT_TRUE(decoded.error.has_value());
+    EXPECT_EQ(decoded.error->code, api::error_code::oversized);
+    EXPECT_TRUE(decoded.fatal);
+}
+
+TEST(codec, rejects_unknown_tag_as_recoverable) {
+    const std::string payload(8, '\0');  // a plausible correlation id
+    const std::string frame = api::make_frame(999, payload);
+    std::size_t consumed = 0;
+    const api::decode_result<api::request> decoded = api::decode_request(frame, &consumed);
+    ASSERT_TRUE(decoded.error.has_value());
+    EXPECT_EQ(decoded.error->code, api::error_code::unknown_tag);
+    EXPECT_FALSE(decoded.fatal);
+    EXPECT_EQ(consumed, frame.size());  // frame consumed: stream can resync
+
+    // A response tag is not a request tag either.
+    const std::string resp_frame = api::make_frame(
+        static_cast<std::uint16_t>(api::message_tag::flush_done), payload);
+    EXPECT_EQ(api::decode_request(resp_frame).error->code, api::error_code::unknown_tag);
+}
+
+TEST(codec, rejects_future_schema_version_as_recoverable) {
+    const std::string payload(8, '\0');
+    const std::string frame = api::make_frame(
+        static_cast<std::uint16_t>(api::message_tag::flush), payload,
+        api::k_schema_version + 1);
+    const api::decode_result<api::request> decoded = api::decode_request(frame);
+    ASSERT_TRUE(decoded.error.has_value());
+    EXPECT_EQ(decoded.error->code, api::error_code::bad_version);
+    EXPECT_FALSE(decoded.fatal);
+}
+
+TEST(codec, rejects_bad_magic_as_fatal) {
+    const std::string frame = api::make_frame(
+        static_cast<std::uint16_t>(api::message_tag::flush), std::string(8, '\0'),
+        api::k_schema_version, "XIS1");
+    const api::decode_result<api::request> decoded = api::decode_request(frame);
+    ASSERT_TRUE(decoded.error.has_value());
+    EXPECT_EQ(decoded.error->code, api::error_code::bad_magic);
+    EXPECT_TRUE(decoded.fatal);
+}
+
+TEST(codec, rejects_empty_and_trailing_payloads) {
+    // flush needs an 8-byte correlation id; an empty payload is malformed.
+    const std::string empty = api::make_frame(
+        static_cast<std::uint16_t>(api::message_tag::flush), "");
+    const api::decode_result<api::request> short_decoded = api::decode_request(empty);
+    ASSERT_TRUE(short_decoded.error.has_value());
+    EXPECT_EQ(short_decoded.error->code, api::error_code::bad_payload);
+    EXPECT_FALSE(short_decoded.fatal);
+
+    // Ditto a payload with bytes left over after the message.
+    const std::string trailing = api::make_frame(
+        static_cast<std::uint16_t>(api::message_tag::flush), std::string(12, '\0'));
+    const api::decode_result<api::request> trail_decoded = api::decode_request(trailing);
+    ASSERT_TRUE(trail_decoded.error.has_value());
+    EXPECT_EQ(trail_decoded.error->code, api::error_code::bad_payload);
+}
+
+TEST(codec, hostile_counts_inside_payload_fail_cleanly) {
+    // An identify_building whose sample count claims 2^60 entries: the
+    // count guard must fail the decode before any allocation attempt.
+    std::string payload;
+    const auto put_u64 = [&payload](std::uint64_t v) {
+        for (int i = 0; i < 8; ++i) payload.push_back(static_cast<char>(v >> (8 * i)));
+    };
+    put_u64(1);                  // correlation id
+    payload.push_back('\0');     // has_index = false
+    put_u64(0);                  // corpus_index
+    put_u64(0);                  // name: empty
+    put_u64(3);                  // num_floors
+    put_u64(4);                  // num_macs
+    put_u64(0);                  // labeled_sample
+    payload.append(4, '\0');     // labeled_floor
+    put_u64(1ULL << 60);         // hostile sample count
+    const std::string frame = api::make_frame(
+        static_cast<std::uint16_t>(api::message_tag::identify_building), payload);
+    const api::decode_result<api::request> decoded = api::decode_request(frame);
+    ASSERT_TRUE(decoded.error.has_value());
+    EXPECT_EQ(decoded.error->code, api::error_code::bad_payload);
+}
+
+TEST(codec, stream_reader_recovers_after_recoverable_frames) {
+    std::stringstream wire;
+    wire << api::make_frame(999, std::string(8, '\0'));  // unknown tag
+    wire << api::encode(api::request(api::flush_request{42}));
+
+    const api::decode_result<api::request> first = api::read_request(wire);
+    ASSERT_TRUE(first.error.has_value());
+    EXPECT_EQ(first.error->code, api::error_code::unknown_tag);
+    EXPECT_FALSE(first.fatal);
+
+    const api::decode_result<api::request> second = api::read_request(wire);
+    ASSERT_TRUE(second.ok());
+    EXPECT_EQ(api::correlation_id(*second.value), 42u);
+
+    EXPECT_TRUE(api::read_request(wire).eof);
+}
+
+TEST(codec, encode_rejects_payloads_the_protocol_cannot_carry) {
+    // One sample with enough observations to push the payload past the
+    // 64 MiB frame bound: encoding must throw instead of emitting a frame
+    // the peer's decoder would fatally reject.
+    api::identify_building_request m;
+    m.correlation_id = 1;
+    m.b.name = "oversized";
+    m.b.num_floors = 2;
+    m.b.num_macs = 1;
+    data::rf_sample s;
+    s.observations.resize((api::k_max_payload / 12) + 1, {0, -50.0});
+    m.b.samples.push_back(std::move(s));
+    EXPECT_THROW(static_cast<void>(api::encode(api::request(std::move(m)))),
+                 std::length_error);
+}
+
+// --- result cache -----------------------------------------------------------
+
+TEST(result_cache, lru_eviction_and_counters) {
+    api::result_cache cache(2);
+    runtime::building_report r;
+    r.ok = true;
+
+    const api::cache_key a{1, 10};
+    const api::cache_key b{2, 10};
+    const api::cache_key c{3, 10};
+
+    EXPECT_FALSE(cache.lookup(a).has_value());  // miss
+    cache.insert(a, r);
+    cache.insert(b, r);
+    EXPECT_TRUE(cache.lookup(a).has_value());  // hit; refreshes a
+    cache.insert(c, r);                        // evicts b (LRU)
+    EXPECT_TRUE(cache.lookup(a).has_value());
+    EXPECT_TRUE(cache.lookup(c).has_value());
+    EXPECT_FALSE(cache.lookup(b).has_value());
+
+    const api::result_cache_stats stats = cache.stats();
+    EXPECT_EQ(stats.hits, 3u);
+    EXPECT_EQ(stats.misses, 2u);
+    EXPECT_EQ(stats.entries, 2u);
+    EXPECT_EQ(stats.evictions, 1u);
+
+    cache.clear();
+    EXPECT_EQ(cache.stats().entries, 0u);
+    EXPECT_EQ(cache.stats().hits, 3u);  // counters survive clear
+
+    EXPECT_THROW(api::result_cache(0), std::invalid_argument);
+}
+
+// --- server + client --------------------------------------------------------
+
+TEST(api_server, loopback_identify_matches_batch_runner_bitwise) {
+    const data::corpus c = tiny_corpus(3);
+
+    runtime::batch_config batch_cfg;
+    batch_cfg.pipeline = fast_pipeline();
+    batch_cfg.seed = 99;
+    batch_cfg.num_threads = 1;
+    const runtime::batch_result batch = runtime::batch_runner(batch_cfg).run(c);
+
+    api::server srv(fast_server_config(true));
+    api::client cli(srv);
+    for (const data::building& b : c.buildings) static_cast<void>(cli.identify(b));
+    static_cast<void>(cli.flush());
+
+    const std::vector<runtime::building_report> reports = cli.reports();
+    ASSERT_EQ(reports.size(), 3u);
+    std::vector<runtime::building_report> sorted = reports;
+    std::sort(sorted.begin(), sorted.end(),
+              [](const auto& a, const auto& b) { return a.index < b.index; });
+    for (std::size_t i = 0; i < sorted.size(); ++i) {
+        EXPECT_TRUE(sorted[i].ok) << sorted[i].error;
+        EXPECT_EQ(sorted[i].seed, batch.reports[i].seed);
+        EXPECT_EQ(sorted[i].result.assignment, batch.reports[i].result.assignment);
+        EXPECT_EQ(sorted[i].result.embeddings, batch.reports[i].result.embeddings);
+    }
+}
+
+TEST(api_server, stats_cancel_and_error_paths) {
+    api::server srv(fast_server_config(true));
+    api::client cli(srv);
+
+    const std::uint64_t job_corr = cli.identify(tiny_building(0));
+    static_cast<void>(cli.flush());
+
+    // Cancelling a finished job is not accepted; an unknown id is not
+    // accepted either (but answered, not erred).
+    static_cast<void>(cli.cancel(job_corr));
+    static_cast<void>(cli.cancel(777));
+    static_cast<void>(cli.get_stats());
+
+    const std::vector<api::response>& responses = cli.responses();
+    std::size_t cancels = 0;
+    for (const api::response& r : responses)
+        if (const auto* cr = std::get_if<api::cancel_response>(&r)) {
+            ++cancels;
+            EXPECT_FALSE(cr->accepted);
+        }
+    EXPECT_EQ(cancels, 2u);
+
+    const std::optional<service::service_stats> stats = cli.last_stats();
+    ASSERT_TRUE(stats.has_value());
+    EXPECT_EQ(stats->buildings_ok, 1u);
+    EXPECT_EQ(stats->cache_misses, 1u);
+    EXPECT_EQ(stats->cache_hits, 0u);
+    EXPECT_TRUE(cli.errors().empty());
+
+    // A malformed frame through the loopback produces a typed error
+    // response, and the session keeps serving afterwards.
+    api::server::session session = srv.open([&](std::string_view) {});
+    EXPECT_TRUE(session.handle_frame(api::make_frame(999, std::string(8, '\0'))));
+    EXPECT_FALSE(session.handle_frame("FIS"));  // truncated header: fatal
+}
+
+TEST(api_server, shard_root_constrains_wire_supplied_paths) {
+    // Write one real shard under a scratch root.
+    const auto root = std::filesystem::temp_directory_path() / "fisone_api_shard_root";
+    std::filesystem::remove_all(root);
+    std::filesystem::create_directories(root);
+    const std::string shard_path = (root / "shard.csv").string();
+    {
+        data::shard_writer writer(shard_path);
+        writer.append(tiny_building(0));
+        writer.close();
+    }
+
+    api::server_config cfg = fast_server_config(false);
+    cfg.shard_root = root.string();
+    api::server srv(cfg);
+    api::client cli(srv);
+
+    // Inside the root: served normally.
+    static_cast<void>(cli.identify_shard({shard_path, 0, 1}));
+    static_cast<void>(cli.flush());
+    ASSERT_EQ(cli.reports().size(), 1u);
+    EXPECT_TRUE(cli.reports()[0].ok);
+    EXPECT_TRUE(cli.errors().empty());
+
+    // Outside the root (absolute path, and a dot-segment escape): a typed
+    // bad_request error, never an attempted read.
+    static_cast<void>(cli.identify_shard({"/etc/hostname", 0, 1}));
+    static_cast<void>(cli.identify_shard({(root / ".." / "elsewhere.csv").string(), 0, 1}));
+    static_cast<void>(cli.flush());
+    const std::vector<api::error_response> errors = cli.errors();
+    ASSERT_EQ(errors.size(), 2u);
+    for (const api::error_response& e : errors)
+        EXPECT_EQ(e.code, api::error_code::bad_request);
+    EXPECT_EQ(cli.reports().size(), 1u);  // no reports for the rejected shards
+}
+
+TEST(api_server, warm_resubmission_hits_cache_and_stays_bit_identical) {
+    const data::corpus c = tiny_corpus(3);
+    api::server srv(fast_server_config(true));
+
+    api::client cold(srv);
+    for (std::size_t i = 0; i < c.buildings.size(); ++i)
+        static_cast<void>(cold.identify(c.buildings[i], i));
+    static_cast<void>(cold.flush());
+
+    api::client warm(srv);
+    for (std::size_t i = 0; i < c.buildings.size(); ++i)
+        static_cast<void>(warm.identify(c.buildings[i], i));
+    static_cast<void>(warm.flush());
+
+    const api::result_cache_stats cache = srv.cache_stats();
+    EXPECT_EQ(cache.misses, 3u);
+    EXPECT_EQ(cache.hits, 3u);
+    EXPECT_EQ(cache.entries, 3u);
+
+    // The warm run never touched the service...
+    EXPECT_EQ(srv.stats().buildings_done, 3u);
+    // ...yet its responses are identical minus wall time.
+    EXPECT_EQ(ndjson_of(cold.reports()), ndjson_of(warm.reports()));
+}
+
+// --- end-to-end determinism (the PR's acceptance criterion) -----------------
+
+TEST(api_e2e, loopback_framed_and_direct_service_are_byte_identical) {
+    const data::corpus city = tiny_corpus(32);
+
+    // Path 1: direct floor_service submission (no API layer at all).
+    service::service_config svc_cfg;
+    svc_cfg.pipeline = fast_pipeline();
+    svc_cfg.seed = 99;
+    svc_cfg.num_threads = 2;
+    std::vector<runtime::building_report> direct_reports;
+    {
+        service::floor_service svc(svc_cfg);
+        std::vector<service::floor_service::job> jobs;
+        for (const data::building& b : city.buildings) jobs.push_back(svc.submit(b));
+        svc.wait_all();
+        for (const auto& job : jobs)
+            for (const auto& report : job.reports()) direct_reports.push_back(report);
+    }
+    const std::string direct = ndjson_of(std::move(direct_reports));
+
+    // Path 2: in-process loopback through the API server, cache on —
+    // twice, so the second pass is served entirely from the cache.
+    api::server srv(fast_server_config(true));
+    api::client loop_cold(srv);
+    for (std::size_t i = 0; i < city.buildings.size(); ++i)
+        static_cast<void>(loop_cold.identify(city.buildings[i], i));
+    static_cast<void>(loop_cold.flush());
+    api::client loop_warm(srv);
+    for (std::size_t i = 0; i < city.buildings.size(); ++i)
+        static_cast<void>(loop_warm.identify(city.buildings[i], i));
+    static_cast<void>(loop_warm.flush());
+    EXPECT_EQ(srv.cache_stats().hits, city.buildings.size());
+
+    // Path 3: the framed-stream transport, cache off.
+    std::stringstream wire_in, wire_out;
+    api::client framed(static_cast<std::ostream&>(wire_in));
+    for (std::size_t i = 0; i < city.buildings.size(); ++i)
+        static_cast<void>(framed.identify(city.buildings[i], i));
+    static_cast<void>(framed.flush());
+    {
+        api::server framed_srv(fast_server_config(false));
+        framed_srv.serve(wire_in, wire_out);
+    }
+    static_cast<void>(framed.ingest(wire_out));
+    EXPECT_TRUE(framed.errors().empty());
+
+    const std::string loopback_cold = ndjson_of(loop_cold.reports());
+    const std::string loopback_warm = ndjson_of(loop_warm.reports());
+    const std::string framed_ndjson = ndjson_of(framed.reports());
+
+    EXPECT_EQ(loopback_cold, direct) << "loopback diverged from direct service";
+    EXPECT_EQ(loopback_warm, direct) << "cache-served rerun diverged";
+    EXPECT_EQ(framed_ndjson, direct) << "framed transport diverged";
+}
+
+}  // namespace
