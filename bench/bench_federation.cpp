@@ -1,0 +1,249 @@
+/// \file bench_federation.cpp
+/// Federation-layer throughput smoke: synthesise a fleet, shard it into
+/// several corpus stores, then serve every store through a
+/// `federation::federated_server` — once with 1 backend, once with N — and
+/// compare buildings/sec. After every run the input-order NDJSON re-export
+/// is checked byte-for-byte against a single `floor_service` run over the
+/// concatenated corpus (the federation determinism contract); the harness
+/// exits non-zero on divergence, so CI smoke keeps the contract honest.
+///
+/// Run:  ./bench_federation [--quick] [--json] [--out BENCH_federation.json]
+///                          [--buildings N] [--samples-per-floor M]
+///                          [--stores S] [--backends B] [--shard-size K]
+///                          [--threads T] [--seed S] [--dir PATH]
+///
+///  --quick   CI-sized corpus (a few seconds total)
+///  --json    write the JSON report (schema `fisone-bench-federation/v1`)
+///
+/// Speedup from backends needs a multi-core host (the dev container is
+/// single-core); the determinism check is load-bearing everywhere.
+
+#include <chrono>
+#include <cstdlib>
+#include <exception>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "api/client.hpp"
+#include "data/corpus_store.hpp"
+#include "federation/federated_server.hpp"
+#include "service/floor_service.hpp"
+#include "service/ndjson_export.hpp"
+#include "sim/building_generator.hpp"
+#include "util/cli.hpp"
+#include "util/table_printer.hpp"
+#include "util/thread_pool.hpp"
+
+namespace {
+
+using namespace fisone;
+using clock_type = std::chrono::steady_clock;
+
+data::corpus make_fleet(std::size_t count, std::size_t samples_per_floor, std::uint64_t seed) {
+    data::corpus fleet;
+    fleet.name = "fed-fleet";
+    fleet.buildings.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+        sim::building_spec spec;
+        spec.name = "fed-fleet-";
+        spec.name += std::to_string(i);
+        spec.num_floors = 3 + i % 5;
+        spec.samples_per_floor = samples_per_floor;
+        spec.aps_per_floor = 12;
+        spec.seed = seed + i;
+        fleet.buildings.push_back(sim::generate_building(spec).building);
+    }
+    return fleet;
+}
+
+service::service_config make_service_config(std::uint64_t seed, std::size_t threads) {
+    service::service_config cfg;
+    cfg.pipeline.gnn.embedding_dim = 16;
+    cfg.pipeline.gnn.epochs = 4;
+    cfg.pipeline.gnn.walks.walks_per_node = 3;
+    cfg.pipeline.num_threads = 1;  // building-level parallelism only
+    cfg.seed = seed;
+    cfg.num_threads = threads;
+    return cfg;
+}
+
+/// Split \p c into \p parts contiguous sub-corpora stores under \p root.
+std::vector<std::string> split_into_stores(const data::corpus& c, std::size_t parts,
+                                           const std::string& root, std::size_t shard_size) {
+    if (parts == 0 || parts > c.buildings.size())
+        throw std::invalid_argument("split_into_stores: need 1 <= stores <= buildings, got " +
+                                    std::to_string(parts) + " stores for " +
+                                    std::to_string(c.buildings.size()) + " buildings");
+    std::vector<std::string> dirs;
+    const std::size_t n = c.buildings.size();
+    const std::size_t base = n / parts;
+    std::size_t first = 0;
+    for (std::size_t k = 0; k < parts; ++k) {
+        const std::size_t count = base + (k < n % parts ? 1 : 0);
+        data::corpus part;
+        part.name = c.name + "-part-" + std::to_string(k);
+        part.buildings.assign(c.buildings.begin() + static_cast<std::ptrdiff_t>(first),
+                              c.buildings.begin() + static_cast<std::ptrdiff_t>(first + count));
+        const std::string dir =
+            (std::filesystem::path(root) / ("store-" + std::to_string(k))).string();
+        static_cast<void>(data::write_corpus_store(part, dir, shard_size));
+        dirs.push_back(dir);
+        first += count;
+    }
+    return dirs;
+}
+
+/// Serve every mounted shard through a federated fleet over the framed wire
+/// path; returns (wall seconds, input-order NDJSON).
+std::pair<double, std::string> serve_federated(const std::vector<std::string>& store_dirs,
+                                               std::size_t backends, std::size_t threads,
+                                               std::uint64_t seed) {
+    federation::federation_config cfg;
+    cfg.service = make_service_config(seed, threads);
+    cfg.num_backends = backends;
+    cfg.policy = federation::routing_policy::least_queue_depth;
+    cfg.store_dirs = store_dirs;
+
+    const clock_type::time_point start = clock_type::now();
+    federation::federated_server srv(cfg);
+    std::stringstream wire_in, wire_out;
+    api::client cli(static_cast<std::ostream&>(wire_in));
+    for (const federation::mounted_shard& ms : srv.registry().shards())
+        static_cast<void>(cli.identify_shard(ms.ref));
+    static_cast<void>(cli.flush());
+    srv.serve(wire_in, wire_out);
+    static_cast<void>(cli.ingest(wire_out));
+    const double wall = std::chrono::duration<double>(clock_type::now() - start).count();
+
+    if (!cli.errors().empty()) {
+        std::cerr << "bench_federation: protocol error: " << cli.errors().front().message
+                  << '\n';
+        std::exit(EXIT_FAILURE);
+    }
+    std::ostringstream ndjson;
+    service::export_input_order(ndjson, cli.reports());
+    return {wall, ndjson.str()};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) try {
+    const util::cli_args args(argc, argv);
+    const bool quick = args.has("quick");
+    const bool emit_json = args.has("json");
+    const std::string out_path = args.get("out", "BENCH_federation.json");
+    const auto buildings =
+        static_cast<std::size_t>(args.get_int("buildings", quick ? 6 : 16));
+    const auto samples =
+        static_cast<std::size_t>(args.get_int("samples-per-floor", quick ? 20 : 60));
+    const auto stores = static_cast<std::size_t>(args.get_int("stores", 3));
+    const auto backends = static_cast<std::size_t>(args.get_int("backends", 2));
+    const auto shard_size = static_cast<std::size_t>(args.get_int("shard-size", 2));
+    const auto threads = static_cast<std::size_t>(args.get_int("threads", quick ? 2 : 4));
+    const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 7));
+    const std::string dir = args.get(
+        "dir", (std::filesystem::temp_directory_path() / "fisone_bench_federation").string());
+
+    std::cerr << "Synthesising " << buildings << " buildings (" << samples
+              << " scans/floor), sharding into " << stores << " stores under " << dir
+              << "...\n";
+    const data::corpus fleet = make_fleet(buildings, samples, seed);
+    std::filesystem::remove_all(dir);
+    const std::vector<std::string> store_dirs =
+        split_into_stores(fleet, stores, dir, shard_size);
+
+    // The single-service baseline over the concatenated corpus — both the
+    // throughput yardstick and the byte-identity reference.
+    const std::string whole_dir = (std::filesystem::path(dir) / "whole").string();
+    static_cast<void>(data::write_corpus_store(fleet, whole_dir, shard_size));
+    const data::corpus_store whole = data::corpus_store::open(whole_dir);
+    std::string baseline_ndjson;
+    double baseline_s = 0.0;
+    {
+        const clock_type::time_point start = clock_type::now();
+        service::floor_service svc(make_service_config(seed, threads));
+        std::vector<service::floor_service::job> jobs;
+        for (std::size_t s = 0; s < whole.num_shards(); ++s)
+            jobs.push_back(svc.submit(service::make_shard_ref(whole, s)));
+        svc.wait_all();
+        baseline_s = std::chrono::duration<double>(clock_type::now() - start).count();
+        std::vector<runtime::building_report> reports;
+        for (const auto& job : jobs)
+            for (const auto& report : job.reports()) reports.push_back(report);
+        std::ostringstream out;
+        service::export_input_order(out, std::move(reports));
+        baseline_ndjson = out.str();
+    }
+
+    util::table_printer table("Federation throughput — " + std::to_string(buildings) +
+                              " buildings, " + std::to_string(stores) + " stores, " +
+                              std::to_string(threads) + " workers/backend");
+    table.header({"fleet", "wall s", "buildings/s", "speedup", "identical"});
+    const auto rate = [&](double s) {
+        return s > 0.0 ? static_cast<double>(buildings) / s : 0.0;
+    };
+    table.row({"single service", util::table_printer::num(baseline_s, 2),
+               util::table_printer::num(rate(baseline_s), 2), "1.00", "yes"});
+
+    bool all_identical = true;
+    double one_s = 0.0, many_s = 0.0;
+    std::vector<std::size_t> fleet_sizes{1};
+    if (backends > 1) fleet_sizes.push_back(backends);  // 1 backend: one run is both rows
+    for (const std::size_t fleet_size : fleet_sizes) {
+        const auto [wall, ndjson] = serve_federated(store_dirs, fleet_size, threads, seed);
+        const bool identical = ndjson == baseline_ndjson;
+        all_identical = all_identical && identical;
+        (fleet_size == 1 ? one_s : many_s) = wall;
+        table.row({std::to_string(fleet_size) + " backend" + (fleet_size == 1 ? "" : "s"),
+                   util::table_printer::num(wall, 2), util::table_printer::num(rate(wall), 2),
+                   baseline_s > 0.0 && wall > 0.0
+                       ? util::table_printer::num(baseline_s / wall, 2)
+                       : "-",
+                   identical ? "yes" : "NO"});
+    }
+    if (backends == 1) many_s = one_s;
+    table.print(std::cout);
+    std::cout << "\nFederated NDJSON byte-identical to the single-service run: "
+              << (all_identical ? "yes" : "NO") << "\n";
+
+    if (emit_json) {
+        std::ofstream f(out_path);
+        if (!f) {
+            std::cerr << "bench_federation: cannot open " << out_path << " for writing\n";
+            return EXIT_FAILURE;
+        }
+        f << "{\n";
+        f << "  \"schema\": \"fisone-bench-federation/v1\",\n";
+        f << "  \"quick\": " << (quick ? "true" : "false") << ",\n";
+        f << "  \"buildings\": " << buildings << ",\n";
+        f << "  \"samples_per_floor\": " << samples << ",\n";
+        f << "  \"stores\": " << stores << ",\n";
+        f << "  \"backends\": " << backends << ",\n";
+        f << "  \"threads_per_backend\": " << threads << ",\n";
+        f << "  \"hardware_threads\": " << util::resolve_num_threads(0) << ",\n";
+        f << "  \"single_service_seconds\": " << bench::json_num(baseline_s) << ",\n";
+        f << "  \"one_backend_seconds\": " << bench::json_num(one_s) << ",\n";
+        f << "  \"n_backend_seconds\": " << bench::json_num(many_s) << ",\n";
+        f << "  \"n_backend_speedup\": "
+          << bench::json_num(many_s > 0.0 ? one_s / many_s : 0.0) << ",\n";
+        f << "  \"ndjson_identical\": " << (all_identical ? "true" : "false") << "\n";
+        f << "}\n";
+        std::cout << "JSON perf trajectory: " << out_path << "\n";
+    }
+
+    if (!all_identical) {
+        std::cerr << "bench_federation: federated NDJSON diverged from the single-service "
+                     "run\n";
+        return EXIT_FAILURE;
+    }
+    return EXIT_SUCCESS;
+} catch (const std::exception& e) {
+    std::cerr << "bench_federation: " << e.what() << '\n';
+    return EXIT_FAILURE;
+}

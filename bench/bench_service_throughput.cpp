@@ -7,24 +7,28 @@
 /// determinism contract (results independent of worker count, shard size
 /// and completion order).
 ///
-/// Run:  ./bench_service_throughput [--buildings N] [--samples-per-floor M]
+/// Run:  ./bench_service_throughput [--quick] [--json] [--out BENCH_service.json]
+///                                  [--buildings N] [--samples-per-floor M]
 ///                                  [--shard-size K] [--seed S]
 ///                                  [--max-threads T] [--dir PATH]
 ///
-/// Quick mode for CI smoke:
-///   ./bench_service_throughput --buildings 4 --samples-per-floor 20
-///                              --shard-size 2 --max-threads 2
-///   (one command line; wrapped here for the docs)
+///  --quick   CI-sized corpus (a few seconds total)
+///  --json    write the JSON report (schema `fisone-bench-service/v1`, one
+///            entry per worker count) to --out
+///
+/// The JSON schema is documented in README.md § Performance.
 
 #include <chrono>
 #include <cstdlib>
 #include <exception>
 #include <filesystem>
+#include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "bench_common.hpp"
 #include "data/corpus_store.hpp"
 #include "service/floor_service.hpp"
 #include "service/ndjson_export.hpp"
@@ -105,11 +109,17 @@ run_outcome serve_store(const data::corpus_store& store, std::size_t threads,
 
 int main(int argc, char** argv) try {
     const util::cli_args args(argc, argv);
-    const auto buildings = static_cast<std::size_t>(args.get_int("buildings", 16));
-    const auto samples = static_cast<std::size_t>(args.get_int("samples-per-floor", 60));
-    const auto shard_size = static_cast<std::size_t>(args.get_int("shard-size", 4));
+    const bool quick = args.has("quick");
+    const bool emit_json = args.has("json");
+    const std::string out_path = args.get("out", "BENCH_service.json");
+    const auto buildings =
+        static_cast<std::size_t>(args.get_int("buildings", quick ? 4 : 16));
+    const auto samples =
+        static_cast<std::size_t>(args.get_int("samples-per-floor", quick ? 20 : 60));
+    const auto shard_size = static_cast<std::size_t>(args.get_int("shard-size", quick ? 2 : 4));
     const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 7));
-    const auto max_threads = static_cast<std::size_t>(args.get_int("max-threads", 8));
+    const auto max_threads =
+        static_cast<std::size_t>(args.get_int("max-threads", quick ? 2 : 8));
     const std::string dir = args.get(
         "dir", (std::filesystem::temp_directory_path() / "fisone_bench_service").string());
 
@@ -126,6 +136,17 @@ int main(int argc, char** argv) try {
                               std::to_string(store.num_shards()) + " shards");
     table.header({"workers", "wall s", "buildings/s", "speedup", "p50 s", "p99 s", "identical"});
 
+    /// One JSON entry per worker count.
+    struct run_row {
+        std::size_t workers = 0;
+        double wall_seconds = 0.0;
+        double rate = 0.0;
+        double speedup = 0.0;
+        double p50 = 0.0;
+        double p99 = 0.0;
+    };
+    std::vector<run_row> rows;
+
     std::string baseline_ndjson;
     double baseline_rate = 0.0;
     for (std::size_t threads = 1; threads <= max_threads; threads *= 2) {
@@ -137,6 +158,9 @@ int main(int argc, char** argv) try {
             baseline_ndjson = out.ndjson;
             baseline_rate = rate;
         }
+        rows.push_back(run_row{threads, out.wall_seconds, rate,
+                               baseline_rate > 0.0 ? rate / baseline_rate : 0.0,
+                               out.stats.latency_p50, out.stats.latency_p99});
         table.row({std::to_string(threads), util::table_printer::num(out.wall_seconds, 2),
                    util::table_printer::num(rate, 2),
                    baseline_rate > 0.0 ? util::table_printer::num(rate / baseline_rate, 2) : "-",
@@ -153,6 +177,38 @@ int main(int argc, char** argv) try {
     std::cout << "\nNDJSON per building, input-order re-export: "
               << baseline_ndjson.size() / buildings << " bytes mean "
               << "(identical at every worker count by construction)\n";
+
+    if (emit_json) {
+        std::ofstream f(out_path);
+        if (!f) {
+            std::cerr << "bench_service_throughput: cannot open " << out_path
+                      << " for writing\n";
+            return EXIT_FAILURE;
+        }
+        f << "{\n";
+        f << "  \"schema\": \"fisone-bench-service/v1\",\n";
+        f << "  \"quick\": " << (quick ? "true" : "false") << ",\n";
+        f << "  \"buildings\": " << buildings << ",\n";
+        f << "  \"samples_per_floor\": " << samples << ",\n";
+        f << "  \"shard_size\": " << shard_size << ",\n";
+        f << "  \"num_shards\": " << store.num_shards() << ",\n";
+        f << "  \"hardware_threads\": " << util::resolve_num_threads(0) << ",\n";
+        f << "  \"ndjson_identical\": true,\n";
+        f << "  \"runs\": [\n";
+        for (std::size_t i = 0; i < rows.size(); ++i) {
+            const run_row& r = rows[i];
+            f << "    {\"workers\": " << r.workers
+              << ", \"wall_seconds\": " << bench::json_num(r.wall_seconds)
+              << ", \"buildings_per_second\": " << bench::json_num(r.rate)
+              << ", \"speedup\": " << bench::json_num(r.speedup)
+              << ", \"latency_p50_seconds\": " << bench::json_num(r.p50)
+              << ", \"latency_p99_seconds\": " << bench::json_num(r.p99) << "}"
+              << (i + 1 < rows.size() ? "," : "") << "\n";
+        }
+        f << "  ]\n";
+        f << "}\n";
+        std::cout << "JSON perf trajectory: " << out_path << "\n";
+    }
     return EXIT_SUCCESS;
 } catch (const std::exception& e) {
     std::cerr << "bench_service_throughput: " << e.what() << '\n';

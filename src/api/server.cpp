@@ -1,7 +1,6 @@
 #include "server.hpp"
 
 #include <chrono>
-#include <filesystem>
 #include <istream>
 #include <mutex>
 #include <ostream>
@@ -12,24 +11,13 @@
 #include "codec.hpp"
 #include "core/fis_one.hpp"
 #include "runtime/task_executor.hpp"
+#include "util/path.hpp"
 
 namespace fisone::api {
 
 namespace {
 
 using clock = std::chrono::steady_clock;
-
-/// True when \p path resolves inside \p root, with symlinks and
-/// dot-segments resolved as far as the filesystem allows. Anything the
-/// filesystem refuses to resolve is *not* allowed — fail closed.
-bool shard_path_allowed(const std::string& root, const std::string& path) try {
-    namespace fs = std::filesystem;
-    const fs::path rel = fs::weakly_canonical(fs::path(path))
-                             .lexically_relative(fs::weakly_canonical(fs::path(root)));
-    return !rel.empty() && rel.begin()->string() != "..";
-} catch (...) {
-    return false;
-}
 
 }  // namespace
 
@@ -140,7 +128,7 @@ void server::session::handle(const request& req) {
             } else if constexpr (std::is_same_v<T, identify_shard_request>) {
                 const std::uint64_t corr = m.correlation_id;
                 if (!st->shard_root.empty() &&
-                    !shard_path_allowed(st->shard_root, m.ref.path)) {
+                    !util::path_within_root(st->shard_root, m.ref.path)) {
                     st->emit(error_response{corr, error_code::bad_request,
                                             "shard path outside the configured shard root: " +
                                                 m.ref.path});

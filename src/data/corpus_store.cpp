@@ -4,6 +4,7 @@
 #include <filesystem>
 #include <sstream>
 #include <stdexcept>
+#include <unordered_set>
 
 #include "dataset_io.hpp"
 #include "util/csv.hpp"
@@ -39,6 +40,7 @@ void corpus_manifest::validate() const {
         throw std::invalid_argument(
             "corpus_manifest: corpus name must not contain ',' or newlines");
     std::size_t expected_first = 0;
+    std::unordered_set<std::string> seen_files;
     for (std::size_t i = 0; i < shards.size(); ++i) {
         const shard_entry& s = shards[i];
         if (s.filename.empty())
@@ -51,6 +53,13 @@ void corpus_manifest::validate() const {
             throw std::invalid_argument("corpus_manifest: shard " + std::to_string(i) +
                                         " starts at " + std::to_string(s.first_index) +
                                         ", expected " + std::to_string(expected_first));
+        // A shard file listed twice mounts the same buildings under two
+        // corpus-index ranges: every building id in the repeated file
+        // silently shadows a distinct building the corpus claims to hold.
+        if (!seen_files.insert(s.filename).second)
+            throw std::invalid_argument("corpus_manifest: shard file '" + s.filename +
+                                        "' is listed more than once — its building ids would "
+                                        "duplicate under two index ranges");
         expected_first += s.num_buildings;
     }
 }
@@ -70,12 +79,18 @@ corpus_manifest load_manifest(std::istream& in) {
         throw std::invalid_argument("load_manifest: bad magic line");
 
     corpus_manifest m;
+    bool saw_corpus_row = false;
     while (std::getline(in, line)) {
         if (util::trim(line).empty()) continue;
         const auto fields = util::split_fields(line);
         const std::string& key = fields.front();
         if (key == "corpus") {
             if (fields.size() != 2) throw std::invalid_argument("load_manifest: bad corpus row");
+            // A second corpus row would silently shadow the first name.
+            if (saw_corpus_row)
+                throw std::invalid_argument("load_manifest: duplicate corpus row '" + fields[1] +
+                                            "' (already named '" + m.corpus_name + "')");
+            saw_corpus_row = true;
             m.corpus_name = fields[1];
         } else if (key == "shard") {
             if (fields.size() != 4) throw std::invalid_argument("load_manifest: bad shard row");

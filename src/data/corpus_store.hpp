@@ -52,7 +52,9 @@ struct corpus_manifest {
     [[nodiscard]] std::size_t total_buildings() const noexcept;
 
     /// Consistency check: shard rows must tile [0, total) contiguously in
-    /// order and have non-empty filenames.
+    /// order, have non-empty filenames, and never list the same shard file
+    /// twice (a repeated file would mount duplicate building ids under two
+    /// index ranges; the error names the offending shard file).
     /// \throws std::invalid_argument on the first violation.
     void validate() const;
 };

@@ -1,0 +1,350 @@
+#include "federated_server.hpp"
+
+#include <istream>
+#include <mutex>
+#include <ostream>
+#include <stdexcept>
+#include <type_traits>
+#include <unordered_map>
+#include <utility>
+
+#include "api/codec.hpp"
+#include "util/hash.hpp"
+
+namespace fisone::federation {
+
+namespace {
+
+/// Stable affinity identity of a shard request: a canonical hash of its
+/// path, so resubmitting the same shard lands on the same backend.
+std::uint64_t shard_affinity(const service::shard_ref& ref) noexcept {
+    util::fnv1a64 h;
+    h.str(ref.path);
+    return h.digest();
+}
+
+/// Snapshot every backend and merge — the one implementation behind both
+/// `get_stats` requests and `federated_server::stats()`.
+service::service_stats gather_merged_stats(const std::vector<api::server*>& backends) {
+    std::vector<service::service_stats> stats;
+    std::vector<util::percentile_accumulator> latencies;
+    stats.reserve(backends.size());
+    latencies.reserve(backends.size());
+    for (api::server* b : backends) {
+        stats.push_back(b->stats());
+        latencies.push_back(b->backing_service().latencies());
+    }
+    return merge_backend_stats(stats, latencies);
+}
+
+}  // namespace
+
+service::service_stats merge_backend_stats(
+    const std::vector<service::service_stats>& stats,
+    const std::vector<util::percentile_accumulator>& latencies) {
+    if (stats.size() != latencies.size())
+        throw std::invalid_argument("merge_backend_stats: " + std::to_string(stats.size()) +
+                                    " stats snapshots, " + std::to_string(latencies.size()) +
+                                    " latency accumulators");
+    service::service_stats merged;
+    util::percentile_accumulator pooled;
+    for (std::size_t k = 0; k < stats.size(); ++k) {
+        const service::service_stats& s = stats[k];
+        merged.jobs_submitted += s.jobs_submitted;
+        merged.jobs_queued += s.jobs_queued;
+        merged.jobs_running += s.jobs_running;
+        merged.jobs_done += s.jobs_done;
+        merged.jobs_cancelled += s.jobs_cancelled;
+        merged.buildings_done += s.buildings_done;
+        merged.buildings_ok += s.buildings_ok;
+        merged.buildings_failed += s.buildings_failed;
+        merged.buildings_cancelled += s.buildings_cancelled;
+        merged.cache_hits += s.cache_hits;
+        merged.cache_misses += s.cache_misses;
+        pooled.merge(latencies[k]);
+    }
+    // Percentiles come from the pooled observations, never from averaging
+    // the per-backend percentiles (which answers a different question).
+    merged.latency_p50 = pooled.percentile_or_zero(50.0);
+    merged.latency_p90 = pooled.percentile_or_zero(90.0);
+    merged.latency_p99 = pooled.percentile_or_zero(99.0);
+    return merged;
+}
+
+/// Shared routing state: one cursor/counter namespace per server, shared by
+/// every session (and outliving dropped handles).
+struct federated_server::routing {
+    routing(routing_policy policy, std::size_t num_backends) : rt(policy, num_backends) {}
+
+    std::mutex m;  ///< guards `rt` and `next_index`
+    router rt;
+    /// Front-end corpus-index counter — the ONE assignment authority for
+    /// auto-indexed buildings, mirroring `floor_service`'s own counter so
+    /// a federated campaign assigns exactly the indices (and thus seeds) a
+    /// single service would.
+    std::size_t next_index = 0;
+
+    std::size_t allocate_index() {
+        const std::lock_guard<std::mutex> lock(m);
+        return next_index++;
+    }
+
+    void advance_index(std::size_t end) {
+        const std::lock_guard<std::mutex> lock(m);
+        if (end > next_index) next_index = end;
+    }
+
+    std::size_t route(std::uint64_t affinity, const std::vector<backend_probe>& probes) {
+        const std::lock_guard<std::mutex> lock(m);
+        return rt.route(affinity, probes);
+    }
+};
+
+// Named (not anonymous) so session::state — an external-linkage type — may
+// hold it without GCC's -Wsubobject-linkage firing.
+namespace detail {
+
+/// The response channel of one federated connection. Kept separate from the
+/// session state on purpose: backend sessions hold their sink (and thus
+/// this) alive while jobs are in flight, and pointing those sinks at the
+/// session state instead would cycle session → backend sessions → sink →
+/// session and leak all three.
+struct emitter {
+    federated_server::frame_sink sink;
+    std::mutex m;  ///< serialises sink calls across every backend's workers
+    bool broken = false;
+
+    /// Forward one already-encoded frame. A sink that throws marks the
+    /// transport broken; later frames are dropped silently.
+    void frame(std::string_view f) {
+        const std::lock_guard<std::mutex> lock(m);
+        if (broken) return;
+        try {
+            sink(f);
+        } catch (...) {
+            broken = true;
+        }
+    }
+
+    /// Encode and forward one front-end-authored response.
+    void respond(const api::response& resp) { frame(api::encode(resp)); }
+};
+
+}  // namespace detail
+
+/// Per-connection state: one backend session per backend (a correlation-id
+/// namespace spanning the fleet) plus the owner map `cancel_job` routes by.
+struct federated_server::session::state {
+    std::shared_ptr<detail::emitter> out;
+    std::shared_ptr<federated_server::routing> routing;
+    store_registry* registry = nullptr;
+    std::vector<api::server*> backends;
+    std::vector<api::server::session> backend_sessions;
+
+    std::mutex owners_m;
+    /// Which backend owns each submitted correlation id (the `cancel_job`
+    /// namespace). Resubmitting under an id re-points it, exactly as
+    /// `api::server` re-points its cancellable target. Cleared at `flush`
+    /// (everything is finished then, so cancels answer false either way).
+    std::unordered_map<std::uint64_t, std::size_t> owners;
+
+    /// Probe every backend's load for the router.
+    [[nodiscard]] std::vector<backend_probe> probe() const {
+        std::vector<backend_probe> probes(backends.size());
+        for (std::size_t k = 0; k < backends.size(); ++k) {
+            const service::floor_service& svc = backends[k]->backing_service();
+            probes[k] = backend_probe{svc.pending_jobs(), svc.paused()};
+        }
+        return probes;
+    }
+
+    std::size_t pick(std::uint64_t affinity) { return routing->route(affinity, probe()); }
+
+    void remember(std::uint64_t correlation_id, std::size_t backend_index) {
+        const std::lock_guard<std::mutex> lock(owners_m);
+        owners[correlation_id] = backend_index;
+    }
+};
+
+void federated_server::session::handle(const api::request& req) {
+    const std::shared_ptr<state> st = state_;
+    std::visit(
+        [&](const auto& m) {
+            using T = std::decay_t<decltype(m)>;
+            if constexpr (std::is_same_v<T, api::identify_building_request>) {
+                // Affinity reads the building's content hash only when the
+                // policy routes on it (the hash walks every sample).
+                const bool affine =
+                    st->routing->rt.policy() == routing_policy::content_hash_affinity;
+                const std::size_t k = st->pick(affine ? data::content_hash(m.b) : 0);
+                st->remember(m.correlation_id, k);
+                if (m.has_index) {
+                    st->routing->advance_index(static_cast<std::size_t>(m.corpus_index) + 1);
+                    st->backend_sessions[k].handle(req);
+                } else {
+                    // The front-end is the one index-assignment authority:
+                    // pin the next global index before the hop, so the
+                    // backend (and its cache key) sees the same identity a
+                    // single service would assign.
+                    api::identify_building_request pinned = m;
+                    pinned.has_index = true;
+                    pinned.corpus_index = st->routing->allocate_index();
+                    st->backend_sessions[k].handle(api::request{std::move(pinned)});
+                }
+            } else if constexpr (std::is_same_v<T, api::identify_shard_request>) {
+                // Per-store confinement: only paths inside a mounted store
+                // are servable — an empty registry serves nothing.
+                if (!st->registry->shard_allowed(m.ref.path)) {
+                    st->out->respond(api::error_response{
+                        m.correlation_id, api::error_code::bad_request,
+                        st->registry->num_stores() == 0
+                            ? "no corpus stores mounted: " + m.ref.path
+                            : "shard path outside every mounted store: " + m.ref.path});
+                    return;
+                }
+                st->routing->advance_index(m.ref.first_index + m.ref.num_buildings);
+                const std::size_t k = st->pick(shard_affinity(m.ref));
+                st->remember(m.correlation_id, k);
+                st->backend_sessions[k].handle(req);
+            } else if constexpr (std::is_same_v<T, api::get_stats_request>) {
+                st->out->respond(
+                    api::stats_response{m.correlation_id, gather_merged_stats(st->backends)});
+            } else if constexpr (std::is_same_v<T, api::cancel_job_request>) {
+                std::size_t owner = st->backends.size();
+                {
+                    const std::lock_guard<std::mutex> lock(st->owners_m);
+                    const auto it = st->owners.find(m.target_correlation_id);
+                    if (it != st->owners.end()) owner = it->second;
+                }
+                if (owner < st->backends.size())
+                    st->backend_sessions[owner].handle(req);  // backend answers
+                else
+                    st->out->respond(api::cancel_response{m.correlation_id,
+                                                          m.target_correlation_id, false});
+            } else {
+                static_assert(std::is_same_v<T, api::flush_request>);
+                // Fan-out barrier: every backend drains before the one
+                // flush_response. (Flush on a paused fleet throws, exactly
+                // as floor_service::wait_all refuses to deadlock.)
+                for (api::server::session& bs : st->backend_sessions) bs.finish();
+                {
+                    const std::lock_guard<std::mutex> lock(st->owners_m);
+                    st->owners.clear();
+                }
+                st->out->respond(api::flush_response{m.correlation_id});
+            }
+        },
+        req);
+}
+
+bool federated_server::session::handle_frame(std::string_view frame) {
+    const api::decode_result<api::request> decoded = api::decode_request(frame);
+    if (decoded.eof) return true;
+    if (decoded.error) {
+        state_->out->respond(
+            api::error_response{0, decoded.error->code, decoded.error->message});
+        return !decoded.fatal;
+    }
+    handle(*decoded.value);
+    return true;
+}
+
+void federated_server::session::finish() {
+    for (api::server::session& bs : state_->backend_sessions) bs.finish();
+}
+
+bool federated_server::session::sink_broken() const {
+    const std::lock_guard<std::mutex> lock(state_->out->m);
+    return state_->out->broken;
+}
+
+federated_server::federated_server(federation_config cfg) : cfg_(std::move(cfg)) {
+    if (cfg_.num_backends == 0)
+        throw std::invalid_argument("federated_server: num_backends must be >= 1");
+    routing_ = std::make_shared<routing>(cfg_.policy, cfg_.num_backends);
+    for (const std::string& dir : cfg_.store_dirs) static_cast<void>(registry_.mount(dir));
+    backends_.reserve(cfg_.num_backends);
+    for (std::size_t k = 0; k < cfg_.num_backends; ++k) {
+        api::server_config bc;
+        bc.service = cfg_.service;
+        bc.enable_cache = cfg_.enable_cache;
+        bc.cache_capacity = cfg_.cache_capacity;
+        // Backends trust their paths: the front-end already confined every
+        // shard request to the mounted stores.
+        bc.shard_root.clear();
+        backends_.push_back(std::make_unique<api::server>(std::move(bc)));
+    }
+}
+
+federated_server::~federated_server() = default;
+
+federated_server::session federated_server::open(frame_sink sink) {
+    auto out = std::make_shared<detail::emitter>();
+    out->sink = std::move(sink);
+    auto st = std::make_shared<session::state>();
+    st->out = out;
+    st->routing = routing_;
+    st->registry = &registry_;
+    st->backends.reserve(backends_.size());
+    st->backend_sessions.reserve(backends_.size());
+    for (const std::unique_ptr<api::server>& b : backends_) {
+        st->backends.push_back(b.get());
+        st->backend_sessions.push_back(
+            b->open([out](std::string_view frame) { out->frame(frame); }));
+    }
+    return session(std::move(st));
+}
+
+void federated_server::serve(std::istream& in, std::ostream& out) {
+    session s = open([&out](std::string_view frame) {
+        out.write(frame.data(), static_cast<std::streamsize>(frame.size()));
+        if (!out) throw std::ios_base::failure("federated_server: response stream went bad");
+        out.flush();
+    });
+    try {
+        for (;;) {
+            const api::decode_result<api::request> r = api::read_request(in);
+            if (r.eof) break;
+            if (r.error) {
+                s.state_->out->respond(
+                    api::error_response{0, r.error->code, r.error->message});
+                if (r.fatal) break;
+                continue;
+            }
+            s.handle(*r.value);
+            if (s.sink_broken()) break;
+        }
+    } catch (...) {
+        // Same contract as api::server::serve: never unwind with jobs in
+        // flight (their sinks write to `out`). The in-protocol throw is
+        // flush-while-paused, so release every gate, drain, then rethrow.
+        resume();
+        s.finish();
+        throw;
+    }
+    s.finish();
+}
+
+service::service_stats federated_server::stats() const {
+    std::vector<api::server*> backends;
+    backends.reserve(backends_.size());
+    for (const std::unique_ptr<api::server>& b : backends_) backends.push_back(b.get());
+    return gather_merged_stats(backends);
+}
+
+void federated_server::pause() {
+    for (const std::unique_ptr<api::server>& b : backends_) b->backing_service().pause();
+}
+
+void federated_server::resume() {
+    for (const std::unique_ptr<api::server>& b : backends_) b->backing_service().resume();
+}
+
+api::server& federated_server::backend(std::size_t k) {
+    if (k >= backends_.size())
+        throw std::out_of_range("federated_server: backend " + std::to_string(k) + " of " +
+                                std::to_string(backends_.size()));
+    return *backends_[k];
+}
+
+}  // namespace fisone::federation

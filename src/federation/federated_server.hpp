@@ -1,0 +1,162 @@
+#pragma once
+
+/// \file federated_server.hpp
+/// One API front-end over a fleet: `federated_server` speaks exactly the
+/// `api::server` contract — the same request/response messages, the same
+/// framed codec, the same transports (`serve(in, out)` streams, `open(sink)`
+/// loopback) — but dispatches onto M `api::server` backends (each a
+/// `service::floor_service` plus its own warm `api::result_cache`) fed from
+/// N corpus stores mounted in a `store_registry`.
+///
+/// Dispatch per message:
+///  - `identify_building` / `identify_shard` — a `router` policy picks the
+///    backend (round-robin, least-queue-depth over bounded-queue occupancy,
+///    or content-hash affinity so repeat buildings hit the backend whose
+///    result cache is warm); the request is forwarded to that backend's
+///    session and its response frames are streamed back verbatim, so
+///    correlation ids survive the hop and completion order interleaves
+///    across backends exactly as jobs finish.
+///  - `get_stats` — answered by the front-end: per-backend `service_stats`
+///    are merged (counters summed; latency percentiles recomputed from the
+///    merged `util::percentile_accumulator`s — percentiles cannot be merged
+///    from percentiles).
+///  - `cancel_job` — routed to the backend that owns the target correlation
+///    id; unknown targets answer `accepted = false` without touching any
+///    backend.
+///  - `flush` — fans out: every backend drains before the one
+///    `flush_response` is emitted.
+/// `pause()` / `resume()` fan out to every backend's service.
+///
+/// Determinism: a building's results depend only on its *global* corpus
+/// index (seeds derive from it) and its bits — never on which backend ran
+/// it. The registry's mount order fixes global indices to the concatenated
+/// corpus, auto-assigned building indices come from one front-end counter,
+/// and every backend shares the campaign seed, so the input-order NDJSON
+/// re-export of a federated campaign is byte-identical to a single
+/// `floor_service` over the concatenated corpus at ANY
+/// (stores × backends × threads) combination.
+///
+/// Shard-path confinement is per store: a path that does not resolve inside
+/// a mounted store's directory is refused with `error_code::bad_request`
+/// before any filesystem access (backends run with the front-end's
+/// already-confined paths).
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "api/server.hpp"
+#include "router.hpp"
+#include "store_registry.hpp"
+
+namespace fisone::federation {
+
+/// Fleet configuration.
+struct federation_config {
+    /// Template for every backend's service (pipeline, campaign seed,
+    /// workers-per-backend, backpressure). All backends share the seed —
+    /// that, plus global corpus indices, is the determinism contract.
+    service::service_config service{};
+    std::size_t num_backends = 2;  ///< fleet size; must be >= 1
+    routing_policy policy = routing_policy::content_hash_affinity;
+    bool enable_cache = true;           ///< per-backend result caches
+    std::size_t cache_capacity = 1024;  ///< LRU entries per backend
+    /// Corpus-store directories mounted at construction (more may be
+    /// mounted later via `registry().mount` — before serving starts).
+    std::vector<std::string> store_dirs;
+};
+
+/// Merge per-backend stats snapshots into fleet-wide stats: every counter
+/// sums; latency percentiles are recomputed from the merged accumulators.
+/// \p stats and \p latencies run parallel (entry k = backend k).
+/// \throws std::invalid_argument on a size mismatch.
+[[nodiscard]] service::service_stats merge_backend_stats(
+    const std::vector<service::service_stats>& stats,
+    const std::vector<util::percentile_accumulator>& latencies);
+
+class federated_server {
+public:
+    using frame_sink = api::server::frame_sink;
+
+    /// One client connection over the fleet: a correlation-id namespace
+    /// spanning every backend, plus the response channel. Cheap handle;
+    /// copies share state. As with `api::server::session`, jobs keep the
+    /// state alive, but sink targets must outlive the jobs — `finish()`
+    /// (or server teardown) before tearing them down.
+    class session {
+    public:
+        /// Dispatch one decoded request.
+        void handle(const api::request& req);
+
+        /// Decode one frame, then dispatch. Returns false when the failure
+        /// was fatal (framing integrity lost — the feeder should stop).
+        bool handle_frame(std::string_view frame);
+
+        /// Barrier: every backend drained, every response frame emitted.
+        void finish();
+
+        /// True once a sink invocation threw: later frames are dropped.
+        [[nodiscard]] bool sink_broken() const;
+
+    private:
+        friend class federated_server;
+        struct state;
+        explicit session(std::shared_ptr<state> s) : state_(std::move(s)) {}
+        std::shared_ptr<state> state_;
+    };
+
+    /// Spins up every backend (and mounts `store_dirs`) immediately.
+    /// \throws std::invalid_argument on a zero `num_backends`, a backend
+    ///         config `floor_service` rejects, or a store merge the
+    ///         registry rejects.
+    explicit federated_server(federation_config cfg);
+
+    /// Waits for every in-flight job on every backend.
+    ~federated_server();
+
+    federated_server(const federated_server&) = delete;
+    federated_server& operator=(const federated_server&) = delete;
+
+    /// Open an in-process loopback session over the fleet.
+    [[nodiscard]] session open(frame_sink sink);
+
+    /// Serve one framed connection (same loop as `api::server::serve`):
+    /// read request frames from \p in until EOF or a fatal framing error,
+    /// stream response frames to \p out, drain before returning.
+    void serve(std::istream& in, std::ostream& out);
+
+    /// Fleet-wide stats — exactly what a `get_stats` request returns:
+    /// counters summed over backends, percentiles over merged latencies.
+    [[nodiscard]] service::service_stats stats() const;
+
+    /// Hold every backend's queue at the gate / release them all.
+    void pause();
+    void resume();
+
+    [[nodiscard]] store_registry& registry() noexcept { return registry_; }
+    [[nodiscard]] const store_registry& registry() const noexcept { return registry_; }
+
+    [[nodiscard]] std::size_t num_backends() const noexcept { return backends_.size(); }
+
+    /// Backend \p k (its cache stats, backing service, direct sessions).
+    /// \throws std::out_of_range on a bad index.
+    [[nodiscard]] api::server& backend(std::size_t k);
+
+private:
+    struct routing;
+
+    federation_config cfg_;
+    store_registry registry_;
+    /// Shared with sessions so routing state outlives a dropped handle.
+    std::shared_ptr<routing> routing_;
+    /// Declared last: destroyed first, so backend teardown (which waits for
+    /// in-flight jobs whose sinks may still consult routing state) runs
+    /// while everything above is alive.
+    std::vector<std::unique_ptr<api::server>> backends_;
+};
+
+}  // namespace fisone::federation

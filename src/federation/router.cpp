@@ -1,0 +1,60 @@
+#include "router.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace fisone::federation {
+
+const char* routing_policy_name(routing_policy p) noexcept {
+    switch (p) {
+        case routing_policy::round_robin: return "round_robin";
+        case routing_policy::least_queue_depth: return "least_queue_depth";
+        case routing_policy::content_hash_affinity: return "content_hash_affinity";
+    }
+    return "unknown";
+}
+
+router::router(routing_policy policy, std::size_t num_backends)
+    : policy_(policy), num_backends_(num_backends) {
+    if (num_backends == 0) throw std::invalid_argument("router: num_backends must be >= 1");
+}
+
+std::size_t router::skip_paused(std::size_t start, const std::vector<backend_probe>& probes) {
+    const std::size_t n = probes.size();
+    for (std::size_t step = 0; step < n; ++step) {
+        const std::size_t k = (start + step) % n;
+        if (!probes[k].paused) return k;
+    }
+    return start;  // whole fleet paused: park at the natural choice
+}
+
+std::size_t router::route(std::uint64_t affinity_hash,
+                          const std::vector<backend_probe>& probes) {
+    if (probes.size() != num_backends_)
+        throw std::invalid_argument("router: " + std::to_string(probes.size()) +
+                                    " probes for " + std::to_string(num_backends_) +
+                                    " backends");
+    switch (policy_) {
+        case routing_policy::round_robin: {
+            const std::size_t k = skip_paused(next_ % num_backends_, probes);
+            next_ = (k + 1) % num_backends_;
+            return k;
+        }
+        case routing_policy::least_queue_depth: {
+            // Fewest submitted-but-unfinished jobs among unpaused backends;
+            // lowest index wins ties so equal fleets route deterministically.
+            std::size_t best = num_backends_;
+            for (std::size_t k = 0; k < num_backends_; ++k) {
+                if (probes[k].paused) continue;
+                if (best == num_backends_ || probes[k].queue_depth < probes[best].queue_depth)
+                    best = k;
+            }
+            return best != num_backends_ ? best : skip_paused(0, probes);
+        }
+        case routing_policy::content_hash_affinity:
+            return skip_paused(static_cast<std::size_t>(affinity_hash % num_backends_), probes);
+    }
+    throw std::logic_error("router: unknown policy");
+}
+
+}  // namespace fisone::federation

@@ -1,0 +1,86 @@
+#pragma once
+
+/// \file router.hpp
+/// Backend selection for the federation layer: given a request's affinity
+/// hash and a point-in-time probe of every backend, pick the backend that
+/// runs it. Pure scheduling — the router never touches a service; the
+/// `federated_server` probes its backends and forwards the chosen one the
+/// work. That separation keeps every policy unit-testable with synthetic
+/// probes (no pipelines, no threads).
+///
+/// Policies:
+///  - `round_robin` — cyclic over the fleet; even spread, no state beyond a
+///    cursor.
+///  - `least_queue_depth` — the backend with the fewest submitted-but-
+///    unfinished jobs (its bounded-queue occupancy), lowest index on ties
+///    so equal fleets route deterministically.
+///  - `content_hash_affinity` — `affinity_hash % fleet`, so resubmissions
+///    of the same building (same `data::content_hash`) land on the backend
+///    whose `result_cache` already holds the answer.
+///
+/// Paused backends are holding their queue at the gate, so no policy hands
+/// them new work while an unpaused backend exists (affinity probes
+/// forward cyclically from its home slot; round-robin and least-depth skip).
+/// When the whole fleet is paused the policy's natural choice stands —
+/// submission then parks at that backend's gate, which is exactly what
+/// pause means.
+///
+/// Routing never affects *results*: a building's output depends only on its
+/// global corpus index (seeds) and bits (pipeline), both fixed before the
+/// router runs. Policies trade throughput and cache warmth, not answers.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace fisone::federation {
+
+/// How a `federated_server` spreads work over its backends.
+enum class routing_policy {
+    round_robin,
+    least_queue_depth,
+    content_hash_affinity,
+};
+
+/// Human-readable policy name (logs, bench tables).
+[[nodiscard]] const char* routing_policy_name(routing_policy p) noexcept;
+
+/// Point-in-time view of one backend, as the router scores it.
+struct backend_probe {
+    /// Bounded-queue occupancy: jobs submitted but not yet finished.
+    std::size_t queue_depth = 0;
+    /// True when the backend's service is holding queued jobs at the gate.
+    bool paused = false;
+};
+
+/// Deterministic backend chooser. Thread-compatible, not thread-safe: the
+/// owning server serialises `route` calls (its dispatch is per-session
+/// sequential anyway).
+class router {
+public:
+    /// \throws std::invalid_argument when \p num_backends is 0.
+    router(routing_policy policy, std::size_t num_backends);
+
+    [[nodiscard]] routing_policy policy() const noexcept { return policy_; }
+    [[nodiscard]] std::size_t num_backends() const noexcept { return num_backends_; }
+
+    /// Choose the backend for a piece of work. \p affinity_hash is the
+    /// work's stable identity (building content hash, or a path hash for
+    /// shards) — only `content_hash_affinity` reads it. \p probes must
+    /// hold one entry per backend.
+    /// \throws std::invalid_argument on a probe-count mismatch.
+    [[nodiscard]] std::size_t route(std::uint64_t affinity_hash,
+                                    const std::vector<backend_probe>& probes);
+
+private:
+    /// First unpaused backend at or cyclically after \p start; \p start
+    /// itself when the whole fleet is paused.
+    [[nodiscard]] static std::size_t skip_paused(std::size_t start,
+                                                 const std::vector<backend_probe>& probes);
+
+    routing_policy policy_;
+    std::size_t num_backends_;
+    std::size_t next_ = 0;  ///< round-robin cursor
+};
+
+}  // namespace fisone::federation

@@ -1,0 +1,105 @@
+#include "store_registry.hpp"
+
+#include <filesystem>
+#include <stdexcept>
+
+#include "util/path.hpp"
+
+namespace fisone::federation {
+
+namespace {
+
+/// Canonical form of \p path for duplicate detection: two spellings of one
+/// file must compare equal, or a store mounted via `./stores/a` and again
+/// via `stores/a` would slip past the duplicate check.
+std::string canonical_key(const std::string& path) try {
+    return std::filesystem::weakly_canonical(std::filesystem::path(path)).string();
+} catch (...) {
+    return path;
+}
+
+}  // namespace
+
+std::size_t store_registry::mount(const std::string& dir) {
+    return mount(data::corpus_store::open(dir));
+}
+
+std::size_t store_registry::mount(data::corpus_store store) {
+    const data::corpus_manifest& manifest = store.manifest();
+    // Duplicate-building-id detection across the merge. In the merged
+    // namespace a building's id is `<corpus name>/<local index>`, so a
+    // corpus-name collision duplicates every id of the incoming store...
+    for (const data::corpus_store& mounted : stores_)
+        if (mounted.manifest().corpus_name == manifest.corpus_name)
+            throw std::invalid_argument(
+                "store_registry: corpus '" + manifest.corpus_name + "' of " +
+                store.directory() + " is already mounted from " + mounted.directory() +
+                " — the merged namespace would hold duplicate building ids");
+    // ...and a shard file already reachable through an earlier mount would
+    // serve the same buildings under two global index ranges. Validate the
+    // whole incoming store before touching the registry state, so a
+    // rejected mount leaves it usable.
+    std::vector<std::string> incoming_keys;
+    incoming_keys.reserve(manifest.shards.size());
+    for (std::size_t s = 0; s < manifest.shards.size(); ++s) {
+        std::string key = canonical_key(store.shard_path(s));
+        if (mounted_shard_keys_.count(key) != 0)
+            throw std::invalid_argument("store_registry: shard file '" +
+                                        store.shard_path(s) +
+                                        "' is already mounted — its building ids would "
+                                        "duplicate under two global index ranges");
+        incoming_keys.push_back(std::move(key));
+    }
+
+    const std::size_t store_index = stores_.size();
+    const std::size_t offset = total_buildings_;
+    for (std::size_t s = 0; s < manifest.shards.size(); ++s) {
+        const data::shard_entry& entry = manifest.shards[s];
+        mounted_shard ms;
+        ms.store_index = store_index;
+        ms.shard_index = s;
+        ms.ref.path = store.shard_path(s);
+        ms.ref.first_index = offset + entry.first_index;
+        ms.ref.num_buildings = entry.num_buildings;
+        shards_.push_back(std::move(ms));
+    }
+    for (std::string& key : incoming_keys) mounted_shard_keys_.insert(std::move(key));
+    store_offsets_.push_back(offset);
+    total_buildings_ += manifest.total_buildings();
+    stores_.push_back(std::move(store));
+    return store_index;
+}
+
+const data::corpus_store& store_registry::store(std::size_t store_index) const {
+    if (store_index >= stores_.size())
+        throw std::out_of_range("store_registry: store " + std::to_string(store_index) + " of " +
+                                std::to_string(stores_.size()));
+    return stores_[store_index];
+}
+
+std::size_t store_registry::store_offset(std::size_t store_index) const {
+    if (store_index >= store_offsets_.size())
+        throw std::out_of_range("store_registry: store " + std::to_string(store_index) + " of " +
+                                std::to_string(store_offsets_.size()));
+    return store_offsets_[store_index];
+}
+
+bool store_registry::shard_allowed(const std::string& path) const noexcept {
+    for (const data::corpus_store& mounted : stores_)
+        if (util::path_within_root(mounted.directory(), path)) return true;
+    return false;
+}
+
+data::corpus_manifest store_registry::merged_manifest() const {
+    data::corpus_manifest merged;
+    for (std::size_t i = 0; i < stores_.size(); ++i) {
+        if (i > 0) merged.corpus_name += '+';
+        merged.corpus_name += stores_[i].manifest().corpus_name;
+    }
+    for (const mounted_shard& ms : shards_)
+        merged.shards.push_back(
+            data::shard_entry{ms.ref.path, ms.ref.first_index, ms.ref.num_buildings});
+    return merged;
+}
+
+}  // namespace fisone::federation

@@ -1,0 +1,91 @@
+#pragma once
+
+/// \file store_registry.hpp
+/// The federation layer's namespace: N `data::corpus_store` roots mounted as
+/// ONE city-scale corpus. Mount order defines the global corpus order — the
+/// buildings of store k come after every building of stores [0, k) — so the
+/// merged namespace is exactly the concatenation of the mounted corpora, and
+/// global corpus indices (which the runtime derives every pipeline seed from)
+/// are identical to a single store holding the concatenated corpus. That
+/// index identity is what makes a federated campaign bit-identical to a
+/// single-service run.
+///
+/// Mounting validates the merge, not just each manifest:
+///  - **duplicate building ids** — two stores declaring the same corpus name
+///    would collide every `<corpus>/<local index>` building id in the merged
+///    namespace, and the same shard file reachable through two mounts would
+///    serve one building's content under two global indices. Both are
+///    rejected at mount time, naming the offending store/shard file (each
+///    store's own manifest already rejects in-store duplicates at load).
+///  - **per-store shard-path confinement** — `shard_allowed` accepts a path
+///    only when it resolves inside some mounted store's directory; the
+///    federated front-end refuses every other `identify_shard` path before
+///    it can touch the filesystem.
+
+#include <cstddef>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "data/corpus_store.hpp"
+#include "service/floor_service.hpp"
+
+namespace fisone::federation {
+
+/// One shard of the merged namespace: which store it lives in plus its
+/// submittable reference with the *global* first index.
+struct mounted_shard {
+    std::size_t store_index = 0;  ///< which mounted store holds the shard
+    std::size_t shard_index = 0;  ///< shard's index within that store
+    service::shard_ref ref;       ///< path + global first_index + count
+};
+
+class store_registry {
+public:
+    /// Open `<dir>/manifest.csv` and mount the store after every store
+    /// mounted so far. Returns the index of the mounted store.
+    /// \throws std::ios_base::failure / std::invalid_argument exactly as
+    ///         `corpus_store::open`, plus std::invalid_argument when the
+    ///         merge would create duplicate building ids (corpus-name
+    ///         collision or an already-mounted shard file).
+    std::size_t mount(const std::string& dir);
+
+    /// Mount an already-open store (same validation).
+    std::size_t mount(data::corpus_store store);
+
+    [[nodiscard]] std::size_t num_stores() const noexcept { return stores_.size(); }
+
+    /// Buildings across every mounted store.
+    [[nodiscard]] std::size_t total_buildings() const noexcept { return total_buildings_; }
+
+    /// Shards across every mounted store, in global corpus order.
+    [[nodiscard]] const std::vector<mounted_shard>& shards() const noexcept { return shards_; }
+
+    /// Mounted store \p store_index. \throws std::out_of_range on a bad index.
+    [[nodiscard]] const data::corpus_store& store(std::size_t store_index) const;
+
+    /// Global corpus index of the first building of store \p store_index.
+    /// \throws std::out_of_range on a bad index.
+    [[nodiscard]] std::size_t store_offset(std::size_t store_index) const;
+
+    /// Per-store shard-path confinement: true when \p path resolves inside
+    /// some mounted store's directory. False on an empty registry — with
+    /// nothing mounted, nothing is servable.
+    [[nodiscard]] bool shard_allowed(const std::string& path) const noexcept;
+
+    /// The merged namespace as one manifest: shard rows in global order
+    /// with store-qualified file paths, corpus names joined with '+'.
+    /// Validates by construction (contiguous tiling, unique files).
+    [[nodiscard]] data::corpus_manifest merged_manifest() const;
+
+private:
+    std::vector<data::corpus_store> stores_;
+    std::vector<mounted_shard> shards_;       ///< global corpus order
+    std::vector<std::size_t> store_offsets_;  ///< global first index per store
+    /// Canonicalised paths of every mounted shard file — one filesystem
+    /// canonicalisation per shard ever, so mounting stays linear in shards.
+    std::unordered_set<std::string> mounted_shard_keys_;
+    std::size_t total_buildings_ = 0;
+};
+
+}  // namespace fisone::federation

@@ -33,7 +33,9 @@ struct floor_service::state {
     std::size_t buildings_ok = 0;
     std::size_t buildings_failed = 0;
     std::size_t buildings_cancelled = 0;
-    std::vector<double> latencies;  ///< seconds per building that actually ran
+    /// Seconds per building that actually ran, kept mergeable so a
+    /// federated front-end can pool latencies across backends.
+    util::percentile_accumulator latencies;
 
     /// Serialises `on_report` calls without blocking `stats()`. Lock order
     /// where both are held: `report_m` before `m`.
@@ -69,7 +71,7 @@ void floor_service::record_report(job::impl& im, state& st, runtime::building_re
                     ++st.buildings_ok;
                 else
                     ++st.buildings_failed;
-                st.latencies.push_back(stored.seconds);
+                st.latencies.add(stored.seconds);
                 break;
             case report_kind::skipped_cancelled:
                 ++st.buildings_cancelled;
@@ -297,9 +299,19 @@ void floor_service::resume() {
     state_->cv.notify_all();
 }
 
+bool floor_service::paused() const {
+    const std::lock_guard<std::mutex> lock(state_->m);
+    return state_->paused;
+}
+
+std::size_t floor_service::pending_jobs() const {
+    const std::lock_guard<std::mutex> lock(state_->m);
+    return state_->pending;
+}
+
 service_stats floor_service::stats() const {
     service_stats out;
-    std::vector<double> latencies;
+    util::percentile_accumulator latencies;
     {
         const std::lock_guard<std::mutex> lock(state_->m);
         out.jobs_submitted = state_->jobs_submitted;
@@ -315,13 +327,15 @@ service_stats floor_service::stats() const {
             state_->buildings_ok + state_->buildings_failed + state_->buildings_cancelled;
         latencies = state_->latencies;
     }
-    if (!latencies.empty()) {
-        std::sort(latencies.begin(), latencies.end());
-        out.latency_p50 = util::percentile_sorted(latencies, 50.0);
-        out.latency_p90 = util::percentile_sorted(latencies, 90.0);
-        out.latency_p99 = util::percentile_sorted(latencies, 99.0);
-    }
+    out.latency_p50 = latencies.percentile_or_zero(50.0);
+    out.latency_p90 = latencies.percentile_or_zero(90.0);
+    out.latency_p99 = latencies.percentile_or_zero(99.0);
     return out;
+}
+
+util::percentile_accumulator floor_service::latencies() const {
+    const std::lock_guard<std::mutex> lock(state_->m);
+    return state_->latencies;
 }
 
 }  // namespace fisone::service

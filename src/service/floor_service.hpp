@@ -39,6 +39,7 @@
 #include "data/corpus_store.hpp"
 #include "data/rf_sample.hpp"
 #include "runtime/batch_runner.hpp"
+#include "util/percentile.hpp"
 
 namespace fisone::service {
 
@@ -197,7 +198,24 @@ public:
     /// Release the gate.
     void resume();
 
+    /// True between `pause()` and `resume()`. Federation routing reads it:
+    /// load-aware policies must not hand new work to a backend that is
+    /// holding its queue at the gate.
+    [[nodiscard]] bool paused() const;
+
+    /// Bounded-queue occupancy: jobs submitted but not yet finished — the
+    /// quantity `max_pending_jobs` bounds, and the load signal the
+    /// federation layer's least-queue-depth policy routes on. One lock,
+    /// no percentile work (unlike a full `stats()` snapshot).
+    [[nodiscard]] std::size_t pending_jobs() const;
+
     [[nodiscard]] service_stats stats() const;
+
+    /// Snapshot of the per-building pipeline latencies behind the
+    /// percentiles in `stats()`, as a mergeable accumulator. A federated
+    /// front-end merges these across backends before taking fleet
+    /// percentiles — percentiles themselves cannot be combined.
+    [[nodiscard]] util::percentile_accumulator latencies() const;
     [[nodiscard]] const service_config& config() const noexcept { return cfg_; }
 
     /// Concurrent jobs the pool can run (resolved `num_threads`).

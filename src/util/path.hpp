@@ -1,0 +1,29 @@
+#pragma once
+
+/// \file path.hpp
+/// Filesystem-path confinement. `path_within_root` is the one rule every
+/// layer that accepts wire-supplied shard paths applies before touching the
+/// filesystem: `api::server` checks requests against its configured
+/// `shard_root`, and the federation layer's `store_registry` checks them
+/// against each mounted store's directory. Hoisted here so the two checks
+/// can never drift apart.
+
+#include <filesystem>
+#include <string>
+
+namespace fisone::util {
+
+/// True when \p path resolves inside \p root, with symlinks and
+/// dot-segments resolved as far as the filesystem allows. Anything the
+/// filesystem refuses to resolve is *not* allowed — fail closed.
+[[nodiscard]] inline bool path_within_root(const std::string& root,
+                                           const std::string& path) noexcept try {
+    namespace fs = std::filesystem;
+    const fs::path rel = fs::weakly_canonical(fs::path(path))
+                             .lexically_relative(fs::weakly_canonical(fs::path(root)));
+    return !rel.empty() && rel.begin()->string() != "..";
+} catch (...) {
+    return false;
+}
+
+}  // namespace fisone::util

@@ -1,0 +1,75 @@
+#pragma once
+
+/// \file percentile.hpp
+/// Mergeable percentile aggregation. `stats.hpp`'s `percentile_sorted` answers
+/// one-shot queries over a vector the caller sorted; this accumulator owns the
+/// observations, keeps them query-ready lazily, and — the reason it exists —
+/// merges with other accumulators *exactly*. Percentiles cannot be combined
+/// from percentiles (a federated front-end cannot derive a fleet p99 from
+/// per-backend p99s), so every layer that may later be aggregated keeps one of
+/// these and merges sample sets, not summaries: `service::floor_service`
+/// snapshots its per-building latencies as a `percentile_accumulator`, and the
+/// federation layer's `get_stats` merges the per-backend accumulators before
+/// taking p50/p90/p99.
+///
+/// Exactness over sketching: observations here are per-building pipeline wall
+/// times — thousands per campaign, not millions per second — so storing them
+/// all is cheap and keeps the merged percentiles bit-equal to a single
+/// accumulator fed the pooled observations (in any merge order).
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+#include "stats.hpp"
+
+namespace fisone::util {
+
+/// Exact percentile accumulator with merge. Not thread-safe; callers
+/// snapshot/merge under their own locks.
+class percentile_accumulator {
+public:
+    /// Record one observation.
+    void add(double x) {
+        samples_.push_back(x);
+        sorted_ = sorted_ && (samples_.size() == 1 || samples_[samples_.size() - 2] <= x);
+    }
+
+    /// Fold \p other's observations into this accumulator. Merging is
+    /// order-insensitive: any merge tree over the same observations yields
+    /// the same percentiles as one accumulator fed the pooled data.
+    void merge(const percentile_accumulator& other) {
+        if (other.samples_.empty()) return;
+        samples_.insert(samples_.end(), other.samples_.begin(), other.samples_.end());
+        sorted_ = false;
+    }
+
+    /// Observations recorded so far.
+    [[nodiscard]] std::size_t count() const noexcept { return samples_.size(); }
+
+    [[nodiscard]] bool empty() const noexcept { return samples_.empty(); }
+
+    /// Nearest-rank percentile of everything recorded (see
+    /// `percentile_sorted` for the rank rule). Sorts lazily, so a burst of
+    /// `add`s costs one sort at the next query.
+    /// \throws std::invalid_argument when empty or \p p outside [0, 100].
+    [[nodiscard]] double percentile(double p) const {
+        if (!sorted_) {
+            std::sort(samples_.begin(), samples_.end());
+            sorted_ = true;
+        }
+        return percentile_sorted(samples_, p);
+    }
+
+    /// `percentile(p)`, but 0.0 on an empty accumulator — the shape every
+    /// stats snapshot wants ("no observations yet" is not an error there).
+    [[nodiscard]] double percentile_or_zero(double p) const {
+        return samples_.empty() ? 0.0 : percentile(p);
+    }
+
+private:
+    mutable std::vector<double> samples_;  ///< sorted iff `sorted_`
+    mutable bool sorted_ = true;
+};
+
+}  // namespace fisone::util

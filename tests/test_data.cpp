@@ -6,6 +6,7 @@
 #include <cstdio>
 #include <sstream>
 
+#include "data/corpus_store.hpp"
 #include "data/dataset_io.hpp"
 #include "data/rf_sample.hpp"
 #include "sim/building_generator.hpp"
@@ -142,6 +143,47 @@ TEST(dataset_io, rejects_malformed_input) {
         "# fisone-building v1\nname,x\nfloors,2\nmacs,1\nlabeled_sample,0\n"
         "labeled_floor,0\nsample,0,0,0;-40\n");
     EXPECT_THROW((void)load_building(bad_obs), std::invalid_argument);
+}
+
+TEST(corpus_manifest, rejects_duplicate_building_ids_naming_the_shard_file) {
+    // A shard file listed twice mounts its building ids under two corpus
+    // index ranges — before this check the duplicate silently shadowed.
+    std::stringstream dup_shard(
+        "# fisone-corpus v1\n"
+        "corpus,city\n"
+        "shard,shard-0000.csv,0,2\n"
+        "shard,shard-0000.csv,2,2\n");
+    try {
+        (void)load_manifest(dup_shard);
+        FAIL() << "duplicate shard row must be rejected";
+    } catch (const std::invalid_argument& e) {
+        // The error must point at the offending shard file.
+        EXPECT_NE(std::string(e.what()).find("shard-0000.csv"), std::string::npos) << e.what();
+    }
+
+    // Same rule at write time: an in-memory manifest never serialises
+    // a duplicate for a future load to trip over.
+    corpus_manifest m;
+    m.corpus_name = "city";
+    m.shards.push_back({"a.csv", 0, 1});
+    m.shards.push_back({"a.csv", 1, 1});
+    EXPECT_THROW(m.validate(), std::invalid_argument);
+
+    // A second corpus row would silently shadow the first name.
+    std::stringstream dup_corpus(
+        "# fisone-corpus v1\n"
+        "corpus,one\n"
+        "corpus,two\n"
+        "shard,shard-0000.csv,0,2\n");
+    EXPECT_THROW((void)load_manifest(dup_corpus), std::invalid_argument);
+
+    // Distinct files at distinct ranges stay accepted.
+    std::stringstream ok(
+        "# fisone-corpus v1\n"
+        "corpus,city\n"
+        "shard,shard-0000.csv,0,2\n"
+        "shard,shard-0001.csv,2,2\n");
+    EXPECT_EQ(load_manifest(ok).total_buildings(), 4u);
 }
 
 TEST(dataset_io, rejects_truncated_header) {

@@ -1,0 +1,539 @@
+// Tests for the federation subsystem: store_registry manifest merging and
+// duplicate detection, router policies (round-robin, least-queue-depth,
+// content-hash affinity) against synthetic probes and against live fleets,
+// merged get_stats, cancel/flush fan-out — and the acceptance bar: the
+// federated input-order NDJSON re-export is byte-identical to a single
+// floor_service run over the concatenated corpus at every tested
+// (stores × backends × threads) combination.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "api/client.hpp"
+#include "api/codec.hpp"
+#include "data/corpus_store.hpp"
+#include "federation/federated_server.hpp"
+#include "federation/router.hpp"
+#include "federation/store_registry.hpp"
+#include "service/floor_service.hpp"
+#include "service/ndjson_export.hpp"
+#include "sim/building_generator.hpp"
+
+namespace {
+
+using namespace fisone;
+
+// --- helpers ----------------------------------------------------------------
+
+data::building tiny_building(std::size_t i) {
+    sim::building_spec spec;
+    spec.name = "fed-";
+    spec.name += std::to_string(i);
+    spec.num_floors = 3 + i % 2;
+    spec.samples_per_floor = 20;
+    spec.aps_per_floor = 6;
+    spec.seed = 900 + i;
+    return sim::generate_building(spec).building;
+}
+
+data::corpus tiny_corpus(std::size_t count) {
+    data::corpus c;
+    c.name = "fed-city";
+    for (std::size_t i = 0; i < count; ++i) c.buildings.push_back(tiny_building(i));
+    return c;
+}
+
+core::fis_one_config fast_pipeline() {
+    core::fis_one_config cfg;
+    cfg.gnn.embedding_dim = 8;
+    cfg.gnn.epochs = 2;
+    cfg.gnn.walks.walks_per_node = 2;
+    return cfg;
+}
+
+service::service_config fast_service_config(std::size_t num_threads) {
+    service::service_config cfg;
+    cfg.pipeline = fast_pipeline();
+    cfg.seed = 4242;
+    cfg.num_threads = num_threads;
+    return cfg;
+}
+
+/// Fresh scratch directory under the system temp dir.
+std::string scratch_dir(const std::string& tag) {
+    const auto dir = std::filesystem::temp_directory_path() / ("fisone_fed_" + tag);
+    std::filesystem::remove_all(dir);
+    std::filesystem::create_directories(dir);
+    return dir.string();
+}
+
+/// Split \p c into \p parts contiguous sub-corpora, write each as a store
+/// under `<root>/store-<k>`, and return the store directories. Mounting the
+/// stores in order reproduces the corpus' global building order.
+std::vector<std::string> split_into_stores(const data::corpus& c, std::size_t parts,
+                                           const std::string& root,
+                                           std::size_t shard_size) {
+    std::vector<std::string> dirs;
+    const std::size_t n = c.buildings.size();
+    const std::size_t base = n / parts;
+    std::size_t first = 0;
+    for (std::size_t k = 0; k < parts; ++k) {
+        const std::size_t count = base + (k < n % parts ? 1 : 0);
+        data::corpus part;
+        part.name = c.name + "-part-" + std::to_string(k);
+        part.buildings.assign(c.buildings.begin() + static_cast<std::ptrdiff_t>(first),
+                              c.buildings.begin() + static_cast<std::ptrdiff_t>(first + count));
+        const std::string dir = (std::filesystem::path(root) / ("store-" + std::to_string(k)))
+                                    .string();
+        static_cast<void>(data::write_corpus_store(part, dir, shard_size));
+        dirs.push_back(dir);
+        first += count;
+    }
+    return dirs;
+}
+
+/// Input-order NDJSON of a single floor_service run over one store holding
+/// the whole corpus — the baseline every federated combination must match
+/// byte for byte.
+std::string single_service_ndjson(const data::corpus_store& store) {
+    service::floor_service svc(fast_service_config(1));
+    std::vector<service::floor_service::job> jobs;
+    for (std::size_t s = 0; s < store.num_shards(); ++s)
+        jobs.push_back(svc.submit(service::make_shard_ref(store, s)));
+    svc.wait_all();
+    std::vector<runtime::building_report> reports;
+    for (const auto& job : jobs)
+        for (const auto& report : job.reports()) reports.push_back(report);
+    std::ostringstream out;
+    service::export_input_order(out, std::move(reports));
+    return out.str();
+}
+
+/// Thread-safe sink that decodes every loopback frame into a typed response.
+struct response_collector {
+    std::mutex m;
+    std::vector<api::response> responses;
+
+    federation::federated_server::frame_sink sink() {
+        return [this](std::string_view frame) {
+            const api::decode_result<api::response> r = api::decode_response(frame);
+            ASSERT_TRUE(r.ok()) << "undecodable response frame";
+            const std::lock_guard<std::mutex> lock(m);
+            responses.push_back(*r.value);
+        };
+    }
+
+    template <class T>
+    std::vector<T> of() {
+        const std::lock_guard<std::mutex> lock(m);
+        std::vector<T> out;
+        for (const api::response& r : responses)
+            if (const T* v = std::get_if<T>(&r)) out.push_back(*v);
+        return out;
+    }
+};
+
+// --- store_registry ---------------------------------------------------------
+
+TEST(store_registry, mounts_stores_as_one_contiguous_namespace) {
+    const std::string root = scratch_dir("registry");
+    const data::corpus city = tiny_corpus(5);
+    const std::vector<std::string> dirs = split_into_stores(city, 2, root, 2);
+
+    federation::store_registry reg;
+    EXPECT_EQ(reg.total_buildings(), 0u);
+    EXPECT_EQ(reg.mount(dirs[0]), 0u);
+    EXPECT_EQ(reg.mount(dirs[1]), 1u);
+    EXPECT_EQ(reg.num_stores(), 2u);
+    EXPECT_EQ(reg.total_buildings(), 5u);
+    EXPECT_EQ(reg.store_offset(0), 0u);
+    EXPECT_EQ(reg.store_offset(1), 3u);  // 5 buildings: 3 + 2
+
+    // Global shard order tiles [0, 5) contiguously across stores.
+    std::size_t expected_first = 0;
+    for (const federation::mounted_shard& ms : reg.shards()) {
+        EXPECT_EQ(ms.ref.first_index, expected_first);
+        expected_first += ms.ref.num_buildings;
+    }
+    EXPECT_EQ(expected_first, 5u);
+
+    const data::corpus_manifest merged = reg.merged_manifest();
+    EXPECT_NO_THROW(merged.validate());
+    EXPECT_EQ(merged.corpus_name, "fed-city-part-0+fed-city-part-1");
+    EXPECT_EQ(merged.total_buildings(), 5u);
+
+    EXPECT_THROW((void)reg.store(2), std::out_of_range);
+    EXPECT_THROW((void)reg.store_offset(2), std::out_of_range);
+}
+
+TEST(store_registry, rejects_duplicate_building_id_merges) {
+    const std::string root = scratch_dir("registry_dup");
+    const data::corpus city = tiny_corpus(4);
+    const std::vector<std::string> dirs = split_into_stores(city, 2, root, 2);
+
+    // Mounting the same store twice: its shard files (and thus every
+    // building id) would appear under two global index ranges.
+    federation::store_registry same_store;
+    static_cast<void>(same_store.mount(dirs[0]));
+    EXPECT_THROW(static_cast<void>(same_store.mount(dirs[0])), std::invalid_argument);
+
+    // Two different stores declaring the same corpus name collide every
+    // `<corpus>/<local index>` building id in the merged namespace.
+    data::corpus clone;
+    clone.name = "fed-city-part-0";  // same name as dirs[0]'s corpus
+    clone.buildings.push_back(tiny_building(7));
+    const std::string clone_dir = (std::filesystem::path(root) / "clone").string();
+    static_cast<void>(data::write_corpus_store(clone, clone_dir, 1));
+    federation::store_registry same_name;
+    static_cast<void>(same_name.mount(dirs[0]));
+    EXPECT_THROW(static_cast<void>(same_name.mount(clone_dir)), std::invalid_argument);
+    // The registry stays usable after a rejected mount.
+    EXPECT_EQ(same_name.num_stores(), 1u);
+    EXPECT_NO_THROW(static_cast<void>(same_name.mount(dirs[1])));
+}
+
+TEST(store_registry, confines_shard_paths_to_mounted_stores) {
+    const std::string root = scratch_dir("registry_confine");
+    const data::corpus city = tiny_corpus(4);
+    const std::vector<std::string> dirs = split_into_stores(city, 2, root, 2);
+
+    federation::store_registry reg;
+    EXPECT_FALSE(reg.shard_allowed(dirs[0] + "/shard-0000.csv"));  // nothing mounted
+    static_cast<void>(reg.mount(dirs[0]));
+    EXPECT_TRUE(reg.shard_allowed(dirs[0] + "/shard-0000.csv"));
+    EXPECT_FALSE(reg.shard_allowed(dirs[1] + "/shard-0000.csv"));  // not mounted
+    EXPECT_FALSE(reg.shard_allowed("/etc/passwd"));
+    // Dot-segments must not escape the store root.
+    EXPECT_FALSE(reg.shard_allowed(dirs[0] + "/../store-1/shard-0000.csv"));
+    static_cast<void>(reg.mount(dirs[1]));
+    EXPECT_TRUE(reg.shard_allowed(dirs[1] + "/shard-0000.csv"));
+}
+
+// --- router -----------------------------------------------------------------
+
+TEST(router, round_robin_cycles_and_skips_paused) {
+    federation::router rt(federation::routing_policy::round_robin, 3);
+    std::vector<federation::backend_probe> probes(3);
+    EXPECT_EQ(rt.route(0, probes), 0u);
+    EXPECT_EQ(rt.route(0, probes), 1u);
+    EXPECT_EQ(rt.route(0, probes), 2u);
+    EXPECT_EQ(rt.route(0, probes), 0u);
+    probes[1].paused = true;
+    EXPECT_EQ(rt.route(0, probes), 2u);  // cursor at 1 → skips to 2
+    EXPECT_EQ(rt.route(0, probes), 0u);
+}
+
+TEST(router, least_queue_depth_prefers_idle_unpaused_backends) {
+    federation::router rt(federation::routing_policy::least_queue_depth, 3);
+    std::vector<federation::backend_probe> probes(3);
+    probes[0].queue_depth = 4;
+    probes[1].queue_depth = 1;
+    probes[2].queue_depth = 2;
+    EXPECT_EQ(rt.route(0, probes), 1u);
+    probes[1].paused = true;  // paused backends never receive new work
+    EXPECT_EQ(rt.route(0, probes), 2u);
+    probes[2].queue_depth = 4;  // tie between 0 and 2 → lowest index
+    EXPECT_EQ(rt.route(0, probes), 0u);
+}
+
+TEST(router, content_hash_affinity_is_stable_and_probes_past_paused) {
+    federation::router rt(federation::routing_policy::content_hash_affinity, 4);
+    std::vector<federation::backend_probe> probes(4);
+    const std::size_t home = rt.route(10, probes);
+    EXPECT_EQ(home, 2u);  // 10 % 4
+    for (int i = 0; i < 3; ++i) EXPECT_EQ(rt.route(10, probes), home);  // stable
+    probes[2].paused = true;
+    EXPECT_EQ(rt.route(10, probes), 3u);  // forward from the paused home slot
+    probes[3].paused = true;
+    EXPECT_EQ(rt.route(10, probes), 0u);  // wraps
+}
+
+TEST(router, whole_fleet_paused_parks_at_natural_choice) {
+    federation::router rt(federation::routing_policy::least_queue_depth, 2);
+    std::vector<federation::backend_probe> probes(2);
+    probes[0].paused = probes[1].paused = true;
+    probes[1].queue_depth = 9;
+    EXPECT_EQ(rt.route(0, probes), 0u);
+}
+
+TEST(router, rejects_degenerate_inputs) {
+    EXPECT_THROW(federation::router(federation::routing_policy::round_robin, 0),
+                 std::invalid_argument);
+    federation::router rt(federation::routing_policy::round_robin, 2);
+    const std::vector<federation::backend_probe> three(3);
+    EXPECT_THROW(static_cast<void>(rt.route(0, three)), std::invalid_argument);
+}
+
+// --- merged stats -----------------------------------------------------------
+
+TEST(merge_backend_stats, sums_counters_and_pools_latencies) {
+    service::service_stats a;
+    a.jobs_submitted = 3;
+    a.jobs_done = 3;
+    a.buildings_done = 5;
+    a.buildings_ok = 5;
+    a.cache_hits = 2;
+    a.cache_misses = 3;
+    service::service_stats b;
+    b.jobs_submitted = 1;
+    b.jobs_done = 1;
+    b.buildings_done = 2;
+    b.buildings_ok = 1;
+    b.buildings_failed = 1;
+    b.cache_misses = 2;
+
+    util::percentile_accumulator la, lb, pooled;
+    for (const double x : {0.1, 0.2, 0.3, 0.4, 0.5}) {
+        la.add(x);
+        pooled.add(x);
+    }
+    for (const double x : {1.0, 2.0}) {
+        lb.add(x);
+        pooled.add(x);
+    }
+
+    const service::service_stats merged = federation::merge_backend_stats({a, b}, {la, lb});
+    EXPECT_EQ(merged.jobs_submitted, 4u);
+    EXPECT_EQ(merged.jobs_done, 4u);
+    EXPECT_EQ(merged.buildings_done, 7u);
+    EXPECT_EQ(merged.buildings_ok, 6u);
+    EXPECT_EQ(merged.buildings_failed, 1u);
+    EXPECT_EQ(merged.cache_hits, 2u);
+    EXPECT_EQ(merged.cache_misses, 5u);
+    EXPECT_DOUBLE_EQ(merged.latency_p50, pooled.percentile(50.0));
+    EXPECT_DOUBLE_EQ(merged.latency_p90, pooled.percentile(90.0));
+    EXPECT_DOUBLE_EQ(merged.latency_p99, pooled.percentile(99.0));
+
+    EXPECT_THROW(static_cast<void>(federation::merge_backend_stats({a, b}, {la})),
+                 std::invalid_argument);
+    const service::service_stats empty = federation::merge_backend_stats({}, {});
+    EXPECT_EQ(empty.jobs_submitted, 0u);
+    EXPECT_DOUBLE_EQ(empty.latency_p50, 0.0);
+}
+
+// --- federated_server -------------------------------------------------------
+
+TEST(federated_server, rejects_zero_backends_and_unmounted_shard_paths) {
+    federation::federation_config cfg;
+    cfg.service = fast_service_config(1);
+    cfg.num_backends = 0;
+    EXPECT_THROW(federation::federated_server{cfg}, std::invalid_argument);
+
+    cfg.num_backends = 1;
+    federation::federated_server srv(cfg);  // no stores mounted
+    response_collector collected;
+    federation::federated_server::session s = srv.open(collected.sink());
+    service::shard_ref ref;
+    ref.path = "/definitely/not/mounted.csv";
+    ref.num_buildings = 1;
+    s.handle(api::identify_shard_request{77, ref});
+    s.finish();
+    const auto errors = collected.of<api::error_response>();
+    ASSERT_EQ(errors.size(), 1u);
+    EXPECT_EQ(errors[0].correlation_id, 77u);
+    EXPECT_EQ(errors[0].code, api::error_code::bad_request);
+}
+
+TEST(federated_server, ndjson_byte_identical_to_single_service_at_every_combination) {
+    const std::string root = scratch_dir("e2e");
+    const data::corpus city = tiny_corpus(8);
+
+    // The baseline: one store, one floor_service, whole corpus.
+    const std::string whole_dir = (std::filesystem::path(root) / "whole").string();
+    static_cast<void>(data::write_corpus_store(city, whole_dir, 3));
+    const std::string baseline = single_service_ndjson(data::corpus_store::open(whole_dir));
+    ASSERT_FALSE(baseline.empty());
+
+    const federation::routing_policy policies[] = {
+        federation::routing_policy::round_robin,
+        federation::routing_policy::least_queue_depth,
+        federation::routing_policy::content_hash_affinity,
+    };
+    for (const std::size_t stores : {2u, 3u}) {
+        const std::vector<std::string> dirs = split_into_stores(
+            city, stores, (std::filesystem::path(root) / std::to_string(stores)).string(), 2);
+        for (const std::size_t backends : {1u, 2u, 4u}) {
+            for (const std::size_t threads : {1u, 4u}) {
+              for (const federation::routing_policy policy : policies) {
+                federation::federation_config cfg;
+                cfg.service = fast_service_config(threads);
+                cfg.num_backends = backends;
+                cfg.policy = policy;  // identity must hold under every policy
+                cfg.store_dirs = dirs;
+                federation::federated_server srv(cfg);
+                ASSERT_EQ(srv.registry().total_buildings(), city.buildings.size());
+
+                // The framed wire path, exactly as a network client would.
+                std::stringstream wire_in, wire_out;
+                api::client cli(static_cast<std::ostream&>(wire_in));
+                for (const federation::mounted_shard& ms : srv.registry().shards())
+                    static_cast<void>(cli.identify_shard(ms.ref));
+                // Flush first so the stats snapshot sees a drained fleet.
+                static_cast<void>(cli.flush());
+                static_cast<void>(cli.get_stats());
+                srv.serve(wire_in, wire_out);
+                static_cast<void>(cli.ingest(wire_out));
+                ASSERT_TRUE(cli.errors().empty());
+
+                std::ostringstream ndjson;
+                service::export_input_order(ndjson, cli.reports());
+                EXPECT_EQ(ndjson.str(), baseline)
+                    << stores << " stores x " << backends << " backends x " << threads
+                    << " threads ("
+                    << federation::routing_policy_name(cfg.policy) << ")";
+
+                // get_stats totals equal the sum over backends.
+                const auto stats = cli.last_stats();
+                ASSERT_TRUE(stats.has_value());
+                EXPECT_EQ(stats->buildings_done, city.buildings.size());
+                EXPECT_EQ(stats->buildings_ok, city.buildings.size());
+                std::size_t sum_done = 0, sum_submitted = 0, sum_hits = 0, sum_misses = 0;
+                for (std::size_t k = 0; k < srv.num_backends(); ++k) {
+                    const service::service_stats bs = srv.backend(k).stats();
+                    sum_done += bs.buildings_done;
+                    sum_submitted += bs.jobs_submitted;
+                    sum_hits += bs.cache_hits;
+                    sum_misses += bs.cache_misses;
+                }
+                EXPECT_EQ(stats->buildings_done, sum_done);
+                EXPECT_EQ(stats->jobs_submitted, sum_submitted);
+                EXPECT_EQ(stats->cache_hits, sum_hits);
+                EXPECT_EQ(stats->cache_misses, sum_misses);
+              }
+            }
+        }
+    }
+}
+
+TEST(federated_server, affinity_keeps_resubmissions_on_warm_caches) {
+    const std::size_t n = 6;
+    const data::corpus city = tiny_corpus(n);
+
+    // Baseline: a 1-backend fleet is trivially affine — every resubmission
+    // hits its (only) cache.
+    const auto warm_hits = [&](std::size_t backends) {
+        federation::federation_config cfg;
+        cfg.service = fast_service_config(1);
+        cfg.num_backends = backends;
+        cfg.policy = federation::routing_policy::content_hash_affinity;
+        federation::federated_server srv(cfg);
+        response_collector collected;
+        federation::federated_server::session s = srv.open(collected.sink());
+        for (std::size_t pass = 0; pass < 2; ++pass) {
+            for (std::size_t i = 0; i < n; ++i) {
+                api::identify_building_request req;
+                req.correlation_id = 100 * pass + i;
+                req.has_index = true;
+                req.corpus_index = i;
+                req.b = city.buildings[i];
+                s.handle(api::request{req});
+            }
+            s.handle(api::flush_request{999 + pass});
+        }
+        return srv.stats().cache_hits;
+    };
+    const std::size_t single = warm_hits(1);
+    EXPECT_EQ(single, n);  // every second-pass submission served warm
+    // Content-hash affinity on a fleet keeps the warm-cache hit rate at the
+    // single-backend baseline: repeats land where their result lives.
+    EXPECT_GE(warm_hits(3), single);
+}
+
+TEST(federated_server, least_queue_depth_never_routes_to_paused_backend) {
+    const std::size_t n = 5;
+    const data::corpus city = tiny_corpus(n);
+    federation::federation_config cfg;
+    cfg.service = fast_service_config(1);
+    cfg.num_backends = 2;
+    cfg.policy = federation::routing_policy::least_queue_depth;
+    federation::federated_server srv(cfg);
+
+    srv.backend(1).backing_service().pause();
+    response_collector collected;
+    federation::federated_server::session s = srv.open(collected.sink());
+    for (std::size_t i = 0; i < n; ++i) {
+        api::identify_building_request req;
+        req.correlation_id = i;
+        req.b = city.buildings[i];
+        s.handle(api::request{req});
+    }
+    s.handle(api::flush_request{50});  // backend 1 is paused but empty: drains
+    EXPECT_EQ(srv.backend(1).stats().jobs_submitted, 0u);
+    EXPECT_EQ(srv.backend(0).stats().jobs_submitted, n);
+    EXPECT_EQ(collected.of<api::building_response>().size(), n);
+    srv.backend(1).backing_service().resume();
+}
+
+TEST(federated_server, every_policy_drains_cleanly_on_flush) {
+    const std::size_t n = 4;
+    const std::string root = scratch_dir("drain");
+    const data::corpus city = tiny_corpus(n);
+    const std::vector<std::string> dirs = split_into_stores(city, 2, root, 1);
+
+    for (const federation::routing_policy policy :
+         {federation::routing_policy::round_robin,
+          federation::routing_policy::least_queue_depth,
+          federation::routing_policy::content_hash_affinity}) {
+        federation::federation_config cfg;
+        cfg.service = fast_service_config(2);
+        cfg.num_backends = 2;
+        cfg.policy = policy;
+        cfg.store_dirs = dirs;
+        federation::federated_server srv(cfg);
+        response_collector collected;
+        federation::federated_server::session s = srv.open(collected.sink());
+        for (const federation::mounted_shard& ms : srv.registry().shards())
+            s.handle(api::identify_shard_request{ms.ref.first_index + 1, ms.ref});
+        s.handle(api::flush_request{1000});
+        // After the flush answered, nothing is pending anywhere.
+        const service::service_stats stats = srv.stats();
+        EXPECT_EQ(stats.buildings_done, n) << federation::routing_policy_name(policy);
+        EXPECT_EQ(stats.jobs_queued, 0u);
+        EXPECT_EQ(stats.jobs_running, 0u);
+        EXPECT_EQ(collected.of<api::flush_response>().size(), 1u);
+        EXPECT_EQ(collected.of<api::building_response>().size(), n);
+    }
+}
+
+TEST(federated_server, cancel_routes_to_owning_backend_and_unknown_ids_answer_false) {
+    const data::corpus city = tiny_corpus(2);
+    federation::federation_config cfg;
+    cfg.service = fast_service_config(1);
+    cfg.num_backends = 2;
+    cfg.policy = federation::routing_policy::round_robin;
+    federation::federated_server srv(cfg);
+
+    response_collector collected;
+    federation::federated_server::session s = srv.open(collected.sink());
+
+    // Hold the fleet so the cancel deterministically lands before the job.
+    srv.pause();
+    api::identify_building_request req;
+    req.correlation_id = 7;
+    req.b = city.buildings[0];
+    s.handle(api::request{req});
+    s.handle(api::cancel_job_request{8, 7});    // known target → its backend answers
+    s.handle(api::cancel_job_request{9, 404});  // unknown target → front-end answers
+    srv.resume();
+    s.handle(api::flush_request{10});
+
+    const auto cancels = collected.of<api::cancel_response>();
+    ASSERT_EQ(cancels.size(), 2u);
+    EXPECT_EQ(cancels[0].correlation_id, 8u);
+    EXPECT_EQ(cancels[0].target_correlation_id, 7u);
+    EXPECT_TRUE(cancels[0].accepted);
+    EXPECT_EQ(cancels[1].correlation_id, 9u);
+    EXPECT_FALSE(cancels[1].accepted);
+
+    const auto buildings = collected.of<api::building_response>();
+    ASSERT_EQ(buildings.size(), 1u);
+    EXPECT_FALSE(buildings[0].report.ok);
+    EXPECT_EQ(buildings[0].report.error, "cancelled");
+}
+
+}  // namespace
