@@ -35,6 +35,7 @@
 #include "federation/federated_server.hpp"
 #include "service/floor_service.hpp"
 #include "service/ndjson_export.hpp"
+#include "service/profiles.hpp"
 #include "sim/building_generator.hpp"
 #include "util/cli.hpp"
 #include "util/table_printer.hpp"
@@ -63,14 +64,7 @@ data::corpus make_fleet(std::size_t count, std::size_t samples_per_floor, std::u
 }
 
 service::service_config make_service_config(std::uint64_t seed, std::size_t threads) {
-    service::service_config cfg;
-    cfg.pipeline.gnn.embedding_dim = 16;
-    cfg.pipeline.gnn.epochs = 4;
-    cfg.pipeline.gnn.walks.walks_per_node = 3;
-    cfg.pipeline.num_threads = 1;  // building-level parallelism only
-    cfg.seed = seed;
-    cfg.num_threads = threads;
-    return cfg;
+    return service::quick_profile(seed, threads);
 }
 
 /// Split \p c into \p parts contiguous sub-corpora stores under \p root.

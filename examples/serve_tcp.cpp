@@ -1,0 +1,160 @@
+/// \file serve_tcp.cpp
+/// The network front door, running: bind a `net::tcp_server` on a real
+/// socket, front either a single `api::server` or a federated fleet, and
+/// serve FIS1 frames to any number of concurrent connections until a
+/// SIGTERM/SIGINT triggers a graceful drain (stop accepting, finish
+/// in-flight jobs, flush, exit 0).
+///
+/// While it runs, the same port answers plaintext probes:
+///
+///     curl http://127.0.0.1:PORT/metrics
+///
+/// returns the Prometheus text-format page (transport counters, admission
+/// and shed totals, request latency quantiles, service + cache stats).
+///
+/// Run:  ./serve_tcp [--host A] [--port P] [--port-file PATH]
+///                   [--stores DIR,DIR,...] [--backends N]
+///                   [--threads T] [--seed S] [--profile quick|full]
+///                   [--max-inflight N] [--max-connections N] [--quiet]
+///
+///  --port 0       (default) binds a kernel-assigned port; pair with
+///                 --port-file so a driving script can discover it.
+///  --stores       mount on-disk corpus stores behind a federated fleet
+///                 of --backends services; without it, a single
+///                 `api::server` serves wire-supplied buildings only.
+///  --profile      pins the pipeline profile (`service::profiles`), so a
+///                 client process using the same profile + seed gets
+///                 byte-identical results to an in-process run.
+
+#include <pthread.h>
+#include <signal.h>
+
+#include <csignal>
+#include <cstdlib>
+#include <exception>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/server.hpp"
+#include "federation/federated_server.hpp"
+#include "net/tcp_server.hpp"
+#include "service/profiles.hpp"
+#include "util/cli.hpp"
+
+namespace {
+
+std::vector<std::string> split_csv(const std::string& csv) {
+    std::vector<std::string> out;
+    std::size_t start = 0;
+    while (start <= csv.size()) {
+        const std::size_t comma = csv.find(',', start);
+        const std::string part =
+            csv.substr(start, comma == std::string::npos ? comma : comma - start);
+        if (!part.empty()) out.push_back(part);
+        if (comma == std::string::npos) break;
+        start = comma + 1;
+    }
+    return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) try {
+    using namespace fisone;
+    const util::cli_args args(argc, argv);
+    const bool quiet = args.has("quiet");
+    const std::string host = args.get("host", "127.0.0.1");
+    const auto port = static_cast<std::uint16_t>(args.get_int("port", 0));
+    const std::string port_file = args.get("port-file", "");
+    const std::vector<std::string> stores = split_csv(args.get("stores", ""));
+    const auto backends = static_cast<std::size_t>(args.get_int("backends", 2));
+    const auto threads = static_cast<std::size_t>(args.get_int("threads", 2));
+    const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 7));
+    const std::string profile = args.get("profile", "quick");
+    const auto max_inflight = static_cast<std::size_t>(args.get_int("max-inflight", 32));
+    const auto max_conns = static_cast<std::size_t>(args.get_int("max-connections", 64));
+
+    // Block the shutdown signals in every thread *before* any thread is
+    // spawned, then collect them with sigwait below — no async handler,
+    // no async-signal-safety constraints on the drain path.
+    sigset_t sigs;
+    sigemptyset(&sigs);
+    sigaddset(&sigs, SIGINT);
+    sigaddset(&sigs, SIGTERM);
+    if (pthread_sigmask(SIG_BLOCK, &sigs, nullptr) != 0) {
+        std::cerr << "serve_tcp: pthread_sigmask failed\n";
+        return EXIT_FAILURE;
+    }
+
+    const service::service_config svc_cfg =
+        service::profile_by_name(profile, seed, threads);
+
+    // The backend must outlive the tcp_server, so both live here.
+    std::unique_ptr<api::server> single;
+    std::unique_ptr<federation::federated_server> fleet;
+    net::backend be;
+    if (stores.empty()) {
+        api::server_config cfg;
+        cfg.service = svc_cfg;
+        single = std::make_unique<api::server>(cfg);
+        be = net::make_backend(*single);
+    } else {
+        federation::federation_config cfg;
+        cfg.service = svc_cfg;
+        cfg.num_backends = backends;
+        cfg.store_dirs = stores;
+        fleet = std::make_unique<federation::federated_server>(cfg);
+        be = net::make_backend(*fleet);
+    }
+
+    net::tcp_server_config net_cfg;
+    net_cfg.host = host;
+    net_cfg.port = port;
+    net_cfg.max_inflight_requests = max_inflight;
+    net_cfg.max_connections = max_conns;
+    net::tcp_server srv(std::move(be), net_cfg);
+
+    if (!port_file.empty()) {
+        // Write-then-rename so a polling script never reads a torn file.
+        const std::string tmp = port_file + ".tmp";
+        std::ofstream f(tmp);
+        f << srv.port() << '\n';
+        f.close();
+        if (!f || std::rename(tmp.c_str(), port_file.c_str()) != 0) {
+            std::cerr << "serve_tcp: cannot write port file " << port_file << '\n';
+            return EXIT_FAILURE;
+        }
+    }
+    if (!quiet)
+        std::cerr << "serve_tcp: listening on " << host << ':' << srv.port() << " ("
+                  << (stores.empty() ? "single server"
+                                     : std::to_string(backends) + "-backend fleet")
+                  << ", profile " << profile << ", seed " << seed << ", "
+                  << max_inflight << " in-flight max)\n"
+                  << "serve_tcp: scrape http://" << host << ':' << srv.port()
+                  << "/metrics — SIGTERM drains\n";
+
+    std::thread loop([&srv] { srv.run(); });
+    int sig = 0;
+    sigwait(&sigs, &sig);
+    if (!quiet)
+        std::cerr << "serve_tcp: " << (sig == SIGTERM ? "SIGTERM" : "SIGINT")
+                  << " — draining (no new connections; finishing in-flight)\n";
+    srv.drain();
+    loop.join();
+
+    const net::tcp_server_stats s = srv.stats();
+    if (!quiet)
+        std::cerr << "serve_tcp: drained. " << s.connections_accepted << " connections, "
+                  << s.requests_admitted << " requests admitted, "
+                  << s.requests_shed_overload + s.requests_shed_draining << " shed, "
+                  << s.responses_sent << " responses\n";
+    return EXIT_SUCCESS;
+} catch (const std::exception& e) {
+    std::cerr << "serve_tcp: " << e.what() << '\n';
+    return EXIT_FAILURE;
+}

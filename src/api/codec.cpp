@@ -1,5 +1,6 @@
 #include "codec.hpp"
 
+#include <algorithm>
 #include <bit>
 #include <cstring>
 #include <istream>
@@ -577,6 +578,56 @@ decode_result<response> decode_response(std::string_view bytes, std::size_t* con
     return decode_frame<response>(bytes, consumed, [](std::uint16_t tag, wire_reader& r) {
         return parse_response(tag, r);
     });
+}
+
+void frame_splitter::append(std::string_view bytes) {
+    if (error_) return;
+    // Compact the consumed prefix before growing: keeps the buffer bounded
+    // by one maximal frame plus one append chunk.
+    if (pos_ > 0 && (pos_ >= buf_.size() || pos_ > (64u << 10))) {
+        buf_.erase(0, pos_);
+        pos_ = 0;
+    }
+    buf_.append(bytes.data(), bytes.size());
+}
+
+std::optional<std::string> frame_splitter::next() {
+    if (error_) return std::nullopt;
+    const std::string_view pending(buf_.data() + pos_, buf_.size() - pos_);
+    // Validate as much of the header as has arrived: magic byte-by-byte, the
+    // declared length as soon as it is complete. Rejecting from the partial
+    // header means a hostile peer cannot make us buffer an oversized
+    // payload, and a mid-stream desync is caught at the first wrong byte.
+    const std::size_t magic_got = std::min(pending.size(), sizeof k_frame_magic);
+    if (std::memcmp(pending.data(), k_frame_magic, magic_got) != 0) {
+        error_ = decode_error{error_code::bad_magic, "frame does not start with FIS1 magic"};
+        return std::nullopt;
+    }
+    if (pending.size() < k_frame_header_size) return std::nullopt;
+    const auto u32_at = [&](std::size_t off) {
+        std::uint32_t v = 0;
+        for (std::size_t i = 0; i < 4; ++i)
+            v |= static_cast<std::uint32_t>(static_cast<unsigned char>(pending[off + i]))
+                 << (8 * i);
+        return v;
+    };
+    const std::uint32_t payload_len = u32_at(10);
+    if (payload_len > k_max_payload) {
+        error_ = decode_error{error_code::oversized,
+                              "declared payload length " + std::to_string(payload_len) +
+                                  " exceeds the " + std::to_string(k_max_payload) +
+                                  "-byte bound"};
+        return std::nullopt;
+    }
+    const std::size_t frame_size = k_frame_header_size + payload_len;
+    if (pending.size() < frame_size) return std::nullopt;
+    std::string frame(pending.substr(0, frame_size));
+    pos_ += frame_size;
+    if (pos_ == buf_.size()) {
+        buf_.clear();
+        pos_ = 0;
+    }
+    return frame;
 }
 
 std::string make_frame(std::uint16_t tag, std::string_view payload, std::uint32_t version,

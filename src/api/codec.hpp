@@ -95,4 +95,44 @@ struct decode_result {
                                      std::uint32_t version = k_schema_version,
                                      std::string_view magic = {k_frame_magic, 4});
 
+/// Incremental frame reassembly for byte-stream transports (TCP `recv`
+/// hands the codec arbitrary chunks: half a header, three frames and a
+/// tail, one byte at a time — any split is legal). `append` buffered bytes
+/// as they arrive; `next` extracts complete frames in order. Framing
+/// integrity is validated as early as the bytes allow: a bad magic or an
+/// oversized declared length fails permanently (`error()` set — the stream
+/// cannot be resynchronised and the connection must close), *before* the
+/// bogus payload is ever buffered. Frames that are well-framed but carry a
+/// wrong version / unknown tag / malformed payload pass through — the
+/// message-level decoder turns those into recoverable typed errors.
+///
+/// Memory: the internal buffer never holds more than one maximal frame
+/// (`k_frame_header_size + k_max_payload`) plus one `append` chunk, because
+/// complete frames are surrendered eagerly and oversized declarations are
+/// rejected from the header alone.
+class frame_splitter {
+public:
+    /// Buffer \p bytes. No-op once a fatal framing error was detected.
+    void append(std::string_view bytes);
+
+    /// Extract the next complete frame (header + payload), or nullopt when
+    /// more bytes are needed or framing failed (check `error()`).
+    [[nodiscard]] std::optional<std::string> next();
+
+    /// The fatal framing failure, if one was detected.
+    [[nodiscard]] const std::optional<decode_error>& error() const noexcept { return error_; }
+
+    /// Bytes buffered but not yet surrendered as a frame.
+    [[nodiscard]] std::size_t buffered() const noexcept { return buf_.size() - pos_; }
+
+    /// True when the stream sits on a clean frame boundary — EOF here is a
+    /// graceful close; EOF with `buffered() > 0` is a mid-frame disconnect.
+    [[nodiscard]] bool at_boundary() const noexcept { return buffered() == 0 && !error_; }
+
+private:
+    std::string buf_;
+    std::size_t pos_ = 0;  ///< consumed prefix of `buf_` (compacted lazily)
+    std::optional<decode_error> error_;
+};
+
 }  // namespace fisone::api

@@ -12,6 +12,8 @@ const char* error_code_name(error_code code) noexcept {
         case error_code::unknown_tag: return "unknown_tag";
         case error_code::bad_payload: return "bad_payload";
         case error_code::bad_request: return "bad_request";
+        case error_code::overloaded: return "overloaded";
+        case error_code::draining: return "draining";
     }
     return "unknown";
 }
@@ -37,6 +39,14 @@ message_tag tag_of(const request& r) noexcept {
         message_tag operator()(const flush_request&) const { return message_tag::flush; }
     };
     return std::visit(visitor{}, r);
+}
+
+void set_correlation_id(request& r, std::uint64_t id) noexcept {
+    std::visit([id](auto& m) { m.correlation_id = id; }, r);
+}
+
+void set_correlation_id(response& r, std::uint64_t id) noexcept {
+    std::visit([id](auto& m) { m.correlation_id = id; }, r);
 }
 
 message_tag tag_of(const response& r) noexcept {

@@ -60,6 +60,8 @@ enum class error_code : std::uint16_t {
     unknown_tag = 5,   ///< well-framed payload with an unknown tag (skippable)
     bad_payload = 6,   ///< payload too short, malformed, or with trailing bytes
     bad_request = 7,   ///< decoded fine but semantically unservable
+    overloaded = 8,    ///< shed: the admission queue is saturated — retry later
+    draining = 9,      ///< shed: the server is draining for shutdown
 };
 
 /// Human-readable name of \p code (for logs and error messages).
@@ -154,5 +156,17 @@ using response = std::variant<building_response, stats_response, cancel_response
 [[nodiscard]] std::uint64_t correlation_id(const response& r) noexcept;
 [[nodiscard]] message_tag tag_of(const request& r) noexcept;
 [[nodiscard]] message_tag tag_of(const response& r) noexcept;
+
+/// Rewrite the correlation id in place — the primitive a multiplexing
+/// front-end (e.g. `net::tcp_server`) uses to give every connection its own
+/// id space: client ids are remapped to globally unique internal ids before
+/// a shared backend sees them, and mapped back on the way out. Note that
+/// `cancel_job_request::target_correlation_id` / `cancel_response::
+/// target_correlation_id` are NOT touched: the *target* lives in the same
+/// per-connection namespace and the front-end remaps it through its own
+/// table (an unknown target must become a local `accepted = false`, not a
+/// forwarded id).
+void set_correlation_id(request& r, std::uint64_t id) noexcept;
+void set_correlation_id(response& r, std::uint64_t id) noexcept;
 
 }  // namespace fisone::api

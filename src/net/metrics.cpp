@@ -1,0 +1,147 @@
+#include "metrics.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <system_error>
+
+namespace fisone::net {
+
+namespace {
+
+/// Shortest-round-trip number token (Prometheus accepts full doubles).
+std::string num(double v) {
+    if (std::isnan(v)) return "NaN";
+    if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
+    char buf[64];
+    const auto [p, ec] = std::to_chars(buf, buf + sizeof buf, v);
+    return ec == std::errc{} ? std::string(buf, p) : std::string("0");
+}
+
+class page {
+public:
+    void family(const char* name, const char* type, const char* help) {
+        out_ += "# HELP ";
+        out_ += name;
+        out_ += ' ';
+        out_ += help;
+        out_ += "\n# TYPE ";
+        out_ += name;
+        out_ += ' ';
+        out_ += type;
+        out_ += '\n';
+    }
+
+    void sample(const char* name, double value, const char* labels = nullptr) {
+        out_ += name;
+        if (labels) {
+            out_ += '{';
+            out_ += labels;
+            out_ += '}';
+        }
+        out_ += ' ';
+        out_ += num(value);
+        out_ += '\n';
+    }
+
+    void counter(const char* name, const char* help, double value) {
+        family(name, "counter", help);
+        sample(name, value);
+    }
+
+    void gauge(const char* name, const char* help, double value) {
+        family(name, "gauge", help);
+        sample(name, value);
+    }
+
+    void quantiles(const char* name, const char* help, double p50, double p90, double p99) {
+        family(name, "summary", help);
+        sample(name, p50, "quantile=\"0.5\"");
+        sample(name, p90, "quantile=\"0.9\"");
+        sample(name, p99, "quantile=\"0.99\"");
+    }
+
+    [[nodiscard]] std::string take() && { return std::move(out_); }
+
+private:
+    std::string out_;
+};
+
+}  // namespace
+
+std::string render_metrics(const tcp_server_stats& net, const service::service_stats& svc) {
+    page p;
+    const auto d = [](std::size_t v) { return static_cast<double>(v); };
+
+    // Transport.
+    p.counter("fisone_net_connections_accepted_total", "TCP connections accepted",
+              d(net.connections_accepted));
+    p.gauge("fisone_net_connections_open", "TCP connections currently open",
+            d(net.connections_open));
+    p.counter("fisone_net_connections_refused_total",
+              "connections refused at the max_connections bound", d(net.connections_refused));
+    p.counter("fisone_net_connections_closed_slow_total",
+              "connections evicted by write-side shedding (slow readers)",
+              d(net.connections_closed_slow));
+    p.counter("fisone_net_frames_received_total", "complete request frames received",
+              d(net.frames_received));
+    p.counter("fisone_net_responses_sent_total", "response frames written to the kernel",
+              d(net.responses_sent));
+    p.counter("fisone_net_responses_dropped_total",
+              "response frames dropped on dead or shed connections",
+              d(net.responses_dropped));
+    p.counter("fisone_net_protocol_errors_total",
+              "typed error responses for framing or decode failures",
+              d(net.protocol_errors));
+    p.counter("fisone_net_bytes_received_total", "bytes read off accepted sockets",
+              d(net.bytes_received));
+    p.counter("fisone_net_bytes_sent_total", "bytes written to accepted sockets",
+              d(net.bytes_sent));
+
+    // Admission.
+    p.counter("fisone_net_requests_admitted_total",
+              "job requests forwarded to the backend", d(net.requests_admitted));
+    p.counter("fisone_net_requests_completed_total",
+              "admitted requests that produced their last response",
+              d(net.requests_completed));
+    p.gauge("fisone_net_requests_in_flight", "admitted requests not yet completed",
+            d(net.requests_in_flight));
+    p.family("fisone_net_requests_shed_total", "counter",
+             "job requests answered with a typed shed error_response");
+    p.sample("fisone_net_requests_shed_total", d(net.requests_shed_overload),
+             "reason=\"overload\"");
+    p.sample("fisone_net_requests_shed_total", d(net.requests_shed_draining),
+             "reason=\"draining\"");
+    p.gauge("fisone_net_draining", "1 while the server is draining for shutdown",
+            net.draining ? 1.0 : 0.0);
+    p.quantiles("fisone_net_request_latency_seconds",
+                "request wall latency, admission to last response frame",
+                net.request_latency_p50, net.request_latency_p90, net.request_latency_p99);
+
+    // Backing service (the get_stats view).
+    p.counter("fisone_service_jobs_submitted_total", "jobs submitted to the floor service",
+              d(svc.jobs_submitted));
+    p.gauge("fisone_service_jobs_queued", "jobs submitted but not yet picked up",
+            d(svc.jobs_queued));
+    p.gauge("fisone_service_jobs_running", "jobs currently executing", d(svc.jobs_running));
+    p.counter("fisone_service_jobs_done_total", "jobs finished without cancellation",
+              d(svc.jobs_done));
+    p.counter("fisone_service_jobs_cancelled_total", "jobs with at least one skipped building",
+              d(svc.jobs_cancelled));
+    p.counter("fisone_service_buildings_done_total", "buildings finished (ok+failed+cancelled)",
+              d(svc.buildings_done));
+    p.counter("fisone_service_buildings_ok_total", "buildings finished successfully",
+              d(svc.buildings_ok));
+    p.counter("fisone_service_buildings_failed_total", "buildings whose pipeline threw",
+              d(svc.buildings_failed));
+    p.counter("fisone_service_buildings_cancelled_total", "buildings skipped by cancellation",
+              d(svc.buildings_cancelled));
+    p.quantiles("fisone_service_building_latency_seconds",
+                "per-building pipeline wall time", svc.latency_p50, svc.latency_p90,
+                svc.latency_p99);
+    p.counter("fisone_cache_hits_total", "result-cache hits", d(svc.cache_hits));
+    p.counter("fisone_cache_misses_total", "result-cache misses", d(svc.cache_misses));
+
+    return std::move(p).take();
+}
+
+}  // namespace fisone::net

@@ -1,0 +1,56 @@
+#pragma once
+
+/// \file metrics.hpp
+/// The front door's observability surface: `tcp_server_stats` (transport
+/// counters + net-level request latency percentiles) and the plaintext
+/// renderer behind the scrapeable metrics endpoint. The exposition format
+/// is Prometheus text format v0.0.4 — `# HELP`/`# TYPE` comments, one
+/// `name{labels} value` sample per line — so `curl host:port/metrics`
+/// drops straight into any scraper; percentiles are published as summary
+/// quantiles, fed from `util::percentile_accumulator` snapshots (the
+/// server's own per-request accumulator plus the backing service's
+/// per-building one via `get_stats`).
+
+#include <cstddef>
+#include <string>
+
+#include "service/floor_service.hpp"
+
+namespace fisone::net {
+
+/// Point-in-time transport counters of a `tcp_server`. Totals are
+/// monotonic over the server's lifetime; gauges are instantaneous.
+struct tcp_server_stats {
+    std::size_t connections_accepted = 0;  ///< total accepted (gauge: open)
+    std::size_t connections_open = 0;
+    std::size_t connections_refused = 0;  ///< beyond max_connections: accept+close
+    /// Connections evicted because their write buffer hit the bound — the
+    /// slow-reader shed path (bounded buffering, then the connection goes).
+    std::size_t connections_closed_slow = 0;
+    std::size_t frames_received = 0;   ///< complete request frames off the wire
+    std::size_t responses_sent = 0;    ///< response frames fully handed to the kernel
+    std::size_t responses_dropped = 0; ///< frames discarded on doomed connections
+    std::size_t protocol_errors = 0;   ///< typed error_responses for framing/decoding
+    std::size_t requests_admitted = 0; ///< jobs forwarded to the backend
+    std::size_t requests_completed = 0;
+    std::size_t requests_in_flight = 0;     ///< admitted - completed (gauge)
+    std::size_t requests_shed_overload = 0; ///< typed `overloaded` shed replies
+    std::size_t requests_shed_draining = 0; ///< typed `draining` shed replies
+    std::size_t bytes_received = 0;
+    std::size_t bytes_sent = 0;
+    bool draining = false;  ///< between `drain()` and loop exit
+    /// Net-level request wall latency (admission → last response frame
+    /// buffered), nearest-rank percentiles; 0 until a request completes.
+    double request_latency_p50 = 0.0;
+    double request_latency_p90 = 0.0;
+    double request_latency_p99 = 0.0;
+};
+
+/// Render \p net + \p svc as one Prometheus text-format page. \p svc is
+/// the backend's `get_stats` view (service counters, per-building latency
+/// percentiles, result-cache hits/misses), so one scrape covers the whole
+/// stack: transport, admission, service, cache.
+[[nodiscard]] std::string render_metrics(const tcp_server_stats& net,
+                                         const service::service_stats& svc);
+
+}  // namespace fisone::net

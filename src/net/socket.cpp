@@ -1,0 +1,120 @@
+#include "socket.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <system_error>
+
+namespace fisone::net {
+
+namespace {
+
+[[noreturn]] void throw_errno(const char* what) {
+    throw std::system_error(errno, std::generic_category(), what);
+}
+
+sockaddr_in make_addr(const std::string& host, std::uint16_t port) {
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1)
+        throw std::invalid_argument("net: host must be a numeric IPv4 address, got \"" + host +
+                                    "\"");
+    return addr;
+}
+
+}  // namespace
+
+void socket_fd::reset(int fd) noexcept {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = fd;
+}
+
+socket_fd listen_tcp(const std::string& host, std::uint16_t port, int backlog) {
+    const sockaddr_in addr = make_addr(host, port);
+    socket_fd fd(::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0));
+    if (!fd.valid()) throw_errno("net: socket");
+    const int one = 1;
+    if (::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof one) != 0)
+        throw_errno("net: setsockopt(SO_REUSEADDR)");
+    if (::bind(fd.get(), reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0)
+        throw_errno("net: bind");
+    if (::listen(fd.get(), backlog) != 0) throw_errno("net: listen");
+    return fd;
+}
+
+std::uint16_t local_port(int fd) {
+    sockaddr_in addr{};
+    socklen_t len = sizeof addr;
+    if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0)
+        throw_errno("net: getsockname");
+    return ntohs(addr.sin_port);
+}
+
+socket_fd connect_tcp(const std::string& host, std::uint16_t port) {
+    const sockaddr_in addr = make_addr(host, port);
+    socket_fd fd(::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0));
+    if (!fd.valid()) throw_errno("net: socket");
+    if (::connect(fd.get(), reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0)
+        throw_errno("net: connect");
+    const int one = 1;
+    if (::setsockopt(fd.get(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof one) != 0)
+        throw_errno("net: setsockopt(TCP_NODELAY)");
+    return fd;
+}
+
+void set_nonblocking(int fd, bool on) {
+    const int flags = ::fcntl(fd, F_GETFL, 0);
+    if (flags < 0) throw_errno("net: fcntl(F_GETFL)");
+    const int want = on ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
+    if (::fcntl(fd, F_SETFL, want) != 0) throw_errno("net: fcntl(F_SETFL)");
+}
+
+void send_all(int fd, std::string_view bytes) {
+    std::size_t off = 0;
+    while (off < bytes.size()) {
+        const ssize_t n =
+            ::send(fd, bytes.data() + off, bytes.size() - off, MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR) continue;
+            throw_errno("net: send");
+        }
+        off += static_cast<std::size_t>(n);
+    }
+}
+
+std::optional<std::string> frame_conn::read_frame() {
+    for (;;) {
+        if (std::optional<std::string> frame = splitter_.next()) return frame;
+        if (splitter_.error())
+            throw std::runtime_error("net: fatal framing error from peer: " +
+                                     splitter_.error()->message);
+        char chunk[64 * 1024];
+        const ssize_t n = ::recv(fd_.get(), chunk, sizeof chunk, 0);
+        if (n < 0) {
+            if (errno == EINTR) continue;
+            throw_errno("net: recv");
+        }
+        if (n == 0) {
+            if (!splitter_.at_boundary())
+                throw std::runtime_error("net: peer closed mid-frame (" +
+                                         std::to_string(splitter_.buffered()) +
+                                         " bytes of an incomplete frame)");
+            return std::nullopt;
+        }
+        splitter_.append(std::string_view(chunk, static_cast<std::size_t>(n)));
+    }
+}
+
+void frame_conn::shutdown_write() {
+    if (fd_.valid()) ::shutdown(fd_.get(), SHUT_WR);
+}
+
+}  // namespace fisone::net

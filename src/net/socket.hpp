@@ -1,0 +1,118 @@
+#pragma once
+
+/// \file socket.hpp
+/// Thin POSIX TCP plumbing under the network front door: an RAII fd,
+/// numeric-host listen/connect helpers, non-blocking mode, and a blocking
+/// client-side `frame_conn` that speaks the `api::codec` frame contract
+/// over a socket (the primitive the load-test client and the network tests
+/// drive the server with). Everything throws `std::system_error` carrying
+/// the errno, so call sites never branch on -1.
+///
+/// Scope: IPv4 numeric hosts ("127.0.0.1", "0.0.0.0"). The front door is a
+/// service port, not a general resolver — name resolution belongs to the
+/// deployment layer.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "api/codec.hpp"
+
+namespace fisone::net {
+
+/// RAII file descriptor. Move-only; closes on destruction.
+class socket_fd {
+public:
+    socket_fd() = default;
+    explicit socket_fd(int fd) noexcept : fd_(fd) {}
+    ~socket_fd() { reset(); }
+
+    socket_fd(const socket_fd&) = delete;
+    socket_fd& operator=(const socket_fd&) = delete;
+    socket_fd(socket_fd&& other) noexcept : fd_(other.release()) {}
+    socket_fd& operator=(socket_fd&& other) noexcept {
+        if (this != &other) reset(other.release());
+        return *this;
+    }
+
+    [[nodiscard]] int get() const noexcept { return fd_; }
+    [[nodiscard]] bool valid() const noexcept { return fd_ >= 0; }
+
+    /// Give up ownership without closing.
+    int release() noexcept {
+        const int fd = fd_;
+        fd_ = -1;
+        return fd;
+    }
+
+    /// Close the current fd (if any) and adopt \p fd.
+    void reset(int fd = -1) noexcept;
+
+private:
+    int fd_ = -1;
+};
+
+/// Bind + listen on \p host:\p port (port 0 = kernel-assigned ephemeral
+/// port — read it back with `local_port`). SO_REUSEADDR is set so a
+/// restarted server does not trip over TIME_WAIT.
+/// \throws std::system_error on any socket/bind/listen failure,
+///         std::invalid_argument on a non-numeric-IPv4 host.
+[[nodiscard]] socket_fd listen_tcp(const std::string& host, std::uint16_t port,
+                                   int backlog = 128);
+
+/// The locally bound port of \p fd.
+/// \throws std::system_error when getsockname fails.
+[[nodiscard]] std::uint16_t local_port(int fd);
+
+/// Blocking connect to \p host:\p port, TCP_NODELAY set (the protocol is
+/// request/response frames; Nagle only adds latency).
+/// \throws std::system_error / std::invalid_argument as `listen_tcp`.
+[[nodiscard]] socket_fd connect_tcp(const std::string& host, std::uint16_t port);
+
+/// Toggle O_NONBLOCK.
+/// \throws std::system_error when fcntl fails.
+void set_nonblocking(int fd, bool on);
+
+/// Blocking write of all of \p bytes (loops over partial sends; SIGPIPE
+/// suppressed via MSG_NOSIGNAL).
+/// \throws std::system_error when the peer is gone or the socket errors.
+void send_all(int fd, std::string_view bytes);
+
+/// Blocking client-side frame connection: send whole request frames, read
+/// whole response frames — reassembled through `api::frame_splitter`, so
+/// however the kernel chunks the stream the caller only ever sees complete
+/// frames. Not thread-safe for concurrent reads (one reader); `send` and
+/// `read_frame` may run on different threads (a socket is full-duplex).
+class frame_conn {
+public:
+    explicit frame_conn(socket_fd fd) : fd_(std::move(fd)) {}
+
+    /// Connect to \p host:\p port.
+    frame_conn(const std::string& host, std::uint16_t port)
+        : frame_conn(connect_tcp(host, port)) {}
+
+    /// Send one encoded frame (or any raw bytes — the hostile-input tests
+    /// send partial and corrupt frames on purpose).
+    void send(std::string_view bytes) { send_all(fd_.get(), bytes); }
+
+    /// Block until one complete frame is available; nullopt on clean EOF.
+    /// \throws std::system_error on socket errors, std::runtime_error on a
+    ///         fatal framing error or an EOF that lands mid-frame.
+    [[nodiscard]] std::optional<std::string> read_frame();
+
+    /// Half-close the write side (the server sees EOF after its reads
+    /// drain) while keeping the read side open for remaining responses.
+    void shutdown_write();
+
+    [[nodiscard]] int fd() const noexcept { return fd_.get(); }
+
+    /// Close the socket entirely (mid-conversation — the disconnect tests).
+    void close() { fd_.reset(); }
+
+private:
+    socket_fd fd_;
+    api::frame_splitter splitter_;
+};
+
+}  // namespace fisone::net

@@ -1,0 +1,870 @@
+#include "tcp_server.hpp"
+
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <mutex>
+#include <stdexcept>
+#include <system_error>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "api/codec.hpp"
+#include "util/percentile.hpp"
+
+namespace fisone::net {
+
+namespace {
+
+using clock_type = std::chrono::steady_clock;
+
+// Response-frame layout offsets (see api/codec.hpp): every response
+// payload begins with its u64 correlation id, so a multiplexer can remap
+// ids with an 8-byte patch instead of a decode/re-encode round trip.
+constexpr std::size_t k_off_tag = 8;
+constexpr std::size_t k_off_corr = api::k_frame_header_size;       // 14
+constexpr std::size_t k_off_cancel_target = k_off_corr + 8;        // 22
+
+std::uint16_t rd_u16(std::string_view b, std::size_t off) {
+    return static_cast<std::uint16_t>(static_cast<unsigned char>(b[off]) |
+                                      (static_cast<unsigned char>(b[off + 1]) << 8));
+}
+
+std::uint64_t rd_u64(std::string_view b, std::size_t off) {
+    std::uint64_t v = 0;
+    for (std::size_t i = 0; i < 8; ++i)
+        v |= static_cast<std::uint64_t>(static_cast<unsigned char>(b[off + i])) << (8 * i);
+    return v;
+}
+
+void patch_u64(std::string& b, std::size_t off, std::uint64_t v) {
+    for (std::size_t i = 0; i < 8; ++i)
+        b[off + i] = static_cast<char>((v >> (8 * i)) & 0xff);
+}
+
+[[noreturn]] void throw_errno(const char* what) {
+    throw std::system_error(errno, std::generic_category(), what);
+}
+
+}  // namespace
+
+/// Global state shared between the loop thread, the public thread-safe
+/// surface (stats/drain/stop), and the response sinks running on backend
+/// worker threads. Held by shared_ptr so a sink firing after teardown
+/// still has somewhere safe to account to.
+struct tcp_server::core {
+    mutable std::mutex m;
+    tcp_server_stats counters;            ///< guarded by m (latency fields unused)
+    util::percentile_accumulator latency;  ///< guarded by m
+    std::atomic<bool> draining{false};
+    std::atomic<bool> stopping{false};
+    std::atomic<std::uint64_t> next_internal{1};
+    socket_fd wake_fd;
+
+    core() {
+        wake_fd.reset(::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK));
+        if (!wake_fd.valid()) throw_errno("net: eventfd");
+    }
+
+    /// Nudge the epoll loop (signal/thread-safe; errors ignored — a full
+    /// eventfd counter already guarantees a pending wakeup).
+    void wake() noexcept {
+        const std::uint64_t one = 1;
+        [[maybe_unused]] const ssize_t r = ::write(wake_fd.get(), &one, sizeof one);
+    }
+
+    static void on_response_frame(const std::shared_ptr<core>& co,
+                                  const std::shared_ptr<conn>& c, std::size_t max_wbuf,
+                                  std::string_view frame);
+};
+
+/// One accepted connection. The first block is touched only by the loop
+/// thread; everything under `m` is shared with response sinks.
+struct tcp_server::conn {
+    // --- loop-thread-only ---
+    socket_fd fd;
+    std::uint32_t events = 0;  ///< registered epoll interest mask
+    bool mode_known = false;   ///< false until framed-vs-text is decided
+    bool text_mode = false;
+    std::string probe;     ///< first bytes, before the mode is decided
+    std::string text_buf;  ///< text-mode accumulated request line
+    api::frame_splitter splitter;
+    bool read_closed = false;       ///< EOF seen, or reading abandoned
+    bool close_after_flush = false; ///< answer is final: close once flushed
+    bool dead = false;              ///< socket error: close immediately
+
+    // --- shared with sinks (guarded by m) ---
+    std::mutex m;
+    bool closed = false;      ///< torn down by the loop; sinks drop frames
+    bool overflowed = false;  ///< slow-reader shed engaged: dropping frames
+    std::string wbuf;
+    std::size_t woff = 0;  ///< flushed prefix of wbuf
+
+    struct pending {
+        std::uint64_t client_id = 0;
+        std::size_t remaining = 0;  ///< building responses still expected
+        clock_type::time_point start;
+    };
+    std::unordered_map<std::uint64_t, pending> inflight;         ///< internal id →
+    std::unordered_map<std::uint64_t, std::uint64_t> by_client;  ///< client id → internal
+    /// Internal target id → client target id, for rewriting
+    /// `cancel_response::target_correlation_id` on the way out.
+    std::unordered_map<std::uint64_t, std::uint64_t> cancel_rewrites;
+    struct flush_barrier {
+        std::uint64_t corr = 0;
+        std::unordered_set<std::uint64_t> waiting;  ///< internal ids
+    };
+    std::vector<flush_barrier> flushes;  ///< FIFO
+
+    /// Append one response frame to the write buffer (patching \p
+    /// patch_corr over the correlation id when set). Returns false when
+    /// the frame was dropped: connection torn down, already shedding, or
+    /// this frame tripped the bound and engaged shedding.
+    bool append_locked(std::string_view frame, std::size_t max_wbuf,
+                       const std::uint64_t* patch_corr = nullptr,
+                       const std::uint64_t* patch_target = nullptr) {
+        if (closed || overflowed) return false;
+        if (wbuf.size() - woff + frame.size() > max_wbuf) {
+            overflowed = true;
+            return false;
+        }
+        if (woff > (256u << 10)) {
+            wbuf.erase(0, woff);
+            woff = 0;
+        }
+        const std::size_t at = wbuf.size();
+        wbuf.append(frame.data(), frame.size());
+        if (patch_corr) patch_u64(wbuf, at + k_off_corr, *patch_corr);
+        if (patch_target) patch_u64(wbuf, at + k_off_cancel_target, *patch_target);
+        return true;
+    }
+
+    /// Retire the in-flight entry of \p internal: drop the id maps, update
+    /// flush barriers (appending any now-satisfied flush_response frames),
+    /// and hand back the latency sample. Call with `m` held.
+    double finish_locked(std::uint64_t internal, std::size_t max_wbuf, std::size_t& sent,
+                         std::size_t& dropped) {
+        const auto it = inflight.find(internal);
+        const double sample =
+            std::chrono::duration<double>(clock_type::now() - it->second.start).count();
+        const std::uint64_t client_id = it->second.client_id;
+        inflight.erase(it);
+        const auto bc = by_client.find(client_id);
+        if (bc != by_client.end() && bc->second == internal) by_client.erase(bc);
+        for (auto fit = flushes.begin(); fit != flushes.end();) {
+            fit->waiting.erase(internal);
+            if (fit->waiting.empty()) {
+                const std::string frame =
+                    api::encode(api::response(api::flush_response{fit->corr}));
+                (append_locked(frame, max_wbuf) ? sent : dropped) += 1;
+                fit = flushes.erase(fit);
+            } else {
+                ++fit;
+            }
+        }
+        return sample;
+    }
+};
+
+/// The response sink installed on each connection's backend session. Runs
+/// on backend worker threads (and inline on the loop thread for
+/// synchronous answers); touches only `conn` shared state and `core`.
+void tcp_server::core::on_response_frame(const std::shared_ptr<core>& co,
+                                         const std::shared_ptr<conn>& c,
+                                         std::size_t max_wbuf, std::string_view frame) {
+    // Frames come from our own backend's encoder — always one complete,
+    // well-formed response frame per call. Anything shorter than a header
+    // plus a correlation id cannot be ours; drop it defensively.
+    if (frame.size() < k_off_corr + 8) return;
+    const std::uint16_t tag = rd_u16(frame, k_off_tag);
+    const std::uint64_t wire_corr = rd_u64(frame, k_off_corr);
+
+    std::size_t sent = 0, dropped = 0, completed = 0;
+    double sample = 0.0;
+    bool have_sample = false;
+    {
+        const std::lock_guard<std::mutex> lock(c->m);
+        const std::uint64_t* patch = nullptr;
+        std::uint64_t client_corr = 0;
+        std::uint64_t client_target = 0;
+        const std::uint64_t* patch_target = nullptr;
+        bool completes = false;
+
+        switch (static_cast<api::message_tag>(tag)) {
+            case api::message_tag::building_result: {
+                const auto it = c->inflight.find(wire_corr);
+                if (it != c->inflight.end()) {
+                    client_corr = it->second.client_id;
+                    patch = &client_corr;
+                    completes = it->second.remaining <= 1;
+                    if (!completes) --it->second.remaining;
+                }
+                break;
+            }
+            case api::message_tag::error: {
+                // A typed backend failure (e.g. shard-path confinement)
+                // terminates its request whatever the remaining count was.
+                const auto it = c->inflight.find(wire_corr);
+                if (it != c->inflight.end()) {
+                    client_corr = it->second.client_id;
+                    patch = &client_corr;
+                    completes = true;
+                }
+                break;
+            }
+            case api::message_tag::cancel_result: {
+                if (frame.size() >= k_off_cancel_target + 8) {
+                    const std::uint64_t internal_target =
+                        rd_u64(frame, k_off_cancel_target);
+                    const auto it = c->cancel_rewrites.find(internal_target);
+                    if (it != c->cancel_rewrites.end()) {
+                        client_target = it->second;
+                        patch_target = &client_target;
+                        c->cancel_rewrites.erase(it);
+                    }
+                }
+                break;
+            }
+            default:
+                break;  // stats_result / flush_done pass through unchanged
+        }
+
+        (c->append_locked(frame, max_wbuf, patch, patch_target) ? sent : dropped) += 1;
+        if (completes) {
+            sample = c->finish_locked(wire_corr, max_wbuf, sent, dropped);
+            have_sample = true;
+            completed = 1;
+        }
+    }
+    {
+        const std::lock_guard<std::mutex> lock(co->m);
+        co->counters.responses_sent += sent;
+        co->counters.responses_dropped += dropped;
+        co->counters.requests_completed += completed;
+        co->counters.requests_in_flight -= completed;
+        if (have_sample) co->latency.add(sample);
+    }
+    co->wake();
+}
+
+// --- backend adapters --------------------------------------------------------
+
+backend make_backend(api::server& srv) {
+    return backend{
+        [&srv](api::server::frame_sink sink) {
+            api::server::session s = srv.open(std::move(sink));
+            return backend_session{
+                [s](const api::request& r) mutable { s.handle(r); }};
+        },
+        [&srv] { return srv.stats(); },
+    };
+}
+
+backend make_backend(federation::federated_server& srv) {
+    return backend{
+        [&srv](api::server::frame_sink sink) {
+            federation::federated_server::session s = srv.open(std::move(sink));
+            return backend_session{
+                [s](const api::request& r) mutable { s.handle(r); }};
+        },
+        [&srv] { return srv.stats(); },
+    };
+}
+
+// --- the event loop ----------------------------------------------------------
+
+/// Loop-local state of one `run()` invocation.
+struct tcp_server::loop {
+    tcp_server& srv;
+    socket_fd ep;
+
+    struct open_conn {
+        std::shared_ptr<conn> c;
+        backend_session session;
+    };
+    std::unordered_map<int, open_conn> conns;
+    bool listener_open = true;
+
+    explicit loop(tcp_server& s) : srv(s) {
+        ep.reset(::epoll_create1(EPOLL_CLOEXEC));
+        if (!ep.valid()) throw_errno("net: epoll_create1");
+        add(srv.core_->wake_fd.get(), EPOLLIN);
+        add(srv.listener_.get(), EPOLLIN);
+    }
+
+    void add(int fd, std::uint32_t events) {
+        epoll_event ev{};
+        ev.events = events;
+        ev.data.fd = fd;
+        if (::epoll_ctl(ep.get(), EPOLL_CTL_ADD, fd, &ev) != 0)
+            throw_errno("net: epoll_ctl(ADD)");
+    }
+
+    void set_events(conn& c, std::uint32_t events) {
+        if (c.events == events || !c.fd.valid()) return;
+        epoll_event ev{};
+        ev.events = events;
+        ev.data.fd = c.fd.get();
+        if (::epoll_ctl(ep.get(), EPOLL_CTL_MOD, c.fd.get(), &ev) != 0)
+            throw_errno("net: epoll_ctl(MOD)");
+        c.events = events;
+    }
+
+    core& co() { return *srv.core_; }
+
+    // --- lifecycle -----------------------------------------------------------
+
+    void accept_all() {
+        for (;;) {
+            const int fd = ::accept4(srv.listener_.get(), nullptr, nullptr,
+                                     SOCK_NONBLOCK | SOCK_CLOEXEC);
+            if (fd < 0) {
+                if (errno == EAGAIN || errno == EWOULDBLOCK || errno == ECONNABORTED) return;
+                if (errno == EINTR) continue;
+                throw_errno("net: accept4");
+            }
+            socket_fd accepted(fd);
+            if (conns.size() >= srv.cfg_.max_connections) {
+                const std::lock_guard<std::mutex> lock(co().m);
+                ++co().counters.connections_refused;
+                continue;  // accepted goes out of scope → RST/close
+            }
+            const int one = 1;
+            ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+
+            auto c = std::make_shared<conn>();
+            c->fd = std::move(accepted);
+            const std::shared_ptr<core> core_sp = srv.core_;
+            const std::size_t max_wbuf = srv.cfg_.max_write_buffer;
+            backend_session session = srv.backend_.open(
+                [core_sp, c, max_wbuf](std::string_view frame) {
+                    core::on_response_frame(core_sp, c, max_wbuf, frame);
+                });
+            add(fd, EPOLLIN);
+            c->events = EPOLLIN;
+            conns.emplace(fd, open_conn{std::move(c), std::move(session)});
+            {
+                const std::lock_guard<std::mutex> lock(co().m);
+                ++co().counters.connections_accepted;
+                ++co().counters.connections_open;
+            }
+        }
+    }
+
+    void close_conn(int fd) {
+        const auto it = conns.find(fd);
+        if (it == conns.end()) return;
+        conn& c = *it->second.c;
+        bool slow = false;
+        {
+            const std::lock_guard<std::mutex> lock(c.m);
+            c.closed = true;
+            slow = c.overflowed;
+        }
+        ::epoll_ctl(ep.get(), EPOLL_CTL_DEL, fd, nullptr);
+        c.fd.reset();
+        conns.erase(it);
+        {
+            const std::lock_guard<std::mutex> lock(co().m);
+            --co().counters.connections_open;
+            if (slow) ++co().counters.connections_closed_slow;
+        }
+    }
+
+    // --- outbound ------------------------------------------------------------
+
+    /// Flush as much of the write buffer as the socket takes. Returns
+    /// false when the socket errored (the connection is dead).
+    bool try_flush(conn& c) {
+        std::size_t sent_bytes = 0;
+        bool ok = true;
+        {
+            const std::lock_guard<std::mutex> lock(c.m);
+            while (c.woff < c.wbuf.size()) {
+                const ssize_t n = ::send(c.fd.get(), c.wbuf.data() + c.woff,
+                                         c.wbuf.size() - c.woff, MSG_NOSIGNAL);
+                if (n > 0) {
+                    c.woff += static_cast<std::size_t>(n);
+                    sent_bytes += static_cast<std::size_t>(n);
+                    continue;
+                }
+                if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+                if (n < 0 && errno == EINTR) continue;
+                ok = false;
+                break;
+            }
+            if (c.woff == c.wbuf.size()) {
+                c.wbuf.clear();
+                c.woff = 0;
+            }
+        }
+        if (sent_bytes > 0) {
+            const std::lock_guard<std::mutex> lock(co().m);
+            co().counters.bytes_sent += sent_bytes;
+        }
+        return ok;
+    }
+
+    /// Emit a locally generated response (shed replies, local cancel/flush
+    /// answers, protocol errors) through the same bounded buffer.
+    void emit_local(conn& c, const api::response& resp) {
+        const std::string frame = api::encode(resp);
+        bool appended = false;
+        {
+            const std::lock_guard<std::mutex> lock(c.m);
+            appended = c.append_locked(frame, srv.cfg_.max_write_buffer);
+        }
+        const std::lock_guard<std::mutex> lock(co().m);
+        ++(appended ? co().counters.responses_sent : co().counters.responses_dropped);
+    }
+
+    // --- dispatch ------------------------------------------------------------
+
+    /// Admission gate for job requests. Sheds (with the right typed code)
+    /// when draining or at the in-flight bound.
+    bool admit(conn& c, std::uint64_t corr) {
+        api::error_code shed = api::error_code::none;
+        {
+            const std::lock_guard<std::mutex> lock(co().m);
+            if (co().draining.load()) {
+                shed = api::error_code::draining;
+                ++co().counters.requests_shed_draining;
+            } else if (co().counters.requests_in_flight >= srv.cfg_.max_inflight_requests) {
+                shed = api::error_code::overloaded;
+                ++co().counters.requests_shed_overload;
+            } else {
+                ++co().counters.requests_admitted;
+                ++co().counters.requests_in_flight;
+            }
+        }
+        if (shed == api::error_code::none) return true;
+        emit_local(c, api::error_response{
+                          corr, shed,
+                          shed == api::error_code::draining
+                              ? "server is draining for shutdown; request shed"
+                              : "admission queue saturated; request shed, retry later"});
+        return false;
+    }
+
+    /// Forward one admitted job request under a fresh internal id.
+    void forward_job(open_conn& oc, api::request req, std::uint64_t corr,
+                     std::size_t expected) {
+        conn& c = *oc.c;
+        const std::uint64_t internal = co().next_internal.fetch_add(1);
+        {
+            const std::lock_guard<std::mutex> lock(c.m);
+            c.inflight[internal] = conn::pending{corr, expected, clock_type::now()};
+            c.by_client[corr] = internal;
+        }
+        api::set_correlation_id(req, internal);
+        bool failed = false;
+        std::string what;
+        try {
+            oc.session.handle(req);
+        } catch (const std::exception& e) {
+            failed = true;
+            what = e.what();
+        } catch (...) {
+            failed = true;
+            what = "backend dispatch failed";
+        }
+        // A zero-building shard produces no responses at all; a dispatch
+        // that threw produces none either (emit the error ourselves).
+        // Both retire immediately — an in-flight entry nothing will ever
+        // complete would wedge flush and drain.
+        bool retire_now = false;
+        {
+            const std::lock_guard<std::mutex> lock(c.m);
+            const auto it = c.inflight.find(internal);
+            retire_now = it != c.inflight.end() && (failed || it->second.remaining == 0);
+        }
+        if (failed)
+            emit_local(c, api::error_response{corr, api::error_code::bad_request,
+                                              "dispatch failed: " + what});
+        if (retire_now) {
+            std::size_t sent = 0, dropped = 0;
+            {
+                const std::lock_guard<std::mutex> lock(c.m);
+                if (c.inflight.count(internal) != 0)
+                    static_cast<void>(
+                        c.finish_locked(internal, srv.cfg_.max_write_buffer, sent, dropped));
+            }
+            const std::lock_guard<std::mutex> lock(co().m);
+            co().counters.responses_sent += sent;
+            co().counters.responses_dropped += dropped;
+            ++co().counters.requests_completed;
+            --co().counters.requests_in_flight;
+        }
+    }
+
+    void dispatch(open_conn& oc, api::request req) {
+        conn& c = *oc.c;
+        if (const auto* m = std::get_if<api::identify_building_request>(&req)) {
+            const std::uint64_t corr = m->correlation_id;
+            if (admit(c, corr)) forward_job(oc, std::move(req), corr, 1);
+        } else if (const auto* ms = std::get_if<api::identify_shard_request>(&req)) {
+            const std::uint64_t corr = ms->correlation_id;
+            const std::size_t expected = ms->ref.num_buildings;
+            if (admit(c, corr)) forward_job(oc, std::move(req), corr, expected);
+        } else if (const auto* mc = std::get_if<api::cancel_job_request>(&req)) {
+            std::uint64_t internal_target = 0;
+            bool known = false;
+            {
+                const std::lock_guard<std::mutex> lock(c.m);
+                const auto it = c.by_client.find(mc->target_correlation_id);
+                if (it != c.by_client.end()) {
+                    known = true;
+                    internal_target = it->second;
+                    c.cancel_rewrites[internal_target] = mc->target_correlation_id;
+                }
+            }
+            if (!known) {
+                // Finished (or never seen) in this connection's id space:
+                // answer locally, exactly as the backend would for an
+                // unknown id.
+                emit_local(c, api::cancel_response{mc->correlation_id,
+                                                   mc->target_correlation_id, false});
+                return;
+            }
+            api::cancel_job_request fwd;
+            fwd.correlation_id = mc->correlation_id;
+            fwd.target_correlation_id = internal_target;
+            oc.session.handle(api::request(fwd));
+        } else if (const auto* mf = std::get_if<api::flush_request>(&req)) {
+            // Per-connection barrier over this connection's in-flight
+            // requests — never a blocking backend wait on the event loop.
+            bool now = false;
+            {
+                const std::lock_guard<std::mutex> lock(c.m);
+                conn::flush_barrier b;
+                b.corr = mf->correlation_id;
+                for (const auto& [internal, p] : c.inflight) b.waiting.insert(internal);
+                if (b.waiting.empty())
+                    now = true;
+                else
+                    c.flushes.push_back(std::move(b));
+            }
+            if (now) emit_local(c, api::flush_response{mf->correlation_id});
+        } else {
+            oc.session.handle(req);  // get_stats: pass through unchanged
+        }
+    }
+
+    // --- inbound -------------------------------------------------------------
+
+    void on_frame(open_conn& oc, std::string_view frame) {
+        {
+            const std::lock_guard<std::mutex> lock(co().m);
+            ++co().counters.frames_received;
+        }
+        const api::decode_result<api::request> decoded = api::decode_request(frame);
+        if (decoded.error) {
+            // A complete frame can only fail recoverably (bad version /
+            // unknown tag / malformed payload) — framing integrity held.
+            {
+                const std::lock_guard<std::mutex> lock(co().m);
+                ++co().counters.protocol_errors;
+            }
+            emit_local(*oc.c,
+                       api::error_response{0, decoded.error->code, decoded.error->message});
+            return;
+        }
+        dispatch(oc, std::move(*decoded.value));
+    }
+
+    void serve_text_line(open_conn& oc, std::string line) {
+        conn& c = *oc.c;
+        if (!line.empty() && line.back() == '\r') line.pop_back();
+        std::string body, out;
+        if (line.rfind("GET ", 0) == 0) {
+            const std::size_t sp = line.find(' ', 4);
+            const std::string path = line.substr(4, sp == std::string::npos ? sp : sp - 4);
+            if (path == "/metrics" || path == "/metrics/") {
+                body = srv.metrics_text();
+                out = "HTTP/1.0 200 OK\r\nContent-Type: text/plain; version=0.0.4; "
+                      "charset=utf-8\r\nContent-Length: " +
+                      std::to_string(body.size()) + "\r\nConnection: close\r\n\r\n" + body;
+            } else {
+                out = "HTTP/1.0 404 Not Found\r\nContent-Length: 0\r\nConnection: "
+                      "close\r\n\r\n";
+            }
+        } else if (line == "METRICS") {
+            out = srv.metrics_text();
+        } else {
+            c.dead = true;  // not a protocol we speak
+            return;
+        }
+        bool appended = false;
+        {
+            const std::lock_guard<std::mutex> lock(c.m);
+            // The metrics page must fit whatever the write bound is; size
+            // the bound generously, not the page timidly.
+            appended = c.append_locked(out, std::max(srv.cfg_.max_write_buffer, out.size()));
+        }
+        static_cast<void>(appended);
+        c.read_closed = true;
+        c.close_after_flush = true;
+    }
+
+    void on_bytes(open_conn& oc, std::string_view data) {
+        conn& c = *oc.c;
+        if (!c.mode_known) {
+            c.probe.append(data.data(), data.size());
+            const std::size_t got = std::min(c.probe.size(), sizeof api::k_frame_magic);
+            if (std::memcmp(c.probe.data(), api::k_frame_magic, got) == 0) {
+                if (c.probe.size() < sizeof api::k_frame_magic) return;  // undecided
+                c.mode_known = true;
+                c.splitter.append(c.probe);
+                c.probe.clear();
+            } else {
+                c.mode_known = true;
+                c.text_mode = true;
+                c.text_buf = std::move(c.probe);
+                c.probe.clear();
+            }
+        } else if (c.text_mode) {
+            c.text_buf.append(data.data(), data.size());
+        } else {
+            c.splitter.append(data);
+        }
+
+        if (c.text_mode) {
+            const std::size_t nl = c.text_buf.find('\n');
+            if (nl != std::string::npos) {
+                serve_text_line(oc, c.text_buf.substr(0, nl));
+                c.text_buf.clear();
+            } else if (c.text_buf.size() > srv.cfg_.max_text_line) {
+                c.dead = true;
+            }
+            return;
+        }
+
+        while (std::optional<std::string> frame = c.splitter.next()) {
+            on_frame(oc, *frame);
+            if (c.dead || c.close_after_flush) break;
+        }
+        if (c.splitter.error()) {
+            // Framing integrity lost: answer with the typed error, stop
+            // reading, close once buffered responses have flushed (the
+            // write side is still coherent).
+            {
+                const std::lock_guard<std::mutex> lock(co().m);
+                ++co().counters.protocol_errors;
+            }
+            emit_local(c, api::error_response{0, c.splitter.error()->code,
+                                              c.splitter.error()->message});
+            c.read_closed = true;
+            c.close_after_flush = true;
+        }
+    }
+
+    void on_readable(open_conn& oc) {
+        conn& c = *oc.c;
+        char chunk[64 * 1024];
+        for (;;) {
+            const ssize_t n = ::recv(c.fd.get(), chunk, sizeof chunk, 0);
+            if (n > 0) {
+                {
+                    const std::lock_guard<std::mutex> lock(co().m);
+                    co().counters.bytes_received += static_cast<std::size_t>(n);
+                }
+                on_bytes(oc, std::string_view(chunk, static_cast<std::size_t>(n)));
+                if (c.dead || c.read_closed) return;
+                continue;
+            }
+            if (n == 0) {
+                // EOF: maybe a half-close (client sent everything, still
+                // reading responses), maybe a mid-frame disconnect — both
+                // just end the inbound side; the close decision logic
+                // handles the rest.
+                c.read_closed = true;
+                return;
+            }
+            if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+            if (errno == EINTR) continue;
+            c.dead = true;
+            return;
+        }
+    }
+
+    // --- per-iteration evaluation -------------------------------------------
+
+    /// Flush, decide interest mask, decide close. Returns true when the
+    /// connection was closed.
+    bool evaluate(int fd) {
+        const auto it = conns.find(fd);
+        if (it == conns.end()) return true;
+        conn& c = *it->second.c;
+
+        bool overflowed, pending, inflight_empty;
+        {
+            const std::lock_guard<std::mutex> lock(c.m);
+            overflowed = c.overflowed;
+            pending = c.woff < c.wbuf.size();
+            inflight_empty = c.inflight.empty();
+        }
+        if (overflowed || c.dead) {
+            // Slow-reader shed / socket error: no point flushing a stream
+            // we have already dropped frames from (or that errored).
+            close_conn(fd);
+            return true;
+        }
+        if (pending) {
+            if (!try_flush(c)) {
+                close_conn(fd);
+                return true;
+            }
+            const std::lock_guard<std::mutex> lock(c.m);
+            pending = c.woff < c.wbuf.size();
+            overflowed = c.overflowed;
+            inflight_empty = c.inflight.empty();
+        }
+        if (overflowed) {
+            close_conn(fd);
+            return true;
+        }
+        const bool draining = co().draining.load();
+        const bool done_reading = c.read_closed || c.close_after_flush;
+        if (!pending && inflight_empty && (done_reading || draining)) {
+            close_conn(fd);
+            return true;
+        }
+        std::uint32_t want = 0;
+        if (!c.read_closed && !c.close_after_flush) want |= EPOLLIN;
+        if (pending) want |= EPOLLOUT;
+        set_events(c, want);
+        return false;
+    }
+
+    void evaluate_all() {
+        std::vector<int> fds;
+        fds.reserve(conns.size());
+        for (const auto& [fd, oc] : conns) fds.push_back(fd);
+        for (const int fd : fds) static_cast<void>(evaluate(fd));
+    }
+
+    std::size_t global_inflight() {
+        const std::lock_guard<std::mutex> lock(co().m);
+        return co().counters.requests_in_flight;
+    }
+
+    void run() {
+        std::vector<epoll_event> events(64);
+        for (;;) {
+            if (co().stopping.load()) {
+                std::vector<int> fds;
+                for (const auto& [fd, oc] : conns) fds.push_back(fd);
+                for (const int fd : fds) close_conn(fd);
+                return;
+            }
+            if (co().draining.load()) {
+                if (listener_open) {
+                    ::epoll_ctl(ep.get(), EPOLL_CTL_DEL, srv.listener_.get(), nullptr);
+                    srv.listener_.reset();
+                    listener_open = false;
+                }
+                {
+                    const std::lock_guard<std::mutex> lock(co().m);
+                    co().counters.draining = true;
+                }
+                evaluate_all();
+                if (conns.empty() && global_inflight() == 0) return;
+            } else {
+                evaluate_all();
+            }
+
+            const int n = ::epoll_wait(ep.get(), events.data(),
+                                       static_cast<int>(events.size()), -1);
+            if (n < 0) {
+                if (errno == EINTR) continue;
+                throw_errno("net: epoll_wait");
+            }
+            for (int i = 0; i < n; ++i) {
+                const int fd = events[i].data.fd;
+                const std::uint32_t ev = events[i].events;
+                if (fd == co().wake_fd.get()) {
+                    std::uint64_t drainv = 0;
+                    [[maybe_unused]] const ssize_t r =
+                        ::read(co().wake_fd.get(), &drainv, sizeof drainv);
+                    continue;
+                }
+                if (listener_open && fd == srv.listener_.get()) {
+                    accept_all();
+                    continue;
+                }
+                const auto it = conns.find(fd);
+                if (it == conns.end()) continue;
+                if ((ev & (EPOLLERR | EPOLLHUP)) != 0) {
+                    it->second.c->dead = true;
+                    continue;
+                }
+                if ((ev & EPOLLIN) != 0) on_readable(it->second);
+                // Writes are flushed by the top-of-loop evaluation pass.
+            }
+        }
+    }
+};
+
+// --- public surface ----------------------------------------------------------
+
+tcp_server::tcp_server(backend be, tcp_server_config cfg)
+    : backend_(std::move(be)), cfg_(std::move(cfg)) {
+    if (!backend_.open || !backend_.stats)
+        throw std::invalid_argument("net: backend must provide open and stats");
+    if (cfg_.max_inflight_requests == 0)
+        throw std::invalid_argument("net: max_inflight_requests must be >= 1");
+    if (cfg_.max_connections == 0)
+        throw std::invalid_argument("net: max_connections must be >= 1");
+    if (cfg_.max_write_buffer < api::k_frame_header_size)
+        throw std::invalid_argument("net: max_write_buffer cannot hold a frame header");
+    core_ = std::make_shared<core>();
+    listener_ = listen_tcp(cfg_.host, cfg_.port, cfg_.backlog);
+    // The accept loop drains the backlog until EAGAIN — which only
+    // terminates on a non-blocking listener.
+    set_nonblocking(listener_.get(), true);
+    port_ = local_port(listener_.get());
+}
+
+tcp_server::~tcp_server() = default;
+
+void tcp_server::run() {
+    loop l(*this);
+    l.run();
+}
+
+void tcp_server::drain() {
+    core_->draining.store(true);
+    core_->wake();
+}
+
+void tcp_server::stop() {
+    core_->stopping.store(true);
+    core_->wake();
+}
+
+tcp_server_stats tcp_server::stats() const {
+    const std::lock_guard<std::mutex> lock(core_->m);
+    tcp_server_stats s = core_->counters;
+    s.draining = core_->draining.load();
+    s.request_latency_p50 = core_->latency.percentile_or_zero(50.0);
+    s.request_latency_p90 = core_->latency.percentile_or_zero(90.0);
+    s.request_latency_p99 = core_->latency.percentile_or_zero(99.0);
+    return s;
+}
+
+std::string tcp_server::metrics_text() const {
+    return render_metrics(stats(), backend_.stats());
+}
+
+}  // namespace fisone::net

@@ -1,0 +1,158 @@
+#pragma once
+
+/// \file tcp_server.hpp
+/// The network front door: an epoll-based TCP server that speaks the
+/// existing `"FIS1"` frame contract to many concurrent connections and
+/// fronts either a single `api::server` or a whole
+/// `federation::federated_server` fleet (type-erased behind `backend`).
+/// Nothing above the socket is new — connections feed the same
+/// `api::codec` and the same session dispatch the stream/loopback
+/// transports use, which is what keeps the TCP path byte-identical to
+/// them.
+///
+/// **Connection model.** One OS thread runs the epoll loop (`run()`);
+/// pipeline work happens on the backend's own worker pool. Each accepted
+/// connection gets its own backend session *and its own correlation-id
+/// space*: client-chosen ids are remapped through a per-connection table
+/// to globally unique internal ids before the backend sees them (two
+/// clients both using correlation id 1 never collide), and mapped back —
+/// an 8-byte in-place patch of the response frame, the rest of the bytes
+/// forwarded verbatim — on the way out. Responses stream back in
+/// completion order, interleaved across a connection's requests exactly
+/// as jobs finish. `cancel_job` targets are remapped through the same
+/// table; an unknown target answers `accepted = false` locally. `flush`
+/// is a per-connection barrier over the connection's own in-flight
+/// requests (it never blocks the event loop).
+///
+/// **Overload behavior is explicit.** A bounded global admission count
+/// (`max_inflight_requests`) caps job requests forwarded to the backend;
+/// at the bound, new `identify_*` requests are answered immediately with
+/// a typed `error_response{overloaded}` — shed, never queued into
+/// unbounded latency. Keep the bound at or below the backing service's
+/// `max_pending_jobs` so a forwarded submission never blocks the loop.
+/// Slow readers get the same treatment on the write side: each
+/// connection's response buffer is bounded (`max_write_buffer`), and a
+/// connection that lets it fill is evicted rather than allowed to pin
+/// memory (frames are dropped whole; the close is the shed signal).
+///
+/// **Graceful drain.** `drain()` (thread-safe — call it from a signal
+/// waiter) stops accepting, lets every admitted request finish, flushes
+/// buffered responses, then closes; job frames arriving mid-drain are
+/// shed with `error_response{draining}`. `run()` returns once the last
+/// connection is closed and the last admitted request has completed.
+/// `stop()` is the hard variant: close everything now.
+///
+/// **Metrics.** A connection whose first bytes are not the FIS1 magic is
+/// treated as a plaintext probe: `GET /metrics HTTP/1.x` (e.g. curl) gets
+/// a Prometheus text-format page over HTTP, the bare line `METRICS` gets
+/// the raw page — transport counters, admission/shed counts, request
+/// latency quantiles, and the backend's `get_stats` view (see
+/// `metrics.hpp`).
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "api/server.hpp"
+#include "federation/federated_server.hpp"
+#include "metrics.hpp"
+#include "socket.hpp"
+
+namespace fisone::net {
+
+/// One opened backend connection, type-erased over
+/// `api::server::session` / `federation::federated_server::session`.
+struct backend_session {
+    /// Dispatch one decoded request (the tcp server decodes frames itself
+    /// — admission control and id remapping need the message, and
+    /// forwarding the decoded form avoids a second decode).
+    std::function<void(const api::request&)> handle;
+};
+
+/// A type-erased backend the front door can serve. The referenced server
+/// must outlive the `tcp_server` *and* its in-flight jobs (destroy the
+/// backend after `run()` has returned).
+struct backend {
+    std::function<backend_session(api::server::frame_sink)> open;
+    std::function<service::service_stats()> stats;  ///< the `get_stats` view
+};
+
+/// Front a single API server.
+[[nodiscard]] backend make_backend(api::server& srv);
+
+/// Front a federated fleet.
+[[nodiscard]] backend make_backend(federation::federated_server& srv);
+
+/// Front-door configuration.
+struct tcp_server_config {
+    std::string host = "127.0.0.1";  ///< numeric IPv4 listen address
+    std::uint16_t port = 0;          ///< 0 = kernel-assigned (read back via `port()`)
+    int backlog = 128;
+    /// Accepted connections beyond this are closed immediately (counted
+    /// as `connections_refused`).
+    std::size_t max_connections = 64;
+    /// Global admission bound: job requests (`identify_*`) in flight at
+    /// once. At the bound new jobs shed with `error_code::overloaded`.
+    /// Keep <= the backing service's `max_pending_jobs` (default 64) so a
+    /// forwarded submission can never block the event loop.
+    std::size_t max_inflight_requests = 32;
+    /// Per-connection response-buffer bound in bytes. A connection that
+    /// fills it (a slow or stuck reader) is evicted.
+    std::size_t max_write_buffer = std::size_t{8} << 20;
+    /// Bound on a plaintext (metrics-probe) request line.
+    std::size_t max_text_line = 4096;
+};
+
+class tcp_server {
+public:
+    /// Binds and listens immediately (so `port()` is known before
+    /// `run()`), but accepts nothing until `run()`.
+    /// \throws std::system_error on socket/bind/listen failure,
+    ///         std::invalid_argument on a bad host or zero bounds.
+    tcp_server(backend be, tcp_server_config cfg = {});
+
+    /// Closes the listener and the wakeup fd. `run()` must have returned
+    /// (or never been called).
+    ~tcp_server();
+
+    tcp_server(const tcp_server&) = delete;
+    tcp_server& operator=(const tcp_server&) = delete;
+
+    /// The bound listen port.
+    [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+
+    /// The event loop: accept, read, dispatch, write, until a `drain()`
+    /// completes or `stop()` lands. Call from exactly one thread.
+    void run();
+
+    /// Begin graceful drain (idempotent, callable from any thread): stop
+    /// accepting, finish admitted requests, flush, close, then `run()`
+    /// returns.
+    void drain();
+
+    /// Hard stop: close every connection now; `run()` returns without
+    /// waiting for in-flight jobs (the backend's destructor still does).
+    void stop();
+
+    /// Point-in-time transport counters + request-latency percentiles.
+    [[nodiscard]] tcp_server_stats stats() const;
+
+    /// The plaintext metrics page (exactly what the `/metrics` probe
+    /// serves): `stats()` + the backend's `get_stats` view.
+    [[nodiscard]] std::string metrics_text() const;
+
+private:
+    struct core;
+    struct conn;
+    struct loop;
+
+    backend backend_;
+    tcp_server_config cfg_;
+    std::shared_ptr<core> core_;
+    socket_fd listener_;
+    std::uint16_t port_ = 0;
+};
+
+}  // namespace fisone::net

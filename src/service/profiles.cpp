@@ -1,0 +1,33 @@
+#include "profiles.hpp"
+
+#include <stdexcept>
+
+namespace fisone::service {
+
+service_config quick_profile(std::uint64_t seed, std::size_t num_threads) {
+    service_config cfg;
+    cfg.pipeline.gnn.embedding_dim = 16;
+    cfg.pipeline.gnn.epochs = 4;
+    cfg.pipeline.gnn.walks.walks_per_node = 3;
+    cfg.pipeline.num_threads = 1;  // building-level parallelism only
+    cfg.seed = seed;
+    cfg.num_threads = num_threads;
+    return cfg;
+}
+
+service_config full_profile(std::uint64_t seed, std::size_t num_threads) {
+    service_config cfg;
+    cfg.seed = seed;
+    cfg.num_threads = num_threads;
+    return cfg;
+}
+
+service_config profile_by_name(std::string_view name, std::uint64_t seed,
+                               std::size_t num_threads) {
+    if (name == "quick") return quick_profile(seed, num_threads);
+    if (name == "full") return full_profile(seed, num_threads);
+    throw std::invalid_argument("profile_by_name: unknown profile \"" + std::string(name) +
+                                "\" (known: quick, full)");
+}
+
+}  // namespace fisone::service

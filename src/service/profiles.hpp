@@ -1,0 +1,37 @@
+#pragma once
+
+/// \file profiles.hpp
+/// Named, shared workload profiles. Transport parity checks (loopback vs
+/// TCP, single vs federated) only prove anything when both sides run the
+/// *same* pipeline: same seeds, same epochs, same walk counts. Benches and
+/// examples used to each re-declare that config by hand, which works until
+/// one of them drifts; a named profile pins it in one place, and two
+/// processes that both say `--profile quick --seed 7` are guaranteed the
+/// same effective configuration — which is exactly the precondition for
+/// byte-identical NDJSON across transports.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "floor_service.hpp"
+
+namespace fisone::service {
+
+/// The CI-sized profile every quick bench and smoke test runs: a slimmed
+/// pipeline (16-dim embeddings, 4 epochs, 3 walks/node, single-threaded
+/// per building) that finishes a handful of buildings in seconds while
+/// still exercising every pipeline stage.
+[[nodiscard]] service_config quick_profile(std::uint64_t seed, std::size_t num_threads);
+
+/// The heavier default profile (library defaults, campaign seed + workers
+/// applied) for full bench runs.
+[[nodiscard]] service_config full_profile(std::uint64_t seed, std::size_t num_threads);
+
+/// Look a profile up by name ("quick" | "full").
+/// \throws std::invalid_argument on an unknown name.
+[[nodiscard]] service_config profile_by_name(std::string_view name, std::uint64_t seed,
+                                             std::size_t num_threads);
+
+}  // namespace fisone::service

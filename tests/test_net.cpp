@@ -1,0 +1,451 @@
+// Tests for the network front door: frame reassembly from arbitrary
+// chunking (including one byte at a time), hostile network input
+// (mid-frame disconnects, garbage streams, slow readers), the
+// per-connection correlation-id remap under deliberately colliding ids,
+// typed admission shedding against a paused backend, graceful drain
+// semantics, the plaintext metrics probe, and the federated backend
+// behind the same socket.
+
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+
+#include <chrono>
+#include <cstring>
+#include <filesystem>
+#include <memory>
+#include <optional>
+#include <string>
+#include <thread>
+#include <variant>
+#include <vector>
+
+#include "api/client.hpp"
+#include "api/codec.hpp"
+#include "api/message.hpp"
+#include "api/server.hpp"
+#include "data/corpus_store.hpp"
+#include "federation/federated_server.hpp"
+#include "net/socket.hpp"
+#include "net/tcp_server.hpp"
+#include "service/profiles.hpp"
+#include "sim/building_generator.hpp"
+
+namespace {
+
+using namespace fisone;
+
+data::building tiny_building(std::size_t i) {
+    sim::building_spec spec;
+    spec.name = "net-";
+    spec.name += std::to_string(i);
+    spec.num_floors = 3;
+    spec.samples_per_floor = 12;
+    spec.aps_per_floor = 6;
+    spec.seed = 1400 + i;
+    return sim::generate_building(spec).building;
+}
+
+std::string identify_frame(std::uint64_t corr, std::size_t corpus_index, std::size_t which) {
+    api::identify_building_request req;
+    req.correlation_id = corr;
+    req.has_index = true;
+    req.corpus_index = corpus_index;
+    req.b = tiny_building(which);
+    return api::encode(api::request(req));
+}
+
+api::response decode_one(const std::string& frame) {
+    const api::decode_result<api::response> r = api::decode_response(frame);
+    EXPECT_TRUE(r.ok()) << (r.error ? r.error->message : "eof");
+    return r.ok() ? *r.value : api::response(api::error_response{});
+}
+
+/// An api::server + tcp_server + loop thread, drained on destruction.
+class test_front {
+public:
+    explicit test_front(net::tcp_server_config cfg = {}, bool paused = false) {
+        api::server_config scfg;
+        scfg.service = service::quick_profile(11, 1);
+        srv_ = std::make_unique<api::server>(scfg);
+        if (paused) srv_->backing_service().pause();
+        front_ = std::make_unique<net::tcp_server>(net::make_backend(*srv_), std::move(cfg));
+        loop_ = std::thread([this] { front_->run(); });
+    }
+
+    ~test_front() {
+        front_->drain();
+        loop_.join();
+    }
+
+    [[nodiscard]] net::tcp_server& front() { return *front_; }
+    [[nodiscard]] api::server& server() { return *srv_; }
+    [[nodiscard]] std::uint16_t port() const { return front_->port(); }
+
+private:
+    std::unique_ptr<api::server> srv_;
+    std::unique_ptr<net::tcp_server> front_;
+    std::thread loop_;
+};
+
+/// Read everything until EOF off a raw (non-framed) connection.
+std::string slurp(int fd) {
+    std::string out;
+    char chunk[4096];
+    for (;;) {
+        const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
+        if (n <= 0) return out;
+        out.append(chunk, static_cast<std::size_t>(n));
+    }
+}
+
+// --- frame_splitter ----------------------------------------------------------
+
+TEST(FrameSplitter, ReassemblesFromSingleByteChunks) {
+    const std::string a = api::encode(api::request(api::get_stats_request{7}));
+    const std::string b = api::encode(api::request(api::flush_request{8}));
+    const std::string stream = a + b;
+    api::frame_splitter split;
+    std::vector<std::string> frames;
+    for (const char c : stream) {
+        split.append(std::string_view(&c, 1));
+        while (std::optional<std::string> f = split.next()) frames.push_back(*f);
+    }
+    ASSERT_EQ(frames.size(), 2u);
+    EXPECT_EQ(frames[0], a);
+    EXPECT_EQ(frames[1], b);
+    EXPECT_TRUE(split.at_boundary());
+    EXPECT_FALSE(split.error());
+}
+
+TEST(FrameSplitter, EveryPrefixSplitYieldsTheSameFrames) {
+    const std::string a = api::encode(api::request(api::cancel_job_request{3, 99}));
+    const std::string b = api::encode(api::request(api::get_stats_request{4}));
+    const std::string stream = a + b;
+    for (std::size_t cut = 0; cut <= stream.size(); ++cut) {
+        api::frame_splitter split;
+        split.append(std::string_view(stream).substr(0, cut));
+        split.append(std::string_view(stream).substr(cut));
+        std::vector<std::string> frames;
+        while (std::optional<std::string> f = split.next()) frames.push_back(*f);
+        ASSERT_EQ(frames.size(), 2u) << "cut at " << cut;
+        EXPECT_EQ(frames[0], a) << "cut at " << cut;
+        EXPECT_EQ(frames[1], b) << "cut at " << cut;
+    }
+}
+
+TEST(FrameSplitter, BadMagicIsFatalImmediately) {
+    api::frame_splitter split;
+    split.append("GARBAGE STREAM");
+    EXPECT_FALSE(split.next().has_value());
+    ASSERT_TRUE(split.error().has_value());
+    EXPECT_EQ(split.error()->code, api::error_code::bad_magic);
+}
+
+TEST(FrameSplitter, OversizedLengthRejectedBeforeBuffering) {
+    // Hand-craft a header declaring a payload the codec bound forbids.
+    std::string header = "FIS1";
+    const auto push_u32 = [&header](std::uint32_t v) {
+        for (int i = 0; i < 4; ++i) header.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+    };
+    push_u32(api::k_schema_version);
+    header.push_back(1);  // tag lo
+    header.push_back(0);  // tag hi
+    push_u32(static_cast<std::uint32_t>(api::k_max_payload + 1));
+    api::frame_splitter split;
+    split.append(header);
+    EXPECT_FALSE(split.next().has_value());
+    ASSERT_TRUE(split.error().has_value());
+    EXPECT_EQ(split.error()->code, api::error_code::oversized);
+}
+
+// --- hostile network input ---------------------------------------------------
+
+TEST(TcpServer, ByteAtATimeDeliveryStillDecodes) {
+    test_front tf;
+    net::frame_conn conn("127.0.0.1", tf.port());
+    const std::string frame = identify_frame(21, 0, 0);
+    for (const char c : frame) conn.send(std::string_view(&c, 1));
+    conn.shutdown_write();
+    const std::optional<std::string> reply = conn.read_frame();
+    ASSERT_TRUE(reply.has_value());
+    const api::response resp = decode_one(*reply);
+    const auto* b = std::get_if<api::building_response>(&resp);
+    ASSERT_NE(b, nullptr);
+    EXPECT_EQ(b->correlation_id, 21u);
+    EXPECT_TRUE(b->report.ok) << b->report.error;
+    EXPECT_FALSE(conn.read_frame().has_value());  // clean EOF after the answer
+}
+
+TEST(TcpServer, MidFrameDisconnectLeavesServerServing) {
+    test_front tf;
+    {
+        net::frame_conn conn("127.0.0.1", tf.port());
+        const std::string frame = identify_frame(1, 0, 0);
+        conn.send(std::string_view(frame).substr(0, frame.size() / 2));
+        conn.close();  // vanish mid-frame
+    }
+    // The server must shrug that off and serve the next connection fully.
+    net::frame_conn conn("127.0.0.1", tf.port());
+    conn.send(identify_frame(2, 1, 1));
+    conn.shutdown_write();
+    const std::optional<std::string> reply = conn.read_frame();
+    ASSERT_TRUE(reply.has_value());
+    const api::response resp = decode_one(*reply);
+    const auto* b = std::get_if<api::building_response>(&resp);
+    ASSERT_NE(b, nullptr);
+    EXPECT_EQ(b->correlation_id, 2u);
+}
+
+TEST(TcpServer, GarbageStreamGetsTypedErrorThenClose) {
+    test_front tf;
+    net::frame_conn conn("127.0.0.1", tf.port());
+    // Starts with the magic (so it is framed mode), then declares an
+    // absurd payload length — framing integrity is gone for good.
+    conn.send("FIS1\xff\xff\xff\xff nonsense follows");
+    bool saw_error = false;
+    for (;;) {
+        std::optional<std::string> reply;
+        try {
+            reply = conn.read_frame();
+        } catch (const std::exception&) {
+            break;  // server closed mid-read; the error frame already landed
+        }
+        if (!reply.has_value()) break;
+        const api::response resp = decode_one(*reply);
+        if (const auto* e = std::get_if<api::error_response>(&resp)) {
+            saw_error = true;
+            EXPECT_EQ(e->code, api::error_code::oversized);
+        }
+    }
+    EXPECT_TRUE(saw_error);
+}
+
+TEST(TcpServer, SlowReaderIsShedNotBuffered) {
+    net::tcp_server_config cfg;
+    cfg.max_write_buffer = 512;  // far below one building_response frame
+    test_front tf(cfg);
+    net::frame_conn slow("127.0.0.1", tf.port());
+    for (std::size_t j = 0; j < 4; ++j) slow.send(identify_frame(j + 1, j, j % 2));
+    // Never read: the first response overflows the bound and the
+    // connection is evicted (poll the counter; eviction happens on the
+    // loop thread).
+    const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(60);
+    while (tf.front().stats().connections_closed_slow == 0 &&
+           std::chrono::steady_clock::now() < deadline)
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    EXPECT_GE(tf.front().stats().connections_closed_slow, 1u);
+
+    // The admitted jobs still run to completion and are accounted — the
+    // eviction drops frames, never bookkeeping.
+    while (tf.front().stats().requests_completed < 4 &&
+           std::chrono::steady_clock::now() < deadline)
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    const net::tcp_server_stats s = tf.front().stats();
+    EXPECT_EQ(s.requests_completed, 4u);
+    EXPECT_GE(s.responses_dropped, 1u);
+    EXPECT_EQ(s.requests_in_flight, 0u);
+
+    // And the server keeps serving: the metrics probe (which always fits
+    // its page regardless of the write bound) reports the eviction.
+    net::socket_fd probe = net::connect_tcp("127.0.0.1", tf.port());
+    net::send_all(probe.get(), "GET /metrics HTTP/1.0\r\n\r\n");
+    const std::string page = slurp(probe.get());
+    EXPECT_NE(page.find("HTTP/1.0 200 OK"), std::string::npos);
+    EXPECT_NE(page.find("fisone_net_connections_closed_slow_total 1"), std::string::npos);
+}
+
+// --- correlation-id isolation ------------------------------------------------
+
+TEST(TcpServer, CollidingCorrelationIdsStayPerConnection) {
+    constexpr std::size_t k_conns = 4;
+    test_front tf;
+    std::vector<std::string> names(k_conns);
+    std::vector<std::uint64_t> corrs(k_conns, 0);
+    std::vector<std::thread> threads;
+    for (std::size_t c = 0; c < k_conns; ++c) {
+        threads.emplace_back([&, c] {
+            net::frame_conn conn("127.0.0.1", tf.port());
+            // Every connection uses correlation id 1 — the collision the
+            // remap table exists for — but pins its own corpus index.
+            conn.send(identify_frame(1, c, c));
+            conn.shutdown_write();
+            const std::optional<std::string> reply = conn.read_frame();
+            if (!reply.has_value()) return;
+            const api::decode_result<api::response> r = api::decode_response(*reply);
+            if (!r.ok()) return;
+            if (const auto* b = std::get_if<api::building_response>(&*r.value)) {
+                corrs[c] = b->correlation_id;
+                names[c] = b->report.name;
+            }
+        });
+    }
+    for (std::thread& t : threads) t.join();
+    for (std::size_t c = 0; c < k_conns; ++c) {
+        EXPECT_EQ(corrs[c], 1u) << "connection " << c;
+        EXPECT_EQ(names[c], "net-" + std::to_string(c)) << "connection " << c;
+    }
+}
+
+TEST(TcpServer, CancelUnknownTargetAnsweredLocally) {
+    test_front tf;
+    net::frame_conn conn("127.0.0.1", tf.port());
+    conn.send(api::encode(api::request(api::cancel_job_request{5, 4242})));
+    const std::optional<std::string> reply = conn.read_frame();
+    ASSERT_TRUE(reply.has_value());
+    const api::response resp = decode_one(*reply);
+    const auto* c = std::get_if<api::cancel_response>(&resp);
+    ASSERT_NE(c, nullptr);
+    EXPECT_EQ(c->correlation_id, 5u);
+    EXPECT_EQ(c->target_correlation_id, 4242u);  // echoed in *client* id space
+    EXPECT_FALSE(c->accepted);
+}
+
+TEST(TcpServer, FlushOnIdleConnectionAnswersImmediately) {
+    test_front tf;
+    net::frame_conn conn("127.0.0.1", tf.port());
+    conn.send(api::encode(api::request(api::flush_request{77})));
+    const std::optional<std::string> reply = conn.read_frame();
+    ASSERT_TRUE(reply.has_value());
+    const api::response resp = decode_one(*reply);
+    const auto* f = std::get_if<api::flush_response>(&resp);
+    ASSERT_NE(f, nullptr);
+    EXPECT_EQ(f->correlation_id, 77u);
+}
+
+// --- admission control and drain ---------------------------------------------
+
+TEST(TcpServer, OverloadShedsWithTypedError) {
+    net::tcp_server_config cfg;
+    cfg.max_inflight_requests = 1;
+    test_front tf(cfg, /*paused=*/true);  // nothing completes until resume
+    net::frame_conn conn("127.0.0.1", tf.port());
+    for (std::size_t j = 0; j < 4; ++j) conn.send(identify_frame(j + 1, j, j % 2));
+    conn.shutdown_write();
+    // 3 sheds arrive while the one admitted request is parked at the gate.
+    std::size_t shed = 0;
+    for (std::size_t got = 0; got < 3; ++got) {
+        const std::optional<std::string> reply = conn.read_frame();
+        ASSERT_TRUE(reply.has_value());
+        const api::response resp = decode_one(*reply);
+        const auto* e = std::get_if<api::error_response>(&resp);
+        ASSERT_NE(e, nullptr);
+        EXPECT_EQ(e->code, api::error_code::overloaded);
+        ++shed;
+    }
+    tf.server().backing_service().resume();
+    const std::optional<std::string> reply = conn.read_frame();
+    ASSERT_TRUE(reply.has_value());
+    EXPECT_TRUE(std::holds_alternative<api::building_response>(decode_one(*reply)));
+    EXPECT_FALSE(conn.read_frame().has_value());  // all accounted, clean EOF
+    EXPECT_EQ(shed, 3u);
+    const net::tcp_server_stats s = tf.front().stats();
+    EXPECT_EQ(s.requests_shed_overload, 3u);
+    EXPECT_EQ(s.requests_admitted, 1u);
+}
+
+TEST(TcpServer, DrainFinishesInFlightAndShedsNewWork) {
+    test_front tf(net::tcp_server_config{}, /*paused=*/true);
+    net::frame_conn conn("127.0.0.1", tf.port());
+    conn.send(identify_frame(1, 0, 0));  // admitted, parked at the gate
+    // Wait until the request is admitted: a drain that lands first would
+    // close the (still idle) connection before reading it.
+    const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(30);
+    while (tf.front().stats().requests_admitted < 1 &&
+           std::chrono::steady_clock::now() < deadline)
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    ASSERT_EQ(tf.front().stats().requests_admitted, 1u);
+    tf.front().drain();
+    conn.send(identify_frame(2, 1, 1));  // arrives mid-drain: typed shed
+    conn.shutdown_write();
+    tf.server().backing_service().resume();
+
+    bool saw_draining_shed = false, saw_result = false;
+    while (std::optional<std::string> reply = conn.read_frame()) {
+        const api::response resp = decode_one(*reply);
+        if (const auto* e = std::get_if<api::error_response>(&resp)) {
+            EXPECT_EQ(e->code, api::error_code::draining);
+            EXPECT_EQ(e->correlation_id, 2u);
+            saw_draining_shed = true;
+        } else if (const auto* b = std::get_if<api::building_response>(&resp)) {
+            EXPECT_EQ(b->correlation_id, 1u);
+            saw_result = true;
+        }
+    }
+    EXPECT_TRUE(saw_draining_shed);
+    EXPECT_TRUE(saw_result);  // drain finished the in-flight request first
+}
+
+// --- metrics probe -----------------------------------------------------------
+
+TEST(TcpServer, MetricsProbeSpeaksHttpAndRawText) {
+    test_front tf;
+    {
+        net::frame_conn warm("127.0.0.1", tf.port());
+        warm.send(identify_frame(1, 0, 0));
+        warm.shutdown_write();
+        while (warm.read_frame().has_value()) {}
+    }
+    {
+        net::socket_fd fd = net::connect_tcp("127.0.0.1", tf.port());
+        net::send_all(fd.get(), "GET /metrics HTTP/1.0\r\n\r\n");
+        const std::string page = slurp(fd.get());
+        EXPECT_NE(page.find("HTTP/1.0 200 OK"), std::string::npos);
+        EXPECT_NE(page.find("fisone_net_connections_accepted_total"), std::string::npos);
+        EXPECT_NE(page.find("fisone_net_requests_admitted_total 1"), std::string::npos);
+        EXPECT_NE(page.find("fisone_net_requests_shed_total{reason=\"overload\"}"),
+                  std::string::npos);
+        EXPECT_NE(page.find("fisone_service_jobs_submitted_total"), std::string::npos);
+        EXPECT_NE(page.find("fisone_net_request_latency_seconds{quantile=\"0.99\"}"),
+                  std::string::npos);
+    }
+    {
+        net::socket_fd fd = net::connect_tcp("127.0.0.1", tf.port());
+        net::send_all(fd.get(), "METRICS\n");
+        const std::string page = slurp(fd.get());
+        EXPECT_EQ(page.rfind("# HELP", 0), 0u);  // raw page, no HTTP envelope
+        EXPECT_NE(page.find("fisone_net_connections_open"), std::string::npos);
+    }
+    {
+        net::socket_fd fd = net::connect_tcp("127.0.0.1", tf.port());
+        net::send_all(fd.get(), "GET /nope HTTP/1.0\r\n\r\n");
+        const std::string page = slurp(fd.get());
+        EXPECT_NE(page.find("404 Not Found"), std::string::npos);
+    }
+}
+
+// --- federated backend -------------------------------------------------------
+
+TEST(TcpServer, FrontsAFederatedFleet) {
+    const std::string dir =
+        (std::filesystem::temp_directory_path() / "fisone_test_net_fed").string();
+    std::filesystem::remove_all(dir);
+    data::corpus fleet;
+    fleet.name = "net-fed";
+    for (std::size_t i = 0; i < 2; ++i) fleet.buildings.push_back(tiny_building(i));
+    static_cast<void>(data::write_corpus_store(fleet, dir, 1));
+
+    federation::federation_config fcfg;
+    fcfg.service = service::quick_profile(11, 1);
+    fcfg.num_backends = 2;
+    fcfg.store_dirs = {dir};
+    federation::federated_server fed(fcfg);
+    net::tcp_server front(net::make_backend(fed));
+    std::thread loop([&front] { front.run(); });
+
+    net::frame_conn conn("127.0.0.1", front.port());
+    conn.send(api::encode(api::request(api::get_stats_request{6})));
+    const std::optional<std::string> reply = conn.read_frame();
+    ASSERT_TRUE(reply.has_value());
+    const api::response resp = decode_one(*reply);
+    const auto* s = std::get_if<api::stats_response>(&resp);
+    ASSERT_NE(s, nullptr);
+    EXPECT_EQ(s->correlation_id, 6u);
+    conn.close();
+
+    front.drain();
+    loop.join();
+    std::filesystem::remove_all(dir);
+}
+
+}  // namespace

@@ -1,0 +1,128 @@
+#!/usr/bin/env python3
+"""Diff two directories of BENCH_*.json perf reports into a markdown table.
+
+Usage:  bench_diff.py PREV_DIR CURR_DIR [--threshold PCT]
+
+Pairs files by name, flattens numeric fields (nested objects become
+dot.paths), and prints one markdown section per bench with previous value,
+current value, and the relative delta — written for a CI job summary
+($GITHUB_STEP_SUMMARY), so a perf regression is visible in the run page
+without downloading artifacts. Exit code is always 0: the diff informs,
+the benches' own assertions gate.
+
+Fields whose name suggests wall time or latency are marked so a reader can
+tell "higher is worse" rows from throughput rows; nothing is auto-judged,
+because CI runners are too noisy for hard perf gates (the |delta| >=
+--threshold rows just get a marker).
+"""
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+LOWER_IS_BETTER = ("seconds", "_ms", "latency", "wall")
+HIGHER_IS_BETTER = ("per_sec", "speedup", "throughput", "rate")
+
+
+def flatten(obj, prefix=""):
+    """Yield (dot.path, value) for every numeric leaf of a JSON object."""
+    if isinstance(obj, dict):
+        for key, value in obj.items():
+            yield from flatten(value, f"{prefix}{key}." if prefix else f"{key}.")
+    elif isinstance(obj, list):
+        for i, value in enumerate(obj):
+            yield from flatten(value, f"{prefix}{i}.")
+    elif isinstance(obj, bool):
+        pass  # true/false toggles are config, not perf
+    elif isinstance(obj, (int, float)):
+        yield prefix.rstrip("."), float(obj)
+
+
+def direction(field):
+    if any(tok in field for tok in LOWER_IS_BETTER):
+        return "lower-better"
+    if any(tok in field for tok in HIGHER_IS_BETTER):
+        return "higher-better"
+    return ""
+
+
+def fmt(value):
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return f"{value:.4g}"
+
+
+def diff_file(name, prev, curr, threshold):
+    prev_fields = dict(flatten(prev))
+    curr_fields = dict(flatten(curr))
+    rows = []
+    for field in sorted(set(prev_fields) | set(curr_fields)):
+        p, c = prev_fields.get(field), curr_fields.get(field)
+        if p is None or c is None:
+            rows.append((field, p, c, None))
+            continue
+        delta = (c - p) / abs(p) * 100.0 if p != 0 else (0.0 if c == 0 else float("inf"))
+        rows.append((field, p, c, delta))
+
+    print(f"### {name}\n")
+    print("| field | previous | current | delta | |")
+    print("|---|---:|---:|---:|---|")
+    for field, p, c, delta in rows:
+        if p is None:
+            print(f"| {field} | — | {fmt(c)} | new | |")
+            continue
+        if c is None:
+            print(f"| {field} | {fmt(p)} | — | gone | |")
+            continue
+        mark = ""
+        if delta is not None and abs(delta) >= threshold:
+            d = direction(field)
+            if d == "lower-better":
+                mark = "regressed" if delta > 0 else "improved"
+            elif d == "higher-better":
+                mark = "improved" if delta > 0 else "regressed"
+            else:
+                mark = "changed"
+        print(f"| {field} | {fmt(p)} | {fmt(c)} | {delta:+.1f}% | {mark} |")
+    print()
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("prev_dir", type=Path)
+    parser.add_argument("curr_dir", type=Path)
+    parser.add_argument("--threshold", type=float, default=10.0,
+                        help="mark rows whose |delta| meets this percent (default 10)")
+    args = parser.parse_args()
+
+    prev_files = {p.name: p for p in sorted(args.prev_dir.glob("BENCH_*.json"))}
+    curr_files = {p.name: p for p in sorted(args.curr_dir.glob("BENCH_*.json"))}
+    if not curr_files:
+        print(f"bench_diff: no BENCH_*.json under {args.curr_dir}", file=sys.stderr)
+        print("_bench_diff: nothing to compare (no current bench reports)._")
+        return
+
+    print("## Bench comparison vs previous run\n")
+    for name, curr_path in curr_files.items():
+        try:
+            curr = json.loads(curr_path.read_text())
+        except (OSError, json.JSONDecodeError) as e:
+            print(f"_bench_diff: unreadable {name}: {e}_\n")
+            continue
+        prev_path = prev_files.get(name)
+        if prev_path is None:
+            print(f"### {name}\n\n_new bench — no previous report to compare._\n")
+            continue
+        try:
+            prev = json.loads(prev_path.read_text())
+        except (OSError, json.JSONDecodeError) as e:
+            print(f"_bench_diff: unreadable previous {name}: {e}_\n")
+            continue
+        diff_file(name, prev, curr, args.threshold)
+    for name in sorted(set(prev_files) - set(curr_files)):
+        print(f"### {name}\n\n_present in the previous run only._\n")
+
+
+if __name__ == "__main__":
+    main()
