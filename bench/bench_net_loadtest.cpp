@@ -45,6 +45,7 @@
 #include "api/server.hpp"
 #include "net/socket.hpp"
 #include "net/tcp_server.hpp"
+#include "obs/trace.hpp"
 #include "service/ndjson_export.hpp"
 #include "service/profiles.hpp"
 #include "sim/building_generator.hpp"
@@ -278,7 +279,12 @@ int main(int argc, char** argv) try {
     const auto threads = static_cast<std::size_t>(args.get_int("threads", 2));
     const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 7));
     const std::string connect = args.get("connect", "");
+    const std::string trace_out = args.get("trace-out", "");
     if (connections < 1) throw std::invalid_argument("--connections must be >= 1");
+
+    // Tracing covers the whole load run (loopback reference included) so
+    // the tape shows both transports side by side.
+    if (!trace_out.empty()) obs::set_tracing_enabled(true);
 
     std::cerr << "Synthesising " << buildings << " buildings (" << samples
               << " scans/floor)...\n";
@@ -381,6 +387,19 @@ int main(int argc, char** argv) try {
           << (!overload_ran || overload.accounted() ? "true" : "false") << "\n";
         f << "}\n";
         std::cout << "JSON perf trajectory: " << out_path << "\n";
+    }
+
+    if (!trace_out.empty()) {
+        std::ofstream f(trace_out);
+        obs::dump_chrome_trace(f);
+        f.close();
+        if (!f) {
+            std::cerr << "bench_net_loadtest: cannot write trace file " << trace_out << '\n';
+            return EXIT_FAILURE;
+        }
+        const obs::trace_stats ts = obs::stats();
+        std::cout << "Chrome trace (" << ts.recorded << " spans, " << ts.dropped
+                  << " dropped): " << trace_out << "\n";
     }
 
     if (!identical) {

@@ -15,7 +15,8 @@
 /// Run:  ./serve_tcp [--host A] [--port P] [--port-file PATH]
 ///                   [--stores DIR,DIR,...] [--backends N]
 ///                   [--threads T] [--seed S] [--profile quick|full]
-///                   [--max-inflight N] [--max-connections N] [--quiet]
+///                   [--max-inflight N] [--max-connections N]
+///                   [--trace-out PATH] [--slow-ms N] [--quiet]
 ///
 ///  --port 0       (default) binds a kernel-assigned port; pair with
 ///                 --port-file so a driving script can discover it.
@@ -25,6 +26,15 @@
 ///  --profile      pins the pipeline profile (`service::profiles`), so a
 ///                 client process using the same profile + seed gets
 ///                 byte-identical results to an in-process run.
+///  --trace-out    enable span tracing for the whole run and write the
+///                 tape as Chrome trace-event JSON (Perfetto-loadable) to
+///                 PATH after the drain completes. While the server runs,
+///                 `curl http://host:port/dump_trace` serves the same JSON
+///                 live.
+///  --slow-ms      log one structured JSON line to stderr for every
+///                 request at or over N milliseconds, with the request's
+///                 span breakdown inline when tracing is on. 0 (default)
+///                 disables the log.
 
 #include <pthread.h>
 #include <signal.h>
@@ -42,6 +52,7 @@
 #include "api/server.hpp"
 #include "federation/federated_server.hpp"
 #include "net/tcp_server.hpp"
+#include "obs/trace.hpp"
 #include "service/profiles.hpp"
 #include "util/cli.hpp"
 
@@ -77,6 +88,10 @@ int main(int argc, char** argv) try {
     const std::string profile = args.get("profile", "quick");
     const auto max_inflight = static_cast<std::size_t>(args.get_int("max-inflight", 32));
     const auto max_conns = static_cast<std::size_t>(args.get_int("max-connections", 64));
+    const std::string trace_out = args.get("trace-out", "");
+    const auto slow_ms = args.get_int("slow-ms", 0);
+
+    if (!trace_out.empty()) obs::set_tracing_enabled(true);
 
     // Block the shutdown signals in every thread *before* any thread is
     // spawned, then collect them with sigwait below — no async handler,
@@ -116,6 +131,7 @@ int main(int argc, char** argv) try {
     net_cfg.port = port;
     net_cfg.max_inflight_requests = max_inflight;
     net_cfg.max_connections = max_conns;
+    net_cfg.slow_request_seconds = slow_ms > 0 ? static_cast<double>(slow_ms) / 1000.0 : 0.0;
     net::tcp_server srv(std::move(be), net_cfg);
 
     if (!port_file.empty()) {
@@ -153,6 +169,20 @@ int main(int argc, char** argv) try {
                   << s.requests_admitted << " requests admitted, "
                   << s.requests_shed_overload + s.requests_shed_draining << " shed, "
                   << s.responses_sent << " responses\n";
+
+    if (!trace_out.empty()) {
+        std::ofstream f(trace_out);
+        obs::dump_chrome_trace(f);
+        f.close();
+        if (!f) {
+            std::cerr << "serve_tcp: cannot write trace file " << trace_out << '\n';
+            return EXIT_FAILURE;
+        }
+        const obs::trace_stats ts = obs::stats();
+        if (!quiet)
+            std::cerr << "serve_tcp: wrote " << ts.recorded << " spans ("
+                      << ts.dropped << " dropped) to " << trace_out << '\n';
+    }
     return EXIT_SUCCESS;
 } catch (const std::exception& e) {
     std::cerr << "serve_tcp: " << e.what() << '\n';

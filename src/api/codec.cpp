@@ -252,6 +252,7 @@ void put_stats(wire_writer& w, const service::service_stats& s) {
     w.f64(s.latency_p99);
     w.u64(s.cache_hits);
     w.u64(s.cache_misses);
+    w.u64(s.cache_evictions);
 }
 
 service::service_stats get_stats_body(wire_reader& r) {
@@ -270,6 +271,7 @@ service::service_stats get_stats_body(wire_reader& r) {
     s.latency_p99 = r.f64();
     s.cache_hits = static_cast<std::size_t>(r.u64());
     s.cache_misses = static_cast<std::size_t>(r.u64());
+    s.cache_evictions = static_cast<std::size_t>(r.u64());
     return s;
 }
 

@@ -30,7 +30,8 @@ namespace fisone::api {
 
 /// Wire schema version. Bump on any change to message layouts; decoders
 /// reject frames from a different version with `error_code::bad_version`.
-inline constexpr std::uint32_t k_schema_version = 1;
+/// v2: `service_stats` gained `cache_evictions`.
+inline constexpr std::uint32_t k_schema_version = 2;
 
 /// Frame tag: which message a frame's payload holds. Requests live in
 /// [1, 64), responses in [64, 128); the split leaves both ranges room to

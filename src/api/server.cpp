@@ -10,6 +10,7 @@
 
 #include "codec.hpp"
 #include "core/fis_one.hpp"
+#include "obs/trace.hpp"
 #include "runtime/task_executor.hpp"
 #include "util/path.hpp"
 
@@ -85,6 +86,7 @@ struct server::session::state {
             const result_cache_stats cs = cache->stats();
             s.cache_hits = cs.hits;
             s.cache_misses = cs.misses;
+            s.cache_evictions = cs.evictions;
         }
         return s;
     }
@@ -96,6 +98,7 @@ void server::session::handle(const request& req) {
         [&](const auto& m) {
             using T = std::decay_t<decltype(m)>;
             if constexpr (std::is_same_v<T, identify_building_request>) {
+                obs::scoped_span span("api.identify");
                 const std::uint64_t corr = m.correlation_id;
                 const std::size_t index = m.has_index
                                               ? static_cast<std::size_t>(m.corpus_index)
@@ -103,6 +106,7 @@ void server::session::handle(const request& req) {
                 std::optional<cache_key> key;
                 if (st->cache) {
                     const clock::time_point start = clock::now();
+                    obs::scoped_span probe_span("api.cache_probe");
                     const service::service_config& scfg = st->svc->config();
                     key = cache_key{
                         data::content_hash(m.b),
@@ -126,6 +130,7 @@ void server::session::handle(const request& req) {
                     });
                 st->remember_job(corr, std::move(job));
             } else if constexpr (std::is_same_v<T, identify_shard_request>) {
+                obs::scoped_span span("api.identify");
                 const std::uint64_t corr = m.correlation_id;
                 if (!st->shard_root.empty() &&
                     !util::path_within_root(st->shard_root, m.ref.path)) {
@@ -230,6 +235,7 @@ service::service_stats server::stats() const {
         const result_cache_stats cs = cache_->stats();
         s.cache_hits = cs.hits;
         s.cache_misses = cs.misses;
+        s.cache_evictions = cs.evictions;
     }
     return s;
 }

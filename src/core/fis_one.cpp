@@ -8,6 +8,7 @@
 #include "cluster/kmeans.hpp"
 #include "eval/metrics.hpp"
 #include "graph/bipartite_graph.hpp"
+#include "obs/trace.hpp"
 #include "util/hash.hpp"
 #include "util/thread_pool.hpp"
 
@@ -113,18 +114,24 @@ fis_one_result fis_one::run(const data::building& b) const {
     util::thread_pool* const pool = owned_pool.get();
 
     // --- 1. graph construction + RF-GNN representation learning ---
-    const graph::bipartite_graph g = graph::bipartite_graph::from_building(b);
-    gnn::rf_gnn model(g, cfg_.gnn, pool);
-    model.train();
-
+    const graph::bipartite_graph g = [&] {
+        obs::scoped_span span("pipeline.graph_build");
+        return graph::bipartite_graph::from_building(b);
+    }();
     fis_one_result result;
-    result.embeddings = model.embed_samples();
+    {
+        obs::scoped_span span("pipeline.gnn_embed");
+        gnn::rf_gnn model(g, cfg_.gnn, pool);
+        model.train();
+        result.embeddings = model.embed_samples();
+    }
 
     const std::size_t n = b.samples.size();
     std::size_t k = b.num_floors;
     if (cfg_.estimate_floor_count) {
         // Unsupervised extension: infer the floor count from the dendrogram
         // gap before clustering (see cluster/floor_count.hpp).
+        obs::scoped_span span("pipeline.floor_count");
         k = cluster::estimate_floor_count(result.embeddings, cfg_.min_floors, cfg_.max_floors,
                                           pool)
                 .num_floors;
@@ -133,9 +140,14 @@ fis_one_result fis_one::run(const data::building& b) const {
 
     if (cfg_.label == label_mode::bottom_floor) {
         // --- 2. cluster all samples ---
-        result.assignment = cluster_embeddings(result.embeddings, k, cfg_.clustering, gen, pool);
+        {
+            obs::scoped_span span("pipeline.cluster");
+            result.assignment =
+                cluster_embeddings(result.embeddings, k, cfg_.clustering, gen, pool);
+        }
 
         // --- 3. index clusters, anchored at the labeled sample's cluster ---
+        obs::scoped_span span("pipeline.index");
         const auto profiles = indexing::build_profiles(b, result.assignment, k);
         const linalg::matrix sim = indexing::similarity_matrix(profiles, cfg_.similarity, pool);
         const auto start = static_cast<std::size_t>(result.assignment[b.labeled_sample]);
@@ -155,12 +167,15 @@ fis_one_result fis_one::run(const data::building& b) const {
             for (std::size_t j = 0; j < points.cols(); ++j) points(owner.size(), j) = row[j];
             owner.push_back(i);
         }
-        const std::vector<int> sub_assignment =
-            cluster_embeddings(points, k, cfg_.clustering, gen, pool);
+        const std::vector<int> sub_assignment = [&] {
+            obs::scoped_span span("pipeline.cluster");
+            return cluster_embeddings(points, k, cfg_.clustering, gen, pool);
+        }();
         result.assignment.assign(n, -1);
         for (std::size_t r = 0; r < owner.size(); ++r)
             result.assignment[owner[r]] = sub_assignment[r];
 
+        obs::scoped_span span("pipeline.index");
         const auto profiles = indexing::build_profiles(b, result.assignment, k);
         const linalg::matrix sim = indexing::similarity_matrix(profiles, cfg_.similarity, pool);
 

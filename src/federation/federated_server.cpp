@@ -9,6 +9,7 @@
 #include <utility>
 
 #include "api/codec.hpp"
+#include "obs/trace.hpp"
 #include "util/hash.hpp"
 
 namespace fisone::federation {
@@ -61,6 +62,7 @@ service::service_stats merge_backend_stats(
         merged.buildings_cancelled += s.buildings_cancelled;
         merged.cache_hits += s.cache_hits;
         merged.cache_misses += s.cache_misses;
+        merged.cache_evictions += s.cache_evictions;
         pooled.merge(latencies[k]);
     }
     // Percentiles come from the pooled observations, never from averaging
@@ -172,11 +174,15 @@ void federated_server::session::handle(const api::request& req) {
         [&](const auto& m) {
             using T = std::decay_t<decltype(m)>;
             if constexpr (std::is_same_v<T, api::identify_building_request>) {
+                obs::scoped_span span("federation.dispatch");
                 // Affinity reads the building's content hash only when the
                 // policy routes on it (the hash walks every sample).
                 const bool affine =
                     st->routing->rt.policy() == routing_policy::content_hash_affinity;
-                const std::size_t k = st->pick(affine ? data::content_hash(m.b) : 0);
+                const std::size_t k = [&] {
+                    obs::scoped_span route_span("federation.route");
+                    return st->pick(affine ? data::content_hash(m.b) : 0);
+                }();
                 st->remember(m.correlation_id, k);
                 if (m.has_index) {
                     st->routing->advance_index(static_cast<std::size_t>(m.corpus_index) + 1);
@@ -192,6 +198,7 @@ void federated_server::session::handle(const api::request& req) {
                     st->backend_sessions[k].handle(api::request{std::move(pinned)});
                 }
             } else if constexpr (std::is_same_v<T, api::identify_shard_request>) {
+                obs::scoped_span span("federation.dispatch");
                 // Per-store confinement: only paths inside a mounted store
                 // are servable — an empty registry serves nothing.
                 if (!st->registry->shard_allowed(m.ref.path)) {
@@ -203,7 +210,10 @@ void federated_server::session::handle(const api::request& req) {
                     return;
                 }
                 st->routing->advance_index(m.ref.first_index + m.ref.num_buildings);
-                const std::size_t k = st->pick(shard_affinity(m.ref));
+                const std::size_t k = [&] {
+                    obs::scoped_span route_span("federation.route");
+                    return st->pick(shard_affinity(m.ref));
+                }();
                 st->remember(m.correlation_id, k);
                 st->backend_sessions[k].handle(req);
             } else if constexpr (std::is_same_v<T, api::get_stats_request>) {

@@ -4,9 +4,32 @@
 #include <cmath>
 #include <system_error>
 
+// Stamped by the build system; fall back to something honest when a TU is
+// compiled outside CMake (e.g. a quick manual compile).
+#ifndef FISONE_VERSION
+#define FISONE_VERSION "dev"
+#endif
+#ifndef FISONE_BUILD_TYPE
+#define FISONE_BUILD_TYPE "unspecified"
+#endif
+
 namespace fisone::net {
 
 namespace {
+
+/// Prometheus label-value escaping: backslash, double quote, newline.
+std::string escape_label(const char* s) {
+    std::string out;
+    for (const char* p = s; *p != '\0'; ++p) {
+        switch (*p) {
+            case '\\': out += "\\\\"; break;
+            case '"': out += "\\\""; break;
+            case '\n': out += "\\n"; break;
+            default: out += *p;
+        }
+    }
+    return out;
+}
 
 /// Shortest-round-trip number token (Prometheus accepts full doubles).
 std::string num(double v) {
@@ -69,8 +92,25 @@ private:
 }  // namespace
 
 std::string render_metrics(const tcp_server_stats& net, const service::service_stats& svc) {
+    return render_metrics(net, svc, metrics_extras{});
+}
+
+std::string render_metrics(const tcp_server_stats& net, const service::service_stats& svc,
+                           const metrics_extras& extras) {
     page p;
     const auto d = [](std::size_t v) { return static_cast<double>(v); };
+
+    // Build / process identity (scrape hygiene: restart detection and
+    // "which binary answered this" without shelling into the host).
+    p.family("fisone_build_info", "gauge",
+             "build metadata; the value is constant 1, the info is in the labels");
+    const std::string build_labels = "version=\"" + escape_label(FISONE_VERSION) +
+                                     "\",compiler=\"" + escape_label(__VERSION__) +
+                                     "\",build_type=\"" + escape_label(FISONE_BUILD_TYPE) +
+                                     "\"";
+    p.sample("fisone_build_info", 1.0, build_labels.c_str());
+    p.gauge("fisone_uptime_seconds", "seconds since the front door was constructed",
+            net.uptime_seconds);
 
     // Transport.
     p.counter("fisone_net_connections_accepted_total", "TCP connections accepted",
@@ -140,6 +180,57 @@ std::string render_metrics(const tcp_server_stats& net, const service::service_s
                 svc.latency_p99);
     p.counter("fisone_cache_hits_total", "result-cache hits", d(svc.cache_hits));
     p.counter("fisone_cache_misses_total", "result-cache misses", d(svc.cache_misses));
+    p.counter("fisone_cache_evictions_total", "result-cache LRU evictions",
+              d(svc.cache_evictions));
+
+    // Per-backend result caches: the sums above say whether caching works
+    // at all; these say whether affinity routing keeps each backend warm.
+    if (!extras.backend_caches.empty()) {
+        p.family("fisone_backend_cache_hits_total", "counter",
+                 "result-cache hits by backend");
+        for (std::size_t k = 0; k < extras.backend_caches.size(); ++k) {
+            const std::string l = "backend=\"" + std::to_string(k) + "\"";
+            p.sample("fisone_backend_cache_hits_total", d(extras.backend_caches[k].hits),
+                     l.c_str());
+        }
+        p.family("fisone_backend_cache_misses_total", "counter",
+                 "result-cache misses by backend");
+        for (std::size_t k = 0; k < extras.backend_caches.size(); ++k) {
+            const std::string l = "backend=\"" + std::to_string(k) + "\"";
+            p.sample("fisone_backend_cache_misses_total", d(extras.backend_caches[k].misses),
+                     l.c_str());
+        }
+        p.family("fisone_backend_cache_evictions_total", "counter",
+                 "result-cache LRU evictions by backend");
+        for (std::size_t k = 0; k < extras.backend_caches.size(); ++k) {
+            const std::string l = "backend=\"" + std::to_string(k) + "\"";
+            p.sample("fisone_backend_cache_evictions_total",
+                     d(extras.backend_caches[k].evictions), l.c_str());
+        }
+        p.family("fisone_backend_cache_entries", "gauge",
+                 "result-cache resident entries by backend");
+        for (std::size_t k = 0; k < extras.backend_caches.size(); ++k) {
+            const std::string l = "backend=\"" + std::to_string(k) + "\"";
+            p.sample("fisone_backend_cache_entries", d(extras.backend_caches[k].entries),
+                     l.c_str());
+        }
+    }
+
+    // Per-stage span latency (the tracing subsystem's exact percentiles).
+    // Absent until tracing has been enabled — a scraper sees the families
+    // appear the moment spans start flowing.
+    if (!extras.stages.empty()) {
+        p.family("fisone_stage_seconds", "summary",
+                 "span wall time by pipeline/request stage (requires tracing enabled)");
+        for (const obs::stage_snapshot& st : extras.stages) {
+            const std::string stage = "stage=\"" + escape_label(st.stage.c_str()) + "\"";
+            p.sample("fisone_stage_seconds", st.p50, (stage + ",quantile=\"0.5\"").c_str());
+            p.sample("fisone_stage_seconds", st.p90, (stage + ",quantile=\"0.9\"").c_str());
+            p.sample("fisone_stage_seconds", st.p99, (stage + ",quantile=\"0.99\"").c_str());
+            p.sample("fisone_stage_seconds_sum", st.total_seconds, stage.c_str());
+            p.sample("fisone_stage_seconds_count", d(st.count), stage.c_str());
+        }
+    }
 
     return std::move(p).take();
 }

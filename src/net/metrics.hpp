@@ -13,7 +13,10 @@
 
 #include <cstddef>
 #include <string>
+#include <vector>
 
+#include "api/result_cache.hpp"
+#include "obs/trace.hpp"
 #include "service/floor_service.hpp"
 
 namespace fisone::net {
@@ -44,6 +47,20 @@ struct tcp_server_stats {
     double request_latency_p50 = 0.0;
     double request_latency_p90 = 0.0;
     double request_latency_p99 = 0.0;
+    /// Seconds since the server was constructed (scrape hygiene: lets a
+    /// dashboard detect restarts and rate-normalise counters).
+    double uptime_seconds = 0.0;
+};
+
+/// Optional page sections beyond the core net+service counters.
+struct metrics_extras {
+    /// Per-backend result-cache snapshots (entry k = backend k) — how the
+    /// federated front door makes affinity-routing effectiveness visible
+    /// per backend, not just as a fleet sum.
+    std::vector<api::result_cache_stats> backend_caches;
+    /// Per-stage span latency summaries (`obs::stage_stats()`); empty when
+    /// tracing has never been enabled.
+    std::vector<obs::stage_snapshot> stages;
 };
 
 /// Render \p net + \p svc as one Prometheus text-format page. \p svc is
@@ -52,5 +69,11 @@ struct tcp_server_stats {
 /// stack: transport, admission, service, cache.
 [[nodiscard]] std::string render_metrics(const tcp_server_stats& net,
                                          const service::service_stats& svc);
+
+/// The full page: core families plus build info, per-backend cache
+/// families, and `fisone_stage_seconds` summaries from \p extras.
+[[nodiscard]] std::string render_metrics(const tcp_server_stats& net,
+                                         const service::service_stats& svc,
+                                         const metrics_extras& extras);
 
 }  // namespace fisone::net

@@ -11,6 +11,7 @@
 #include <atomic>
 #include <cerrno>
 #include <chrono>
+#include <cstdio>
 #include <cstring>
 #include <mutex>
 #include <stdexcept>
@@ -21,6 +22,7 @@
 #include <vector>
 
 #include "api/codec.hpp"
+#include "obs/trace.hpp"
 #include "util/percentile.hpp"
 
 namespace fisone::net {
@@ -57,6 +59,16 @@ void patch_u64(std::string& b, std::size_t off, std::uint64_t v) {
     throw std::system_error(errno, std::generic_category(), what);
 }
 
+/// What a retired in-flight entry leaves behind — everything the
+/// completion path needs once the locks are released (root-span close,
+/// latency sample, slow-request log).
+struct request_finish {
+    double seconds = 0.0;
+    std::uint64_t client_id = 0;
+    obs::trace_context trace{};   ///< the request's root span ({0,0} untraced)
+    std::uint64_t start_ns = 0;   ///< admission time on the span clock
+};
+
 }  // namespace
 
 /// Global state shared between the loop thread, the public thread-safe
@@ -71,6 +83,11 @@ struct tcp_server::core {
     std::atomic<bool> stopping{false};
     std::atomic<std::uint64_t> next_internal{1};
     socket_fd wake_fd;
+    const clock_type::time_point started = clock_type::now();  ///< uptime epoch
+    /// Slow-request log settings, copied from the config at construction
+    /// (immutable afterwards — sinks read them without the lock).
+    double slow_threshold = 0.0;
+    std::function<void(const std::string&)> slow_log;
 
     core() {
         wake_fd.reset(::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK));
@@ -87,6 +104,10 @@ struct tcp_server::core {
     static void on_response_frame(const std::shared_ptr<core>& co,
                                   const std::shared_ptr<conn>& c, std::size_t max_wbuf,
                                   std::string_view frame);
+
+    /// Post-completion work that must run outside every lock: close the
+    /// request's root span and emit the slow-request log line.
+    void complete_request(const request_finish& fi) const;
 };
 
 /// One accepted connection. The first block is touched only by the loop
@@ -103,6 +124,9 @@ struct tcp_server::conn {
     bool read_closed = false;       ///< EOF seen, or reading abandoned
     bool close_after_flush = false; ///< answer is final: close once flushed
     bool dead = false;              ///< socket error: close immediately
+    /// The connection's own trace (accept/read/flush spans). Distinct from
+    /// per-request traces: one read may carry frames of many requests.
+    obs::trace_context conn_ctx{};
 
     // --- shared with sinks (guarded by m) ---
     std::mutex m;
@@ -115,6 +139,8 @@ struct tcp_server::conn {
         std::uint64_t client_id = 0;
         std::size_t remaining = 0;  ///< building responses still expected
         clock_type::time_point start;
+        obs::trace_context trace{};  ///< request root span ({0,0} untraced)
+        std::uint64_t start_ns = 0;  ///< admission time on the span clock
     };
     std::unordered_map<std::uint64_t, pending> inflight;         ///< internal id →
     std::unordered_map<std::uint64_t, std::uint64_t> by_client;  ///< client id → internal
@@ -152,12 +178,16 @@ struct tcp_server::conn {
 
     /// Retire the in-flight entry of \p internal: drop the id maps, update
     /// flush barriers (appending any now-satisfied flush_response frames),
-    /// and hand back the latency sample. Call with `m` held.
-    double finish_locked(std::uint64_t internal, std::size_t max_wbuf, std::size_t& sent,
-                         std::size_t& dropped) {
+    /// and hand back the latency sample plus what the lock-free completion
+    /// path needs (trace context, admission time). Call with `m` held.
+    request_finish finish_locked(std::uint64_t internal, std::size_t max_wbuf,
+                                 std::size_t& sent, std::size_t& dropped) {
         const auto it = inflight.find(internal);
-        const double sample =
-            std::chrono::duration<double>(clock_type::now() - it->second.start).count();
+        request_finish fi;
+        fi.seconds = std::chrono::duration<double>(clock_type::now() - it->second.start).count();
+        fi.client_id = it->second.client_id;
+        fi.trace = it->second.trace;
+        fi.start_ns = it->second.start_ns;
         const std::uint64_t client_id = it->second.client_id;
         inflight.erase(it);
         const auto bc = by_client.find(client_id);
@@ -173,7 +203,7 @@ struct tcp_server::conn {
                 ++fit;
             }
         }
-        return sample;
+        return fi;
     }
 };
 
@@ -187,11 +217,14 @@ void tcp_server::core::on_response_frame(const std::shared_ptr<core>& co,
     // well-formed response frame per call. Anything shorter than a header
     // plus a correlation id cannot be ours; drop it defensively.
     if (frame.size() < k_off_corr + 8) return;
+    // Runs under the worker's trace context (installed at job pickup), so
+    // the respond span lands inside the request tree it answers.
+    obs::scoped_span span("net.respond");
     const std::uint16_t tag = rd_u16(frame, k_off_tag);
     const std::uint64_t wire_corr = rd_u64(frame, k_off_corr);
 
     std::size_t sent = 0, dropped = 0, completed = 0;
-    double sample = 0.0;
+    request_finish fi;
     bool have_sample = false;
     {
         const std::lock_guard<std::mutex> lock(c->m);
@@ -242,7 +275,7 @@ void tcp_server::core::on_response_frame(const std::shared_ptr<core>& co,
 
         (c->append_locked(frame, max_wbuf, patch, patch_target) ? sent : dropped) += 1;
         if (completes) {
-            sample = c->finish_locked(wire_corr, max_wbuf, sent, dropped);
+            fi = c->finish_locked(wire_corr, max_wbuf, sent, dropped);
             have_sample = true;
             completed = 1;
         }
@@ -253,9 +286,43 @@ void tcp_server::core::on_response_frame(const std::shared_ptr<core>& co,
         co->counters.responses_dropped += dropped;
         co->counters.requests_completed += completed;
         co->counters.requests_in_flight -= completed;
-        if (have_sample) co->latency.add(sample);
+        if (have_sample) co->latency.add(fi.seconds);
     }
+    if (have_sample) co->complete_request(fi);
     co->wake();
+}
+
+void tcp_server::core::complete_request(const request_finish& fi) const {
+    // Close the root span first so a slow-request breakdown includes it.
+    if (fi.trace.active())
+        obs::emit_span("net.request", fi.trace.trace_id, fi.trace.span_id, 0, fi.start_ns,
+                       obs::now_ns());
+    if (slow_threshold <= 0.0 || fi.seconds < slow_threshold) return;
+    char buf[128];
+    std::string line = "{\"slow_request\":{\"correlation_id\":" + std::to_string(fi.client_id);
+    std::snprintf(buf, sizeof buf, ",\"seconds\":%.6f", fi.seconds);
+    line += buf;
+    if (fi.trace.active()) {
+        std::snprintf(buf, sizeof buf, ",\"trace_id\":\"0x%llx\"",
+                      static_cast<unsigned long long>(fi.trace.trace_id));
+        line += buf;
+        line += ",\"spans\":[";
+        bool first = true;
+        for (const obs::span_record& rec : obs::spans_for_trace(fi.trace.trace_id)) {
+            if (!first) line += ',';
+            first = false;
+            std::snprintf(buf, sizeof buf, "{\"name\":\"%s\",\"ms\":%.3f}",
+                          rec.name != nullptr ? rec.name : "?",
+                          static_cast<double>(rec.dur_ns) * 1e-6);
+            line += buf;
+        }
+        line += ']';
+    }
+    line += "}}";
+    if (slow_log)
+        slow_log(line);
+    else
+        std::fprintf(stderr, "%s\n", line.c_str());
 }
 
 // --- backend adapters --------------------------------------------------------
@@ -268,6 +335,7 @@ backend make_backend(api::server& srv) {
                 [s](const api::request& r) mutable { s.handle(r); }};
         },
         [&srv] { return srv.stats(); },
+        [&srv] { return std::vector<api::result_cache_stats>{srv.cache_stats()}; },
     };
 }
 
@@ -279,6 +347,13 @@ backend make_backend(federation::federated_server& srv) {
                 [s](const api::request& r) mutable { s.handle(r); }};
         },
         [&srv] { return srv.stats(); },
+        [&srv] {
+            std::vector<api::result_cache_stats> out;
+            out.reserve(srv.num_backends());
+            for (std::size_t k = 0; k < srv.num_backends(); ++k)
+                out.push_back(srv.backend(k).cache_stats());
+            return out;
+        },
     };
 }
 
@@ -345,6 +420,14 @@ struct tcp_server::loop {
 
             auto c = std::make_shared<conn>();
             c->fd = std::move(accepted);
+            if (obs::tracing_enabled()) {
+                // Root the connection's own trace at an instantaneous
+                // accept marker; reads and flushes hang off it.
+                c->conn_ctx = obs::trace_context{obs::new_trace_id(), obs::new_span_id()};
+                const std::uint64_t t = obs::now_ns();
+                obs::emit_span("net.accept", c->conn_ctx.trace_id, c->conn_ctx.span_id, 0, t,
+                               t);
+            }
             const std::shared_ptr<core> core_sp = srv.core_;
             const std::size_t max_wbuf = srv.cfg_.max_write_buffer;
             backend_session session = srv.backend_.open(
@@ -387,6 +470,7 @@ struct tcp_server::loop {
     /// Flush as much of the write buffer as the socket takes. Returns
     /// false when the socket errored (the connection is dead).
     bool try_flush(conn& c) {
+        const std::uint64_t flush_start = obs::tracing_enabled() ? obs::now_ns() : 0;
         std::size_t sent_bytes = 0;
         bool ok = true;
         {
@@ -410,8 +494,14 @@ struct tcp_server::loop {
             }
         }
         if (sent_bytes > 0) {
-            const std::lock_guard<std::mutex> lock(co().m);
-            co().counters.bytes_sent += sent_bytes;
+            {
+                const std::lock_guard<std::mutex> lock(co().m);
+                co().counters.bytes_sent += sent_bytes;
+            }
+            // Only flushes that moved bytes get a span — idle evaluation
+            // passes would otherwise bury the tape in zero-length events.
+            if (flush_start != 0)
+                obs::emit_child_span("net.flush", c.conn_ctx, flush_start, obs::now_ns());
         }
         return ok;
     }
@@ -462,22 +552,38 @@ struct tcp_server::loop {
                      std::size_t expected) {
         conn& c = *oc.c;
         const std::uint64_t internal = co().next_internal.fetch_add(1);
+        // Mint the request's trace here — admission is where the request
+        // becomes real. The root span's id is allocated now so every child
+        // (dispatch, routing, cache probe, queue wait, pipeline stages,
+        // respond) links to it, but the span itself is only emitted at
+        // completion, when its duration is known.
+        obs::trace_context req_trace{};
+        std::uint64_t start_ns = 0;
+        if (obs::tracing_enabled()) {
+            req_trace = obs::trace_context{obs::new_trace_id(), obs::new_span_id()};
+            start_ns = obs::now_ns();
+        }
         {
             const std::lock_guard<std::mutex> lock(c.m);
-            c.inflight[internal] = conn::pending{corr, expected, clock_type::now()};
+            c.inflight[internal] =
+                conn::pending{corr, expected, clock_type::now(), req_trace, start_ns};
             c.by_client[corr] = internal;
         }
         api::set_correlation_id(req, internal);
         bool failed = false;
         std::string what;
-        try {
-            oc.session.handle(req);
-        } catch (const std::exception& e) {
-            failed = true;
-            what = e.what();
-        } catch (...) {
-            failed = true;
-            what = "backend dispatch failed";
+        {
+            obs::context_guard trace_guard(req_trace);
+            obs::scoped_span span("net.dispatch");
+            try {
+                oc.session.handle(req);
+            } catch (const std::exception& e) {
+                failed = true;
+                what = e.what();
+            } catch (...) {
+                failed = true;
+                what = "backend dispatch failed";
+            }
         }
         // A zero-building shard produces no responses at all; a dispatch
         // that threw produces none either (emit the error ourselves).
@@ -494,17 +600,23 @@ struct tcp_server::loop {
                                               "dispatch failed: " + what});
         if (retire_now) {
             std::size_t sent = 0, dropped = 0;
+            request_finish fi;
+            bool finished = false;
             {
                 const std::lock_guard<std::mutex> lock(c.m);
-                if (c.inflight.count(internal) != 0)
-                    static_cast<void>(
-                        c.finish_locked(internal, srv.cfg_.max_write_buffer, sent, dropped));
+                if (c.inflight.count(internal) != 0) {
+                    fi = c.finish_locked(internal, srv.cfg_.max_write_buffer, sent, dropped);
+                    finished = true;
+                }
             }
-            const std::lock_guard<std::mutex> lock(co().m);
-            co().counters.responses_sent += sent;
-            co().counters.responses_dropped += dropped;
-            ++co().counters.requests_completed;
-            --co().counters.requests_in_flight;
+            {
+                const std::lock_guard<std::mutex> lock(co().m);
+                co().counters.responses_sent += sent;
+                co().counters.responses_dropped += dropped;
+                ++co().counters.requests_completed;
+                --co().counters.requests_in_flight;
+            }
+            if (finished) co().complete_request(fi);
         }
     }
 
@@ -568,7 +680,10 @@ struct tcp_server::loop {
             const std::lock_guard<std::mutex> lock(co().m);
             ++co().counters.frames_received;
         }
-        const api::decode_result<api::request> decoded = api::decode_request(frame);
+        const api::decode_result<api::request> decoded = [&] {
+            obs::scoped_span span("net.decode");
+            return api::decode_request(frame);
+        }();
         if (decoded.error) {
             // A complete frame can only fail recoverably (bad version /
             // unknown tag / malformed payload) — framing integrity held.
@@ -595,12 +710,19 @@ struct tcp_server::loop {
                 out = "HTTP/1.0 200 OK\r\nContent-Type: text/plain; version=0.0.4; "
                       "charset=utf-8\r\nContent-Length: " +
                       std::to_string(body.size()) + "\r\nConnection: close\r\n\r\n" + body;
+            } else if (path == "/dump_trace" || path == "/dump_trace/") {
+                body = obs::chrome_trace_json();
+                out = "HTTP/1.0 200 OK\r\nContent-Type: application/json\r\n"
+                      "Content-Length: " +
+                      std::to_string(body.size()) + "\r\nConnection: close\r\n\r\n" + body;
             } else {
                 out = "HTTP/1.0 404 Not Found\r\nContent-Length: 0\r\nConnection: "
                       "close\r\n\r\n";
             }
         } else if (line == "METRICS") {
             out = srv.metrics_text();
+        } else if (line == "DUMP_TRACE") {
+            out = obs::chrome_trace_json();
         } else {
             c.dead = true;  // not a protocol we speak
             return;
@@ -671,6 +793,10 @@ struct tcp_server::loop {
 
     void on_readable(open_conn& oc) {
         conn& c = *oc.c;
+        // Read spans belong to the connection trace (one read may carry
+        // frames of many requests); request traces begin at admission.
+        obs::context_guard trace_guard(c.conn_ctx);
+        obs::scoped_span span("net.read");
         char chunk[64 * 1024];
         for (;;) {
             const ssize_t n = ::recv(c.fd.get(), chunk, sizeof chunk, 0);
@@ -829,6 +955,8 @@ tcp_server::tcp_server(backend be, tcp_server_config cfg)
     if (cfg_.max_write_buffer < api::k_frame_header_size)
         throw std::invalid_argument("net: max_write_buffer cannot hold a frame header");
     core_ = std::make_shared<core>();
+    core_->slow_threshold = cfg_.slow_request_seconds;
+    core_->slow_log = cfg_.slow_log;
     listener_ = listen_tcp(cfg_.host, cfg_.port, cfg_.backlog);
     // The accept loop drains the backlog until EAGAIN — which only
     // terminates on a non-blocking listener.
@@ -860,11 +988,16 @@ tcp_server_stats tcp_server::stats() const {
     s.request_latency_p50 = core_->latency.percentile_or_zero(50.0);
     s.request_latency_p90 = core_->latency.percentile_or_zero(90.0);
     s.request_latency_p99 = core_->latency.percentile_or_zero(99.0);
+    s.uptime_seconds =
+        std::chrono::duration<double>(clock_type::now() - core_->started).count();
     return s;
 }
 
 std::string tcp_server::metrics_text() const {
-    return render_metrics(stats(), backend_.stats());
+    metrics_extras extras;
+    extras.stages = obs::stage_stats();
+    if (backend_.backend_caches) extras.backend_caches = backend_.backend_caches();
+    return render_metrics(stats(), backend_.stats(), extras);
 }
 
 }  // namespace fisone::net

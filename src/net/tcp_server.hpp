@@ -42,18 +42,22 @@
 /// connection is closed and the last admitted request has completed.
 /// `stop()` is the hard variant: close everything now.
 ///
-/// **Metrics.** A connection whose first bytes are not the FIS1 magic is
-/// treated as a plaintext probe: `GET /metrics HTTP/1.x` (e.g. curl) gets
-/// a Prometheus text-format page over HTTP, the bare line `METRICS` gets
-/// the raw page — transport counters, admission/shed counts, request
-/// latency quantiles, and the backend's `get_stats` view (see
-/// `metrics.hpp`).
+/// **Metrics & traces.** A connection whose first bytes are not the FIS1
+/// magic is treated as a plaintext probe: `GET /metrics HTTP/1.x` (e.g.
+/// curl) gets a Prometheus text-format page over HTTP, the bare line
+/// `METRICS` gets the raw page — transport counters, admission/shed
+/// counts, request latency quantiles, per-backend cache counters, stage
+/// latency summaries, and the backend's `get_stats` view (see
+/// `metrics.hpp`). `GET /dump_trace` (or the bare line `DUMP_TRACE`)
+/// answers the current span tape as Chrome trace-event JSON
+/// (`obs::chrome_trace_json()`), loadable in Perfetto.
 
 #include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "api/server.hpp"
 #include "federation/federated_server.hpp"
@@ -77,6 +81,10 @@ struct backend_session {
 struct backend {
     std::function<backend_session(api::server::frame_sink)> open;
     std::function<service::service_stats()> stats;  ///< the `get_stats` view
+    /// Per-backend result-cache snapshots (entry k = backend k; one entry
+    /// for a single server). Optional — when unset, the metrics page omits
+    /// the per-backend cache families.
+    std::function<std::vector<api::result_cache_stats>()> backend_caches;
 };
 
 /// Front a single API server.
@@ -103,6 +111,15 @@ struct tcp_server_config {
     std::size_t max_write_buffer = std::size_t{8} << 20;
     /// Bound on a plaintext (metrics-probe) request line.
     std::size_t max_text_line = 4096;
+    /// Slow-request log threshold in seconds (net-level wall time,
+    /// admission → last response frame). A completed request at or over
+    /// the threshold emits one structured JSON line — with its span
+    /// breakdown inline when tracing is enabled — through `slow_log`.
+    /// 0 disables the log entirely.
+    double slow_request_seconds = 0.0;
+    /// Sink for slow-request lines (no trailing newline). Unset = stderr.
+    /// Runs on whichever thread completed the request; must not block.
+    std::function<void(const std::string&)> slow_log;
 };
 
 class tcp_server {

@@ -7,6 +7,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/trace.hpp"
 #include "runtime/task_executor.hpp"
 #include "util/stats.hpp"
 #include "util/thread_pool.hpp"
@@ -60,6 +61,9 @@ struct floor_service::job::impl {
 /// service callback — in completion order across all workers.
 void floor_service::record_report(job::impl& im, state& st, runtime::building_report&& report,
                                   report_kind kind) {
+    // Times the whole completion path: counters + the serialised callback
+    // chain (NDJSON export, API response emit, net write buffering).
+    obs::scoped_span span("service.report");
     const std::lock_guard<std::mutex> report_lock(st.report_m);
     im.reports.push_back(std::move(report));
     const runtime::building_report& stored = im.reports.back();
@@ -155,7 +159,11 @@ floor_service::job floor_service::enqueue(std::function<void(job::impl&)> body,
         ++state_->jobs_submitted;
     }
     std::shared_ptr<state> svc = state_;
-    pool_->submit([im, svc, body = std::move(body)] {
+    // Capture the submitter's trace position so the worker thread can adopt
+    // it — this is where a request's trace crosses the thread boundary.
+    const obs::trace_context trace_ctx = obs::current_context();
+    const std::uint64_t submit_ns = trace_ctx.active() ? obs::now_ns() : 0;
+    pool_->submit([im, svc, trace_ctx, submit_ns, body = std::move(body)] {
         {
             std::unique_lock<std::mutex> lock(svc->m);
             // Pause gate. Cancelled jobs pass through to drain immediately.
@@ -165,7 +173,12 @@ floor_service::job floor_service::enqueue(std::function<void(job::impl&)> body,
             im->st = job_state::running;
             ++svc->jobs_running;
         }
+        // Submission → pickup, recorded from the worker side because the
+        // span only closes once a worker takes the job.
+        obs::emit_child_span("service.queue_wait", trace_ctx, submit_ns, obs::now_ns());
+        obs::context_guard trace_guard(trace_ctx);
         try {
+            obs::scoped_span span("service.execute");
             body(*im);
         } catch (...) {
             // Job bodies fold pipeline errors into reports themselves; the

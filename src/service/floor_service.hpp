@@ -100,6 +100,7 @@ struct service_stats {
     /// `api::result_cache` and fills them in its `get_stats` response.
     std::size_t cache_hits = 0;
     std::size_t cache_misses = 0;
+    std::size_t cache_evictions = 0;  ///< LRU entries pushed out by capacity
 };
 
 class floor_service {

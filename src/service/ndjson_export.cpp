@@ -7,6 +7,8 @@
 #include <ostream>
 #include <stdexcept>
 
+#include "obs/trace.hpp"
+
 namespace fisone::service {
 
 namespace {
@@ -142,6 +144,7 @@ ndjson_exporter::ndjson_exporter(std::ostream& out, ndjson_options opts)
     : out_(out), opts_(opts) {}
 
 void ndjson_exporter::write(const runtime::building_report& report) {
+    obs::scoped_span span("pipeline.export");
     // Serialise outside the lock; only the stream append is critical.
     const std::string line = to_ndjson(report, opts_);
     const std::lock_guard<std::mutex> lock(m_);
@@ -156,6 +159,7 @@ std::size_t ndjson_exporter::lines_written() const {
 }
 
 void export_input_order(std::ostream& out, std::vector<runtime::building_report> reports) {
+    obs::scoped_span span("pipeline.export");
     std::sort(reports.begin(), reports.end(),
               [](const runtime::building_report& a, const runtime::building_report& b) {
                   return a.index < b.index;

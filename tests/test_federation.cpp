@@ -279,6 +279,7 @@ TEST(merge_backend_stats, sums_counters_and_pools_latencies) {
     a.buildings_ok = 5;
     a.cache_hits = 2;
     a.cache_misses = 3;
+    a.cache_evictions = 1;
     service::service_stats b;
     b.jobs_submitted = 1;
     b.jobs_done = 1;
@@ -286,6 +287,7 @@ TEST(merge_backend_stats, sums_counters_and_pools_latencies) {
     b.buildings_ok = 1;
     b.buildings_failed = 1;
     b.cache_misses = 2;
+    b.cache_evictions = 4;
 
     util::percentile_accumulator la, lb, pooled;
     for (const double x : {0.1, 0.2, 0.3, 0.4, 0.5}) {
@@ -305,6 +307,7 @@ TEST(merge_backend_stats, sums_counters_and_pools_latencies) {
     EXPECT_EQ(merged.buildings_failed, 1u);
     EXPECT_EQ(merged.cache_hits, 2u);
     EXPECT_EQ(merged.cache_misses, 5u);
+    EXPECT_EQ(merged.cache_evictions, 5u);
     EXPECT_DOUBLE_EQ(merged.latency_p50, pooled.percentile(50.0));
     EXPECT_DOUBLE_EQ(merged.latency_p90, pooled.percentile(90.0));
     EXPECT_DOUBLE_EQ(merged.latency_p99, pooled.percentile(99.0));

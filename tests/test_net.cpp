@@ -14,6 +14,7 @@
 #include <cstring>
 #include <filesystem>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <thread>
@@ -28,6 +29,7 @@
 #include "federation/federated_server.hpp"
 #include "net/socket.hpp"
 #include "net/tcp_server.hpp"
+#include "obs/trace.hpp"
 #include "service/profiles.hpp"
 #include "sim/building_generator.hpp"
 
@@ -412,6 +414,230 @@ TEST(TcpServer, MetricsProbeSpeaksHttpAndRawText) {
         const std::string page = slurp(fd.get());
         EXPECT_NE(page.find("404 Not Found"), std::string::npos);
     }
+}
+
+// --- tracing -----------------------------------------------------------------
+
+/// Enables the span recorder for the test body, restores off+empty after.
+class TcpServerTracing : public ::testing::Test {
+protected:
+    void SetUp() override {
+        obs::set_tracing_enabled(false);
+        obs::reset();
+        obs::set_tracing_enabled(true);
+    }
+    void TearDown() override {
+        obs::set_tracing_enabled(false);
+        obs::reset();
+    }
+};
+
+std::vector<std::string> span_names(const std::vector<obs::span_record>& spans) {
+    std::vector<std::string> names;
+    names.reserve(spans.size());
+    for (const obs::span_record& s : spans) names.emplace_back(s.name ? s.name : "?");
+    return names;
+}
+
+bool has_name(const std::vector<std::string>& names, const char* want) {
+    for (const std::string& n : names)
+        if (n == want) return true;
+    return false;
+}
+
+/// The tentpole acceptance check: one request through a federated fleet
+/// (2 stores × 2 backends) behind the TCP front door produces one
+/// parent-linked span tree covering every instrumented layer.
+TEST_F(TcpServerTracing, FederatedRequestProducesOneParentLinkedTrace) {
+    const std::string base =
+        (std::filesystem::temp_directory_path() / "fisone_test_net_trace").string();
+    std::filesystem::remove_all(base);
+    std::vector<std::string> dirs;
+    for (std::size_t s = 0; s < 2; ++s) {
+        data::corpus fleet;
+        fleet.name = "trace-store-" + std::to_string(s);
+        fleet.buildings.push_back(tiny_building(s));
+        const std::string dir = base + "/store" + std::to_string(s);
+        static_cast<void>(data::write_corpus_store(fleet, dir, 1));
+        dirs.push_back(dir);
+    }
+
+    {
+        federation::federation_config fcfg;
+        fcfg.service = service::quick_profile(11, 1);
+        fcfg.num_backends = 2;
+        fcfg.store_dirs = dirs;
+        federation::federated_server fed(fcfg);
+        net::tcp_server front(net::make_backend(fed));
+        std::thread loop([&front] { front.run(); });
+
+        net::frame_conn conn("127.0.0.1", front.port());
+        conn.send(identify_frame(9, 0, 0));
+        conn.shutdown_write();
+        const std::optional<std::string> reply = conn.read_frame();
+        ASSERT_TRUE(reply.has_value());
+        const api::response resp = decode_one(*reply);
+        const auto* b = std::get_if<api::building_response>(&resp);
+        ASSERT_NE(b, nullptr);
+        EXPECT_TRUE(b->report.ok) << b->report.error;
+        conn.close();
+        front.drain();
+        loop.join();
+    }  // destroying the fleet joins its workers: every span has landed
+
+    // Find the request's root span and pull its whole tree.
+    const std::vector<obs::span_record> all = obs::snapshot();
+    const obs::span_record* root = nullptr;
+    for (const obs::span_record& s : all) {
+        if (s.name != nullptr && std::string("net.request") == s.name) root = &s;
+    }
+    ASSERT_NE(root, nullptr);
+    EXPECT_EQ(root->parent_id, 0u);
+    const std::vector<obs::span_record> trace = obs::spans_for_trace(root->trace_id);
+    const std::vector<std::string> names = span_names(trace);
+
+    // Every instrumented layer is present in this one trace: transport,
+    // federation routing, API session, service queue/execute, and each
+    // pipeline stage.
+    for (const char* want :
+         {"net.request", "net.dispatch", "federation.dispatch", "federation.route",
+          "api.identify", "service.queue_wait", "service.execute",
+          "pipeline.graph_build", "pipeline.gnn_embed", "pipeline.cluster",
+          "pipeline.index", "service.report"}) {
+        EXPECT_TRUE(has_name(names, want)) << "trace missing span " << want;
+    }
+
+    // And it is a single well-formed tree: exactly one root, every other
+    // span's parent id resolves within the trace.
+    std::size_t roots = 0;
+    for (const obs::span_record& s : trace) roots += s.parent_id == 0 ? 1 : 0;
+    EXPECT_EQ(roots, 1u);
+    for (const obs::span_record& s : trace) {
+        if (s.parent_id == 0) continue;
+        bool linked = false;
+        for (const obs::span_record& p : trace) linked |= p.span_id == s.parent_id;
+        EXPECT_TRUE(linked) << "span " << (s.name ? s.name : "?")
+                            << " has a dangling parent id";
+    }
+    std::filesystem::remove_all(base);
+}
+
+/// Colliding client correlation ids (both connections use id 1) go through
+/// the per-connection remap — each request must still get its own complete,
+/// distinct trace.
+TEST_F(TcpServerTracing, CollidingCorrelationIdsGetDistinctTraces) {
+    {
+        test_front tf;
+        for (std::size_t c = 0; c < 2; ++c) {
+            net::frame_conn conn("127.0.0.1", tf.port());
+            conn.send(identify_frame(1, c, c));
+            conn.shutdown_write();
+            const std::optional<std::string> reply = conn.read_frame();
+            ASSERT_TRUE(reply.has_value());
+            const api::response resp = decode_one(*reply);
+            const auto* b = std::get_if<api::building_response>(&resp);
+            ASSERT_NE(b, nullptr);
+            EXPECT_EQ(b->correlation_id, 1u);  // client id space restored
+        }
+    }  // server teardown joins the workers: every span has landed
+
+    const std::vector<obs::span_record> all = obs::snapshot();
+    std::vector<std::uint64_t> request_traces;
+    for (const obs::span_record& s : all) {
+        if (s.name != nullptr && std::string("net.request") == s.name)
+            request_traces.push_back(s.trace_id);
+    }
+    ASSERT_EQ(request_traces.size(), 2u);
+    EXPECT_NE(request_traces[0], request_traces[1]);
+    for (const std::uint64_t id : request_traces) {
+        const std::vector<std::string> names = span_names(obs::spans_for_trace(id));
+        EXPECT_TRUE(has_name(names, "api.identify")) << "trace 0x" << std::hex << id;
+        EXPECT_TRUE(has_name(names, "service.execute")) << "trace 0x" << std::hex << id;
+    }
+}
+
+TEST_F(TcpServerTracing, DumpTraceProbeSpeaksHttpAndRawText) {
+    test_front tf;
+    {
+        net::frame_conn warm("127.0.0.1", tf.port());
+        warm.send(identify_frame(1, 0, 0));
+        warm.shutdown_write();
+        while (warm.read_frame().has_value()) {}
+    }
+    {
+        net::socket_fd fd = net::connect_tcp("127.0.0.1", tf.port());
+        net::send_all(fd.get(), "GET /dump_trace HTTP/1.0\r\n\r\n");
+        const std::string page = slurp(fd.get());
+        EXPECT_NE(page.find("HTTP/1.0 200 OK"), std::string::npos);
+        EXPECT_NE(page.find("Content-Type: application/json"), std::string::npos);
+        EXPECT_NE(page.find("\"traceFormatVersion\":\"fisone-trace/v1\""),
+                  std::string::npos);
+        EXPECT_NE(page.find("\"name\":\"net.request\""), std::string::npos);
+    }
+    {
+        net::socket_fd fd = net::connect_tcp("127.0.0.1", tf.port());
+        net::send_all(fd.get(), "DUMP_TRACE\n");
+        const std::string page = slurp(fd.get());
+        EXPECT_EQ(page.rfind("{\"traceFormatVersion\"", 0), 0u);  // raw JSON
+    }
+}
+
+TEST_F(TcpServerTracing, MetricsExposeBuildInfoUptimeBackendCachesAndStages) {
+    test_front tf;
+    {
+        net::frame_conn warm("127.0.0.1", tf.port());
+        warm.send(identify_frame(1, 0, 0));
+        warm.shutdown_write();
+        while (warm.read_frame().has_value()) {}
+    }
+    // Wait out the worker's span teardown so the stage table has the full
+    // ladder before the scrape (wait_all returns after the job body exits).
+    tf.server().backing_service().wait_all();
+    net::socket_fd fd = net::connect_tcp("127.0.0.1", tf.port());
+    net::send_all(fd.get(), "GET /metrics HTTP/1.0\r\n\r\n");
+    const std::string page = slurp(fd.get());
+    EXPECT_NE(page.find("fisone_build_info{version=\""), std::string::npos);
+    EXPECT_NE(page.find("fisone_uptime_seconds"), std::string::npos);
+    EXPECT_NE(page.find("fisone_cache_evictions_total"), std::string::npos);
+    EXPECT_NE(page.find("fisone_backend_cache_hits_total{backend=\"0\"}"),
+              std::string::npos);
+    EXPECT_NE(page.find("fisone_backend_cache_entries{backend=\"0\"}"),
+              std::string::npos);
+    EXPECT_NE(page.find("fisone_stage_seconds{stage=\"api.identify\",quantile=\"0.5\"}"),
+              std::string::npos);
+    EXPECT_NE(page.find("fisone_stage_seconds{stage=\"pipeline.gnn_embed\","),
+              std::string::npos);
+    EXPECT_NE(page.find("fisone_stage_seconds_count{stage=\"service.execute\"}"),
+              std::string::npos);
+}
+
+TEST_F(TcpServerTracing, SlowRequestLogCarriesSpanBreakdown) {
+    std::mutex log_m;
+    std::vector<std::string> lines;
+    net::tcp_server_config cfg;
+    cfg.slow_request_seconds = 1e-9;  // everything is slow
+    cfg.slow_log = [&](const std::string& line) {
+        const std::lock_guard<std::mutex> lock(log_m);
+        lines.push_back(line);
+    };
+    test_front tf(cfg);
+    {
+        net::frame_conn conn("127.0.0.1", tf.port());
+        conn.send(identify_frame(42, 0, 0));
+        conn.shutdown_write();
+        while (conn.read_frame().has_value()) {}
+    }
+    const std::lock_guard<std::mutex> lock(log_m);
+    ASSERT_EQ(lines.size(), 1u);
+    const std::string& line = lines[0];
+    EXPECT_EQ(line.rfind("{\"slow_request\":{", 0), 0u);
+    EXPECT_NE(line.find("\"correlation_id\":42"), std::string::npos);
+    EXPECT_NE(line.find("\"seconds\":"), std::string::npos);
+    EXPECT_NE(line.find("\"trace_id\":\"0x"), std::string::npos);
+    EXPECT_NE(line.find("\"spans\":["), std::string::npos);
+    // The breakdown carries every span closed by completion time; the
+    // still-open service.execute cannot be in it, the pipeline stages are.
+    EXPECT_NE(line.find("\"name\":\"pipeline.gnn_embed\""), std::string::npos);
 }
 
 // --- federated backend -------------------------------------------------------

@@ -62,7 +62,9 @@ def diff_file(name, prev, curr, threshold):
         if p is None or c is None:
             rows.append((field, p, c, None))
             continue
-        delta = (c - p) / abs(p) * 100.0 if p != 0 else (0.0 if c == 0 else float("inf"))
+        # A zero baseline has no meaningful relative delta (a field that
+        # just became nonzero would print "+inf%"); report it as unmarked.
+        delta = (c - p) / abs(p) * 100.0 if p != 0 else (0.0 if c == 0 else None)
         rows.append((field, p, c, delta))
 
     print(f"### {name}\n")
@@ -75,8 +77,11 @@ def diff_file(name, prev, curr, threshold):
         if c is None:
             print(f"| {field} | {fmt(p)} | — | gone | |")
             continue
+        if delta is None:
+            print(f"| {field} | {fmt(p)} | {fmt(c)} | n/a (was 0) | |")
+            continue
         mark = ""
-        if delta is not None and abs(delta) >= threshold:
+        if abs(delta) >= threshold:
             d = direction(field)
             if d == "lower-better":
                 mark = "regressed" if delta > 0 else "improved"
@@ -96,8 +101,19 @@ def main():
                         help="mark rows whose |delta| meets this percent (default 10)")
     args = parser.parse_args()
 
-    prev_files = {p.name: p for p in sorted(args.prev_dir.glob("BENCH_*.json"))}
-    curr_files = {p.name: p for p in sorted(args.curr_dir.glob("BENCH_*.json"))}
+    # Either directory may be missing outright — the first run of a new
+    # bench has no previous artifact, a retired bench leaves none behind.
+    # Both are routine, neither deserves a stack trace.
+    prev_files = (
+        {p.name: p for p in sorted(args.prev_dir.glob("BENCH_*.json"))}
+        if args.prev_dir.is_dir() else {}
+    )
+    curr_files = (
+        {p.name: p for p in sorted(args.curr_dir.glob("BENCH_*.json"))}
+        if args.curr_dir.is_dir() else {}
+    )
+    if not args.prev_dir.is_dir():
+        print(f"bench_diff: no previous dir {args.prev_dir} (first run?)", file=sys.stderr)
     if not curr_files:
         print(f"bench_diff: no BENCH_*.json under {args.curr_dir}", file=sys.stderr)
         print("_bench_diff: nothing to compare (no current bench reports)._")

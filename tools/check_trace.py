@@ -1,0 +1,132 @@
+#!/usr/bin/env python3
+"""Validate a fisone Chrome trace-event dump (the --trace-out / /dump_trace
+output) without loading it into Perfetto.
+
+Usage:  check_trace.py TRACE.json [--min-events N] [--require-span NAME ...]
+
+Checks, in order:
+  - the file parses as JSON and is an object;
+  - `traceFormatVersion` is present and a version this checker understands
+    (currently `fisone-trace/v1`);
+  - `traceEvents` is a list of complete ("ph": "X") events, each carrying
+    the keys Perfetto needs (name/ts/dur/pid/tid) with sane types and
+    non-negative times, plus the fisone id args (trace/span/parent as hex
+    strings);
+  - parent links resolve: every event whose `args.parent` is nonzero has
+    some event in the same trace carrying that id as its `args.span`
+    (skipped when `otherData.dropped` > 0 — a wrapped ring legitimately
+    loses the oldest spans, parents included);
+  - `otherData.recorded` matches the event count;
+  - at least --min-events events (default 1) and every --require-span name
+    is present.
+
+Exit code 0 on a valid trace, 1 with a one-line reason otherwise — written
+for CI (validate the smoke-test artifact before uploading it).
+"""
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+KNOWN_VERSIONS = ("fisone-trace/v1",)
+REQUIRED_EVENT_KEYS = ("name", "ph", "ts", "dur", "pid", "tid", "args")
+REQUIRED_ARG_KEYS = ("trace", "span", "parent")
+
+
+def fail(reason):
+    print(f"check_trace: FAIL: {reason}", file=sys.stderr)
+    sys.exit(1)
+
+
+def parse_hex_id(event, key):
+    raw = event["args"].get(key)
+    if not isinstance(raw, str) or not raw.startswith("0x"):
+        fail(f"event {event.get('name')!r}: args.{key} is not a hex id string: {raw!r}")
+    try:
+        return int(raw, 16)
+    except ValueError:
+        fail(f"event {event.get('name')!r}: args.{key} is not parseable hex: {raw!r}")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("trace", type=Path)
+    parser.add_argument("--min-events", type=int, default=1,
+                        help="fail unless at least this many events (default 1)")
+    parser.add_argument("--require-span", action="append", default=[],
+                        metavar="NAME", help="fail unless a span with this name exists")
+    args = parser.parse_args()
+
+    try:
+        doc = json.loads(args.trace.read_text())
+    except OSError as e:
+        fail(f"cannot read {args.trace}: {e}")
+    except json.JSONDecodeError as e:
+        fail(f"{args.trace} is not valid JSON: {e}")
+    if not isinstance(doc, dict):
+        fail("top level is not a JSON object")
+
+    version = doc.get("traceFormatVersion")
+    if version not in KNOWN_VERSIONS:
+        fail(f"unknown traceFormatVersion {version!r} (known: {', '.join(KNOWN_VERSIONS)})")
+
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        fail("traceEvents is missing or not a list")
+
+    # Pass 1: shape. Pass 2: parent links, which need the full span-id set.
+    spans_by_trace = {}
+    for i, event in enumerate(events):
+        if not isinstance(event, dict):
+            fail(f"traceEvents[{i}] is not an object")
+        for key in REQUIRED_EVENT_KEYS:
+            if key not in event:
+                fail(f"traceEvents[{i}] is missing key {key!r}")
+        if event["ph"] != "X":
+            fail(f"traceEvents[{i}] has phase {event['ph']!r}, expected complete ('X')")
+        if not isinstance(event["name"], str) or not event["name"]:
+            fail(f"traceEvents[{i}] has a non-string or empty name")
+        for key in ("ts", "dur"):
+            if not isinstance(event[key], (int, float)) or event[key] < 0:
+                fail(f"traceEvents[{i}] ({event['name']}): bad {key}: {event[key]!r}")
+        if not isinstance(event["args"], dict):
+            fail(f"traceEvents[{i}] ({event['name']}): args is not an object")
+        for key in REQUIRED_ARG_KEYS:
+            if key not in event["args"]:
+                fail(f"traceEvents[{i}] ({event['name']}): args missing {key!r}")
+        trace_id = parse_hex_id(event, "trace")
+        span_id = parse_hex_id(event, "span")
+        if trace_id == 0 or span_id == 0:
+            fail(f"traceEvents[{i}] ({event['name']}): zero trace or span id")
+        spans_by_trace.setdefault(trace_id, set()).add(span_id)
+
+    other = doc.get("otherData")
+    if not isinstance(other, dict):
+        fail("otherData is missing or not an object")
+    recorded = other.get("recorded")
+    if recorded != len(events):
+        fail(f"otherData.recorded = {recorded!r} but traceEvents has {len(events)}")
+
+    if not other.get("dropped"):
+        for i, event in enumerate(events):
+            trace_id = parse_hex_id(event, "trace")
+            parent_id = parse_hex_id(event, "parent")
+            if parent_id and parent_id not in spans_by_trace[trace_id]:
+                fail(f"traceEvents[{i}] ({event['name']}): parent 0x{parent_id:x} "
+                     f"not found in trace 0x{trace_id:x}")
+
+    if len(events) < args.min_events:
+        fail(f"only {len(events)} events, expected at least {args.min_events}")
+    names = {event["name"] for event in events}
+    for want in args.require_span:
+        if want not in names:
+            fail(f"required span {want!r} absent (saw: {', '.join(sorted(names))})")
+
+    traces = len(spans_by_trace)
+    print(f"check_trace: OK: {len(events)} events, {traces} trace(s), "
+          f"{other.get('threads')} thread(s), {other.get('dropped')} dropped")
+
+
+if __name__ == "__main__":
+    main()
