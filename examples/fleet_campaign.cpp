@@ -1,0 +1,191 @@
+/// \file fleet_campaign.cpp
+/// Deterministic campaign client for chaos drills against a running
+/// `serve_tcp` front door: synthesize `--count` buildings from a fixed
+/// seed schedule, submit them over TCP with pinned corpus indices
+/// `[--first, --first + --count)`, collect every response, and write the
+/// reports as input-order NDJSON (no timing) to `--out`.
+///
+/// Pinned indices + a fixed profile/seed make the output byte-identical
+/// across runs, restarts, thread counts, and fault plans — which is what
+/// the kill-and-restart CI smoke compares. The same pinning makes resent
+/// requests result-cache hits, so `--min-cache-hits` can assert that a
+/// warm-restarted fleet actually reloaded its spilled cache shards.
+///
+/// Run:  ./fleet_campaign --port P [--host A] [--count N] [--first N]
+///                        [--base-seed S] [--window N] [--out PATH]
+///                        [--min-cache-hits N] [--quiet] [--help]
+///
+/// Exits nonzero when any request fails, any response goes missing, or
+/// the server-side cache-hit delta falls short of `--min-cache-hits`.
+
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "api/codec.hpp"
+#include "api/message.hpp"
+#include "net/socket.hpp"
+#include "service/ndjson_export.hpp"
+#include "sim/building_generator.hpp"
+#include "util/cli.hpp"
+
+namespace {
+
+using namespace fisone;
+
+/// Correlation id for the pre/post stats probes, far above any campaign id.
+constexpr std::uint64_t k_stats_corr = 0x00FFFFFF00000001ull;
+
+/// The campaign's deterministic building schedule: global index -> one
+/// small synthetic building. Mirrors the shape the federation tests use
+/// (tiny floors, few APs) so a campaign stays fast on one core.
+data::building campaign_building(std::uint64_t base_seed, std::uint64_t index) {
+    sim::building_spec spec;
+    spec.name = "fleet-" + std::to_string(index);
+    spec.num_floors = 3 + index % 2;
+    spec.samples_per_floor = 20;
+    spec.aps_per_floor = 6;
+    spec.seed = base_seed + index;
+    return sim::generate_building(spec).building;
+}
+
+void print_usage() {
+    std::cerr <<
+        "usage: fleet_campaign --port P [--host A] [--count N] [--first N]\n"
+        "                      [--base-seed S] [--window N] [--out PATH]\n"
+        "                      [--min-cache-hits N] [--quiet] [--help]\n"
+        "\n"
+        "  --count N           buildings to submit (default 24)\n"
+        "  --first N           first pinned corpus index (default 0)\n"
+        "  --base-seed S       building i is generated from seed S+i (default 900)\n"
+        "  --window N          max requests in flight (default 8; keep under the\n"
+        "                      server's --max-inflight to avoid shed errors)\n"
+        "  --out PATH          write input-order NDJSON here (default stdout)\n"
+        "  --min-cache-hits N  fail unless the server's cache-hit counter grew\n"
+        "                      by at least N over the campaign (default 0)\n";
+}
+
+/// Ask the server for its stats snapshot and return the cache-hit total.
+std::uint64_t cache_hits_now(net::frame_conn& conn) {
+    conn.send(api::encode(api::request{api::get_stats_request{k_stats_corr}}));
+    while (true) {
+        const std::optional<std::string> frame = conn.read_frame();
+        if (!frame) throw std::runtime_error("connection closed awaiting stats");
+        const auto r = api::decode_response(*frame);
+        if (!r.ok()) throw std::runtime_error("undecodable stats frame");
+        if (const auto* s = std::get_if<api::stats_response>(&*r.value))
+            return s->stats.cache_hits;
+        throw std::runtime_error("unexpected frame while awaiting stats");
+    }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) try {
+    const util::cli_args args(argc, argv);
+    if (args.has("help")) {
+        print_usage();
+        return EXIT_SUCCESS;
+    }
+    const bool quiet = args.has("quiet");
+    const std::string host = args.get("host", "127.0.0.1");
+    const auto port = static_cast<std::uint16_t>(args.get_int("port", 0));
+    const auto count = static_cast<std::uint64_t>(args.get_int("count", 24));
+    const auto first = static_cast<std::uint64_t>(args.get_int("first", 0));
+    const auto base_seed = static_cast<std::uint64_t>(args.get_int("base-seed", 900));
+    const auto window = static_cast<std::size_t>(args.get_int("window", 8));
+    const std::string out_path = args.get("out", "");
+    const auto min_cache_hits = static_cast<std::uint64_t>(args.get_int("min-cache-hits", 0));
+    if (port == 0) {
+        std::cerr << "fleet_campaign: --port is required\n";
+        print_usage();
+        return EXIT_FAILURE;
+    }
+    if (window == 0) {
+        std::cerr << "fleet_campaign: --window must be positive\n";
+        return EXIT_FAILURE;
+    }
+
+    net::frame_conn conn(host, port);
+    const std::uint64_t hits_before = cache_hits_now(conn);
+
+    // Submit with a bounded window; collect building_responses keyed by
+    // corpus index (correlation id = index + 1, so id 0 stays reserved for
+    // pre-decode failures).
+    std::map<std::uint64_t, runtime::building_report> reports;
+    std::size_t errors = 0;
+    std::size_t outstanding = 0;
+
+    const auto consume_one = [&] {
+        const std::optional<std::string> frame = conn.read_frame();
+        if (!frame) throw std::runtime_error("connection closed mid-campaign");
+        const auto r = api::decode_response(*frame);
+        if (!r.ok())
+            throw std::runtime_error("undecodable response frame: " +
+                                     (r.error ? r.error->message : std::string("eof")));
+        if (const auto* b = std::get_if<api::building_response>(&*r.value)) {
+            reports.emplace(b->report.index, b->report);
+            --outstanding;
+        } else if (const auto* e = std::get_if<api::error_response>(&*r.value)) {
+            ++errors;
+            if (e->correlation_id != 0) --outstanding;
+            std::cerr << "fleet_campaign: request " << e->correlation_id
+                      << " failed: " << api::error_code_name(e->code) << ": "
+                      << e->message << '\n';
+        } else {
+            throw std::runtime_error("unexpected response tag mid-campaign");
+        }
+    };
+
+    for (std::uint64_t i = first; i < first + count; ++i) {
+        while (outstanding >= window) consume_one();
+        api::identify_building_request req;
+        req.correlation_id = i + 1;
+        req.has_index = true;
+        req.corpus_index = i;
+        req.b = campaign_building(base_seed, i);
+        conn.send(api::encode(api::request{std::move(req)}));
+        ++outstanding;
+    }
+    while (outstanding > 0) consume_one();
+
+    const std::uint64_t hits_after = cache_hits_now(conn);
+    const std::uint64_t hits_delta = hits_after - hits_before;
+    conn.shutdown_write();
+
+    std::vector<runtime::building_report> ordered;
+    ordered.reserve(reports.size());
+    for (auto& [index, report] : reports) ordered.push_back(std::move(report));
+    if (!out_path.empty()) {
+        std::ofstream f(out_path);
+        service::export_input_order(f, std::move(ordered));
+        f.close();
+        if (!f) {
+            std::cerr << "fleet_campaign: cannot write " << out_path << '\n';
+            return EXIT_FAILURE;
+        }
+    } else {
+        service::export_input_order(std::cout, std::move(ordered));
+    }
+
+    const std::size_t missing = static_cast<std::size_t>(count) - reports.size();
+    if (!quiet)
+        std::cerr << "fleet_campaign: " << reports.size() << '/' << count
+                  << " reports, " << errors << " errors, " << hits_delta
+                  << " cache hits\n";
+    if (errors > 0 || missing > 0) return EXIT_FAILURE;
+    if (hits_delta < min_cache_hits) {
+        std::cerr << "fleet_campaign: cache hits " << hits_delta << " < required "
+                  << min_cache_hits << '\n';
+        return EXIT_FAILURE;
+    }
+    return EXIT_SUCCESS;
+} catch (const std::exception& e) {
+    std::cerr << "fleet_campaign: " << e.what() << '\n';
+    return EXIT_FAILURE;
+}

@@ -16,16 +16,35 @@
 ///                   [--stores DIR,DIR,...] [--backends N]
 ///                   [--threads T] [--seed S] [--profile quick|full]
 ///                   [--max-inflight N] [--max-connections N]
-///                   [--trace-out PATH] [--slow-ms N] [--quiet]
+///                   [--request-timeout-ms N] [--cache-dir DIR]
+///                   [--fault-plan SPEC] [--trace-out PATH] [--slow-ms N]
+///                   [--quiet] [--help]
 ///
 ///  --port 0       (default) binds a kernel-assigned port; pair with
 ///                 --port-file so a driving script can discover it.
 ///  --stores       mount on-disk corpus stores behind a federated fleet
-///                 of --backends services; without it, a single
-///                 `api::server` serves wire-supplied buildings only.
+///                 of --backends services; without it (and without
+///                 --backends/--fault-plan/--request-timeout-ms), a
+///                 single `api::server` serves wire-supplied buildings
+///                 only.
 ///  --profile      pins the pipeline profile (`service::profiles`), so a
 ///                 client process using the same profile + seed gets
 ///                 byte-identical results to an in-process run.
+///  --request-timeout-ms
+///                 per-request deadline. A building request that hasn't
+///                 answered within N ms is cancelled on its backend and
+///                 retried elsewhere; exhausted retries answer a typed
+///                 `deadline_exceeded` error. 0 (default) disables
+///                 deadlines. Fleet mode only; arms fault tolerance.
+///  --cache-dir    persist the result cache(s) under DIR (crash-safe
+///                 write-then-rename spill). On start each backend warm
+///                 loads only its own cache-affinity shard, so a
+///                 restarted fleet resumes with warm caches.
+///  --fault-plan   deterministic fault injection, e.g.
+///                 `0:fail_every=3;1:hang_ms=200` (keys: fail_every,
+///                 fail_first, hang_ms, crash_on_submit, slow_read_ms).
+///                 Fleet mode only; arms fault tolerance
+///                 (retry/failover + circuit breakers).
 ///  --trace-out    enable span tracing for the whole run and write the
 ///                 tape as Chrome trace-event JSON (Perfetto-loadable) to
 ///                 PATH after the drain completes. While the server runs,
@@ -39,6 +58,7 @@
 #include <pthread.h>
 #include <signal.h>
 
+#include <chrono>
 #include <csignal>
 #include <cstdlib>
 #include <exception>
@@ -53,6 +73,7 @@
 #include "federation/federated_server.hpp"
 #include "net/tcp_server.hpp"
 #include "obs/trace.hpp"
+#include "service/fault_plan.hpp"
 #include "service/profiles.hpp"
 #include "util/cli.hpp"
 
@@ -72,11 +93,44 @@ std::vector<std::string> split_csv(const std::string& csv) {
     return out;
 }
 
+void print_usage() {
+    std::cerr <<
+        "usage: serve_tcp [--host A] [--port P] [--port-file PATH]\n"
+        "                 [--stores DIR,DIR,...] [--backends N]\n"
+        "                 [--threads T] [--seed S] [--profile quick|full]\n"
+        "                 [--max-inflight N] [--max-connections N]\n"
+        "                 [--request-timeout-ms N] [--cache-dir DIR]\n"
+        "                 [--fault-plan SPEC] [--trace-out PATH]\n"
+        "                 [--slow-ms N] [--quiet] [--help]\n"
+        "\n"
+        "  --request-timeout-ms N   per-request deadline; late attempts are\n"
+        "                           cancelled and retried on another backend,\n"
+        "                           exhausted retries answer deadline_exceeded.\n"
+        "                           0 disables (default). Fleet mode only.\n"
+        "  --cache-dir DIR          crash-safe persistent result-cache spill;\n"
+        "                           each backend warm-loads its own affinity\n"
+        "                           shard on restart.\n"
+        "  --fault-plan SPEC        deterministic fault injection, e.g.\n"
+        "                           0:fail_every=3;1:hang_ms=200 (keys:\n"
+        "                           fail_every, fail_first, hang_ms,\n"
+        "                           crash_on_submit, slow_read_ms). Fleet\n"
+        "                           mode only; arms retry/failover.\n"
+        "\n"
+        "Fleet mode runs when --stores, --backends, --fault-plan, or\n"
+        "--request-timeout-ms is given; otherwise a single api::server\n"
+        "serves wire-supplied buildings. SIGTERM/SIGINT drains gracefully;\n"
+        "curl http://host:port/metrics scrapes Prometheus text format.\n";
+}
+
 }  // namespace
 
 int main(int argc, char** argv) try {
     using namespace fisone;
     const util::cli_args args(argc, argv);
+    if (args.has("help")) {
+        print_usage();
+        return EXIT_SUCCESS;
+    }
     const bool quiet = args.has("quiet");
     const std::string host = args.get("host", "127.0.0.1");
     const auto port = static_cast<std::uint16_t>(args.get_int("port", 0));
@@ -88,6 +142,9 @@ int main(int argc, char** argv) try {
     const std::string profile = args.get("profile", "quick");
     const auto max_inflight = static_cast<std::size_t>(args.get_int("max-inflight", 32));
     const auto max_conns = static_cast<std::size_t>(args.get_int("max-connections", 64));
+    const auto request_timeout_ms = args.get_int("request-timeout-ms", 0);
+    const std::string cache_dir = args.get("cache-dir", "");
+    const std::string fault_plan = args.get("fault-plan", "");
     const std::string trace_out = args.get("trace-out", "");
     const auto slow_ms = args.get_int("slow-ms", 0);
 
@@ -108,13 +165,20 @@ int main(int argc, char** argv) try {
     const service::service_config svc_cfg =
         service::profile_by_name(profile, seed, threads);
 
+    // Fault tolerance needs peers to fail over to, so any fault-plan or
+    // deadline flag (and an explicit --backends) selects fleet mode even
+    // without on-disk stores.
+    const bool fleet_mode = !stores.empty() || args.has("backends") ||
+                            !fault_plan.empty() || request_timeout_ms > 0;
+
     // The backend must outlive the tcp_server, so both live here.
     std::unique_ptr<api::server> single;
     std::unique_ptr<federation::federated_server> fleet;
     net::backend be;
-    if (stores.empty()) {
+    if (!fleet_mode) {
         api::server_config cfg;
         cfg.service = svc_cfg;
+        if (!cache_dir.empty()) cfg.cache_spill = api::cache_spill_config{cache_dir, 1, 0};
         single = std::make_unique<api::server>(cfg);
         be = net::make_backend(*single);
     } else {
@@ -122,6 +186,11 @@ int main(int argc, char** argv) try {
         cfg.service = svc_cfg;
         cfg.num_backends = backends;
         cfg.store_dirs = stores;
+        cfg.cache_dir = cache_dir;
+        if (request_timeout_ms > 0)
+            cfg.fault_tolerance.request_timeout = std::chrono::milliseconds(request_timeout_ms);
+        if (!fault_plan.empty())
+            cfg.fault_plans = service::parse_fault_plans(fault_plan, backends);
         fleet = std::make_unique<federation::federated_server>(cfg);
         be = net::make_backend(*fleet);
     }
@@ -147,10 +216,15 @@ int main(int argc, char** argv) try {
     }
     if (!quiet)
         std::cerr << "serve_tcp: listening on " << host << ':' << srv.port() << " ("
-                  << (stores.empty() ? "single server"
-                                     : std::to_string(backends) + "-backend fleet")
+                  << (!fleet_mode ? "single server"
+                                  : std::to_string(backends) + "-backend fleet")
                   << ", profile " << profile << ", seed " << seed << ", "
-                  << max_inflight << " in-flight max)\n"
+                  << max_inflight << " in-flight max"
+                  << (cache_dir.empty() ? "" : ", cache spill " + cache_dir)
+                  << (request_timeout_ms > 0
+                          ? ", " + std::to_string(request_timeout_ms) + "ms deadline"
+                          : "")
+                  << (fault_plan.empty() ? "" : ", fault plan armed") << ")\n"
                   << "serve_tcp: scrape http://" << host << ':' << srv.port()
                   << "/metrics — SIGTERM drains\n";
 

@@ -14,6 +14,8 @@ const char* error_code_name(error_code code) noexcept {
         case error_code::bad_request: return "bad_request";
         case error_code::overloaded: return "overloaded";
         case error_code::draining: return "draining";
+        case error_code::backend_unavailable: return "backend_unavailable";
+        case error_code::deadline_exceeded: return "deadline_exceeded";
     }
     return "unknown";
 }

@@ -63,6 +63,13 @@ enum class error_code : std::uint16_t {
     bad_request = 7,   ///< decoded fine but semantically unservable
     overloaded = 8,    ///< shed: the admission queue is saturated — retry later
     draining = 9,      ///< shed: the server is draining for shutdown
+    /// Every backend that could serve the request is circuit-broken or
+    /// crashed and retries are exhausted — the fleet, not the request, is
+    /// at fault; retry later.
+    backend_unavailable = 10,
+    /// The request's deadline elapsed before any backend produced a
+    /// result; the in-flight attempt was cancelled.
+    deadline_exceeded = 11,
 };
 
 /// Human-readable name of \p code (for logs and error messages).

@@ -18,12 +18,28 @@
 /// Only `ok` reports are worth caching; the server enforces that policy,
 /// the cache itself stores whatever it is given. Thread-safe; eviction is
 /// strict LRU on lookup-or-insert recency.
+///
+/// **Persistent spill.** With a `cache_spill_config`, every insert is also
+/// written to disk as one file per entry — named by the key
+/// (`<content_hash>-<config_fingerprint>.rc`, both as 16-hex-digit fields)
+/// and holding the entry as an encoded `building_response` frame. Writes
+/// go to a `.tmp` sibling first and land via `rename`, so a crash at any
+/// instant leaves either the complete old file, the complete new file, or
+/// a sweepable temp — never a torn entry. On construction the cache warm-
+/// loads from the directory, but each instance restores **only its
+/// affinity shard** (`content_hash % shard_count == shard_index`, the same
+/// arithmetic content-hash-affinity routing uses) — the "least data
+/// necessary" rule of distributed-checkpoint loading: a restarted fleet
+/// member never reads its peers' entries. The key is parsed from the
+/// filename, so shard filtering never opens out-of-shard files at all.
+/// Corrupt files are deleted on load; leftover `.tmp` files are swept.
 
 #include <cstddef>
 #include <cstdint>
 #include <list>
 #include <mutex>
 #include <optional>
+#include <string>
 #include <unordered_map>
 #include <utility>
 
@@ -45,28 +61,48 @@ struct result_cache_stats {
     std::size_t misses = 0;
     std::size_t entries = 0;
     std::size_t evictions = 0;
+    std::size_t warm_loaded = 0;  ///< entries restored from disk at construction
+};
+
+/// Where (and which shard of) a persistent spill lives. An empty `dir`
+/// disables persistence entirely — the cache is purely in-memory.
+struct cache_spill_config {
+    std::string dir;  ///< spill directory, shared by the whole fleet; created on demand
+    std::size_t shard_count = 1;  ///< fleet size the affinity filter divides by
+    std::size_t shard_index = 0;  ///< this instance's shard (< shard_count)
+
+    [[nodiscard]] bool enabled() const noexcept { return !dir.empty(); }
 };
 
 class result_cache {
 public:
-    /// \throws std::invalid_argument on zero capacity.
-    explicit result_cache(std::size_t capacity);
+    /// \throws std::invalid_argument on zero capacity, a zero
+    /// `shard_count`, or a `shard_index` out of range. With spill enabled,
+    /// creates the directory and warm-loads this instance's shard.
+    explicit result_cache(std::size_t capacity, cache_spill_config spill = {});
 
     /// The cached report for \p key, refreshed to most-recently-used; or
     /// nullopt. Counts one hit or miss.
     [[nodiscard]] std::optional<runtime::building_report> lookup(const cache_key& key);
 
     /// Insert (or refresh) \p report under \p key, evicting the least
-    /// recently used entry when full. Does not count a hit or miss.
+    /// recently used entry when full. Does not count a hit or miss. With
+    /// spill enabled the entry is durable on disk (write-then-rename)
+    /// *before* it becomes visible in memory; a spill I/O failure is
+    /// swallowed — persistence degrades, serving never does. Disk entries
+    /// are not evicted with their in-memory twins: the spill is the warm-
+    /// restart superset, bounded by the corpus, not by `capacity`.
     void insert(const cache_key& key, runtime::building_report report);
 
     [[nodiscard]] result_cache_stats stats() const;
     [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+    [[nodiscard]] const cache_spill_config& spill() const noexcept { return spill_; }
 
-    /// Drop every entry (counters survive).
+    /// Drop every in-memory entry (counters and disk spill survive).
     void clear();
 
 private:
+    void warm_load();
     struct key_hash {
         std::size_t operator()(const cache_key& k) const noexcept {
             // The halves are already avalanched FNV digests; xor with an
@@ -79,12 +115,14 @@ private:
     using lru_list = std::list<std::pair<cache_key, runtime::building_report>>;
 
     std::size_t capacity_;
+    cache_spill_config spill_;
     mutable std::mutex m_;
     lru_list entries_;  ///< front = most recently used
     std::unordered_map<cache_key, lru_list::iterator, key_hash> index_;
     std::size_t hits_ = 0;
     std::size_t misses_ = 0;
     std::size_t evictions_ = 0;
+    std::size_t warm_loaded_ = 0;
 };
 
 }  // namespace fisone::api

@@ -183,7 +183,8 @@ bool server::session::sink_broken() const {
 }
 
 server::server(server_config cfg) : cfg_(std::move(cfg)) {
-    if (cfg_.enable_cache) cache_ = std::make_unique<result_cache>(cfg_.cache_capacity);
+    if (cfg_.enable_cache)
+        cache_ = std::make_unique<result_cache>(cfg_.cache_capacity, cfg_.cache_spill);
     svc_ = std::make_unique<service::floor_service>(cfg_.service);
 }
 

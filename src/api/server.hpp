@@ -50,6 +50,10 @@ struct server_config {
     service::service_config service{};
     bool enable_cache = true;          ///< serve repeat submissions from cache
     std::size_t cache_capacity = 1024; ///< LRU entries (one building report each)
+    /// Persistent cache spill (crash-safe write-then-rename files, warm
+    /// load on construction). Disabled by default; ignored when
+    /// `enable_cache` is false. See `cache_spill_config`.
+    cache_spill_config cache_spill{};
     /// Filesystem root that `identify_shard` paths must resolve inside
     /// (symlinks and dot-segments resolved). Empty — the default — trusts
     /// the caller, which is right for in-process embedding; SET THIS

@@ -1,5 +1,8 @@
 #include "federated_server.hpp"
 
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
 #include <istream>
 #include <mutex>
 #include <ostream>
@@ -15,6 +18,30 @@
 namespace fisone::federation {
 
 namespace {
+
+/// Frame-peek helpers, mirroring `net::tcp_server`'s wire layout: tag at
+/// byte 8, correlation id at the payload start (byte 14), a cancel
+/// response's target id right after it (byte 22). All little-endian.
+constexpr std::size_t k_off_tag = 8;
+constexpr std::size_t k_off_corr = api::k_frame_header_size;  // 14
+constexpr std::size_t k_off_cancel_target = k_off_corr + 8;   // 22
+
+std::uint16_t rd_u16(std::string_view b, std::size_t off) {
+    return static_cast<std::uint16_t>(static_cast<unsigned char>(b[off]) |
+                                      (static_cast<unsigned char>(b[off + 1]) << 8));
+}
+
+std::uint64_t rd_u64(std::string_view b, std::size_t off) {
+    std::uint64_t v = 0;
+    for (std::size_t i = 0; i < 8; ++i)
+        v |= static_cast<std::uint64_t>(static_cast<unsigned char>(b[off + i])) << (8 * i);
+    return v;
+}
+
+void patch_u64(std::string& b, std::size_t off, std::uint64_t v) {
+    for (std::size_t i = 0; i < 8; ++i)
+        b[off + i] = static_cast<char>((v >> (8 * i)) & 0xff);
+}
 
 /// Stable affinity identity of a shard request: a canonical hash of its
 /// path, so resubmitting the same shard lands on the same backend.
@@ -106,6 +133,63 @@ struct federated_server::routing {
 // hold it without GCC's -Wsubobject-linkage firing.
 namespace detail {
 
+/// High bit of a correlation id: set on every id the protected dispatch
+/// path mints (attempt ids, swallow-cancel ids), never on a client id the
+/// front door forwards (`net::tcp_server` remaps client ids to small
+/// internal ones). The bit is what lets the emitter tell backend frames it
+/// must intercept from frames it streams through verbatim.
+inline constexpr std::uint64_t k_attempt_bit = std::uint64_t{1} << 63;
+
+/// One in-flight protected building request. Lives in the tracker map
+/// from submission until its final answer (success, genuine failure, or
+/// typed error) — a scheduled-but-not-yet-dispatched retry re-keys the
+/// entry under a fresh attempt id, so the map is never empty while the
+/// client still awaits a response (the drain barrier waits on exactly
+/// that).
+struct attempt {
+    std::uint64_t client_corr = 0;
+    api::identify_building_request req;  ///< pinned (has_index = true)
+    std::uint64_t affinity = 0;
+    std::size_t backend = 0;      ///< backend of the current dispatch
+    std::size_t last_failed = 0;  ///< backend the previous try failed on
+    bool has_failed = false;      ///< `last_failed` is meaningful
+    std::size_t tries = 0;        ///< dispatches so far
+    /// Set while the final response is being delivered: competing
+    /// resolution paths (a late timeout racing the answer) back off, and
+    /// the drain barrier keeps waiting until delivery completes.
+    bool resolving = false;
+    obs::trace_context trace{};   ///< submitter's trace position (for retry spans)
+};
+
+/// Protected-mode bookkeeping of one session. Pure data + locks — shared
+/// by the session state and its emitter, so interception keeps working on
+/// frames that arrive after the session handle was dropped.
+struct attempt_tracker {
+    std::mutex m;
+    std::condition_variable cv;  ///< notified whenever an attempt resolves
+    std::unordered_map<std::uint64_t, attempt> attempts;  ///< by attempt id
+    /// Client correlation id → current attempt id (the `cancel_job`
+    /// namespace under protection). Resubmitting under an id re-points it.
+    std::unordered_map<std::uint64_t, std::uint64_t> attempt_by_client;
+    /// Forwarded client cancels had their target translated to an attempt
+    /// id; this maps the cancel's own correlation id back to the client's
+    /// target so the response can be un-translated in place.
+    std::unordered_map<std::uint64_t, std::uint64_t> cancel_rewrites;
+    std::uint64_t next_id = 0;
+
+    std::uint64_t mint() { return k_attempt_bit | next_id++; }
+
+    /// Drop the resolved attempt \p id (and its client alias).
+    void erase(std::uint64_t id) {
+        const auto it = attempts.find(id);
+        if (it == attempts.end()) return;
+        const auto alias = attempt_by_client.find(it->second.client_corr);
+        if (alias != attempt_by_client.end() && alias->second == id)
+            attempt_by_client.erase(alias);
+        attempts.erase(it);
+    }
+};
+
 /// The response channel of one federated connection. Kept separate from the
 /// session state on purpose: backend sessions hold their sink (and thus
 /// this) alive while jobs are in flight, and pointing those sinks at the
@@ -115,10 +199,21 @@ struct emitter {
     federated_server::frame_sink sink;
     std::mutex m;  ///< serialises sink calls across every backend's workers
     bool broken = false;
+    /// Protected mode: inspects each backend frame first; true = consumed
+    /// (handled, rewritten-and-delivered, or dropped as stale). Owned by
+    /// this emitter; captures it by raw pointer (same lifetime) and the
+    /// session state only weakly (no cycle).
+    std::function<bool(std::string_view)> intercept;
 
-    /// Forward one already-encoded frame. A sink that throws marks the
-    /// transport broken; later frames are dropped silently.
+    /// Route one backend frame: interception first, else verbatim.
     void frame(std::string_view f) {
+        if (intercept && intercept(f)) return;
+        deliver(f);
+    }
+
+    /// Hand one frame to the sink. A sink that throws marks the transport
+    /// broken; later frames are dropped silently.
+    void deliver(std::string_view f) {
         const std::lock_guard<std::mutex> lock(m);
         if (broken) return;
         try {
@@ -128,8 +223,9 @@ struct emitter {
         }
     }
 
-    /// Encode and forward one front-end-authored response.
-    void respond(const api::response& resp) { frame(api::encode(resp)); }
+    /// Encode and forward one front-end-authored response (never
+    /// intercepted: these already carry the client's correlation id).
+    void respond(const api::response& resp) { deliver(api::encode(resp)); }
 };
 
 }  // namespace detail
@@ -142,20 +238,32 @@ struct federated_server::session::state {
     store_registry* registry = nullptr;
     std::vector<api::server*> backends;
     std::vector<api::server::session> backend_sessions;
+    /// Protection (both null when off). The tracker is shared with the
+    /// emitter; fleet_health is shared with the server (its watchdog must
+    /// outlive every scheduled retry).
+    std::shared_ptr<detail::attempt_tracker> tracker;
+    std::shared_ptr<fleet_health> health;
 
     std::mutex owners_m;
     /// Which backend owns each submitted correlation id (the `cancel_job`
     /// namespace). Resubmitting under an id re-points it, exactly as
     /// `api::server` re-points its cancellable target. Cleared at `flush`
     /// (everything is finished then, so cancels answer false either way).
+    /// Under protection, building requests route cancels through the
+    /// tracker instead; this map still owns shard requests.
     std::unordered_map<std::uint64_t, std::size_t> owners;
 
-    /// Probe every backend's load for the router.
+    /// Probe every backend's load (and, under protection, breaker state)
+    /// for the router.
     [[nodiscard]] std::vector<backend_probe> probe() const {
         std::vector<backend_probe> probes(backends.size());
         for (std::size_t k = 0; k < backends.size(); ++k) {
             const service::floor_service& svc = backends[k]->backing_service();
             probes[k] = backend_probe{svc.pending_jobs(), svc.paused()};
+        }
+        if (health) {
+            const std::vector<bool> mask = health->unavailable_mask();
+            for (std::size_t k = 0; k < probes.size(); ++k) probes[k].broken = mask[k];
         }
         return probes;
     }
@@ -166,7 +274,179 @@ struct federated_server::session::state {
         const std::lock_guard<std::mutex> lock(owners_m);
         owners[correlation_id] = backend_index;
     }
+
+    /// Drain barrier: every backend finished AND every protected attempt
+    /// resolved. Loops because a scheduled retry may submit new backend
+    /// work after a round of finishes.
+    void drain() {
+        for (;;) {
+            for (api::server::session& bs : backend_sessions) bs.finish();
+            if (!tracker) return;
+            std::unique_lock<std::mutex> lock(tracker->m);
+            if (tracker->attempts.empty()) return;
+            tracker->cv.wait_for(lock, std::chrono::milliseconds(20));
+        }
+    }
 };
+
+// --- protected dispatch -----------------------------------------------------
+
+/// (Re)dispatch protected attempt \p attempt_id: route it (avoiding the
+/// backend it last failed on and every circuit-broken backend — though
+/// when nothing is available the natural choice still gets the work, so
+/// a single-backend fleet keeps retrying toward exhaustion rather than
+/// failing early), forward it under its attempt id, arm its deadline.
+/// Runs on the submitting thread for the first try and on the fleet_health
+/// watchdog for retries — never inside a completion callback.
+void federated_server::dispatch_attempt(const std::shared_ptr<session::state>& st,
+                                        std::uint64_t attempt_id) {
+    detail::attempt_tracker& tr = *st->tracker;
+    fleet_health& health = *st->health;
+
+    api::identify_building_request req;
+    std::uint64_t affinity = 0;
+    std::size_t last_failed = 0;
+    bool has_failed = false;
+    std::size_t tries = 0;
+    obs::trace_context trace;
+    {
+        const std::lock_guard<std::mutex> lock(tr.m);
+        const auto it = tr.attempts.find(attempt_id);
+        if (it == tr.attempts.end()) return;  // resolved while queued
+        detail::attempt& a = it->second;
+        ++a.tries;
+        tries = a.tries;
+        req = a.req;
+        affinity = a.affinity;
+        last_failed = a.last_failed;
+        has_failed = a.has_failed;
+        trace = a.trace;
+    }
+
+    std::vector<backend_probe> probes = st->probe();
+    if (has_failed && last_failed < probes.size()) probes[last_failed].broken = true;
+    const std::size_t k = st->routing->route(affinity, probes);
+    if (tries > 1) {
+        health.count_retry();
+        const std::uint64_t now = obs::now_ns();
+        obs::emit_child_span("federation.retry", trace, now, now);
+        if (has_failed && k != last_failed) {
+            health.count_failover();
+            obs::emit_child_span("federation.failover", trace, now, now);
+        }
+    }
+    health.note_routed(k);
+    {
+        const std::lock_guard<std::mutex> lock(tr.m);
+        const auto it = tr.attempts.find(attempt_id);
+        if (it == tr.attempts.end()) return;
+        it->second.backend = k;
+    }
+
+    req.correlation_id = attempt_id;
+    try {
+        st->backend_sessions[k].handle(api::request{std::move(req)});
+    } catch (const std::exception& e) {
+        // Submit-time crash: no backend job exists, no response will come.
+        health.on_failure(k);
+        retry_or_fail(st, attempt_id, k, api::error_code::backend_unavailable,
+                      std::string("backend crashed on submit: ") + e.what());
+        return;
+    }
+    if (health.config().request_timeout.count() > 0) {
+        std::weak_ptr<session::state> w = st;
+        health.schedule(fleet_health::clock::now() + health.config().request_timeout,
+                        [w, attempt_id] {
+                            if (const std::shared_ptr<session::state> s = w.lock())
+                                expire_attempt(s, attempt_id);
+                        });
+    }
+}
+
+/// Resolve a failed try of \p attempt_id: either re-key it under a fresh
+/// attempt id and schedule the backoff retry, or — attempts exhausted —
+/// answer the client with the typed error \p code.
+void federated_server::retry_or_fail(const std::shared_ptr<session::state>& st,
+                                     std::uint64_t attempt_id, std::size_t failed_backend,
+                                     api::error_code code, const std::string& message) {
+    detail::attempt_tracker& tr = *st->tracker;
+    fleet_health& health = *st->health;
+
+    std::uint64_t client = 0;
+    std::uint64_t new_id = 0;
+    bool exhausted = false;
+    std::size_t tries = 0;
+    {
+        const std::lock_guard<std::mutex> lock(tr.m);
+        const auto it = tr.attempts.find(attempt_id);
+        if (it == tr.attempts.end() || it->second.resolving) return;  // already resolved
+        tries = it->second.tries;
+        client = it->second.client_corr;
+        if (tries >= health.config().max_attempts) {
+            exhausted = true;
+            it->second.resolving = true;  // claimed: the error below is final
+        } else {
+            // Re-key now (not at dispatch time): the map must stay
+            // non-empty while the client awaits an answer, or the drain
+            // barrier would return with a retry still scheduled. A late
+            // frame for the old id finds nothing and is dropped as stale.
+            detail::attempt a = std::move(it->second);
+            tr.attempts.erase(it);
+            a.last_failed = failed_backend;
+            a.has_failed = true;
+            new_id = tr.mint();
+            const auto alias = tr.attempt_by_client.find(a.client_corr);
+            if (alias != tr.attempt_by_client.end() && alias->second == attempt_id)
+                alias->second = new_id;
+            tr.attempts.emplace(new_id, std::move(a));
+        }
+    }
+    if (exhausted) {
+        if (code == api::error_code::deadline_exceeded)
+            health.count_deadline_exceeded();
+        else
+            health.count_backend_unavailable();
+        st->out->respond(api::error_response{
+            client, code, message + " (after " + std::to_string(tries) + " attempts)"});
+        {
+            const std::lock_guard<std::mutex> lock(tr.m);
+            tr.erase(attempt_id);
+        }
+        tr.cv.notify_all();
+        return;
+    }
+    std::weak_ptr<session::state> w = st;
+    health.schedule_after(health.backoff(tries), [w, new_id] {
+        if (const std::shared_ptr<session::state> s = w.lock()) dispatch_attempt(s, new_id);
+    });
+}
+
+/// Deadline expiry of \p attempt_id (watchdog timer). Claims the attempt
+/// first, then cancels the straggler job — in that order, so the job's
+/// "cancelled" report arrives under an id no longer tracked and is
+/// stale-dropped instead of reaching the client as a cancelled result.
+void federated_server::expire_attempt(const std::shared_ptr<session::state>& st,
+                                      std::uint64_t attempt_id) {
+    detail::attempt_tracker& tr = *st->tracker;
+    std::size_t backend = 0;
+    std::uint64_t swallow = 0;
+    {
+        const std::lock_guard<std::mutex> lock(tr.m);
+        const auto it = tr.attempts.find(attempt_id);
+        if (it == tr.attempts.end() || it->second.resolving) return;  // answered in time
+        if (it->second.tries == 0) return;  // not yet dispatched (paranoia)
+        backend = it->second.backend;
+        swallow = tr.mint();  // never registered: its cancel ack is dropped
+    }
+    st->health->on_failure(backend);
+    retry_or_fail(st, attempt_id, backend, api::error_code::deadline_exceeded,
+                  "deadline exceeded after " +
+                      std::to_string(st->health->config().request_timeout.count()) + " ms");
+    // Cancel the hung job so its worker stops burning the deadline's
+    // budget; the swallow id keeps the ack out of the client stream.
+    st->backend_sessions[backend].handle(
+        api::request{api::cancel_job_request{swallow, attempt_id}});
+}
 
 void federated_server::session::handle(const api::request& req) {
     const std::shared_ptr<state> st = state_;
@@ -179,6 +459,34 @@ void federated_server::session::handle(const api::request& req) {
                 // policy routes on it (the hash walks every sample).
                 const bool affine =
                     st->routing->rt.policy() == routing_policy::content_hash_affinity;
+                if (st->tracker) {
+                    // Protected path: pin the index up front (the identity
+                    // must survive failover — every retry reruns the SAME
+                    // task), register the attempt, then dispatch under a
+                    // minted attempt id the emitter intercepts.
+                    api::identify_building_request pinned = m;
+                    pinned.has_index = true;
+                    if (m.has_index)
+                        st->routing->advance_index(static_cast<std::size_t>(m.corpus_index) +
+                                                   1);
+                    else
+                        pinned.corpus_index = st->routing->allocate_index();
+                    const std::uint64_t affinity = affine ? data::content_hash(m.b) : 0;
+                    std::uint64_t id = 0;
+                    {
+                        const std::lock_guard<std::mutex> lock(st->tracker->m);
+                        id = st->tracker->mint();
+                        detail::attempt a;
+                        a.client_corr = m.correlation_id;
+                        a.req = std::move(pinned);
+                        a.affinity = affinity;
+                        a.trace = obs::current_context();
+                        st->tracker->attempts.emplace(id, std::move(a));
+                        st->tracker->attempt_by_client[m.correlation_id] = id;
+                    }
+                    dispatch_attempt(st, id);
+                    return;
+                }
                 const std::size_t k = [&] {
                     obs::scoped_span route_span("federation.route");
                     return st->pick(affine ? data::content_hash(m.b) : 0);
@@ -210,6 +518,40 @@ void federated_server::session::handle(const api::request& req) {
                     return;
                 }
                 st->routing->advance_index(m.ref.first_index + m.ref.num_buildings);
+                if (st->tracker) {
+                    // Shards fail over only on submit-time crashes: once a
+                    // backend accepts the stream it may have emitted
+                    // frames, and resubmission would duplicate them. The
+                    // loop is synchronous (submission is cheap — it only
+                    // enqueues), rerouting around each crashed backend.
+                    std::vector<backend_probe> probes = st->probe();
+                    const std::size_t max_tries =
+                        std::min(st->health->config().max_attempts, probes.size());
+                    std::size_t prev = probes.size();
+                    for (std::size_t t = 0; t < max_tries; ++t) {
+                        const std::size_t k =
+                            st->routing->route(shard_affinity(m.ref), probes);
+                        if (t > 0) {
+                            st->health->count_retry();
+                            if (k != prev) st->health->count_failover();
+                        }
+                        try {
+                            st->backend_sessions[k].handle(req);
+                            st->remember(m.correlation_id, k);
+                            st->health->on_success(k);
+                            return;
+                        } catch (const std::exception&) {
+                            st->health->on_failure(k);
+                            probes[k].broken = true;  // reroute away from it
+                            prev = k;
+                        }
+                    }
+                    st->health->count_backend_unavailable();
+                    st->out->respond(api::error_response{
+                        m.correlation_id, api::error_code::backend_unavailable,
+                        "every backend crashed on shard submit: " + m.ref.path});
+                    return;
+                }
                 const std::size_t k = [&] {
                     obs::scoped_span route_span("federation.route");
                     return st->pick(shard_affinity(m.ref));
@@ -220,6 +562,36 @@ void federated_server::session::handle(const api::request& req) {
                 st->out->respond(
                     api::stats_response{m.correlation_id, gather_merged_stats(st->backends)});
             } else if constexpr (std::is_same_v<T, api::cancel_job_request>) {
+                if (st->tracker) {
+                    // Protected buildings live under attempt ids: translate
+                    // the target for the hop and record the un-translation
+                    // the response's target field needs on the way back.
+                    std::size_t backend = st->backends.size();
+                    std::uint64_t attempt_id = 0;
+                    {
+                        const std::lock_guard<std::mutex> lock(st->tracker->m);
+                        const auto alias =
+                            st->tracker->attempt_by_client.find(m.target_correlation_id);
+                        if (alias != st->tracker->attempt_by_client.end()) {
+                            const auto at = st->tracker->attempts.find(alias->second);
+                            if (at != st->tracker->attempts.end() && !at->second.resolving &&
+                                at->second.tries > 0) {
+                                attempt_id = alias->second;
+                                backend = at->second.backend;
+                                st->tracker->cancel_rewrites[m.correlation_id] =
+                                    m.target_correlation_id;
+                            }
+                        }
+                    }
+                    if (backend < st->backends.size()) {
+                        api::cancel_job_request fwd = m;
+                        fwd.target_correlation_id = attempt_id;
+                        st->backend_sessions[backend].handle(api::request{std::move(fwd)});
+                        return;
+                    }
+                    // else: not a live protected building — a shard job
+                    // (owners map below) or an unknown target.
+                }
                 std::size_t owner = st->backends.size();
                 {
                     const std::lock_guard<std::mutex> lock(st->owners_m);
@@ -233,10 +605,12 @@ void federated_server::session::handle(const api::request& req) {
                                                           m.target_correlation_id, false});
             } else {
                 static_assert(std::is_same_v<T, api::flush_request>);
-                // Fan-out barrier: every backend drains before the one
-                // flush_response. (Flush on a paused fleet throws, exactly
-                // as floor_service::wait_all refuses to deadlock.)
-                for (api::server::session& bs : st->backend_sessions) bs.finish();
+                // Fan-out barrier: every backend drains — and, under
+                // protection, every attempt resolves (retries included) —
+                // before the one flush_response. (Flush on a paused fleet
+                // throws, exactly as floor_service::wait_all refuses to
+                // deadlock.)
+                st->drain();
                 {
                     const std::lock_guard<std::mutex> lock(st->owners_m);
                     st->owners.clear();
@@ -259,9 +633,7 @@ bool federated_server::session::handle_frame(std::string_view frame) {
     return true;
 }
 
-void federated_server::session::finish() {
-    for (api::server::session& bs : state_->backend_sessions) bs.finish();
-}
+void federated_server::session::finish() { state_->drain(); }
 
 bool federated_server::session::sink_broken() const {
     const std::lock_guard<std::mutex> lock(state_->out->m);
@@ -271,14 +643,31 @@ bool federated_server::session::sink_broken() const {
 federated_server::federated_server(federation_config cfg) : cfg_(std::move(cfg)) {
     if (cfg_.num_backends == 0)
         throw std::invalid_argument("federated_server: num_backends must be >= 1");
+    if (!cfg_.fault_plans.empty() && cfg_.fault_plans.size() != cfg_.num_backends)
+        throw std::invalid_argument("federated_server: " +
+                                    std::to_string(cfg_.fault_plans.size()) +
+                                    " fault plans for " + std::to_string(cfg_.num_backends) +
+                                    " backends");
+    // Protection engages implicitly whenever something could go wrong on
+    // purpose (armed faults) or a deadline must be enforced; otherwise
+    // dispatch stays the byte-for-byte unprotected fast path.
+    bool any_fault = false;
+    for (const service::fault_plan& plan : cfg_.fault_plans) any_fault = any_fault || plan.any();
+    if (any_fault || cfg_.fault_tolerance.request_timeout.count() > 0)
+        cfg_.fault_tolerance.enabled = true;
+    if (cfg_.fault_tolerance.enabled)
+        health_ = std::make_shared<fleet_health>(cfg_.fault_tolerance, cfg_.num_backends);
     routing_ = std::make_shared<routing>(cfg_.policy, cfg_.num_backends);
     for (const std::string& dir : cfg_.store_dirs) static_cast<void>(registry_.mount(dir));
     backends_.reserve(cfg_.num_backends);
     for (std::size_t k = 0; k < cfg_.num_backends; ++k) {
         api::server_config bc;
         bc.service = cfg_.service;
+        if (!cfg_.fault_plans.empty()) bc.service.faults = cfg_.fault_plans[k];
         bc.enable_cache = cfg_.enable_cache;
         bc.cache_capacity = cfg_.cache_capacity;
+        if (!cfg_.cache_dir.empty())
+            bc.cache_spill = api::cache_spill_config{cfg_.cache_dir, cfg_.num_backends, k};
         // Backends trust their paths: the front-end already confined every
         // shard request to the mounted stores.
         bc.shard_root.clear();
@@ -301,6 +690,105 @@ federated_server::session federated_server::open(frame_sink sink) {
         st->backends.push_back(b.get());
         st->backend_sessions.push_back(
             b->open([out](std::string_view frame) { out->frame(frame); }));
+    }
+    if (health_) {
+        st->health = health_;
+        st->tracker = std::make_shared<detail::attempt_tracker>();
+        // The intercept closure is owned by the emitter, so it captures
+        // the emitter raw (same lifetime) and the session state weakly
+        // (backend sinks → emitter → closure → state would cycle). The
+        // tracker and fleet_health are co-owned: frames that arrive after
+        // the session handle died still resolve or drop correctly.
+        detail::emitter* self = out.get();
+        std::weak_ptr<session::state> w = st;
+        std::shared_ptr<detail::attempt_tracker> tracker = st->tracker;
+        std::shared_ptr<fleet_health> health = health_;
+        out->intercept = [self, w, tracker, health](std::string_view f) -> bool {
+            if (f.size() < k_off_corr + 8) return false;  // unaddressable: pass through
+            const std::uint16_t tag = rd_u16(f, k_off_tag);
+            const std::uint64_t corr = rd_u64(f, k_off_corr);
+            if (!(corr & detail::k_attempt_bit)) {
+                // Client-correlated. Only forwarded cancels need work: un-
+                // translate the response's target from attempt id back to
+                // the client's target id, in place.
+                if (tag == static_cast<std::uint16_t>(api::message_tag::cancel_result) &&
+                    f.size() >= k_off_cancel_target + 8) {
+                    std::uint64_t client_target = 0;
+                    {
+                        const std::lock_guard<std::mutex> lock(tracker->m);
+                        const auto it = tracker->cancel_rewrites.find(corr);
+                        if (it == tracker->cancel_rewrites.end()) return false;
+                        client_target = it->second;
+                        tracker->cancel_rewrites.erase(it);
+                    }
+                    std::string patched(f);
+                    patch_u64(patched, k_off_cancel_target, client_target);
+                    self->deliver(patched);
+                    return true;
+                }
+                return false;
+            }
+            // Attempt-correlated: ours. Anything that is not a tracked
+            // building result or error — swallow-cancel acks, frames from
+            // attempts already resolved or re-keyed (a timed-out try
+            // answering late) — is dropped: the client either already has
+            // its answer or will get it from the retry in flight.
+            std::size_t backend = 0;
+            std::uint64_t client = 0;
+            bool transient = false;
+            {
+                const std::lock_guard<std::mutex> lock(tracker->m);
+                const auto it = tracker->attempts.find(corr);
+                if (it == tracker->attempts.end() || it->second.resolving) return true;
+                if (tag != static_cast<std::uint16_t>(api::message_tag::building_result) &&
+                    tag != static_cast<std::uint16_t>(api::message_tag::error))
+                    return true;
+                backend = it->second.backend;
+                client = it->second.client_corr;
+                if (tag == static_cast<std::uint16_t>(api::message_tag::building_result)) {
+                    const api::decode_result<api::response> d = api::decode_response(f);
+                    const api::building_response* br =
+                        d.value ? std::get_if<api::building_response>(&*d.value) : nullptr;
+                    transient =
+                        br && !br->report.ok && service::is_transient_fault(br->report.error);
+                }
+                if (!transient) it->second.resolving = true;  // claim: delivery is final
+            }
+            if (!transient) {
+                // Success — or a genuine, deterministic failure the retry
+                // layer must NOT rerun. Patch the correlation id back to
+                // the client's in place; every other byte is verbatim, so
+                // successful responses match an unprotected run exactly.
+                health->on_success(backend);
+                std::string patched(f);
+                patch_u64(patched, k_off_corr, client);
+                self->deliver(patched);
+                {
+                    const std::lock_guard<std::mutex> lock(tracker->m);
+                    tracker->erase(corr);
+                }
+                tracker->cv.notify_all();
+                return true;
+            }
+            health->on_failure(backend);
+            if (const std::shared_ptr<session::state> s = w.lock()) {
+                retry_or_fail(s, corr, backend, api::error_code::backend_unavailable,
+                              "backend kept failing transiently");
+            } else {
+                // Session gone: nothing can re-dispatch — fail it now so
+                // the tracker drains.
+                {
+                    const std::lock_guard<std::mutex> lock(tracker->m);
+                    tracker->erase(corr);
+                }
+                health->count_backend_unavailable();
+                self->deliver(api::encode(api::response{api::error_response{
+                    client, api::error_code::backend_unavailable,
+                    "backend failed and the session is gone"}}));
+                tracker->cv.notify_all();
+            }
+            return true;
+        };
     }
     return session(std::move(st));
 }
@@ -348,6 +836,11 @@ void federated_server::pause() {
 
 void federated_server::resume() {
     for (const std::unique_ptr<api::server>& b : backends_) b->backing_service().resume();
+}
+
+std::optional<health_snapshot> federated_server::health() const {
+    if (!health_) return std::nullopt;
+    return health_->snapshot();
 }
 
 api::server& federated_server::backend(std::size_t k) {

@@ -40,16 +40,40 @@
 /// a mounted store's directory is refused with `error_code::bad_request`
 /// before any filesystem access (backends run with the front-end's
 /// already-confined paths).
+///
+/// **Fault tolerance** (the protected dispatch path; engages when
+/// `fault_tolerance.enabled`, a request timeout is set, or any backend has
+/// an armed `fault_plan`): building requests are forwarded under minted
+/// *attempt* correlation ids (top bit set — protected mode reserves
+/// high-bit client correlation ids; `net::tcp_server` remaps client ids to
+/// small internal ones, so TCP clients are never affected) and the
+/// response channel intercepts backend frames. A success (or a genuine,
+/// deterministic pipeline failure — rerunning those would only repeat
+/// them) has its correlation id patched back to the client's in place, so
+/// successful responses stay byte-identical to an unprotected run. A
+/// *transient* failure (`service::is_transient_fault`), a submit-time
+/// crash, or a deadline expiry instead feeds the backend's circuit breaker
+/// and reschedules the attempt — exponential backoff, rerouted around
+/// broken backends (failover), a hung attempt cancelled at its deadline —
+/// until it succeeds or `max_attempts` is spent, when the client gets a
+/// typed `backend_unavailable` / `deadline_exceeded` error. All deferred
+/// work runs on the `fleet_health` watchdog thread, never inline from a
+/// completion callback (which must not block or submit). Shard requests
+/// fail over only on submit-time crashes (before any response frame
+/// exists); mid-shard failures are forwarded as-is — a shard stream has
+/// already emitted frames, so resubmission would duplicate them.
 
 #include <cstdint>
 #include <functional>
 #include <iosfwd>
 #include <memory>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "api/server.hpp"
+#include "fault_tolerance.hpp"
 #include "router.hpp"
 #include "store_registry.hpp"
 
@@ -68,6 +92,19 @@ struct federation_config {
     /// Corpus-store directories mounted at construction (more may be
     /// mounted later via `registry().mount` — before serving starts).
     std::vector<std::string> store_dirs;
+    /// Persistent result-cache directory, shared by the whole fleet; each
+    /// backend spills its inserts there and warm-loads **only its affinity
+    /// shard** (`content_hash % num_backends == k`) on restart. Empty —
+    /// the default — keeps caches purely in-memory.
+    std::string cache_dir;
+    /// Retry / deadline / circuit-breaker tuning. The protected dispatch
+    /// path engages when `enabled` is set, `request_timeout` is non-zero,
+    /// or any entry of `fault_plans` is armed; otherwise dispatch is
+    /// byte-for-byte the unprotected fast path.
+    fault_tolerance_config fault_tolerance{};
+    /// Per-backend fault injection (tests and chaos drills). Empty = every
+    /// backend healthy; otherwise exactly one plan per backend.
+    std::vector<service::fault_plan> fault_plans;
 };
 
 /// Merge per-backend stats snapshots into fleet-wide stats: every counter
@@ -146,13 +183,29 @@ public:
     /// \throws std::out_of_range on a bad index.
     [[nodiscard]] api::server& backend(std::size_t k);
 
+    /// Fleet-health counters and per-backend breaker states; nullopt when
+    /// the protected dispatch path is off.
+    [[nodiscard]] std::optional<health_snapshot> health() const;
+
 private:
     struct routing;
+
+    static void dispatch_attempt(const std::shared_ptr<session::state>& st,
+                                 std::uint64_t attempt_id);
+    static void expire_attempt(const std::shared_ptr<session::state>& st,
+                               std::uint64_t attempt_id);
+    static void retry_or_fail(const std::shared_ptr<session::state>& st,
+                              std::uint64_t attempt_id, std::size_t failed_backend,
+                              api::error_code code, const std::string& message);
 
     federation_config cfg_;
     store_registry registry_;
     /// Shared with sessions so routing state outlives a dropped handle.
     std::shared_ptr<routing> routing_;
+    /// Shared with sessions/emitters (they may outlive the server's own
+    /// pointer during teardown); null when protection is off. Destroyed
+    /// after `backends_`, so the watchdog outlives draining jobs.
+    std::shared_ptr<fleet_health> health_;
     /// Declared last: destroyed first, so backend teardown (which waits for
     /// in-flight jobs whose sinks may still consult routing state) runs
     /// while everything above is alive.

@@ -23,9 +23,9 @@ std::size_t router::skip_paused(std::size_t start, const std::vector<backend_pro
     const std::size_t n = probes.size();
     for (std::size_t step = 0; step < n; ++step) {
         const std::size_t k = (start + step) % n;
-        if (!probes[k].paused) return k;
+        if (!probes[k].paused && !probes[k].broken) return k;
     }
-    return start;  // whole fleet paused: park at the natural choice
+    return start;  // nothing available: park at the natural choice
 }
 
 std::size_t router::route(std::uint64_t affinity_hash,
@@ -41,11 +41,11 @@ std::size_t router::route(std::uint64_t affinity_hash,
             return k;
         }
         case routing_policy::least_queue_depth: {
-            // Fewest submitted-but-unfinished jobs among unpaused backends;
+            // Fewest submitted-but-unfinished jobs among available backends;
             // lowest index wins ties so equal fleets route deterministically.
             std::size_t best = num_backends_;
             for (std::size_t k = 0; k < num_backends_; ++k) {
-                if (probes[k].paused) continue;
+                if (probes[k].paused || probes[k].broken) continue;
                 if (best == num_backends_ || probes[k].queue_depth < probes[best].queue_depth)
                     best = k;
             }

@@ -51,6 +51,11 @@ struct backend_probe {
     std::size_t queue_depth = 0;
     /// True when the backend's service is holding queued jobs at the gate.
     bool paused = false;
+    /// True when the backend is circuit-broken (or otherwise excluded from
+    /// this routing decision, e.g. the backend a retry is failing over
+    /// *from*). Treated exactly like `paused`: no policy hands it work
+    /// while an available backend exists.
+    bool broken = false;
 };
 
 /// Deterministic backend chooser. Thread-compatible, not thread-safe: the
@@ -73,8 +78,8 @@ public:
                                     const std::vector<backend_probe>& probes);
 
 private:
-    /// First unpaused backend at or cyclically after \p start; \p start
-    /// itself when the whole fleet is paused.
+    /// First available (neither paused nor broken) backend at or
+    /// cyclically after \p start; \p start itself when none is available.
     [[nodiscard]] static std::size_t skip_paused(std::size_t start,
                                                  const std::vector<backend_probe>& probes);
 

@@ -214,6 +214,36 @@ std::string render_metrics(const tcp_server_stats& net, const service::service_s
             p.sample("fisone_backend_cache_entries", d(extras.backend_caches[k].entries),
                      l.c_str());
         }
+        p.family("fisone_backend_cache_warm_loaded", "gauge",
+                 "entries restored from the persistent spill at startup, by backend");
+        for (std::size_t k = 0; k < extras.backend_caches.size(); ++k) {
+            const std::string l = "backend=\"" + std::to_string(k) + "\"";
+            p.sample("fisone_backend_cache_warm_loaded",
+                     d(extras.backend_caches[k].warm_loaded), l.c_str());
+        }
+    }
+
+    // Fleet health: retry/failover throughput plus each backend's breaker
+    // state — `fisone_backend_up == 0` is the page-the-operator signal.
+    if (extras.federation) {
+        const federation::health_snapshot& fh = *extras.federation;
+        p.counter("fisone_federation_retries_total",
+                  "protected requests re-dispatched after a transient failure or timeout",
+                  d(fh.retries));
+        p.counter("fisone_federation_failovers_total",
+                  "retries that moved to a different backend", d(fh.failovers));
+        p.family("fisone_federation_requests_failed_total", "counter",
+                 "requests answered with a typed fault-tolerance error");
+        p.sample("fisone_federation_requests_failed_total", d(fh.backend_unavailable),
+                 "code=\"backend_unavailable\"");
+        p.sample("fisone_federation_requests_failed_total", d(fh.deadline_exceeded),
+                 "code=\"deadline_exceeded\"");
+        p.family("fisone_backend_up", "gauge",
+                 "1 when the backend's circuit breaker is closed (fully trusted)");
+        for (std::size_t k = 0; k < fh.backend_up.size(); ++k) {
+            const std::string l = "backend=\"" + std::to_string(k) + "\"";
+            p.sample("fisone_backend_up", fh.backend_up[k] ? 1.0 : 0.0, l.c_str());
+        }
     }
 
     // Per-stage span latency (the tracing subsystem's exact percentiles).

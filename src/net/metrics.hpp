@@ -12,10 +12,12 @@
 /// per-building one via `get_stats`).
 
 #include <cstddef>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "api/result_cache.hpp"
+#include "federation/fault_tolerance.hpp"
 #include "obs/trace.hpp"
 #include "service/floor_service.hpp"
 
@@ -61,6 +63,10 @@ struct metrics_extras {
     /// Per-stage span latency summaries (`obs::stage_stats()`); empty when
     /// tracing has never been enabled.
     std::vector<obs::stage_snapshot> stages;
+    /// Fleet-health counters + per-backend breaker states
+    /// (`fisone_federation_retries_total`, `fisone_federation_failovers_total`,
+    /// `fisone_backend_up`); nullopt when the fleet runs unprotected.
+    std::optional<federation::health_snapshot> federation;
 };
 
 /// Render \p net + \p svc as one Prometheus text-format page. \p svc is

@@ -336,6 +336,7 @@ backend make_backend(api::server& srv) {
         },
         [&srv] { return srv.stats(); },
         [&srv] { return std::vector<api::result_cache_stats>{srv.cache_stats()}; },
+        nullptr,  // single server: no fleet health
     };
 }
 
@@ -354,6 +355,7 @@ backend make_backend(federation::federated_server& srv) {
                 out.push_back(srv.backend(k).cache_stats());
             return out;
         },
+        [&srv] { return srv.health(); },
     };
 }
 
@@ -997,6 +999,7 @@ std::string tcp_server::metrics_text() const {
     metrics_extras extras;
     extras.stages = obs::stage_stats();
     if (backend_.backend_caches) extras.backend_caches = backend_.backend_caches();
+    if (backend_.health) extras.federation = backend_.health();
     return render_metrics(stats(), backend_.stats(), extras);
 }
 

@@ -85,6 +85,11 @@ struct backend {
     /// for a single server). Optional — when unset, the metrics page omits
     /// the per-backend cache families.
     std::function<std::vector<api::result_cache_stats>()> backend_caches;
+    /// Fleet-health snapshot (retry/failover counters, breaker states).
+    /// Optional — unset for a single server or an unprotected fleet, and
+    /// the metrics page omits the federation families; the callback itself
+    /// may also return nullopt (protection off).
+    std::function<std::optional<federation::health_snapshot>()> health;
 };
 
 /// Front a single API server.

@@ -1,0 +1,78 @@
+#include "fault_plan.hpp"
+
+#include <cstdint>
+
+namespace fisone::service {
+
+namespace {
+
+[[noreturn]] void bad_spec(std::string_view spec, const std::string& why) {
+    throw std::invalid_argument("parse_fault_plans: " + why + " in \"" + std::string(spec) +
+                                "\"");
+}
+
+std::uint64_t parse_number(std::string_view spec, std::string_view token) {
+    if (token.empty()) bad_spec(spec, "empty number");
+    std::uint64_t v = 0;
+    for (const char c : token) {
+        if (c < '0' || c > '9') bad_spec(spec, "non-numeric value \"" + std::string(token) + "\"");
+        v = v * 10 + static_cast<std::uint64_t>(c - '0');
+    }
+    return v;
+}
+
+}  // namespace
+
+bool is_transient_fault(std::string_view error) noexcept {
+    return error.substr(0, k_transient_error_prefix.size()) == k_transient_error_prefix;
+}
+
+std::vector<fault_plan> parse_fault_plans(std::string_view spec, std::size_t num_backends) {
+    std::vector<fault_plan> plans(num_backends);
+    std::size_t start = 0;
+    while (start < spec.size()) {
+        const std::size_t semi = spec.find(';', start);
+        const std::string_view entry =
+            spec.substr(start, semi == std::string_view::npos ? semi : semi - start);
+        start = semi == std::string_view::npos ? spec.size() : semi + 1;
+        if (entry.empty()) continue;
+
+        const std::size_t colon = entry.find(':');
+        if (colon == std::string_view::npos) bad_spec(spec, "entry without a backend index");
+        const std::uint64_t backend = parse_number(spec, entry.substr(0, colon));
+        if (backend >= num_backends)
+            bad_spec(spec, "backend " + std::to_string(backend) + " out of range (fleet of " +
+                               std::to_string(num_backends) + ")");
+        fault_plan& plan = plans[static_cast<std::size_t>(backend)];
+
+        std::string_view body = entry.substr(colon + 1);
+        std::size_t at = 0;
+        while (at <= body.size()) {
+            const std::size_t comma = body.find(',', at);
+            const std::string_view kv =
+                body.substr(at, comma == std::string_view::npos ? comma : comma - at);
+            at = comma == std::string_view::npos ? body.size() + 1 : comma + 1;
+            if (kv.empty()) continue;
+            const std::size_t eq = kv.find('=');
+            if (eq == std::string_view::npos)
+                bad_spec(spec, "key without a value \"" + std::string(kv) + "\"");
+            const std::string_view key = kv.substr(0, eq);
+            const std::uint64_t value = parse_number(spec, kv.substr(eq + 1));
+            if (key == "fail_every")
+                plan.fail_every = static_cast<std::size_t>(value);
+            else if (key == "fail_first")
+                plan.fail_first = static_cast<std::size_t>(value);
+            else if (key == "hang_ms")
+                plan.hang_ms = static_cast<std::uint32_t>(value);
+            else if (key == "crash_on_submit")
+                plan.crash_on_submit = value != 0;
+            else if (key == "slow_read_ms")
+                plan.slow_read_ms = static_cast<std::uint32_t>(value);
+            else
+                bad_spec(spec, "unknown key \"" + std::string(key) + "\"");
+        }
+    }
+    return plans;
+}
+
+}  // namespace fisone::service

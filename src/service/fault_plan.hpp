@@ -1,0 +1,76 @@
+#pragma once
+
+/// \file fault_plan.hpp
+/// Deterministic fault injection for the service tier. A `fault_plan`
+/// describes how one backend's `floor_service` misbehaves — fail every Nth
+/// execution, fail the first N executions, hang before each building,
+/// refuse submissions outright, read shards slowly — so every failure mode
+/// the federation layer must survive is reproducible in unit tests and CI
+/// chaos runs, never left to real hardware to improvise.
+///
+/// Injected failures are *transient*: their report error strings carry
+/// `k_transient_error_prefix`, which is how the retry layer tells an
+/// injected (retryable) fault from a genuine deterministic pipeline error
+/// (which must NOT be retried — rerunning it would yield the same failure,
+/// and retrying only on transient faults is what keeps successful-request
+/// output byte-identical to a fault-free run).
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fisone::service {
+
+/// How one service misbehaves. Default-constructed = perfectly healthy.
+struct fault_plan {
+    /// Every Nth building execution reports a transient failure instead of
+    /// running the pipeline (0 = off). The counter spans the service's
+    /// lifetime, so "every 3rd" means executions 3, 6, 9, …
+    std::size_t fail_every = 0;
+    /// The first N building executions report a transient failure, then
+    /// the service is healthy (0 = off) — the knob circuit-breaker
+    /// half-open/readmission tests turn.
+    std::size_t fail_first = 0;
+    /// Sleep this long before each building runs (0 = off). The sleep is
+    /// cooperative: a cancellation request interrupts it, so a hung
+    /// backend still honors cancel (and thus deadline enforcement).
+    std::uint32_t hang_ms = 0;
+    /// Every `submit` throws `backend_crashed` — the backend is reachable
+    /// but refuses all work, as a crashed-and-restarting process would.
+    bool crash_on_submit = false;
+    /// Sleep this long before each building is streamed off a shard
+    /// (0 = off) — a degraded disk under the store reads.
+    std::uint32_t slow_read_ms = 0;
+
+    /// Any fault armed?
+    [[nodiscard]] bool any() const noexcept {
+        return fail_every != 0 || fail_first != 0 || hang_ms != 0 || crash_on_submit ||
+               slow_read_ms != 0;
+    }
+};
+
+/// Thrown by `floor_service::submit` under `fault_plan::crash_on_submit`.
+struct backend_crashed : std::runtime_error {
+    using std::runtime_error::runtime_error;
+};
+
+/// Error-string prefix of every injected (retryable) failure report.
+inline constexpr std::string_view k_transient_error_prefix = "transient backend fault: ";
+
+/// True when \p error marks a transient injected fault (retry-safe).
+[[nodiscard]] bool is_transient_fault(std::string_view error) noexcept;
+
+/// Parse a per-backend fault-plan spec into one plan per backend.
+/// Grammar (whitespace-free): `BACKEND:key=value[,key=value…][;BACKEND:…]`
+/// with keys `fail_every`, `fail_first`, `hang_ms`, `crash_on_submit`
+/// (value 0/1), `slow_read_ms`. Example: `0:fail_every=3;1:hang_ms=200`.
+/// Unlisted backends stay healthy.
+/// \throws std::invalid_argument on malformed specs, unknown keys, or a
+///         backend index >= \p num_backends.
+[[nodiscard]] std::vector<fault_plan> parse_fault_plans(std::string_view spec,
+                                                        std::size_t num_backends);
+
+}  // namespace fisone::service

@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <mutex>
+#include <optional>
 #include <stdexcept>
+#include <thread>
 #include <utility>
 
 #include "obs/trace.hpp"
@@ -42,7 +45,38 @@ struct floor_service::state {
     /// where both are held: `report_m` before `m`.
     std::mutex report_m;
     std::function<void(const runtime::building_report&)> on_report;
+
+    /// Lifetime count of building executions, the clock `fault_plan`'s
+    /// fail-Nth / fail-first schedules tick against.
+    std::atomic<std::size_t> fault_executions{0};
 };
+
+namespace {
+
+/// Cooperative injected hang: sleep \p ms in 1 ms slices so a cancel (and
+/// thus a federation deadline, which cancels the hung attempt) interrupts
+/// it. Returns false when cancellation cut the sleep short.
+bool fault_sleep(const std::atomic<bool>& cancel_requested, std::uint32_t ms) {
+    for (std::uint32_t waited = 0; waited < ms; ++waited) {
+        if (cancel_requested.load()) return false;
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    return !cancel_requested.load();
+}
+
+/// The injected-failure report for execution \p n, if the plan fails it.
+std::optional<runtime::building_report> injected_failure(
+    const fault_plan& faults, std::size_t n, const runtime::task_executor& executor,
+    const std::string& name, std::size_t corpus_index) {
+    const bool fail = (faults.fail_first != 0 && n <= faults.fail_first) ||
+                      (faults.fail_every != 0 && n % faults.fail_every == 0);
+    if (!fail) return std::nullopt;
+    return executor.skipped(name, corpus_index,
+                            std::string(k_transient_error_prefix) +
+                                "injected failure (execution #" + std::to_string(n) + ")");
+}
+
+}  // namespace
 
 struct floor_service::job::impl {
     std::shared_ptr<floor_service::state> svc;  // qualified: job::state() shadows the type
@@ -211,6 +245,8 @@ floor_service::job floor_service::submit(data::building b, std::size_t corpus_in
 
 floor_service::job floor_service::submit(data::building b, std::size_t corpus_index,
                                          report_callback on_report) {
+    if (cfg_.faults.crash_on_submit)
+        throw backend_crashed("floor_service: injected crash_on_submit");
     {
         const std::lock_guard<std::mutex> lock(state_->m);
         if (corpus_index >= next_index_) next_index_ = corpus_index + 1;
@@ -219,11 +255,19 @@ floor_service::job floor_service::submit(data::building b, std::size_t corpus_in
     const runtime::task_executor executor(cfg_.pipeline, cfg_.seed,
                                           /*single_thread_kernels=*/workers_ > 1);
     return enqueue(
-        [b = std::move(b), corpus_index, executor, svc](job::impl& im) {
-            if (im.cancel_requested.load()) {
+        [b = std::move(b), corpus_index, executor, svc, faults = cfg_.faults](job::impl& im) {
+            if (im.cancel_requested.load() ||
+                (faults.hang_ms != 0 && !fault_sleep(im.cancel_requested, faults.hang_ms))) {
                 record_report(im, *svc, executor.skipped(b.name, corpus_index, "cancelled"),
                               report_kind::skipped_cancelled);
                 return;
+            }
+            if (faults.any()) {
+                const std::size_t n = svc->fault_executions.fetch_add(1) + 1;
+                if (auto failed = injected_failure(faults, n, executor, b.name, corpus_index)) {
+                    record_report(im, *svc, std::move(*failed), report_kind::skipped_failed);
+                    return;
+                }
             }
             record_report(im, *svc, executor.run(corpus_index, b), report_kind::ran);
         },
@@ -235,6 +279,8 @@ floor_service::job floor_service::submit(shard_ref ref) {
 }
 
 floor_service::job floor_service::submit(shard_ref ref, report_callback on_report) {
+    if (cfg_.faults.crash_on_submit)
+        throw backend_crashed("floor_service: injected crash_on_submit");
     {
         const std::lock_guard<std::mutex> lock(state_->m);
         const std::size_t end = ref.first_index + ref.num_buildings;
@@ -244,7 +290,7 @@ floor_service::job floor_service::submit(shard_ref ref, report_callback on_repor
     const runtime::task_executor executor(cfg_.pipeline, cfg_.seed,
                                           /*single_thread_kernels=*/workers_ > 1);
     return enqueue(
-        [ref = std::move(ref), executor, svc](job::impl& im) {
+        [ref = std::move(ref), executor, svc, faults = cfg_.faults](job::impl& im) {
             std::size_t offset = 0;
             const auto skip_rest = [&](const std::string& reason, report_kind kind) {
                 for (; offset < ref.num_buildings; ++offset)
@@ -261,6 +307,11 @@ floor_service::job floor_service::submit(shard_ref ref, report_callback on_repor
                         skip_rest("cancelled", report_kind::skipped_cancelled);
                         return;
                     }
+                    const std::uint32_t stall_ms = faults.hang_ms + faults.slow_read_ms;
+                    if (stall_ms != 0 && !fault_sleep(im.cancel_requested, stall_ms)) {
+                        skip_rest("cancelled", report_kind::skipped_cancelled);
+                        return;
+                    }
                     std::optional<data::building> b = reader.next();
                     if (!b) {
                         skip_rest("shard ended early: " + ref.path,
@@ -271,6 +322,15 @@ floor_service::job floor_service::submit(shard_ref ref, report_callback on_repor
                     // Consume the slot before recording: if on_report
                     // throws mid-record, skip_rest must not re-report it.
                     ++offset;
+                    if (faults.any()) {
+                        const std::size_t n = svc->fault_executions.fetch_add(1) + 1;
+                        if (auto failed =
+                                injected_failure(faults, n, executor, b->name, corpus_index)) {
+                            record_report(im, *svc, std::move(*failed),
+                                          report_kind::skipped_failed);
+                            continue;
+                        }
+                    }
                     record_report(im, *svc, executor.run(corpus_index, *b), report_kind::ran);
                 }
             } catch (const std::exception& e) {

@@ -38,6 +38,7 @@
 #include "core/fis_one.hpp"
 #include "data/corpus_store.hpp"
 #include "data/rf_sample.hpp"
+#include "fault_plan.hpp"
 #include "runtime/batch_runner.hpp"
 #include "util/percentile.hpp"
 
@@ -77,6 +78,11 @@ struct service_config {
     /// throws abandons the remaining reports of the current job (they are
     /// neither recorded nor delivered) but never wedges the service.
     std::function<void(const runtime::building_report&)> on_report;
+    /// Deterministic fault injection (tests and chaos drills only; the
+    /// default plan is healthy). Injected failures report errors prefixed
+    /// with `k_transient_error_prefix`; `crash_on_submit` makes `submit`
+    /// throw `backend_crashed` instead of accepting work.
+    fault_plan faults{};
 };
 
 /// Point-in-time service counters. Latency percentiles are over the

@@ -12,6 +12,7 @@
 #include <algorithm>
 #include <cstring>
 #include <filesystem>
+#include <fstream>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -700,6 +701,163 @@ TEST(api_e2e, loopback_framed_and_direct_service_are_byte_identical) {
     EXPECT_EQ(loopback_cold, direct) << "loopback diverged from direct service";
     EXPECT_EQ(loopback_warm, direct) << "cache-served rerun diverged";
     EXPECT_EQ(framed_ndjson, direct) << "framed transport diverged";
+}
+
+// --- typed fault-tolerance error codes ---------------------------------------
+
+TEST(codec, fault_tolerance_error_codes_round_trip_canonically) {
+    for (const api::error_code code :
+         {api::error_code::backend_unavailable, api::error_code::deadline_exceeded}) {
+        const api::response resp(api::error_response{31, code, "fleet trouble"});
+        const std::string frame = api::encode(resp);
+        const api::decode_result<api::response> decoded = api::decode_response(frame);
+        ASSERT_TRUE(decoded.ok()) << (decoded.error ? decoded.error->message : "eof");
+        const auto& er = std::get<api::error_response>(*decoded.value);
+        EXPECT_EQ(er.code, code);
+        EXPECT_EQ(er.correlation_id, 31u);
+        EXPECT_EQ(er.message, "fleet trouble");
+        // Canonical: re-encoding the decoded message reproduces the bytes.
+        EXPECT_EQ(api::encode(api::response(er)), frame);
+    }
+    EXPECT_STREQ(api::error_code_name(api::error_code::backend_unavailable),
+                 "backend_unavailable");
+    EXPECT_STREQ(api::error_code_name(api::error_code::deadline_exceeded),
+                 "deadline_exceeded");
+}
+
+TEST(codec, adversarial_error_frames_fail_cleanly) {
+    // Payload too short for correlation id + code: recoverable bad_payload
+    // with the whole frame consumed, so the stream can resynchronise.
+    const std::string short_frame = api::make_frame(
+        static_cast<std::uint16_t>(api::message_tag::error), std::string(9, '\0'));
+    std::size_t consumed = 0;
+    const api::decode_result<api::response> short_decoded =
+        api::decode_response(short_frame, &consumed);
+    ASSERT_TRUE(short_decoded.error.has_value());
+    EXPECT_EQ(short_decoded.error->code, api::error_code::bad_payload);
+    EXPECT_FALSE(short_decoded.fatal);
+    EXPECT_EQ(consumed, short_frame.size());
+
+    // A well-formed error frame with trailing junk bytes: also bad_payload.
+    const std::string good = api::encode(api::response(
+        api::error_response{7, api::error_code::deadline_exceeded, "late"}));
+    const std::string padded = api::make_frame(
+        static_cast<std::uint16_t>(api::message_tag::error),
+        good.substr(api::k_frame_header_size) + '\xff');
+    const api::decode_result<api::response> padded_decoded = api::decode_response(padded);
+    ASSERT_TRUE(padded_decoded.error.has_value());
+    EXPECT_EQ(padded_decoded.error->code, api::error_code::bad_payload);
+    EXPECT_FALSE(padded_decoded.fatal);
+}
+
+// --- persistent result-cache spill --------------------------------------------
+
+TEST(result_cache, spill_persists_and_warm_loads_only_its_shard) {
+    namespace fs = std::filesystem;
+    const fs::path dir = fs::temp_directory_path() / "fisone_cache_spill";
+    fs::remove_all(dir);
+
+    runtime::building_report r;
+    r.ok = true;
+    r.name = "spilled";
+    {
+        api::result_cache cache(8, api::cache_spill_config{dir.string(), 1, 0});
+        EXPECT_EQ(cache.stats().warm_loaded, 0u);
+        for (const std::uint64_t h : {2u, 3u, 4u, 5u}) cache.insert({h, 77}, r);
+    }
+    std::size_t files = 0;
+    for (const auto& entry : fs::directory_iterator(dir)) {
+        EXPECT_EQ(entry.path().extension(), ".rc") << entry.path();
+        ++files;
+    }
+    EXPECT_EQ(files, 4u);
+
+    // A single-shard restart reloads everything, entries included.
+    {
+        api::result_cache cache(8, api::cache_spill_config{dir.string(), 1, 0});
+        EXPECT_EQ(cache.stats().warm_loaded, 4u);
+        EXPECT_EQ(cache.stats().entries, 4u);
+        const auto hit = cache.lookup({2, 77});
+        ASSERT_TRUE(hit.has_value());
+        EXPECT_EQ(hit->name, "spilled");
+        EXPECT_FALSE(cache.lookup({2, 78}).has_value());  // fingerprint is part of the key
+    }
+    // Two fleet members sharing the directory each load only their own
+    // affinity shard (content_hash mod shard_count) — least data necessary.
+    {
+        api::result_cache shard0(8, api::cache_spill_config{dir.string(), 2, 0});
+        api::result_cache shard1(8, api::cache_spill_config{dir.string(), 2, 1});
+        EXPECT_EQ(shard0.stats().warm_loaded, 2u);  // hashes 2 and 4
+        EXPECT_EQ(shard1.stats().warm_loaded, 2u);  // hashes 3 and 5
+        EXPECT_TRUE(shard0.lookup({4, 77}).has_value());
+        EXPECT_FALSE(shard0.lookup({3, 77}).has_value());
+        EXPECT_TRUE(shard1.lookup({3, 77}).has_value());
+    }
+    fs::remove_all(dir);
+}
+
+TEST(result_cache, warm_load_sweeps_temps_and_deletes_corrupt_entries) {
+    namespace fs = std::filesystem;
+    const fs::path dir = fs::temp_directory_path() / "fisone_cache_spill_hostile";
+    fs::remove_all(dir);
+
+    runtime::building_report r;
+    r.ok = true;
+    {
+        api::result_cache cache(4, api::cache_spill_config{dir.string(), 1, 0});
+        cache.insert({1, 9}, r);
+    }
+    // A torn temp from a crashed writer, a corrupt entry, a foreign file.
+    std::ofstream(dir / "0000000000000002-0000000000000009.rc.0-17.tmp") << "torn";
+    std::ofstream(dir / "0000000000000003-0000000000000009.rc") << "not a frame";
+    std::ofstream(dir / "README.txt") << "unrelated";
+
+    api::result_cache cache(4, api::cache_spill_config{dir.string(), 1, 0});
+    EXPECT_EQ(cache.stats().warm_loaded, 1u);
+    EXPECT_TRUE(cache.lookup({1, 9}).has_value());
+    EXPECT_FALSE(fs::exists(dir / "0000000000000003-0000000000000009.rc"));  // corrupt: gone
+    EXPECT_TRUE(fs::exists(dir / "README.txt"));  // foreign files are left alone
+    for (const auto& entry : fs::directory_iterator(dir))
+        EXPECT_NE(entry.path().extension(), ".tmp") << "temp survived the sweep";
+    fs::remove_all(dir);
+
+    EXPECT_THROW(api::result_cache(4, api::cache_spill_config{dir.string(), 0, 0}),
+                 std::invalid_argument);
+    EXPECT_THROW(api::result_cache(4, api::cache_spill_config{dir.string(), 2, 2}),
+                 std::invalid_argument);
+}
+
+TEST(api_server, warm_restart_reloads_spilled_cache_bit_identically) {
+    namespace fs = std::filesystem;
+    const fs::path dir = fs::temp_directory_path() / "fisone_server_spill";
+    fs::remove_all(dir);
+    const data::corpus c = tiny_corpus(2);
+
+    api::server_config cfg = fast_server_config(true);
+    cfg.cache_spill = api::cache_spill_config{dir.string(), 1, 0};
+
+    std::string cold;
+    {
+        api::server srv(cfg);
+        api::client cli(srv);
+        for (std::size_t i = 0; i < c.buildings.size(); ++i)
+            static_cast<void>(cli.identify(c.buildings[i], i));
+        static_cast<void>(cli.flush());
+        cold = ndjson_of(cli.reports());
+    }
+
+    // A fresh server over the same directory: the whole campaign is served
+    // from the warm-loaded cache without touching the service.
+    api::server srv(cfg);
+    EXPECT_EQ(srv.cache_stats().warm_loaded, 2u);
+    api::client cli(srv);
+    for (std::size_t i = 0; i < c.buildings.size(); ++i)
+        static_cast<void>(cli.identify(c.buildings[i], i));
+    static_cast<void>(cli.flush());
+    EXPECT_EQ(srv.cache_stats().hits, 2u);
+    EXPECT_EQ(srv.stats().buildings_done, 0u);
+    EXPECT_EQ(ndjson_of(cli.reports()), cold);
+    fs::remove_all(dir);
 }
 
 }  // namespace

@@ -8,11 +8,15 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <filesystem>
 #include <mutex>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
+
+#include "service/fault_plan.hpp"
 
 #include "api/client.hpp"
 #include "api/codec.hpp"
@@ -537,6 +541,256 @@ TEST(federated_server, cancel_routes_to_owning_backend_and_unknown_ids_answer_fa
     ASSERT_EQ(buildings.size(), 1u);
     EXPECT_FALSE(buildings[0].report.ok);
     EXPECT_EQ(buildings[0].report.error, "cancelled");
+}
+
+// --- fault injection + fault tolerance ---------------------------------------
+
+TEST(fault_plan, parses_specs_and_rejects_garbage) {
+    const std::vector<service::fault_plan> plans =
+        service::parse_fault_plans("0:fail_every=3,hang_ms=200;2:crash_on_submit=1", 3);
+    ASSERT_EQ(plans.size(), 3u);
+    EXPECT_EQ(plans[0].fail_every, 3u);
+    EXPECT_EQ(plans[0].hang_ms, 200u);
+    EXPECT_FALSE(plans[0].crash_on_submit);
+    EXPECT_FALSE(plans[1].any());
+    EXPECT_TRUE(plans[2].crash_on_submit);
+    EXPECT_TRUE(plans[2].any());
+
+    EXPECT_TRUE(service::parse_fault_plans("", 2).empty() ||
+                !service::parse_fault_plans("", 2)[0].any());
+
+    EXPECT_THROW(service::parse_fault_plans("5:fail_every=1", 2), std::invalid_argument);
+    EXPECT_THROW(service::parse_fault_plans("0:warp_core=1", 2), std::invalid_argument);
+    EXPECT_THROW(service::parse_fault_plans("0:fail_every=x", 2), std::invalid_argument);
+    EXPECT_THROW(service::parse_fault_plans("nonsense", 2), std::invalid_argument);
+
+    EXPECT_TRUE(service::is_transient_fault(
+        std::string(service::k_transient_error_prefix) + "injected failure (execution #1)"));
+    EXPECT_FALSE(service::is_transient_fault("pipeline diverged"));
+}
+
+/// Run \p count pinned-index building requests through \p srv and return
+/// the input-order NDJSON of the collected reports (empty string when any
+/// request erred or went missing — the caller asserts against that).
+std::string protected_campaign_ndjson(federation::federated_server& srv, std::size_t count) {
+    const data::corpus city = tiny_corpus(count);
+    response_collector collected;
+    federation::federated_server::session s = srv.open(collected.sink());
+    for (std::size_t i = 0; i < count; ++i) {
+        api::identify_building_request req;
+        req.correlation_id = i + 1;
+        req.has_index = true;
+        req.corpus_index = i;
+        req.b = city.buildings[i];
+        s.handle(api::request{req});
+    }
+    s.handle(api::flush_request{9999});
+    s.finish();
+
+    EXPECT_TRUE(collected.of<api::error_response>().empty());
+    std::vector<runtime::building_report> reports;
+    for (const api::building_response& b : collected.of<api::building_response>())
+        reports.push_back(b.report);
+    if (reports.size() != count) return {};
+    std::ostringstream out;
+    service::export_input_order(out, std::move(reports));
+    return out.str();
+}
+
+TEST(fault_tolerant_fleet, transient_failures_retry_to_byte_identical_ndjson) {
+    // Baseline: the same campaign through a healthy, unprotected fleet.
+    federation::federation_config healthy;
+    healthy.service = fast_service_config(1);
+    healthy.num_backends = 2;
+    federation::federated_server healthy_srv(healthy);
+    const std::string baseline = protected_campaign_ndjson(healthy_srv, 6);
+    ASSERT_FALSE(baseline.empty());
+    EXPECT_FALSE(healthy_srv.health().has_value());  // protection off: no snapshot
+
+    // Every third execution on backend 0 fails transiently; the fleet must
+    // retry/failover to the exact same bytes.
+    federation::federation_config cfg = healthy;
+    cfg.policy = federation::routing_policy::round_robin;
+    cfg.fault_plans = service::parse_fault_plans("0:fail_every=3", 2);
+    federation::federated_server srv(cfg);
+    EXPECT_EQ(protected_campaign_ndjson(srv, 6), baseline);
+
+    const std::optional<federation::health_snapshot> health = srv.health();
+    ASSERT_TRUE(health.has_value());
+    EXPECT_GE(health->retries, 1u);
+    EXPECT_EQ(health->backend_unavailable, 0u);
+    EXPECT_EQ(health->deadline_exceeded, 0u);
+}
+
+TEST(fault_tolerant_fleet, submit_crashes_fail_over_and_trip_the_breaker) {
+    federation::federation_config cfg;
+    cfg.service = fast_service_config(1);
+    cfg.num_backends = 2;
+    cfg.policy = federation::routing_policy::round_robin;
+    cfg.fault_plans = service::parse_fault_plans("0:crash_on_submit=1", 2);
+    cfg.fault_tolerance.breaker_cooldown = std::chrono::milliseconds(60000);  // stay tripped
+    federation::federated_server srv(cfg);
+
+    EXPECT_FALSE(protected_campaign_ndjson(srv, 8).empty());
+    EXPECT_EQ(srv.backend(0).stats().jobs_submitted, 0u);  // crashed before enqueue
+    EXPECT_EQ(srv.backend(1).stats().buildings_ok, 8u);
+
+    const std::optional<federation::health_snapshot> health = srv.health();
+    ASSERT_TRUE(health.has_value());
+    EXPECT_GE(health->failovers, 1u);
+    ASSERT_EQ(health->backend_up.size(), 2u);
+    EXPECT_FALSE(health->backend_up[0]);  // three straight crashes: breaker open
+    EXPECT_TRUE(health->backend_up[1]);
+}
+
+TEST(fault_tolerant_fleet, exhausted_retries_answer_typed_backend_unavailable) {
+    // One backend that always fails transiently: nowhere to fail over, so
+    // after max_attempts the client gets a typed error, not a hang.
+    federation::federation_config cfg;
+    cfg.service = fast_service_config(1);
+    cfg.num_backends = 1;
+    cfg.fault_plans = service::parse_fault_plans("0:fail_every=1", 1);
+    cfg.fault_tolerance.max_attempts = 3;
+    federation::federated_server srv(cfg);
+
+    response_collector collected;
+    federation::federated_server::session s = srv.open(collected.sink());
+    api::identify_building_request req;
+    req.correlation_id = 42;
+    req.has_index = true;
+    req.corpus_index = 0;
+    req.b = tiny_building(0);
+    s.handle(api::request{req});
+    s.finish();
+
+    EXPECT_TRUE(collected.of<api::building_response>().empty());
+    const auto errors = collected.of<api::error_response>();
+    ASSERT_EQ(errors.size(), 1u);
+    EXPECT_EQ(errors[0].correlation_id, 42u);
+    EXPECT_EQ(errors[0].code, api::error_code::backend_unavailable);
+    EXPECT_NE(errors[0].message.find("3 attempts"), std::string::npos) << errors[0].message;
+
+    const std::optional<federation::health_snapshot> health = srv.health();
+    ASSERT_TRUE(health.has_value());
+    EXPECT_EQ(health->backend_unavailable, 1u);
+    EXPECT_EQ(health->retries, 2u);  // attempts 2 and 3
+}
+
+TEST(fault_tolerant_fleet, deadline_cancels_hung_backend_and_fails_over) {
+    // Backend 0 hangs far longer than the deadline; the expiry must cancel
+    // the hung attempt and reroute, and every request must still finish ok.
+    federation::federation_config cfg;
+    cfg.service = fast_service_config(1);
+    cfg.num_backends = 2;
+    cfg.policy = federation::routing_policy::round_robin;
+    cfg.fault_plans = service::parse_fault_plans("0:hang_ms=60000", 2);
+    cfg.fault_tolerance.request_timeout = std::chrono::milliseconds(2000);
+    federation::federated_server srv(cfg);
+
+    EXPECT_FALSE(protected_campaign_ndjson(srv, 2).empty());
+
+    const std::optional<federation::health_snapshot> health = srv.health();
+    ASSERT_TRUE(health.has_value());
+    EXPECT_GE(health->retries, 1u);          // at least one expired attempt rerouted
+    EXPECT_EQ(health->deadline_exceeded, 0u);  // nothing exhausted its deadline outright
+}
+
+TEST(fault_tolerant_fleet, half_open_probe_readmits_a_recovered_backend) {
+    // Backend 0 fails its first three executions (tripping the breaker),
+    // then recovers; after the cooldown one probe must readmit it.
+    federation::federation_config cfg;
+    cfg.service = fast_service_config(1);
+    cfg.num_backends = 2;
+    cfg.policy = federation::routing_policy::round_robin;
+    cfg.fault_plans = service::parse_fault_plans("0:fail_first=3", 2);
+    cfg.fault_tolerance.breaker_failure_threshold = 3;
+    cfg.fault_tolerance.breaker_cooldown = std::chrono::milliseconds(300);
+    federation::federated_server srv(cfg);
+
+    EXPECT_FALSE(protected_campaign_ndjson(srv, 6).empty());
+    {
+        const std::optional<federation::health_snapshot> health = srv.health();
+        ASSERT_TRUE(health.has_value());
+        EXPECT_FALSE(health->backend_up[0]) << "three straight failures should trip";
+    }
+
+    std::this_thread::sleep_for(std::chrono::milliseconds(400));  // past the cooldown
+    EXPECT_FALSE(protected_campaign_ndjson(srv, 6).empty());
+    {
+        const std::optional<federation::health_snapshot> health = srv.health();
+        ASSERT_TRUE(health.has_value());
+        EXPECT_TRUE(health->backend_up[0]) << "a successful probe should close the breaker";
+    }
+    EXPECT_GT(srv.backend(0).stats().buildings_ok, 0u);  // really readmitted
+}
+
+TEST(fault_tolerant_fleet, shard_submission_fails_over_on_submit_crash) {
+    const std::string root = scratch_dir("shard_crash");
+    const data::corpus city = tiny_corpus(4);
+    const std::string whole_dir = (std::filesystem::path(root) / "whole").string();
+    static_cast<void>(data::write_corpus_store(city, whole_dir, 1));
+    const std::string baseline = single_service_ndjson(data::corpus_store::open(whole_dir));
+
+    federation::federation_config cfg;
+    cfg.service = fast_service_config(1);
+    cfg.num_backends = 2;
+    cfg.store_dirs = {whole_dir};
+    cfg.policy = federation::routing_policy::round_robin;
+    cfg.fault_plans = service::parse_fault_plans("0:crash_on_submit=1", 2);
+    federation::federated_server srv(cfg);
+
+    response_collector collected;
+    federation::federated_server::session s = srv.open(collected.sink());
+    for (const federation::mounted_shard& ms : srv.registry().shards())
+        s.handle(api::identify_shard_request{ms.ref.first_index + 1, ms.ref});
+    s.handle(api::flush_request{500});
+    s.finish();
+
+    EXPECT_TRUE(collected.of<api::error_response>().empty());
+    std::vector<runtime::building_report> reports;
+    for (const api::building_response& b : collected.of<api::building_response>())
+        reports.push_back(b.report);
+    std::ostringstream out;
+    service::export_input_order(out, std::move(reports));
+    EXPECT_EQ(out.str(), baseline);
+
+    const std::optional<federation::health_snapshot> health = srv.health();
+    ASSERT_TRUE(health.has_value());
+    EXPECT_GE(health->failovers, 1u);
+}
+
+TEST(fault_tolerant_fleet, shard_submission_with_no_survivor_answers_typed_error) {
+    const std::string root = scratch_dir("shard_dead");
+    const data::corpus city = tiny_corpus(1);
+    const std::string dir = (std::filesystem::path(root) / "store").string();
+    static_cast<void>(data::write_corpus_store(city, dir, 1));
+
+    federation::federation_config cfg;
+    cfg.service = fast_service_config(1);
+    cfg.num_backends = 1;
+    cfg.store_dirs = {dir};
+    cfg.fault_plans = service::parse_fault_plans("0:crash_on_submit=1", 1);
+    federation::federated_server srv(cfg);
+
+    response_collector collected;
+    federation::federated_server::session s = srv.open(collected.sink());
+    const federation::mounted_shard ms = srv.registry().shards().at(0);
+    s.handle(api::identify_shard_request{11, ms.ref});
+    s.finish();
+
+    const auto errors = collected.of<api::error_response>();
+    ASSERT_EQ(errors.size(), 1u);
+    EXPECT_EQ(errors[0].correlation_id, 11u);
+    EXPECT_EQ(errors[0].code, api::error_code::backend_unavailable);
+    EXPECT_TRUE(collected.of<api::building_response>().empty());
+}
+
+TEST(fault_tolerant_fleet, rejects_misshapen_fault_plan_vector) {
+    federation::federation_config cfg;
+    cfg.service = fast_service_config(1);
+    cfg.num_backends = 2;
+    cfg.fault_plans.resize(1);  // neither empty nor one-per-backend
+    EXPECT_THROW(federation::federated_server{cfg}, std::invalid_argument);
 }
 
 }  // namespace

@@ -30,6 +30,7 @@
 #include "net/socket.hpp"
 #include "net/tcp_server.hpp"
 #include "obs/trace.hpp"
+#include "service/fault_plan.hpp"
 #include "service/profiles.hpp"
 #include "sim/building_generator.hpp"
 
@@ -672,6 +673,56 @@ TEST(TcpServer, FrontsAFederatedFleet) {
     front.drain();
     loop.join();
     std::filesystem::remove_all(dir);
+}
+
+TEST(TcpServer, DrainRacesCircuitBrokenBackendWithoutHanging) {
+    // A protected fleet whose backend 0 always fails transiently: in-flight
+    // requests keep retrying/failing over while the front door drains (the
+    // path serve_tcp's SIGTERM waiter takes). Drain must still account for
+    // every admitted request — answered ok after failover, never hung —
+    // with backend 0's breaker tripping mid-drain. Runs under the TSan CI
+    // tier via the test_net filter.
+    federation::federation_config fcfg;
+    fcfg.service = service::quick_profile(11, 1);
+    fcfg.num_backends = 2;
+    fcfg.policy = federation::routing_policy::round_robin;
+    fcfg.fault_plans = service::parse_fault_plans("0:fail_every=1", 2);
+    fcfg.fault_tolerance.breaker_cooldown = std::chrono::milliseconds(60000);
+    federation::federated_server fed(fcfg);
+    net::tcp_server front(net::make_backend(fed));
+    std::thread loop([&front] { front.run(); });
+
+    net::frame_conn conn("127.0.0.1", front.port());
+    constexpr std::size_t n = 6;
+    for (std::size_t i = 0; i < n; ++i) conn.send(identify_frame(i + 1, i, i));
+    while (front.stats().requests_admitted < n)
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    front.drain();  // races the retry/failover machinery
+
+    std::size_t ok = 0, errors = 0;
+    while (ok + errors < n) {
+        const std::optional<std::string> reply = conn.read_frame();
+        if (!reply) break;  // server closed before answering everything
+        const api::response resp = decode_one(*reply);
+        if (std::holds_alternative<api::building_response>(resp))
+            ++ok;
+        else if (std::holds_alternative<api::error_response>(resp))
+            ++errors;
+    }
+    EXPECT_EQ(ok, n) << errors << " typed errors";  // failover rescued every request
+    loop.join();
+
+    const auto health = fed.health();
+    ASSERT_TRUE(health.has_value());
+    EXPECT_GE(health->retries, 1u);  // backend 0 sent every request it saw back out
+    EXPECT_FALSE(health->backend_up[0]);
+
+    // The scrapeable page carries the new federation families.
+    const std::string page = front.metrics_text();
+    EXPECT_NE(page.find("fisone_federation_retries_total"), std::string::npos);
+    EXPECT_NE(page.find("fisone_federation_failovers_total"), std::string::npos);
+    EXPECT_NE(page.find("fisone_backend_up{backend=\"0\"} 0"), std::string::npos);
+    EXPECT_NE(page.find("fisone_backend_up{backend=\"1\"} 1"), std::string::npos);
 }
 
 }  // namespace

@@ -7,8 +7,11 @@ Pairs files by name, flattens numeric fields (nested objects become
 dot.paths), and prints one markdown section per bench with previous value,
 current value, and the relative delta — written for a CI job summary
 ($GITHUB_STEP_SUMMARY), so a perf regression is visible in the run page
-without downloading artifacts. Exit code is always 0: the diff informs,
-the benches' own assertions gate.
+without downloading artifacts. Noise-level deltas never gate (CI runners
+are too jittery for hard perf thresholds), but *disappearance* does: a
+bench file or a measured field that existed in the previous run and is
+gone from the current one exits 1 — a family silently dropping out of the
+reports is how perf coverage rots, and it is cheap to catch here.
 
 Fields whose name suggests wall time or latency are marked so a reader can
 tell "higher is worse" rows from throughput rows; nothing is auto-judged,
@@ -54,6 +57,7 @@ def fmt(value):
 
 
 def diff_file(name, prev, curr, threshold):
+    """Print one bench's table; return the fields present only previously."""
     prev_fields = dict(flatten(prev))
     curr_fields = dict(flatten(curr))
     rows = []
@@ -91,6 +95,7 @@ def diff_file(name, prev, curr, threshold):
                 mark = "changed"
         print(f"| {field} | {fmt(p)} | {fmt(c)} | {delta:+.1f}% | {mark} |")
     print()
+    return [field for field, p, c, _ in rows if c is None]
 
 
 def main():
@@ -102,8 +107,8 @@ def main():
     args = parser.parse_args()
 
     # Either directory may be missing outright — the first run of a new
-    # bench has no previous artifact, a retired bench leaves none behind.
-    # Both are routine, neither deserves a stack trace.
+    # bench has no previous artifact. That is routine and does not deserve
+    # a stack trace; only reports that *were* there and vanished gate.
     prev_files = (
         {p.name: p for p in sorted(args.prev_dir.glob("BENCH_*.json"))}
         if args.prev_dir.is_dir() else {}
@@ -117,9 +122,14 @@ def main():
     if not curr_files:
         print(f"bench_diff: no BENCH_*.json under {args.curr_dir}", file=sys.stderr)
         print("_bench_diff: nothing to compare (no current bench reports)._")
+        if prev_files:
+            print(f"bench_diff: MISSING: all {len(prev_files)} previous bench report(s) "
+                  "disappeared from the current run", file=sys.stderr)
+            sys.exit(1)
         return
 
     print("## Bench comparison vs previous run\n")
+    missing = []  # (bench, field-or-None) pairs that vanished since the previous run
     for name, curr_path in curr_files.items():
         try:
             curr = json.loads(curr_path.read_text())
@@ -135,9 +145,17 @@ def main():
         except (OSError, json.JSONDecodeError) as e:
             print(f"_bench_diff: unreadable previous {name}: {e}_\n")
             continue
-        diff_file(name, prev, curr, args.threshold)
+        missing.extend((name, field) for field in diff_file(name, prev, curr, args.threshold))
     for name in sorted(set(prev_files) - set(curr_files)):
-        print(f"### {name}\n\n_present in the previous run only._\n")
+        print(f"### {name}\n\n**MISSING: present in the previous run only.**\n")
+        missing.append((name, None))
+
+    if missing:
+        for name, field in missing:
+            what = f"field {field!r} of {name}" if field else f"bench report {name}"
+            print(f"bench_diff: MISSING: {what} disappeared since the previous run",
+                  file=sys.stderr)
+        sys.exit(1)
 
 
 if __name__ == "__main__":

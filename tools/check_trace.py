@@ -12,6 +12,8 @@ Checks, in order:
     the keys Perfetto needs (name/ts/dur/pid/tid) with sane types and
     non-negative times, plus the fisone id args (trace/span/parent as hex
     strings);
+  - every span name is in the KNOWN_SPANS registry (catches producer typos
+    and instrumentation added without updating the tooling);
   - parent links resolve: every event whose `args.parent` is nonzero has
     some event in the same trace carrying that id as its `args.span`
     (skipped when `otherData.dropped` > 0 — a wrapped ring legitimately
@@ -32,6 +34,26 @@ from pathlib import Path
 KNOWN_VERSIONS = ("fisone-trace/v1",)
 REQUIRED_EVENT_KEYS = ("name", "ph", "ts", "dur", "pid", "tid", "args")
 REQUIRED_ARG_KEYS = ("trace", "span", "parent")
+
+# Every span name the instrumentation can emit. A name outside this registry
+# fails the check: either the producer has a typo, or a new span was added
+# without teaching the tooling about it — both are worth a red build. Keep in
+# sync with the scoped_span / emit_span / emit_child_span literals in src/.
+KNOWN_SPANS = frozenset({
+    # net front door
+    "net.accept", "net.read", "net.decode", "net.dispatch", "net.respond",
+    "net.flush", "net.request",
+    # federation fan-out and fault tolerance
+    "federation.dispatch", "federation.route", "federation.retry",
+    "federation.failover",
+    # API server
+    "api.identify", "api.cache_probe",
+    # floor service
+    "service.queue_wait", "service.execute", "service.report",
+    # pipeline stages
+    "pipeline.graph_build", "pipeline.gnn_embed", "pipeline.floor_count",
+    "pipeline.cluster", "pipeline.index", "pipeline.export",
+})
 
 
 def fail(reason):
@@ -87,6 +109,9 @@ def main():
             fail(f"traceEvents[{i}] has phase {event['ph']!r}, expected complete ('X')")
         if not isinstance(event["name"], str) or not event["name"]:
             fail(f"traceEvents[{i}] has a non-string or empty name")
+        if event["name"] not in KNOWN_SPANS:
+            fail(f"traceEvents[{i}] has unregistered span name {event['name']!r} "
+                 f"(add it to KNOWN_SPANS if it is a new instrumentation point)")
         for key in ("ts", "dur"):
             if not isinstance(event[key], (int, float)) or event[key] < 0:
                 fail(f"traceEvents[{i}] ({event['name']}): bad {key}: {event[key]!r}")
