@@ -42,9 +42,14 @@
 ///                 restarted fleet resumes with warm caches.
 ///  --fault-plan   deterministic fault injection, e.g.
 ///                 `0:fail_every=3;1:hang_ms=200` (keys: fail_every,
-///                 fail_first, hang_ms, crash_on_submit, slow_read_ms).
-///                 Fleet mode only; arms fault tolerance
-///                 (retry/failover + circuit breakers).
+///                 fail_first, hang_ms, crash_on_submit, slow_read_ms,
+///                 crash_on_append). Fleet mode only; arms fault
+///                 tolerance (retry/failover + circuit breakers).
+///                 crash_on_append=1 aborts the process after an
+///                 appended delta shard is durable but before the
+///                 manifest tmp is written; =2 aborts after the tmp is
+///                 written but before the rename — both for drilling
+///                 the warm-restart torn-manifest guarantee.
 ///  --trace-out    enable span tracing for the whole run and write the
 ///                 tape as Chrome trace-event JSON (Perfetto-loadable) to
 ///                 PATH after the drain completes. While the server runs,
@@ -113,8 +118,9 @@ void print_usage() {
         "  --fault-plan SPEC        deterministic fault injection, e.g.\n"
         "                           0:fail_every=3;1:hang_ms=200 (keys:\n"
         "                           fail_every, fail_first, hang_ms,\n"
-        "                           crash_on_submit, slow_read_ms). Fleet\n"
-        "                           mode only; arms retry/failover.\n"
+        "                           crash_on_submit, slow_read_ms,\n"
+        "                           crash_on_append). Fleet mode only;\n"
+        "                           arms retry/failover.\n"
         "\n"
         "Fleet mode runs when --stores, --backends, --fault-plan, or\n"
         "--request-timeout-ms is given; otherwise a single api::server\n"

@@ -85,6 +85,27 @@ std::uint64_t client::flush() {
     return corr;
 }
 
+std::uint64_t client::append_scans(const std::string& corpus_name,
+                                   const std::vector<data::building>& records) {
+    const std::uint64_t corr = next_correlation_++;
+    append_scans_request m;
+    m.correlation_id = corr;
+    m.corpus_name = corpus_name;
+    m.records = records;
+    send(request(std::move(m)));
+    return corr;
+}
+
+std::uint64_t client::watch(const std::string& name, bool subscribe) {
+    const std::uint64_t corr = next_correlation_++;
+    watch_request m;
+    m.correlation_id = corr;
+    m.name = name;
+    m.subscribe = subscribe;
+    send(request(std::move(m)));
+    return corr;
+}
+
 std::size_t client::ingest(std::istream& from_server) {
     std::size_t decoded_frames = 0;
     for (;;) {

@@ -66,6 +66,19 @@ public:
     /// response collected.
     std::uint64_t flush();
 
+    /// Append a batch of scan records to the store serving \p corpus_name.
+    /// Answered with `append_response` once the delta shard is durable (a
+    /// bare `api::server` answers a typed bad_request: appends are a
+    /// federation verb).
+    std::uint64_t append_scans(const std::string& corpus_name,
+                               const std::vector<data::building>& records);
+
+    /// Subscribe to (or with \p subscribe false, drop) re-identification
+    /// pushes for building \p name. Answered with `watch_ack_response`;
+    /// pushes arrive later as `push_update_response` frames carrying this
+    /// call's correlation id.
+    std::uint64_t watch(const std::string& name, bool subscribe = true);
+
     /// Framed mode: decode every response frame in \p from_server into
     /// the collected set. Stops at EOF or the first fatal framing error.
     /// Returns the number of frames decoded (errors included as

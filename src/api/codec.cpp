@@ -253,6 +253,9 @@ void put_stats(wire_writer& w, const service::service_stats& s) {
     w.u64(s.cache_hits);
     w.u64(s.cache_misses);
     w.u64(s.cache_evictions);
+    w.u64(s.ingest_appends);
+    w.u64(s.ingest_dirty_buildings);
+    w.u64(s.watch_subscribers);
 }
 
 service::service_stats get_stats_body(wire_reader& r) {
@@ -272,6 +275,9 @@ service::service_stats get_stats_body(wire_reader& r) {
     s.cache_hits = static_cast<std::size_t>(r.u64());
     s.cache_misses = static_cast<std::size_t>(r.u64());
     s.cache_evictions = static_cast<std::size_t>(r.u64());
+    s.ingest_appends = static_cast<std::size_t>(r.u64());
+    s.ingest_dirty_buildings = static_cast<std::size_t>(r.u64());
+    s.watch_subscribers = static_cast<std::size_t>(r.u64());
     return s;
 }
 
@@ -298,6 +304,17 @@ struct request_payload_encoder {
         w.u64(m.target_correlation_id);
     }
     void operator()(const flush_request& m) const { w.u64(m.correlation_id); }
+    void operator()(const append_scans_request& m) const {
+        w.u64(m.correlation_id);
+        w.str(m.corpus_name);
+        w.u64(m.records.size());
+        for (const data::building& b : m.records) put_building(w, b);
+    }
+    void operator()(const watch_request& m) const {
+        w.u64(m.correlation_id);
+        w.str(m.name);
+        w.boolean(m.subscribe);
+    }
 };
 
 struct response_payload_encoder {
@@ -317,6 +334,21 @@ struct response_payload_encoder {
         w.boolean(m.accepted);
     }
     void operator()(const flush_response& m) const { w.u64(m.correlation_id); }
+    void operator()(const append_response& m) const {
+        w.u64(m.correlation_id);
+        w.u64(m.version);
+        w.u64(m.accepted);
+        w.u64(m.dirty);
+    }
+    void operator()(const watch_ack_response& m) const {
+        w.u64(m.correlation_id);
+        w.boolean(m.active);
+    }
+    void operator()(const push_response& m) const {
+        w.u64(m.correlation_id);
+        w.u64(m.version);
+        put_report(w, m.report);
+    }
     void operator()(const error_response& m) const {
         w.u64(m.correlation_id);
         w.u16(static_cast<std::uint16_t>(m.code));
@@ -361,6 +393,25 @@ std::optional<request> parse_request(std::uint16_t tag, wire_reader& r) {
             m.correlation_id = r.u64();
             return request(m);
         }
+        case message_tag::append_scans: {
+            append_scans_request m;
+            m.correlation_id = r.u64();
+            m.corpus_name = r.str();
+            // One encoded record is at least the fixed building header
+            // (name len + 3×u64 + i32 + sample count).
+            const std::size_t num_records = r.count(8 + 8 + 8 + 8 + 4 + 8);
+            m.records.reserve(num_records);
+            for (std::size_t i = 0; i < num_records && !r.failed(); ++i)
+                m.records.push_back(get_building(r));
+            return request(std::move(m));
+        }
+        case message_tag::watch: {
+            watch_request m;
+            m.correlation_id = r.u64();
+            m.name = r.str();
+            m.subscribe = r.boolean();
+            return request(std::move(m));
+        }
         default: return std::nullopt;
     }
 }
@@ -391,6 +442,27 @@ std::optional<response> parse_response(std::uint16_t tag, wire_reader& r) {
             flush_response m;
             m.correlation_id = r.u64();
             return response(m);
+        }
+        case message_tag::append_result: {
+            append_response m;
+            m.correlation_id = r.u64();
+            m.version = r.u64();
+            m.accepted = r.u64();
+            m.dirty = r.u64();
+            return response(m);
+        }
+        case message_tag::watch_ack: {
+            watch_ack_response m;
+            m.correlation_id = r.u64();
+            m.active = r.boolean();
+            return response(m);
+        }
+        case message_tag::push_update: {
+            push_response m;
+            m.correlation_id = r.u64();
+            m.version = r.u64();
+            m.report = get_report(r);
+            return response(std::move(m));
         }
         case message_tag::error: {
             error_response m;

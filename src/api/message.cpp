@@ -39,6 +39,10 @@ message_tag tag_of(const request& r) noexcept {
         message_tag operator()(const get_stats_request&) const { return message_tag::get_stats; }
         message_tag operator()(const cancel_job_request&) const { return message_tag::cancel_job; }
         message_tag operator()(const flush_request&) const { return message_tag::flush; }
+        message_tag operator()(const append_scans_request&) const {
+            return message_tag::append_scans;
+        }
+        message_tag operator()(const watch_request&) const { return message_tag::watch; }
     };
     return std::visit(visitor{}, r);
 }
@@ -59,6 +63,9 @@ message_tag tag_of(const response& r) noexcept {
         message_tag operator()(const stats_response&) const { return message_tag::stats_result; }
         message_tag operator()(const cancel_response&) const { return message_tag::cancel_result; }
         message_tag operator()(const flush_response&) const { return message_tag::flush_done; }
+        message_tag operator()(const append_response&) const { return message_tag::append_result; }
+        message_tag operator()(const watch_ack_response&) const { return message_tag::watch_ack; }
+        message_tag operator()(const push_response&) const { return message_tag::push_update; }
         message_tag operator()(const error_response&) const { return message_tag::error; }
     };
     return std::visit(visitor{}, r);

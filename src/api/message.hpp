@@ -31,7 +31,10 @@ namespace fisone::api {
 /// Wire schema version. Bump on any change to message layouts; decoders
 /// reject frames from a different version with `error_code::bad_version`.
 /// v2: `service_stats` gained `cache_evictions`.
-inline constexpr std::uint32_t k_schema_version = 2;
+/// v3: live ingestion — `append_scans` / `watch` verbs, `append_result` /
+///     `watch_ack` / `push_update` frames, `service_stats` gained the
+///     ingest counters.
+inline constexpr std::uint32_t k_schema_version = 3;
 
 /// Frame tag: which message a frame's payload holds. Requests live in
 /// [1, 64), responses in [64, 128); the split leaves both ranges room to
@@ -43,11 +46,19 @@ enum class message_tag : std::uint16_t {
     get_stats = 3,
     cancel_job = 4,
     flush = 5,
+    append_scans = 6,
+    watch = 7,
     // responses
     building_result = 64,
     stats_result = 65,
     cancel_result = 66,
     flush_done = 67,
+    append_result = 68,
+    watch_ack = 69,
+    /// Server-initiated: a re-identified floor labeling pushed to a
+    /// standing `watch` subscription — the one frame a client receives
+    /// without a request of its own in flight.
+    push_update = 70,
     error = 127,
 };
 
@@ -113,8 +124,34 @@ struct flush_request {
     std::uint64_t correlation_id = 0;
 };
 
+/// Durably append new crowdsourced scans to the mounted store whose corpus
+/// is named `corpus_name`. Each record is a building block carrying the
+/// NEW scans for the building it names (`data::apply_delta_record`
+/// semantics); a name no base building holds introduces a new building at
+/// the store's tail. Answered with `append_response` only after the
+/// store's manifest has durably versioned forward; the re-run of the dirty
+/// buildings follows asynchronously (barrier: `flush`). Served by the
+/// federated front-end — a bare `api::server` has no store to land deltas
+/// in and answers `bad_request`.
+struct append_scans_request {
+    std::uint64_t correlation_id = 0;
+    std::string corpus_name;
+    std::vector<data::building> records;
+};
+
+/// Stand up (or tear down) a subscription on one building name: after a
+/// `watch_ack`, every re-identification of that building triggered by an
+/// append pushes a `push_update` carrying this request's correlation id
+/// over the same connection, until unsubscribed or the connection closes.
+struct watch_request {
+    std::uint64_t correlation_id = 0;
+    std::string name;      ///< building name to watch
+    bool subscribe = true; ///< false = cancel this connection's subscription
+};
+
 using request = std::variant<identify_building_request, identify_shard_request,
-                             get_stats_request, cancel_job_request, flush_request>;
+                             get_stats_request, cancel_job_request, flush_request,
+                             append_scans_request, watch_request>;
 
 // --- responses --------------------------------------------------------------
 
@@ -147,6 +184,34 @@ struct flush_response {
     std::uint64_t correlation_id = 0;
 };
 
+/// Answer to `append_scans_request`, emitted once the append is durable
+/// (manifest renamed into place — a crash after this frame never loses the
+/// delta). `version` is the store's manifest version after the append;
+/// `dirty` counts the buildings whose content hash changed (they re-run;
+/// everything else keeps serving from cache).
+struct append_response {
+    std::uint64_t correlation_id = 0;
+    std::uint64_t version = 0;
+    std::uint64_t accepted = 0;  ///< delta records durably appended
+    std::uint64_t dirty = 0;
+};
+
+/// Answer to `watch_request`: the subscription state after the request.
+struct watch_ack_response {
+    std::uint64_t correlation_id = 0;
+    bool active = false;
+};
+
+/// Server-initiated push to a standing watch: the watched building was
+/// re-identified after an append made it dirty. `correlation_id` is the
+/// watch request's, so a client multiplexing subscriptions can tell them
+/// apart; `version` is the store version whose data the report reflects.
+struct push_response {
+    std::uint64_t correlation_id = 0;
+    std::uint64_t version = 0;
+    runtime::building_report report;
+};
+
 /// Typed protocol failure. `correlation_id` is 0 when the failure happened
 /// before a correlation id could be decoded (e.g. a truncated header).
 struct error_response {
@@ -156,7 +221,8 @@ struct error_response {
 };
 
 using response = std::variant<building_response, stats_response, cancel_response,
-                              flush_response, error_response>;
+                              flush_response, append_response, watch_ack_response,
+                              push_response, error_response>;
 
 // --- uniform accessors ------------------------------------------------------
 

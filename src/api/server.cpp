@@ -154,11 +154,22 @@ void server::session::handle(const request& req) {
                     if (it != st->jobs.end()) accepted = it->second.cancel();
                 }
                 st->emit(cancel_response{m.correlation_id, m.target_correlation_id, accepted});
-            } else {
-                static_assert(std::is_same_v<T, flush_request>);
+            } else if constexpr (std::is_same_v<T, flush_request>) {
                 st->svc->wait_all();
                 st->prune_jobs();
                 st->emit(flush_response{m.correlation_id});
+            } else if constexpr (std::is_same_v<T, append_scans_request>) {
+                // Live ingestion is a federation-level verb: a bare server
+                // has no mounted store to land deltas in.
+                st->emit(error_response{m.correlation_id, error_code::bad_request,
+                                        "append_scans: this server mounts no corpus store "
+                                        "(appends are served by the federated front-end)"});
+            } else {
+                static_assert(std::is_same_v<T, watch_request>);
+                st->emit(error_response{m.correlation_id, error_code::bad_request,
+                                        "watch: this server has no watch registry "
+                                        "(subscriptions are served by the federated "
+                                        "front-end)"});
             }
         },
         req);

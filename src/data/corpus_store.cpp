@@ -4,6 +4,8 @@
 #include <filesystem>
 #include <sstream>
 #include <stdexcept>
+#include <system_error>
+#include <unordered_map>
 #include <unordered_set>
 
 #include "dataset_io.hpp"
@@ -17,6 +19,7 @@ constexpr const char* kManifestMagic = "# fisone-corpus v1";
 constexpr const char* kShardMagic = "# fisone-shard v1";
 constexpr const char* kBlockEnd = "end";
 constexpr const char* kManifestName = "manifest.csv";
+constexpr const char* kManifestTempSuffix = ".tmp";
 
 std::string join_path(const std::string& dir, const std::string& name) {
     return (std::filesystem::path(dir) / name).string();
@@ -62,14 +65,38 @@ void corpus_manifest::validate() const {
                                         "duplicate under two index ranges");
         expected_first += s.num_buildings;
     }
+    for (std::size_t i = 0; i < deltas.size(); ++i) {
+        const delta_entry& d = deltas[i];
+        if (d.filename.empty())
+            throw std::invalid_argument("corpus_manifest: delta " + std::to_string(i) +
+                                        " has an empty filename");
+        if (d.num_records == 0)
+            throw std::invalid_argument("corpus_manifest: delta " + std::to_string(i) +
+                                        " is empty");
+        if (!seen_files.insert(d.filename).second)
+            throw std::invalid_argument("corpus_manifest: delta file '" + d.filename +
+                                        "' is listed more than once — its records would apply "
+                                        "twice");
+    }
+    // Each durable append adds exactly one delta row and bumps the version
+    // by one; any other relationship means the manifest is torn.
+    if (version != deltas.size())
+        throw std::invalid_argument("corpus_manifest: version " + std::to_string(version) +
+                                    " does not match " + std::to_string(deltas.size()) +
+                                    " delta rows");
 }
 
 void save_manifest(const corpus_manifest& m, std::ostream& out) {
     m.validate();
     out << kManifestMagic << '\n';
     out << "corpus," << m.corpus_name << '\n';
+    // Omitted while 0: a write-once store's manifest stays byte-identical
+    // to what every pre-ingestion version of this code wrote.
+    if (m.version != 0) out << "version," << m.version << '\n';
     for (const shard_entry& s : m.shards)
         out << "shard," << s.filename << ',' << s.first_index << ',' << s.num_buildings << '\n';
+    for (const delta_entry& d : m.deltas)
+        out << "delta," << d.filename << ',' << d.num_records << '\n';
     if (!out) throw std::ios_base::failure("save_manifest: write error");
 }
 
@@ -99,6 +126,16 @@ corpus_manifest load_manifest(std::istream& in) {
             s.first_index = static_cast<std::size_t>(util::parse_int(fields[2]));
             s.num_buildings = static_cast<std::size_t>(util::parse_int(fields[3]));
             m.shards.push_back(std::move(s));
+        } else if (key == "version") {
+            if (fields.size() != 2)
+                throw std::invalid_argument("load_manifest: bad version row");
+            m.version = static_cast<std::uint64_t>(util::parse_int(fields[1]));
+        } else if (key == "delta") {
+            if (fields.size() != 3) throw std::invalid_argument("load_manifest: bad delta row");
+            delta_entry d;
+            d.filename = fields[1];
+            d.num_records = static_cast<std::size_t>(util::parse_int(fields[2]));
+            m.deltas.push_back(std::move(d));
         } else {
             throw std::invalid_argument("load_manifest: unknown row key '" + key + "'");
         }
@@ -171,6 +208,23 @@ std::optional<building> shard_reader::next() {
     return b;
 }
 
+// --- delta merge ------------------------------------------------------------
+
+void apply_delta_record(building& base, const building& record) {
+    if (base.name != record.name)
+        throw std::invalid_argument("apply_delta_record: record for '" + record.name +
+                                    "' applied to building '" + base.name + "'");
+    base.num_floors = std::max(base.num_floors, record.num_floors);
+    base.num_macs = std::max(base.num_macs, record.num_macs);
+    base.samples.insert(base.samples.end(), record.samples.begin(), record.samples.end());
+}
+
+std::string manifest_path(const std::string& dir) { return join_path(dir, kManifestName); }
+
+std::string manifest_temp_path(const std::string& dir) {
+    return join_path(dir, std::string(kManifestName) + kManifestTempSuffix);
+}
+
 // --- store ------------------------------------------------------------------
 
 corpus_manifest write_corpus_store(const corpus& c, const std::string& dir,
@@ -208,6 +262,12 @@ corpus_manifest write_corpus_store(const corpus& c, const std::string& dir,
 }
 
 corpus_store corpus_store::open(const std::string& dir) {
+    // An interrupted append may leave `manifest.csv.tmp` behind: the
+    // rename that would have made it visible never ran, so by the
+    // durable-before-visible contract it holds a manifest that never
+    // existed. Sweep it instead of letting it confuse a later append.
+    std::error_code sweep_ec;
+    std::filesystem::remove(manifest_temp_path(dir), sweep_ec);
     std::ifstream in(join_path(dir, kManifestName));
     if (!in) throw std::ios_base::failure("corpus_store::open: cannot open manifest in " + dir);
     corpus_store store;
@@ -247,11 +307,65 @@ void corpus_store::for_each_building(
     }
 }
 
+void corpus_store::for_each_building_effective(
+    const std::function<void(std::size_t, building&&)>& fn) const {
+    // Load every delta record, grouped by building name in first-appearance
+    // order. The records (one append batch each) are resident; the base
+    // corpus still streams one building at a time.
+    std::unordered_map<std::string, std::vector<building>> patches;
+    std::vector<std::string> order;  // first appearance across all deltas
+    for (const delta_entry& entry : manifest_.deltas) {
+        shard_reader reader(join_path(dir_, entry.filename));
+        std::size_t records = 0;
+        while (auto record = reader.next()) {
+            auto [it, fresh] = patches.try_emplace(record->name);
+            if (fresh) order.push_back(record->name);
+            it->second.push_back(std::move(*record));
+            ++records;
+        }
+        if (records != entry.num_records)
+            throw std::invalid_argument("corpus_store: delta " + entry.filename + " holds " +
+                                        std::to_string(records) + " records, manifest says " +
+                                        std::to_string(entry.num_records));
+    }
+    for_each_building([&](std::size_t index, building&& b) {
+        const auto it = patches.find(b.name);
+        if (it != patches.end()) {
+            for (const building& record : it->second) apply_delta_record(b, record);
+            patches.erase(it);
+        }
+        fn(index, std::move(b));
+    });
+    // Whatever the base did not consume introduces new buildings at the
+    // tail, in first-appearance order: the first record is the building,
+    // later records fold onto it.
+    std::size_t next = manifest_.total_buildings();
+    for (const std::string& name : order) {
+        const auto it = patches.find(name);
+        if (it == patches.end()) continue;  // consumed by a base building
+        building b = std::move(it->second.front());
+        for (std::size_t i = 1; i < it->second.size(); ++i)
+            apply_delta_record(b, it->second[i]);
+        patches.erase(it);
+        fn(next++, std::move(b));
+    }
+}
+
 corpus corpus_store::load_all() const {
     corpus c;
     c.name = manifest_.corpus_name;
     c.buildings.resize(manifest_.total_buildings());
     for_each_building([&](std::size_t index, building&& b) { c.buildings[index] = std::move(b); });
+    return c;
+}
+
+corpus corpus_store::load_all_effective() const {
+    corpus c;
+    c.name = manifest_.corpus_name;
+    for_each_building_effective([&](std::size_t index, building&& b) {
+        if (index >= c.buildings.size()) c.buildings.resize(index + 1);
+        c.buildings[index] = std::move(b);
+    });
     return c;
 }
 

@@ -9,10 +9,13 @@
 ///   manifest.csv:
 ///     # fisone-corpus v1
 ///     corpus,<name>
+///     version,<n>                        (omitted while 0 — a write-once store)
 ///     shard,<filename>,<first_index>,<num_buildings>
 ///     ... one `shard` row per shard, in corpus order ...
+///     delta,<filename>,<num_records>
+///     ... one `delta` row per append batch, in append order ...
 ///
-///   shard-NNNN.csv:
+///   shard-NNNN.csv / delta-NNNN.csv:
 ///     # fisone-shard v1
 ///     # fisone-building v1
 ///     ... building rows (dataset_io format) ...
@@ -24,8 +27,22 @@
 /// `write_corpus_store` splits deterministically: shard s holds the
 /// buildings [s·shard_size, min(N, (s+1)·shard_size)) in input order, so a
 /// store round-trips to the exact input corpus for every shard size.
+///
+/// **Live ingestion.** Base shards are immutable; appended scans land in
+/// *delta* shards (same block format) listed by `delta` rows, and `version`
+/// counts the appends. A delta record is "new scans for the named building":
+/// `apply_delta_record` folds its samples onto the base building (the
+/// one-label protocol stays the base's); a record whose name matches no
+/// base building introduces a new building at the end of the corpus, in
+/// first-appearance order. `for_each_building_effective` streams that merged
+/// view — the corpus a cold rebuild must reproduce byte-for-byte. The
+/// manifest only ever moves forward atomically (write `manifest.csv.tmp`,
+/// rename over `manifest.csv` — see `ingest::append_scans`); `open` sweeps
+/// a leftover `.tmp` from an interrupted append instead of failing the
+/// mount.
 
 #include <cstddef>
+#include <cstdint>
 #include <fstream>
 #include <functional>
 #include <optional>
@@ -43,18 +60,36 @@ struct shard_entry {
     std::size_t num_buildings = 0;
 };
 
+/// One delta shard's manifest row: the scan records of one append batch.
+/// `filename` is relative to the store directory.
+struct delta_entry {
+    std::string filename;
+    std::size_t num_records = 0;
+};
+
 /// Parsed `manifest.csv`.
 struct corpus_manifest {
     std::string corpus_name;
     std::vector<shard_entry> shards;
+    /// Append count: 0 for a write-once store, bumped by one per durable
+    /// append. The version a client saw identifies exactly which deltas
+    /// its results covered.
+    std::uint64_t version = 0;
+    /// Applied after the base shards, in append order.
+    std::vector<delta_entry> deltas;
 
-    /// Total buildings across all shards.
+    /// Total buildings across all *base* shards (delta records may add
+    /// more — stream `for_each_building_effective` to count the merged
+    /// view).
     [[nodiscard]] std::size_t total_buildings() const noexcept;
 
     /// Consistency check: shard rows must tile [0, total) contiguously in
     /// order, have non-empty filenames, and never list the same shard file
     /// twice (a repeated file would mount duplicate building ids under two
-    /// index ranges; the error names the offending shard file).
+    /// index ranges; the error names the offending shard file). Delta rows
+    /// must be non-empty, uniquely named (against shards too), and their
+    /// count must match `version` — a manifest claiming more appends than
+    /// it lists (or vice versa) is torn.
     /// \throws std::invalid_argument on the first violation.
     void validate() const;
 };
@@ -122,6 +157,20 @@ private:
     std::size_t position_ = 0;
 };
 
+/// Fold one delta record's scans onto the building they belong to: samples
+/// append in record order, floor/MAC counts grow to cover the new scans,
+/// and the base's one-label protocol (`labeled_sample` / `labeled_floor`)
+/// is untouched — the label is already known, new crowdsourced scans never
+/// carry one. \throws std::invalid_argument when the names differ.
+void apply_delta_record(building& base, const building& record);
+
+/// `<dir>/manifest.csv` and the temporary an atomic manifest replacement
+/// goes through (`<dir>/manifest.csv.tmp`) — shared by the store reader
+/// (which sweeps a leftover temp) and `ingest::append_scans` (which writes
+/// through it).
+[[nodiscard]] std::string manifest_path(const std::string& dir);
+[[nodiscard]] std::string manifest_temp_path(const std::string& dir);
+
 /// Shard \p c into `ceil(N / shard_size)` files under directory \p dir
 /// (created if absent) and write `manifest.csv`. Deterministic: shard
 /// boundaries depend only on (N, shard_size), building order is preserved.
@@ -136,8 +185,11 @@ corpus_manifest write_corpus_store(const corpus& c, const std::string& dir,
 /// stream them.
 class corpus_store {
 public:
-    /// Read `<dir>/manifest.csv`. \throws std::ios_base::failure when the
-    /// manifest cannot be opened, std::invalid_argument when malformed.
+    /// Read `<dir>/manifest.csv`. A leftover `manifest.csv.tmp` from an
+    /// interrupted append is swept (deleted) first — the rename never
+    /// happened, so the temp is invisible by contract and must not fail
+    /// the mount. \throws std::ios_base::failure when the manifest cannot
+    /// be opened, std::invalid_argument when malformed.
     static corpus_store open(const std::string& dir);
 
     [[nodiscard]] const corpus_manifest& manifest() const noexcept { return manifest_; }
@@ -151,12 +203,25 @@ public:
     /// Fresh streaming reader over shard \p shard_index.
     [[nodiscard]] shard_reader open_shard(std::size_t shard_index) const;
 
-    /// Stream every building in corpus order as (corpus_index, building),
-    /// one at a time — the whole corpus is never resident.
+    /// Stream every *base* building in corpus order as (corpus_index,
+    /// building), one at a time — the whole corpus is never resident.
+    /// Deltas are NOT applied; this is the write-once snapshot view.
     void for_each_building(const std::function<void(std::size_t, building&&)>& fn) const;
+
+    /// Stream the *effective* corpus — base shards with every delta record
+    /// applied in append order, then new buildings (names no base shard
+    /// holds) at the tail in first-appearance order. This is the view a
+    /// cold rebuild over the concatenated (base + delta) corpus sees. The
+    /// delta records (not the base) are resident while streaming: append
+    /// batches are small next to the corpus they patch.
+    void for_each_building_effective(
+        const std::function<void(std::size_t, building&&)>& fn) const;
 
     /// Materialise the whole store (tests / small corpora only).
     [[nodiscard]] corpus load_all() const;
+
+    /// Materialise the effective (delta-applied) corpus.
+    [[nodiscard]] corpus load_all_effective() const;
 
 private:
     std::string dir_;

@@ -12,8 +12,10 @@
 #include <utility>
 
 #include "api/codec.hpp"
+#include "ingest/ingest_manager.hpp"
 #include "obs/trace.hpp"
 #include "util/hash.hpp"
+#include "watch_registry.hpp"
 
 namespace fisone::federation {
 
@@ -90,6 +92,9 @@ service::service_stats merge_backend_stats(
         merged.cache_hits += s.cache_hits;
         merged.cache_misses += s.cache_misses;
         merged.cache_evictions += s.cache_evictions;
+        merged.ingest_appends += s.ingest_appends;
+        merged.ingest_dirty_buildings += s.ingest_dirty_buildings;
+        merged.watch_subscribers += s.watch_subscribers;
         pooled.merge(latencies[k]);
     }
     // Percentiles come from the pooled observations, never from averaging
@@ -243,6 +248,12 @@ struct federated_server::session::state {
     /// outlive every scheduled retry).
     std::shared_ptr<detail::attempt_tracker> tracker;
     std::shared_ptr<fleet_health> health;
+    /// Live ingestion: the append engine (null when the fleet has no
+    /// stores — and always null on the manager's own internal session, or
+    /// manager → session → manager would cycle) and the fleet-wide watch
+    /// registry.
+    std::shared_ptr<ingest::ingest_manager> ingest;
+    std::shared_ptr<watch_registry> watches;
 
     std::mutex owners_m;
     /// Which backend owns each submitted correlation id (the `cancel_job`
@@ -275,10 +286,14 @@ struct federated_server::session::state {
         owners[correlation_id] = backend_index;
     }
 
-    /// Drain barrier: every backend finished AND every protected attempt
-    /// resolved. Loops because a scheduled retry may submit new backend
-    /// work after a round of finishes.
+    /// Drain barrier: the ingest manager idle (appends queued before the
+    /// barrier durable, their dirty re-runs answered), every backend
+    /// finished, AND every protected attempt resolved. Ingest first — its
+    /// re-runs create the backend work the rest of the barrier waits on.
+    /// Loops because a scheduled retry may submit new backend work after a
+    /// round of finishes.
     void drain() {
+        if (ingest) ingest->wait_idle();
         for (;;) {
             for (api::server::session& bs : backend_sessions) bs.finish();
             if (!tracker) return;
@@ -559,8 +574,59 @@ void federated_server::session::handle(const api::request& req) {
                 st->remember(m.correlation_id, k);
                 st->backend_sessions[k].handle(req);
             } else if constexpr (std::is_same_v<T, api::get_stats_request>) {
-                st->out->respond(
-                    api::stats_response{m.correlation_id, gather_merged_stats(st->backends)});
+                service::service_stats s = gather_merged_stats(st->backends);
+                if (st->ingest) {
+                    s.ingest_appends = static_cast<std::size_t>(st->ingest->appends_total());
+                    s.ingest_dirty_buildings =
+                        static_cast<std::size_t>(st->ingest->dirty_total());
+                }
+                if (st->watches) s.watch_subscribers = st->watches->live_count();
+                st->out->respond(api::stats_response{m.correlation_id, std::move(s)});
+            } else if constexpr (std::is_same_v<T, api::append_scans_request>) {
+                obs::scoped_span span("federation.dispatch");
+                if (!st->ingest) {
+                    st->out->respond(api::error_response{
+                        m.correlation_id, api::error_code::bad_request,
+                        "append_scans needs a store-backed fleet (no corpus stores "
+                        "mounted at construction)"});
+                    return;
+                }
+                // Ack from the ingest worker, after the manifest durably
+                // versioned forward (or the batch was refused). The emitter
+                // is captured shared: the ack must deliver even if this
+                // session handle is dropped meanwhile.
+                const std::uint64_t corr = m.correlation_id;
+                const std::shared_ptr<detail::emitter> out = st->out;
+                st->ingest->enqueue_append(
+                    m.corpus_name, m.records, [out, corr](const ingest::append_ack& ack) {
+                        if (ack.error.empty())
+                            out->respond(api::append_response{corr, ack.version, ack.accepted,
+                                                              ack.dirty});
+                        else
+                            out->respond(api::error_response{
+                                corr, api::error_code::bad_request, ack.error});
+                    });
+            } else if constexpr (std::is_same_v<T, api::watch_request>) {
+                // One subscription per (building, connection); the emitter
+                // pointer is the connection's identity. Entries hold the
+                // emitter weakly — closing the connection unsubscribes by
+                // expiry.
+                const auto token =
+                    static_cast<std::uint64_t>(reinterpret_cast<std::uintptr_t>(st->out.get()));
+                bool active = false;
+                if (m.subscribe) {
+                    std::weak_ptr<detail::emitter> w = st->out;
+                    st->watches->subscribe(m.name, token, m.correlation_id,
+                                           std::weak_ptr<void>(st->out),
+                                           [w](const api::response& resp) {
+                                               if (const auto out_ = w.lock())
+                                                   out_->respond(resp);
+                                           });
+                    active = true;
+                } else {
+                    st->watches->unsubscribe(m.name, token);
+                }
+                st->out->respond(api::watch_ack_response{m.correlation_id, active});
             } else if constexpr (std::is_same_v<T, api::cancel_job_request>) {
                 if (st->tracker) {
                     // Protected buildings live under attempt ids: translate
@@ -673,6 +739,54 @@ federated_server::federated_server(federation_config cfg) : cfg_(std::move(cfg))
         bc.shard_root.clear();
         backends_.push_back(std::make_unique<api::server>(std::move(bc)));
     }
+    watches_ = std::make_shared<watch_registry>();
+    if (registry_.num_stores() > 0) {
+        std::vector<ingest::store_binding> bindings;
+        bindings.reserve(registry_.num_stores());
+        for (std::size_t s = 0; s < registry_.num_stores(); ++s) {
+            ingest::store_binding b;
+            b.dir = registry_.store(s).directory();
+            b.corpus_name = registry_.store(s).manifest().corpus_name;
+            b.base_offset = registry_.store_offset(s);
+            // The store-owning backend's drills govern its ingest path:
+            // store k belongs to backend k mod fleet size.
+            if (!cfg_.fault_plans.empty()) b.faults = cfg_.fault_plans[s % cfg_.num_backends];
+            bindings.push_back(std::move(b));
+        }
+        // The manager's re-runs go through an internal session, so they
+        // ride the protected retry/failover/deadline path exactly as
+        // client work does. Opened BEFORE `ingest_` exists, so its state's
+        // `ingest` pointer stays null — the manager must not own a session
+        // that owns the manager. The bridge breaks the remaining knot: the
+        // session's sink needs the manager, the manager needs the session.
+        auto bridge = std::make_shared<std::weak_ptr<ingest::ingest_manager>>();
+        session internal = open([bridge](std::string_view frame) {
+            const std::shared_ptr<ingest::ingest_manager> mgr = bridge->lock();
+            if (!mgr) return;
+            const api::decode_result<api::response> d = api::decode_response(frame);
+            if (!d.value) return;
+            if (const auto* br = std::get_if<api::building_response>(&*d.value))
+                mgr->on_reindex_result(br->correlation_id, &br->report);
+            else if (const auto* er = std::get_if<api::error_response>(&*d.value))
+                mgr->on_reindex_result(er->correlation_id, nullptr);
+        });
+        std::shared_ptr<watch_registry> watches = watches_;
+        ingest_ = std::make_shared<ingest::ingest_manager>(
+            std::move(bindings),
+            [internal](std::uint64_t corr, std::size_t index, data::building b) mutable {
+                api::identify_building_request req;
+                req.correlation_id = corr;
+                req.has_index = true;
+                req.corpus_index = index;
+                req.b = std::move(b);
+                internal.handle(api::request{std::move(req)});
+            },
+            [watches](const std::string& name, std::uint64_t version,
+                      const runtime::building_report& report) {
+                watches->publish(name, version, report);
+            });
+        *bridge = ingest_;
+    }
 }
 
 federated_server::~federated_server() = default;
@@ -684,6 +798,8 @@ federated_server::session federated_server::open(frame_sink sink) {
     st->out = out;
     st->routing = routing_;
     st->registry = &registry_;
+    st->ingest = ingest_;  // still null while the internal session opens
+    st->watches = watches_;
     st->backends.reserve(backends_.size());
     st->backend_sessions.reserve(backends_.size());
     for (const std::unique_ptr<api::server>& b : backends_) {
@@ -827,7 +943,13 @@ service::service_stats federated_server::stats() const {
     std::vector<api::server*> backends;
     backends.reserve(backends_.size());
     for (const std::unique_ptr<api::server>& b : backends_) backends.push_back(b.get());
-    return gather_merged_stats(backends);
+    service::service_stats s = gather_merged_stats(backends);
+    if (ingest_) {
+        s.ingest_appends = static_cast<std::size_t>(ingest_->appends_total());
+        s.ingest_dirty_buildings = static_cast<std::size_t>(ingest_->dirty_total());
+    }
+    if (watches_) s.watch_subscribers = watches_->live_count();
+    return s;
 }
 
 void federated_server::pause() {

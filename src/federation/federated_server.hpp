@@ -23,8 +23,19 @@
 ///  - `cancel_job` — routed to the backend that owns the target correlation
 ///    id; unknown targets answer `accepted = false` without touching any
 ///    backend.
-///  - `flush` — fans out: every backend drains before the one
-///    `flush_response` is emitted.
+///  - `flush` — fans out: every backend drains — and the ingest manager
+///    goes idle (queued appends durable, dirty re-runs answered) — before
+///    the one `flush_response` is emitted.
+///  - `append_scans` — handed to the `ingest::ingest_manager` (created when
+///    stores are mounted at construction): the append becomes durable in
+///    the named store, the `append_response` fires, and the dirty buildings
+///    are resubmitted through an internal session — so the re-runs ride the
+///    same protected retry/failover/deadline path as client work and leave
+///    the backend caches warm. A fleet without stores answers
+///    `bad_request`.
+///  - `watch` — registered in the server-wide `watch_registry`; every
+///    append-triggered re-identification of the watched building is pushed
+///    to the subscribed connection as a `push_update`.
 /// `pause()` / `resume()` fan out to every backend's service.
 ///
 /// Determinism: a building's results depend only on its *global* corpus
@@ -77,7 +88,13 @@
 #include "router.hpp"
 #include "store_registry.hpp"
 
+namespace fisone::ingest {
+class ingest_manager;
+}  // namespace fisone::ingest
+
 namespace fisone::federation {
+
+class watch_registry;
 
 /// Fleet configuration.
 struct federation_config {
@@ -206,10 +223,20 @@ private:
     /// pointer during teardown); null when protection is off. Destroyed
     /// after `backends_`, so the watchdog outlives draining jobs.
     std::shared_ptr<fleet_health> health_;
-    /// Declared last: destroyed first, so backend teardown (which waits for
-    /// in-flight jobs whose sinks may still consult routing state) runs
-    /// while everything above is alive.
+    /// Standing `watch` subscriptions, shared with every session. Entries
+    /// expire with their connection's emitter, so no teardown ordering
+    /// matters beyond outliving the sessions (shared ownership handles it).
+    std::shared_ptr<watch_registry> watches_;
+    /// Backend teardown (which waits for in-flight jobs whose sinks may
+    /// still consult routing state) must run while everything above is
+    /// alive — only `ingest_`, which needs the fleet to answer its
+    /// in-flight re-runs, is destroyed earlier.
     std::vector<std::unique_ptr<api::server>> backends_;
+    /// The live-ingestion engine; null when no stores are mounted at
+    /// construction. Declared after `backends_` so it is destroyed FIRST:
+    /// its destructor drains queued appends and waits out every in-flight
+    /// re-run while the fleet is still alive to answer them.
+    std::shared_ptr<ingest::ingest_manager> ingest_;
 };
 
 }  // namespace fisone::federation

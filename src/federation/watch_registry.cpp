@@ -1,0 +1,87 @@
+#include "watch_registry.hpp"
+
+#include <utility>
+
+namespace fisone::federation {
+
+void watch_registry::subscribe(const std::string& name, std::uint64_t token,
+                               std::uint64_t correlation_id, std::weak_ptr<void> alive,
+                               push_sink sink) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<entry>& entries = subscriptions_[name];
+    for (entry& e : entries) {
+        if (e.token == token) {  // re-subscribe: re-point in place
+            e.correlation_id = correlation_id;
+            e.alive = std::move(alive);
+            e.sink = std::move(sink);
+            return;
+        }
+    }
+    entries.push_back(entry{token, correlation_id, std::move(alive), std::move(sink)});
+}
+
+bool watch_registry::unsubscribe(const std::string& name, std::uint64_t token) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = subscriptions_.find(name);
+    if (it == subscriptions_.end()) return false;
+    std::vector<entry>& entries = it->second;
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+        if (entries[i].token != token) continue;
+        entries.erase(entries.begin() + static_cast<std::ptrdiff_t>(i));
+        if (entries.empty()) subscriptions_.erase(it);
+        return true;
+    }
+    return false;
+}
+
+std::size_t watch_registry::publish(const std::string& name, std::uint64_t version,
+                                    const runtime::building_report& report) {
+    // Collect live sinks under the lock, deliver outside it: a sink takes
+    // the emitter's own lock, and holding both invites ordering trouble.
+    std::vector<std::pair<std::uint64_t, push_sink>> live;
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        const auto it = subscriptions_.find(name);
+        if (it == subscriptions_.end()) return 0;
+        std::vector<entry>& entries = it->second;
+        for (std::size_t i = 0; i < entries.size();) {
+            if (entries[i].alive.expired()) {
+                entries.erase(entries.begin() + static_cast<std::ptrdiff_t>(i));
+                continue;
+            }
+            live.emplace_back(entries[i].correlation_id, entries[i].sink);
+            ++i;
+        }
+        if (entries.empty()) subscriptions_.erase(it);
+    }
+    for (const auto& [corr, sink] : live) {
+        api::push_response push;
+        push.correlation_id = corr;
+        push.version = version;
+        push.report = report;
+        sink(api::response{std::move(push)});
+    }
+    return live.size();
+}
+
+std::size_t watch_registry::live_count() {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    std::size_t count = 0;
+    for (auto it = subscriptions_.begin(); it != subscriptions_.end();) {
+        std::vector<entry>& entries = it->second;
+        for (std::size_t i = 0; i < entries.size();) {
+            if (entries[i].alive.expired())
+                entries.erase(entries.begin() + static_cast<std::ptrdiff_t>(i));
+            else
+                ++i;
+        }
+        count += entries.size();
+        if (entries.empty())
+            it = subscriptions_.erase(it);
+        else
+            ++it;
+    }
+    return count;
+}
+
+}  // namespace fisone::federation

@@ -1,0 +1,75 @@
+#pragma once
+
+/// \file watch_registry.hpp
+/// Server-side registry of standing `watch` subscriptions: building name →
+/// the connections that asked to be told when that building is
+/// re-identified. The federated front-end registers a subscription when a
+/// session handles `api::watch_request`, and the ingest manager publishes
+/// through it after every append-triggered re-run — each live subscriber
+/// gets an `api::push_response` delivered over its own connection, carrying
+/// the correlation id of its original watch request.
+///
+/// Lifetime is by expiry, not bookkeeping: an entry holds only a weak
+/// anchor to the subscribing session's emitter, so a connection that closes
+/// (tearing its session down) silently drops out — `publish` and
+/// `live_count` prune expired entries as they go. Explicit `unsubscribe`
+/// exists for clients that want a clean `watch_ack{active=false}` without
+/// closing the connection.
+///
+/// Thread-safe: sessions subscribe from transport threads while the ingest
+/// worker publishes. Sinks are invoked outside the registry lock (they take
+/// the emitter's own lock to serialise with regular responses).
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "api/message.hpp"
+#include "runtime/batch_runner.hpp"
+
+namespace fisone::federation {
+
+class watch_registry {
+public:
+    /// Delivery function for one subscriber: hand a push frame to the
+    /// session's emitter. Called outside the registry lock.
+    using push_sink = std::function<void(const api::response&)>;
+
+    /// Register (or re-point) \p token's subscription on \p name. One
+    /// subscription per (name, token): re-subscribing replaces the
+    /// correlation id and sink. \p alive is the expiry anchor — when it
+    /// expires the entry is pruned on the next publish or count.
+    void subscribe(const std::string& name, std::uint64_t token, std::uint64_t correlation_id,
+                   std::weak_ptr<void> alive, push_sink sink);
+
+    /// Drop \p token's subscription on \p name. Returns true when an entry
+    /// was removed.
+    bool unsubscribe(const std::string& name, std::uint64_t token);
+
+    /// Fan a re-identification of \p name out to every live subscriber as
+    /// `api::push_response{corr, version, report}`. Expired entries are
+    /// pruned. Returns the number of pushes delivered.
+    std::size_t publish(const std::string& name, std::uint64_t version,
+                        const runtime::building_report& report);
+
+    /// Live subscriptions across all names (prunes expired entries) — the
+    /// `fisone_watch_subscribers` gauge.
+    [[nodiscard]] std::size_t live_count();
+
+private:
+    struct entry {
+        std::uint64_t token = 0;
+        std::uint64_t correlation_id = 0;
+        std::weak_ptr<void> alive;
+        push_sink sink;
+    };
+
+    std::mutex mutex_;
+    std::unordered_map<std::string, std::vector<entry>> subscriptions_;
+};
+
+}  // namespace fisone::federation

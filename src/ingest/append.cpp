@@ -1,0 +1,103 @@
+#include "append.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <stdexcept>
+#include <system_error>
+
+#include "data/corpus_store.hpp"
+#include "obs/trace.hpp"
+
+namespace fisone::ingest {
+
+namespace {
+
+std::string join(const std::string& dir, const std::string& name) {
+    return (std::filesystem::path(dir) / name).string();
+}
+
+std::string delta_filename(std::uint64_t version) {
+    std::string digits = std::to_string(version);
+    while (digits.size() < 4) digits.insert(digits.begin(), '0');
+    return "delta-" + digits + ".csv";
+}
+
+/// Delete delta files in \p dir that no manifest row references — the
+/// debris of an append that crashed after writing its shard but before the
+/// manifest rename. Base shards and everything else are left alone.
+void sweep_orphan_deltas(const std::string& dir, const data::corpus_manifest& m) {
+    std::set<std::string> referenced;
+    for (const data::delta_entry& d : m.deltas) referenced.insert(d.filename);
+    std::error_code ec;
+    for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+        if (!entry.is_regular_file()) continue;
+        const std::string name = entry.path().filename().string();
+        if (name.rfind("delta-", 0) != 0) continue;
+        if (name.size() < 4 || name.substr(name.size() - 4) != ".csv") continue;
+        if (referenced.count(name) != 0) continue;
+        std::error_code rm_ec;
+        std::filesystem::remove(entry.path(), rm_ec);  // best-effort debris sweep
+    }
+}
+
+}  // namespace
+
+append_outcome append_scans(const std::string& store_dir,
+                            const std::vector<data::building>& records,
+                            const append_hooks& hooks) {
+    obs::scoped_span span("ingest.append");
+
+    if (records.empty())
+        throw std::invalid_argument("append_scans: empty batch (a durable append must carry "
+                                    "at least one record)");
+    for (const data::building& r : records)
+        if (r.name.empty())
+            throw std::invalid_argument("append_scans: record without a building name");
+
+    const data::corpus_store store = data::corpus_store::open(store_dir);  // sweeps .tmp
+    data::corpus_manifest manifest = store.manifest();
+    sweep_orphan_deltas(store_dir, manifest);
+
+    const std::uint64_t version = manifest.version + 1;
+    const std::string filename = delta_filename(version);
+
+    // Step 1: the delta shard, durable before any manifest mentions it.
+    {
+        data::shard_writer writer(join(store_dir, filename));
+        for (const data::building& r : records) writer.append(r);
+        writer.close();
+    }
+    if (hooks.checkpoint) hooks.checkpoint(1);
+
+    // Step 2: the advanced manifest, through the temp.
+    manifest.version = version;
+    manifest.deltas.push_back(data::delta_entry{filename, records.size()});
+    const std::string temp = data::manifest_temp_path(store_dir);
+    {
+        std::ofstream out(temp, std::ios::binary | std::ios::trunc);
+        if (!out) throw std::ios_base::failure("append_scans: cannot create " + temp);
+        data::save_manifest(manifest, out);
+        out.flush();
+        if (!out) throw std::ios_base::failure("append_scans: write failed on " + temp);
+    }
+    if (hooks.checkpoint) hooks.checkpoint(2);
+
+    // Step 3: the commit point. Before this rename the old manifest serves;
+    // after it the append is fully visible. Nothing in between.
+    std::error_code ec;
+    std::filesystem::rename(temp, data::manifest_path(store_dir), ec);
+    if (ec)
+        throw std::ios_base::failure("append_scans: rename of " + temp +
+                                     " failed: " + ec.message());
+
+    append_outcome out;
+    out.version = version;
+    out.accepted = records.size();
+    std::set<std::string> seen;
+    for (const data::building& r : records)
+        if (seen.insert(r.name).second) out.touched.push_back(r.name);
+    return out;
+}
+
+}  // namespace fisone::ingest

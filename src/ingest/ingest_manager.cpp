@@ -1,0 +1,186 @@
+#include "ingest_manager.hpp"
+
+#include <chrono>
+#include <cstdlib>
+#include <stdexcept>
+#include <utility>
+
+#include "append.hpp"
+#include "data/corpus_store.hpp"
+#include "obs/trace.hpp"
+
+namespace fisone::ingest {
+
+ingest_manager::ingest_manager(std::vector<store_binding> stores, reindex_submit submit,
+                               publish_fn publish)
+    : stores_(std::move(stores)),
+      states_(stores_.size()),
+      submit_(std::move(submit)),
+      publish_(std::move(publish)) {
+    worker_ = std::thread([this] { worker_loop(); });
+}
+
+ingest_manager::~ingest_manager() {
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        stop_ = true;
+    }
+    cv_.notify_all();
+    if (worker_.joinable()) worker_.join();  // drains the queue first
+    // Outstanding re-runs were already submitted; their completions are
+    // guaranteed (one response per submission, success or typed error), and
+    // the fleet outlives this manager by construction — wait them out so no
+    // completion callback ever touches a dead manager.
+    std::unique_lock<std::mutex> lock(mutex_);
+    idle_cv_.wait(lock, [this] { return pending_.empty() && publishing_ == 0; });
+}
+
+void ingest_manager::enqueue_append(std::string corpus_name,
+                                    std::vector<data::building> records,
+                                    std::function<void(const append_ack&)> ack) {
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        if (stop_) return;  // tearing down: the connection is going away too
+        queue_.push_back(op{std::move(corpus_name), std::move(records), std::move(ack)});
+    }
+    cv_.notify_one();
+}
+
+void ingest_manager::on_reindex_result(std::uint64_t corr,
+                                       const runtime::building_report* report) {
+    std::string name;
+    std::uint64_t version = 0;
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        const auto it = pending_.find(corr);
+        if (it == pending_.end()) return;  // stale / unknown: already resolved
+        name = std::move(it->second.name);
+        version = it->second.version;
+        pending_.erase(it);
+        // Erasing resolves the correlation id (a racing duplicate response
+        // finds nothing), but idleness must not be observable until the
+        // push is delivered: `flush` promises subscribers their updates are
+        // buffered by the time it answers.
+        ++publishing_;
+    }
+    if (report != nullptr && publish_) publish_(name, version, *report);
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        --publishing_;
+    }
+    idle_cv_.notify_all();
+}
+
+void ingest_manager::wait_idle() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    idle_cv_.wait(lock, [this] {
+        return queue_.empty() && !busy_ && pending_.empty() && publishing_ == 0;
+    });
+}
+
+void ingest_manager::worker_loop() {
+    for (;;) {
+        op item;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+            if (queue_.empty()) return;  // stop requested and nothing left
+            item = std::move(queue_.front());
+            queue_.pop_front();
+            busy_ = true;
+        }
+        process(item);
+        {
+            const std::lock_guard<std::mutex> lock(mutex_);
+            busy_ = false;
+        }
+        idle_cv_.notify_all();
+    }
+}
+
+void ingest_manager::scan_store(const store_binding& binding, store_state& ss,
+                                std::vector<dirty_item>* dirty) {
+    const data::corpus_store store = data::corpus_store::open(binding.dir);
+    store.for_each_building_effective([&](std::size_t local_index, data::building&& b) {
+        if (binding.faults.slow_read_ms != 0)
+            std::this_thread::sleep_for(std::chrono::milliseconds(binding.faults.slow_read_ms));
+        const std::uint64_t hash = data::content_hash(b);
+        const std::size_t global_index = binding.base_offset + local_index;
+        const auto it = ss.hashes.find(b.name);
+        const bool changed = it == ss.hashes.end() || it->second != hash;
+        ss.hashes[b.name] = hash;
+        ss.indices[b.name] = global_index;
+        if (dirty != nullptr && changed)
+            dirty->push_back(dirty_item{b.name, global_index, std::move(b)});
+    });
+}
+
+void ingest_manager::process(op& item) {
+    const store_binding* binding = nullptr;
+    store_state* ss = nullptr;
+    for (std::size_t i = 0; i < stores_.size(); ++i) {
+        if (stores_[i].corpus_name == item.corpus_name) {
+            binding = &stores_[i];
+            ss = &states_[i];
+            break;
+        }
+    }
+    if (binding == nullptr) {
+        if (item.ack)
+            item.ack(append_ack{0, 0, 0,
+                                "no mounted store serves corpus \"" + item.corpus_name + "\""});
+        return;
+    }
+    try {
+        // The pre-append baseline: hashes of the effective view as it
+        // stands, so only this batch's actual changes count as dirty.
+        // Built once per store (deltas already on disk at mount are part
+        // of the baseline — a warm restart does not re-run them).
+        if (!ss->snapshotted) {
+            scan_store(*binding, *ss, nullptr);
+            ss->snapshotted = true;
+        }
+
+        append_hooks hooks;
+        if (binding->faults.crash_on_append != 0) {
+            const std::uint32_t step = binding->faults.crash_on_append;
+            // std::abort, not an exception: the drill is kill -9 mid-append,
+            // and nothing may get the chance to clean up.
+            hooks.checkpoint = [step](int s) {
+                if (static_cast<std::uint32_t>(s) == step) std::abort();
+            };
+        }
+        const append_outcome outcome = append_scans(binding->dir, item.records, hooks);
+        appends_total_.fetch_add(1, std::memory_order_relaxed);
+
+        obs::scoped_span span("ingest.reindex");
+        std::vector<dirty_item> dirty;
+        scan_store(*binding, *ss, &dirty);
+        dirty_total_.fetch_add(dirty.size(), std::memory_order_relaxed);
+
+        // Ack now: durable on disk, dirty set known. The re-runs below are
+        // asynchronous — `flush` is the barrier that waits for them.
+        if (item.ack)
+            item.ack(append_ack{outcome.version, outcome.accepted, dirty.size(), ""});
+
+        for (dirty_item& d : dirty) {
+            std::uint64_t corr = 0;
+            {
+                const std::lock_guard<std::mutex> lock(mutex_);
+                corr = next_corr_++;
+                pending_.emplace(corr, pending_run{d.name, outcome.version});
+            }
+            try {
+                submit_(corr, d.index, std::move(d.b));
+            } catch (...) {
+                // Submission never left the front-end; nothing will answer.
+                const std::lock_guard<std::mutex> lock(mutex_);
+                pending_.erase(corr);
+            }
+        }
+    } catch (const std::exception& e) {
+        if (item.ack) item.ack(append_ack{0, 0, 0, e.what()});
+    }
+}
+
+}  // namespace fisone::ingest

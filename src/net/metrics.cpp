@@ -129,6 +129,9 @@ std::string render_metrics(const tcp_server_stats& net, const service::service_s
     p.counter("fisone_net_responses_dropped_total",
               "response frames dropped on dead or shed connections",
               d(net.responses_dropped));
+    p.counter("fisone_net_pushes_total",
+              "server-initiated push_update frames sent to watch subscribers",
+              d(net.pushes_sent));
     p.counter("fisone_net_protocol_errors_total",
               "typed error responses for framing or decode failures",
               d(net.protocol_errors));
@@ -182,6 +185,13 @@ std::string render_metrics(const tcp_server_stats& net, const service::service_s
     p.counter("fisone_cache_misses_total", "result-cache misses", d(svc.cache_misses));
     p.counter("fisone_cache_evictions_total", "result-cache LRU evictions",
               d(svc.cache_evictions));
+    p.counter("fisone_ingest_appends_total", "durable scan-batch appends to mounted stores",
+              d(svc.ingest_appends));
+    p.counter("fisone_ingest_dirty_buildings_total",
+              "buildings re-run because an append changed their content hash",
+              d(svc.ingest_dirty_buildings));
+    p.gauge("fisone_watch_subscribers", "live watch subscriptions across all connections",
+            d(svc.watch_subscribers));
 
     // Per-backend result caches: the sums above say whether caching works
     // at all; these say whether affinity routing keeps each backend warm.

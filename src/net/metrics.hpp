@@ -35,6 +35,10 @@ struct tcp_server_stats {
     std::size_t frames_received = 0;   ///< complete request frames off the wire
     std::size_t responses_sent = 0;    ///< response frames fully handed to the kernel
     std::size_t responses_dropped = 0; ///< frames discarded on doomed connections
+    /// Server-initiated `push_update` frames buffered to standing `watch`
+    /// subscriptions (a subset of responses_sent — pushes answer no
+    /// in-flight request).
+    std::size_t pushes_sent = 0;
     std::size_t protocol_errors = 0;   ///< typed error_responses for framing/decoding
     std::size_t requests_admitted = 0; ///< jobs forwarded to the backend
     std::size_t requests_completed = 0;

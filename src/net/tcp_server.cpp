@@ -226,6 +226,7 @@ void tcp_server::core::on_response_frame(const std::shared_ptr<core>& co,
     std::size_t sent = 0, dropped = 0, completed = 0;
     request_finish fi;
     bool have_sample = false;
+    bool is_push = false;
     {
         const std::lock_guard<std::mutex> lock(c->m);
         const std::uint64_t* patch = nullptr;
@@ -256,6 +257,17 @@ void tcp_server::core::on_response_frame(const std::shared_ptr<core>& co,
                 }
                 break;
             }
+            case api::message_tag::append_result: {
+                // One answer per append_scans request, like an error frame:
+                // it terminates the request whatever the remaining count.
+                const auto it = c->inflight.find(wire_corr);
+                if (it != c->inflight.end()) {
+                    client_corr = it->second.client_id;
+                    patch = &client_corr;
+                    completes = true;
+                }
+                break;
+            }
             case api::message_tag::cancel_result: {
                 if (frame.size() >= k_off_cancel_target + 8) {
                     const std::uint64_t internal_target =
@@ -269,8 +281,14 @@ void tcp_server::core::on_response_frame(const std::shared_ptr<core>& co,
                 }
                 break;
             }
+            case api::message_tag::push_update:
+                // Server-initiated: answers no in-flight request, carries
+                // the client's own watch correlation id already (watch
+                // requests pass through unmapped) — forward verbatim.
+                is_push = true;
+                break;
             default:
-                break;  // stats_result / flush_done pass through unchanged
+                break;  // stats_result / flush_done / watch_ack pass through unchanged
         }
 
         (c->append_locked(frame, max_wbuf, patch, patch_target) ? sent : dropped) += 1;
@@ -286,7 +304,14 @@ void tcp_server::core::on_response_frame(const std::shared_ptr<core>& co,
         co->counters.responses_dropped += dropped;
         co->counters.requests_completed += completed;
         co->counters.requests_in_flight -= completed;
+        co->counters.pushes_sent += is_push && sent > 0 ? 1 : 0;
         if (have_sample) co->latency.add(fi.seconds);
+    }
+    if (is_push && obs::tracing_enabled()) {
+        // An instantaneous delivery marker under the publisher's context
+        // (the re-run's trace), so the tape shows append → reindex → push.
+        const std::uint64_t t = obs::now_ns();
+        obs::emit_child_span("net.push", obs::current_context(), t, t);
     }
     if (have_sample) co->complete_request(fi);
     co->wake();
@@ -631,6 +656,12 @@ struct tcp_server::loop {
             const std::uint64_t corr = ms->correlation_id;
             const std::size_t expected = ms->ref.num_buildings;
             if (admit(c, corr)) forward_job(oc, std::move(req), corr, expected);
+        } else if (const auto* ma = std::get_if<api::append_scans_request>(&req)) {
+            // Appends go through admission like jobs: exactly one answer
+            // (append_result or a typed error) retires the entry, so drain
+            // waits for durability before the process may exit.
+            const std::uint64_t corr = ma->correlation_id;
+            if (admit(c, corr)) forward_job(oc, std::move(req), corr, 1);
         } else if (const auto* mc = std::get_if<api::cancel_job_request>(&req)) {
             std::uint64_t internal_target = 0;
             bool known = false;
@@ -671,7 +702,11 @@ struct tcp_server::loop {
             }
             if (now) emit_local(c, api::flush_response{mf->correlation_id});
         } else {
-            oc.session.handle(req);  // get_stats: pass through unchanged
+            // get_stats / watch: pass through with the client's own
+            // correlation id — their answers (and any later push_update
+            // frames a watch produces) echo it and need no remapping,
+            // because each connection has its own backend session.
+            oc.session.handle(req);
         }
     }
 

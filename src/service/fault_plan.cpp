@@ -68,6 +68,13 @@ std::vector<fault_plan> parse_fault_plans(std::string_view spec, std::size_t num
                 plan.crash_on_submit = value != 0;
             else if (key == "slow_read_ms")
                 plan.slow_read_ms = static_cast<std::uint32_t>(value);
+            else if (key == "crash_on_append") {
+                if (value != 1 && value != 2)
+                    bad_spec(spec,
+                             "crash_on_append must be 1 (abort before the manifest temp) "
+                             "or 2 (abort before the rename)");
+                plan.crash_on_append = static_cast<std::uint32_t>(value);
+            }
             else
                 bad_spec(spec, "unknown key \"" + std::string(key) + "\"");
         }

@@ -42,13 +42,21 @@ struct fault_plan {
     /// but refuses all work, as a crashed-and-restarting process would.
     bool crash_on_submit = false;
     /// Sleep this long before each building is streamed off a shard
-    /// (0 = off) — a degraded disk under the store reads.
+    /// (0 = off) — a degraded disk under the store reads. The ingest
+    /// reindex honors it too (the dirty-set re-hash streams the store).
     std::uint32_t slow_read_ms = 0;
+    /// Abort the process (`std::abort`, as `kill -9` would) at a chosen
+    /// point inside a durable append (0 = off): 1 = after the delta shard
+    /// is written but before the manifest temp exists; 2 = after the
+    /// manifest temp is written but before the rename makes it visible.
+    /// Either way the visible manifest must stay the pre-append one — the
+    /// knob the warm-restart ingestion chaos smoke turns.
+    std::uint32_t crash_on_append = 0;
 
     /// Any fault armed?
     [[nodiscard]] bool any() const noexcept {
         return fail_every != 0 || fail_first != 0 || hang_ms != 0 || crash_on_submit ||
-               slow_read_ms != 0;
+               slow_read_ms != 0 || crash_on_append != 0;
     }
 };
 
@@ -66,8 +74,9 @@ inline constexpr std::string_view k_transient_error_prefix = "transient backend 
 /// Parse a per-backend fault-plan spec into one plan per backend.
 /// Grammar (whitespace-free): `BACKEND:key=value[,key=value…][;BACKEND:…]`
 /// with keys `fail_every`, `fail_first`, `hang_ms`, `crash_on_submit`
-/// (value 0/1), `slow_read_ms`. Example: `0:fail_every=3;1:hang_ms=200`.
-/// Unlisted backends stay healthy.
+/// (value 0/1), `slow_read_ms`, `crash_on_append` (abort step 1/2).
+/// Example: `0:fail_every=3;1:hang_ms=200`. Unlisted backends stay
+/// healthy.
 /// \throws std::invalid_argument on malformed specs, unknown keys, or a
 ///         backend index >= \p num_backends.
 [[nodiscard]] std::vector<fault_plan> parse_fault_plans(std::string_view spec,

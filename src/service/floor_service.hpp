@@ -107,6 +107,12 @@ struct service_stats {
     std::size_t cache_hits = 0;
     std::size_t cache_misses = 0;
     std::size_t cache_evictions = 0;  ///< LRU entries pushed out by capacity
+    /// Live-ingestion counters. The bare service (and each backend) leaves
+    /// these 0; the federated front-end — owner of the stores, the append
+    /// path, and the watch registry — fills them in its merged stats.
+    std::size_t ingest_appends = 0;          ///< durable append batches
+    std::size_t ingest_dirty_buildings = 0;  ///< buildings re-run after appends
+    std::size_t watch_subscribers = 0;       ///< live watch subscriptions (gauge)
 };
 
 class floor_service {

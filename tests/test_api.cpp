@@ -304,6 +304,89 @@ TEST(codec, response_round_trips_every_type) {
     EXPECT_EQ(er.message, "odd bytes");
 }
 
+TEST(codec, ingestion_messages_round_trip) {
+    // append_scans carries a whole batch of building records.
+    api::append_scans_request ap;
+    ap.correlation_id = 31;
+    ap.corpus_name = "live \"city\"";
+    ap.records = {tiny_building(1), tiny_building(2)};
+    const auto ap2 = std::get<api::append_scans_request>(
+        *api::decode_request(api::encode(api::request(ap))).value);
+    EXPECT_EQ(ap2.correlation_id, 31u);
+    EXPECT_EQ(ap2.corpus_name, ap.corpus_name);
+    ASSERT_EQ(ap2.records.size(), 2u);
+    expect_building_eq(ap2.records[0], ap.records[0]);
+    expect_building_eq(ap2.records[1], ap.records[1]);
+
+    for (const bool subscribe : {true, false}) {
+        api::watch_request w;
+        w.correlation_id = 32;
+        w.name = "bldg-2";
+        w.subscribe = subscribe;
+        const auto w2 = std::get<api::watch_request>(
+            *api::decode_request(api::encode(api::request(w))).value);
+        EXPECT_EQ(w2.correlation_id, 32u);
+        EXPECT_EQ(w2.name, "bldg-2");
+        EXPECT_EQ(w2.subscribe, subscribe);
+    }
+
+    const auto ar = std::get<api::append_response>(
+        *api::decode_response(api::encode(api::response(api::append_response{33, 5, 4, 3})))
+             .value);
+    EXPECT_EQ(ar.correlation_id, 33u);
+    EXPECT_EQ(ar.version, 5u);
+    EXPECT_EQ(ar.accepted, 4u);
+    EXPECT_EQ(ar.dirty, 3u);
+
+    const auto wa = std::get<api::watch_ack_response>(
+        *api::decode_response(api::encode(api::response(api::watch_ack_response{34, true})))
+             .value);
+    EXPECT_EQ(wa.correlation_id, 34u);
+    EXPECT_TRUE(wa.active);
+
+    runtime::building_report report;
+    report.index = 3;
+    report.name = "bldg-2";
+    report.ok = true;
+    const auto pu = std::get<api::push_response>(
+        *api::decode_response(api::encode(api::response(api::push_response{35, 6, report})))
+             .value);
+    EXPECT_EQ(pu.correlation_id, 35u);
+    EXPECT_EQ(pu.version, 6u);
+    EXPECT_EQ(pu.report.index, 3u);
+    EXPECT_EQ(pu.report.name, "bldg-2");
+
+    // The stats payload grew the three ingestion families.
+    service::service_stats stats;
+    stats.ingest_appends = 7;
+    stats.ingest_dirty_buildings = 9;
+    stats.watch_subscribers = 2;
+    const auto sr = std::get<api::stats_response>(
+        *api::decode_response(api::encode(api::response(api::stats_response{36, stats}))).value);
+    EXPECT_EQ(sr.stats.ingest_appends, 7u);
+    EXPECT_EQ(sr.stats.ingest_dirty_buildings, 9u);
+    EXPECT_EQ(sr.stats.watch_subscribers, 2u);
+}
+
+TEST(codec, hostile_append_batch_count_fails_cleanly) {
+    // An append_scans frame declaring 2^32-ish records with no bytes behind
+    // them must answer a typed error without allocating the claimed batch.
+    api::append_scans_request ap;
+    ap.correlation_id = 40;
+    ap.corpus_name = "x";
+    ap.records = {tiny_building(1)};
+    std::string frame = api::encode(api::request(ap));
+    // Patch the record count (u64 after the corpus-name bytes:
+    // header 14 + corr 8 + name_len 8 + name 1).
+    const std::size_t count_off = 14 + 8 + 8 + 1;
+    for (std::size_t i = 0; i < 8; ++i)
+        frame[count_off + i] = static_cast<char>(i < 7 ? 0xFF : 0x7F);
+    const api::decode_result<api::request> r = api::decode_request(frame);
+    ASSERT_FALSE(r.ok());
+    EXPECT_FALSE(r.fatal);  // recoverable: the connection survives
+    EXPECT_EQ(r.error->code, api::error_code::bad_payload);
+}
+
 TEST(codec, degenerate_matrices_round_trip) {
     // R×0 / 0×C embeddings carry no payload bytes; the encoder legally
     // produces them and the decoder must take them back.

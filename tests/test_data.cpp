@@ -2,9 +2,14 @@
 // dense matrix view.
 
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <cstdio>
+#include <filesystem>
+#include <fstream>
 #include <sstream>
+#include <utility>
+#include <vector>
 
 #include "data/corpus_store.hpp"
 #include "data/dataset_io.hpp"
@@ -250,6 +255,216 @@ TEST(dataset_io, generated_building_round_trips_exactly) {
                       original.samples[i].observations[j].rss_dbm);
         }
     }
+}
+
+// ---------- live ingestion: delta shards + manifest versioning ----------
+
+TEST(corpus_manifest, version_and_delta_rows_round_trip) {
+    corpus_manifest m;
+    m.corpus_name = "city";
+    m.shards.push_back({"shard-0000.csv", 0, 2});
+    m.shards.push_back({"shard-0001.csv", 2, 1});
+    m.version = 2;
+    m.deltas.push_back({"delta-0001.csv", 1});
+    m.deltas.push_back({"delta-0002.csv", 3});
+
+    std::stringstream ss;
+    save_manifest(m, ss);
+    const corpus_manifest loaded = load_manifest(ss);
+    EXPECT_EQ(loaded.corpus_name, "city");
+    EXPECT_EQ(loaded.version, 2u);
+    ASSERT_EQ(loaded.deltas.size(), 2u);
+    EXPECT_EQ(loaded.deltas[0].filename, "delta-0001.csv");
+    EXPECT_EQ(loaded.deltas[0].num_records, 1u);
+    EXPECT_EQ(loaded.deltas[1].filename, "delta-0002.csv");
+    EXPECT_EQ(loaded.deltas[1].num_records, 3u);
+    EXPECT_EQ(loaded.total_buildings(), 3u);
+}
+
+TEST(corpus_manifest, write_once_store_keeps_version_zero_format) {
+    // A version-0 manifest serialises without a version row — byte-stable
+    // with pre-ingestion stores, so old fixtures keep loading.
+    corpus_manifest m;
+    m.corpus_name = "city";
+    m.shards.push_back({"shard-0000.csv", 0, 2});
+    std::stringstream ss;
+    save_manifest(m, ss);
+    EXPECT_EQ(ss.str().find("version"), std::string::npos) << ss.str();
+    EXPECT_EQ(load_manifest(ss).version, 0u);
+}
+
+TEST(corpus_manifest, rejects_torn_version_delta_disagreement) {
+    corpus_manifest m;
+    m.corpus_name = "city";
+    m.shards.push_back({"shard-0000.csv", 0, 2});
+
+    // Version claims more appends than the delta rows list — torn.
+    m.version = 2;
+    m.deltas.push_back({"delta-0001.csv", 1});
+    EXPECT_THROW(m.validate(), std::invalid_argument);
+
+    // Delta rows without the version bump — equally torn.
+    m.version = 0;
+    EXPECT_THROW(m.validate(), std::invalid_argument);
+
+    // An empty delta batch can never have been appended.
+    m.version = 2;
+    m.deltas.push_back({"delta-0002.csv", 0});
+    EXPECT_THROW(m.validate(), std::invalid_argument);
+
+    // A delta file colliding with a shard file would serve double content.
+    m.deltas[1] = {"shard-0000.csv", 1};
+    EXPECT_THROW(m.validate(), std::invalid_argument);
+
+    // And the consistent shape passes.
+    m.deltas[1] = {"delta-0002.csv", 1};
+    EXPECT_NO_THROW(m.validate());
+}
+
+TEST(apply_delta_record, folds_scans_and_keeps_the_label_protocol) {
+    building base = small_building();
+    building record;
+    record.name = "unit";
+    record.num_floors = 3;  // the new scans reach a floor the base never saw
+    record.num_macs = 4;
+    record.samples.push_back({{{3, -48.0}}, 2, 9});
+    record.samples.push_back({{{0, -51.0}}, 0, 9});
+    record.labeled_sample = 0;  // a record's label must NOT replace the base's
+    record.labeled_floor = 2;
+
+    apply_delta_record(base, record);
+    EXPECT_EQ(base.num_floors, 3u);
+    EXPECT_EQ(base.num_macs, 4u);
+    ASSERT_EQ(base.samples.size(), 5u);
+    EXPECT_EQ(base.samples[3].true_floor, 2u);
+    EXPECT_EQ(base.samples[4].observations[0].mac_id, 0u);
+    EXPECT_EQ(base.labeled_sample, 0u);  // untouched
+    EXPECT_EQ(base.labeled_floor, 0u);
+
+    building stranger = small_building();
+    stranger.name = "other";
+    EXPECT_THROW(apply_delta_record(base, stranger), std::invalid_argument);
+}
+
+TEST(apply_delta_record, changes_the_content_hash) {
+    // Dirty detection rides content_hash: folding new scans in must move it.
+    building base = small_building();
+    const std::uint64_t before = content_hash(base);
+    building record;
+    record.name = base.name;
+    record.num_floors = base.num_floors;
+    record.num_macs = base.num_macs;
+    record.samples.push_back({{{1, -44.0}}, 1, 9});
+    apply_delta_record(base, record);
+    EXPECT_NE(content_hash(base), before);
+}
+
+namespace fs_test {
+
+/// Tiny on-disk store fixture under /tmp, removed on destruction.
+struct scoped_store {
+    std::string dir;
+    explicit scoped_store(const std::string& stem) {
+        dir = "/tmp/" + stem + "-" + std::to_string(::getpid());
+        std::filesystem::remove_all(dir);
+    }
+    ~scoped_store() {
+        std::error_code ec;
+        std::filesystem::remove_all(dir, ec);
+    }
+};
+
+building named_building(const std::string& name, std::uint64_t seed) {
+    fisone::sim::building_spec spec;
+    spec.name = name;
+    spec.num_floors = 2;
+    spec.samples_per_floor = 6;
+    spec.aps_per_floor = 4;
+    spec.seed = seed;
+    return fisone::sim::generate_building(spec).building;
+}
+
+}  // namespace fs_test
+
+TEST(corpus_store, effective_view_merges_deltas_and_appends_new_buildings) {
+    fs_test::scoped_store s("fisone-effective");
+    corpus base;
+    base.name = "city";
+    base.buildings = {fs_test::named_building("a", 1), fs_test::named_building("b", 2)};
+    write_corpus_store(base, s.dir, 1);
+
+    // Hand-write one delta batch: new scans for "b" plus a new building "c"
+    // (the data layer's contract; `ingest::append_scans` automates this).
+    building touch;
+    touch.name = "b";
+    touch.num_floors = 2;
+    touch.num_macs = 1;
+    touch.samples.push_back({{{0, -42.0}}, 0, 9});
+    touch.samples.push_back({{{0, -58.0}}, 1, 9});
+    touch.labeled_sample = 0;
+    touch.labeled_floor = 0;
+    const building fresh = fs_test::named_building("c", 3);
+    {
+        shard_writer w(s.dir + "/delta-0001.csv");
+        w.append(touch);
+        w.append(fresh);
+        w.close();
+        corpus_manifest m = corpus_store::open(s.dir).manifest();
+        m.version = 1;
+        m.deltas.push_back({"delta-0001.csv", 2});
+        std::ofstream f(manifest_path(s.dir), std::ios::trunc);
+        save_manifest(m, f);
+        f.close();
+        ASSERT_TRUE(f.good());
+    }
+
+    const corpus_store store = corpus_store::open(s.dir);
+    EXPECT_EQ(store.manifest().version, 1u);
+
+    // The base view is untouched; the effective view folds the delta in and
+    // appends "c" at the corpus tail.
+    EXPECT_EQ(store.load_all().buildings.size(), 2u);
+    std::vector<std::pair<std::size_t, std::string>> seen;
+    store.for_each_building_effective([&](std::size_t index, building&& b) {
+        seen.emplace_back(index, b.name);
+        if (b.name == "b") {
+            building merged = fs_test::named_building("b", 2);
+            apply_delta_record(merged, touch);
+            EXPECT_EQ(content_hash(b), content_hash(merged));
+        }
+        if (b.name == "a") {
+            EXPECT_EQ(content_hash(b), content_hash(fs_test::named_building("a", 1)));
+        }
+    });
+    ASSERT_EQ(seen.size(), 3u);
+    EXPECT_EQ(seen[0], (std::pair<std::size_t, std::string>{0, "a"}));
+    EXPECT_EQ(seen[1], (std::pair<std::size_t, std::string>{1, "b"}));
+    EXPECT_EQ(seen[2], (std::pair<std::size_t, std::string>{2, "c"}));
+
+    const corpus effective = store.load_all_effective();
+    ASSERT_EQ(effective.buildings.size(), 3u);
+    EXPECT_EQ(effective.buildings[2].name, "c");
+    EXPECT_EQ(content_hash(effective.buildings[2]), content_hash(fresh));
+}
+
+TEST(corpus_store, open_sweeps_leftover_manifest_tmp) {
+    fs_test::scoped_store s("fisone-tmp-sweep");
+    corpus base;
+    base.name = "city";
+    base.buildings = {fs_test::named_building("a", 1)};
+    write_corpus_store(base, s.dir, 1);
+
+    // A crash between writing manifest.csv.tmp and the rename leaves the
+    // temp behind; by contract it was never visible, so the mount must
+    // sweep it and serve the committed manifest.
+    {
+        std::ofstream junk(manifest_temp_path(s.dir));
+        junk << "half a manifest";
+    }
+    ASSERT_TRUE(std::filesystem::exists(manifest_temp_path(s.dir)));
+    const corpus_store store = corpus_store::open(s.dir);
+    EXPECT_EQ(store.manifest().version, 0u);
+    EXPECT_FALSE(std::filesystem::exists(manifest_temp_path(s.dir)));
 }
 
 // ---------- matrix view ----------

@@ -48,6 +48,8 @@ KNOWN_SPANS = frozenset({
     "federation.failover",
     # API server
     "api.identify", "api.cache_probe",
+    # live ingestion
+    "ingest.append", "ingest.reindex", "net.push",
     # floor service
     "service.queue_wait", "service.execute", "service.report",
     # pipeline stages
