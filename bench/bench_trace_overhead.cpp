@@ -1,14 +1,24 @@
 /// \file bench_trace_overhead.cpp
-/// The tracing subsystem's cost contract, measured: run the same corpus
-/// through the wire-framed API server (loopback transport, cache off so
-/// every pass does real pipeline work) with tracing off and with tracing
-/// on, interleaving repetitions so thermal/frequency drift lands on both
-/// sides equally, and compare min-of-reps throughput. The harness asserts
-/// the PR's contracts and exits non-zero when either fails:
+/// The observability cost contracts, measured. Two phases, same method:
+/// interleave repetitions so thermal/frequency drift lands on both sides
+/// equally, score each side by min-of-reps, exit non-zero when a
+/// contract fails.
+///
+/// **Tracing phase** (loopback transport, cache off so every pass does
+/// real pipeline work): tracing off vs tracing on.
 ///  - tracing on vs off produces byte-identical input-order NDJSON
 ///    re-exports (spans observe, never steer);
 ///  - the traced run's buildings/sec is within --max-overhead percent
 ///    (default 5) of the untraced run.
+///
+/// **Telemetry phase** (TCP transport): telemetry ticking disabled
+/// (`telemetry_window_ms = 0`, no subscriber) vs a fast tick plus an
+/// active `subscribe_stats` stream drinking every window.
+///  - both runs produce byte-identical NDJSON (telemetry observes, never
+///    steers);
+///  - the instrumented run stays within --max-overhead percent;
+///  - the stream actually pushed `stats_update` frames (the run measured
+///    the real thing).
 ///
 /// Run:  ./bench_trace_overhead [--quick] [--json] [--out BENCH_trace.json]
 ///                              [--buildings N] [--samples-per-floor M]
@@ -20,19 +30,26 @@
 /// The JSON schema is documented in README.md § Observability.
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdlib>
 #include <exception>
 #include <fstream>
 #include <iostream>
 #include <limits>
+#include <optional>
 #include <sstream>
 #include <string>
+#include <thread>
+#include <variant>
 #include <vector>
 
 #include "bench_common.hpp"
 #include "api/client.hpp"
+#include "api/codec.hpp"
 #include "api/server.hpp"
+#include "net/socket.hpp"
+#include "net/tcp_server.hpp"
 #include "obs/trace.hpp"
 #include "service/ndjson_export.hpp"
 #include "sim/building_generator.hpp"
@@ -83,6 +100,85 @@ std::pair<std::string, double> run_pass(const std::vector<data::building>& fleet
     std::ostringstream out;
     service::export_input_order(out, cli.reports());
     return {out.str(), wall};
+}
+
+struct tcp_pass {
+    std::string ndjson;
+    double wall = 0.0;
+    std::uint64_t stats_updates = 0;  ///< stats_update frames seen client-side
+};
+
+/// One full pass over the TCP front door: fresh server + fresh
+/// `tcp_server` with the given telemetry window, optionally an active
+/// `subscribe_stats` stream drinking every window while the fleet is
+/// identified over a single framed connection. The wall clock covers the
+/// identify workload only (send of first frame to last response), so the
+/// off/on comparison isolates what ticking + pushing costs the serve path.
+tcp_pass run_tcp_pass(const std::vector<data::building>& fleet, std::uint64_t seed,
+                      std::uint32_t telemetry_window_ms, bool with_subscriber) {
+    api::server srv(make_server_config(seed));
+    net::tcp_server_config ncfg;
+    ncfg.telemetry_window_ms = telemetry_window_ms;
+    net::tcp_server front(net::make_backend(srv), ncfg);
+    std::thread loop([&front] { front.run(); });
+
+    tcp_pass out;
+    std::atomic<std::uint64_t> updates{0};
+    std::optional<net::frame_conn> sub;
+    std::thread sub_reader;
+    if (with_subscriber) {
+        sub.emplace("127.0.0.1", front.port());
+        api::subscribe_stats_request s;
+        s.correlation_id = 1;
+        s.interval_ms = 0;  // every window
+        sub->send(api::encode(api::request(s)));
+        sub_reader = std::thread([&] {
+            while (std::optional<std::string> frame = sub->read_frame()) {
+                const api::decode_result<api::response> r = api::decode_response(*frame);
+                if (r.ok() && std::holds_alternative<api::stats_update_response>(*r.value))
+                    ++updates;
+            }
+        });
+    }
+
+    std::vector<runtime::building_report> reports;
+    const clock_type::time_point start = clock_type::now();
+    {
+        net::frame_conn conn("127.0.0.1", front.port());
+        std::thread writer([&] {
+            for (std::size_t i = 0; i < fleet.size(); ++i) {
+                api::identify_building_request req;
+                req.correlation_id = i + 1;
+                req.has_index = true;
+                req.corpus_index = i;
+                req.b = fleet[i];
+                conn.send(api::encode(api::request(req)));
+            }
+            conn.shutdown_write();
+        });
+        while (std::optional<std::string> frame = conn.read_frame()) {
+            const api::decode_result<api::response> r = api::decode_response(*frame);
+            if (!r.ok()) throw std::runtime_error("tcp pass: undecodable frame");
+            if (const auto* b = std::get_if<api::building_response>(&*r.value))
+                reports.push_back(b->report);
+        }
+        writer.join();
+    }
+    out.wall = std::chrono::duration<double>(clock_type::now() - start).count();
+
+    if (sub) sub->shutdown_write();  // server sees EOF, closes the stream
+    front.drain();
+    loop.join();
+    if (sub_reader.joinable()) sub_reader.join();
+    out.stats_updates = updates.load();
+
+    if (reports.size() != fleet.size())
+        throw std::runtime_error("tcp pass: expected " + std::to_string(fleet.size()) +
+                                 " reports, got " + std::to_string(reports.size()));
+    std::ostringstream nd;
+    service::export_input_order(nd, std::move(reports));
+    out.ndjson = nd.str();
+    return out;
 }
 
 }  // namespace
@@ -143,6 +239,42 @@ int main(int argc, char** argv) try {
     const double overhead_pct =
         off_rate > 0.0 ? std::max(0.0, (off_rate - on_rate) / off_rate * 100.0) : 0.0;
 
+    // Telemetry phase: same fleet through the TCP front door, telemetry
+    // ticking off vs a fast window plus a live subscribe_stats stream.
+    const std::uint32_t tel_window_ms = 50;
+    std::cerr << "Telemetry phase: TCP passes, window off vs " << tel_window_ms
+              << "ms + subscriber...\n";
+    double tel_off_best = std::numeric_limits<double>::infinity();
+    double tel_on_best = std::numeric_limits<double>::infinity();
+    std::string tel_off_ndjson, tel_on_ndjson;
+    std::uint64_t stats_updates = 0;
+    for (std::size_t rep = 0; rep < reps; ++rep) {
+        const tcp_pass off = run_tcp_pass(fleet, seed, 0, false);
+        tel_off_best = std::min(tel_off_best, off.wall);
+        if (rep == 0)
+            tel_off_ndjson = off.ndjson;
+        else if (off.ndjson != tel_off_ndjson)
+            throw std::runtime_error("telemetry-off reps diverged from each other");
+
+        const tcp_pass on = run_tcp_pass(fleet, seed, tel_window_ms, true);
+        tel_on_best = std::min(tel_on_best, on.wall);
+        stats_updates = std::max(stats_updates, on.stats_updates);
+        if (rep == 0)
+            tel_on_ndjson = on.ndjson;
+        else if (on.ndjson != tel_on_ndjson)
+            throw std::runtime_error("telemetry-on reps diverged from each other");
+        std::cerr << "rep " << (rep + 1) << '/' << reps << ": off " << off.wall << "s, on "
+                  << on.wall << "s (" << on.stats_updates << " stats_update frames)\n";
+    }
+    const bool tel_identical = tel_off_ndjson == tel_on_ndjson;
+    const double tel_off_rate =
+        tel_off_best > 0.0 ? static_cast<double>(buildings) / tel_off_best : 0.0;
+    const double tel_on_rate =
+        tel_on_best > 0.0 ? static_cast<double>(buildings) / tel_on_best : 0.0;
+    const double tel_overhead_pct =
+        tel_off_rate > 0.0 ? std::max(0.0, (tel_off_rate - tel_on_rate) / tel_off_rate * 100.0)
+                           : 0.0;
+
     util::table_printer table("Tracing overhead — " + std::to_string(buildings) +
                               " buildings, best of " + std::to_string(reps) +
                               " interleaved reps");
@@ -156,7 +288,21 @@ int main(int argc, char** argv) try {
               << "% of untraced throughput (contract: <= "
               << util::table_printer::num(max_overhead, 1)
               << "%).  NDJSON byte-identical tracing on/off: " << (identical ? "yes" : "NO")
-              << "\n";
+              << "\n\n";
+
+    util::table_printer tel_table("Telemetry overhead — TCP front door, best of " +
+                                  std::to_string(reps) + " interleaved reps");
+    tel_table.header({"telemetry", "wall s", "buildings/s", "stats_updates"});
+    tel_table.row({"off", util::table_printer::num(tel_off_best, 3),
+                   util::table_printer::num(tel_off_rate, 2), "0"});
+    tel_table.row({std::to_string(tel_window_ms) + "ms + sub",
+                   util::table_printer::num(tel_on_best, 3),
+                   util::table_printer::num(tel_on_rate, 2), std::to_string(stats_updates)});
+    tel_table.print(std::cout);
+    std::cout << "\nTelemetry overhead: " << util::table_printer::num(tel_overhead_pct, 2)
+              << "% of throughput (contract: <= " << util::table_printer::num(max_overhead, 1)
+              << "%).  NDJSON byte-identical telemetry on/off: "
+              << (tel_identical ? "yes" : "NO") << "\n";
 
     if (emit_json) {
         std::ofstream f(out_path);
@@ -176,7 +322,14 @@ int main(int argc, char** argv) try {
         f << "  \"traced_buildings_per_sec\": " << bench::json_num(on_rate) << ",\n";
         f << "  \"overhead_pct\": " << bench::json_num(overhead_pct) << ",\n";
         f << "  \"spans_per_traced_run\": " << spans_recorded << ",\n";
-        f << "  \"ndjson_identical\": " << (identical ? "true" : "false") << "\n";
+        f << "  \"ndjson_identical\": " << (identical ? "true" : "false") << ",\n";
+        f << "  \"telemetry_window_ms\": " << tel_window_ms << ",\n";
+        f << "  \"telemetry_off_seconds\": " << bench::json_num(tel_off_best) << ",\n";
+        f << "  \"telemetry_on_seconds\": " << bench::json_num(tel_on_best) << ",\n";
+        f << "  \"telemetry_overhead_pct\": " << bench::json_num(tel_overhead_pct) << ",\n";
+        f << "  \"stats_updates_per_run\": " << stats_updates << ",\n";
+        f << "  \"telemetry_ndjson_identical\": " << (tel_identical ? "true" : "false")
+          << "\n";
         f << "}\n";
         std::cout << "JSON perf trajectory: " << out_path << "\n";
     }
@@ -193,6 +346,21 @@ int main(int argc, char** argv) try {
     if (overhead_pct > max_overhead) {
         std::cerr << "bench_trace_overhead: tracing costs " << overhead_pct
                   << "% of throughput (contract: <= " << max_overhead << "%)\n";
+        return EXIT_FAILURE;
+    }
+    if (!tel_identical) {
+        std::cerr << "bench_trace_overhead: NDJSON diverged between telemetry on and off\n";
+        return EXIT_FAILURE;
+    }
+    if (stats_updates == 0) {
+        std::cerr << "bench_trace_overhead: subscriber received zero stats_update frames — "
+                     "the instrumented run measured nothing\n";
+        return EXIT_FAILURE;
+    }
+    if (tel_overhead_pct > max_overhead) {
+        std::cerr << "bench_trace_overhead: telemetry + subscribe_stats costs "
+                  << tel_overhead_pct << "% of throughput (contract: <= " << max_overhead
+                  << "%)\n";
         return EXIT_FAILURE;
     }
     return EXIT_SUCCESS;

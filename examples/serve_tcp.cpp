@@ -18,7 +18,7 @@
 ///                   [--max-inflight N] [--max-connections N]
 ///                   [--request-timeout-ms N] [--cache-dir DIR]
 ///                   [--fault-plan SPEC] [--trace-out PATH] [--slow-ms N]
-///                   [--quiet] [--help]
+///                   [--telemetry-window-ms N] [--quiet] [--help]
 ///
 ///  --port 0       (default) binds a kernel-assigned port; pair with
 ///                 --port-file so a driving script can discover it.
@@ -59,6 +59,11 @@
 ///                 request at or over N milliseconds, with the request's
 ///                 span breakdown inline when tracing is on. 0 (default)
 ///                 disables the log.
+///  --telemetry-window-ms
+///                 length of the front door's telemetry windows (the
+///                 cadence `subscribe_stats` streams and the capacity
+///                 bench closes its loop on). Default 1000; 0 disables
+///                 ticking entirely.
 
 #include <pthread.h>
 #include <signal.h>
@@ -106,7 +111,8 @@ void print_usage() {
         "                 [--max-inflight N] [--max-connections N]\n"
         "                 [--request-timeout-ms N] [--cache-dir DIR]\n"
         "                 [--fault-plan SPEC] [--trace-out PATH]\n"
-        "                 [--slow-ms N] [--quiet] [--help]\n"
+        "                 [--slow-ms N] [--telemetry-window-ms N]\n"
+        "                 [--quiet] [--help]\n"
         "\n"
         "  --request-timeout-ms N   per-request deadline; late attempts are\n"
         "                           cancelled and retried on another backend,\n"
@@ -153,6 +159,7 @@ int main(int argc, char** argv) try {
     const std::string fault_plan = args.get("fault-plan", "");
     const std::string trace_out = args.get("trace-out", "");
     const auto slow_ms = args.get_int("slow-ms", 0);
+    const auto telemetry_window_ms = args.get_int("telemetry-window-ms", 1000);
 
     if (!trace_out.empty()) obs::set_tracing_enabled(true);
 
@@ -207,6 +214,8 @@ int main(int argc, char** argv) try {
     net_cfg.max_inflight_requests = max_inflight;
     net_cfg.max_connections = max_conns;
     net_cfg.slow_request_seconds = slow_ms > 0 ? static_cast<double>(slow_ms) / 1000.0 : 0.0;
+    net_cfg.telemetry_window_ms =
+        telemetry_window_ms > 0 ? static_cast<std::uint32_t>(telemetry_window_ms) : 0;
     net::tcp_server srv(std::move(be), net_cfg);
 
     if (!port_file.empty()) {

@@ -250,6 +250,10 @@ void put_stats(wire_writer& w, const service::service_stats& s) {
     w.f64(s.latency_p50);
     w.f64(s.latency_p90);
     w.f64(s.latency_p99);
+    w.u64(s.latency_count);
+    w.f64(s.latency_sum);
+    w.u32(static_cast<std::uint32_t>(s.latency_le.size()));
+    for (const std::uint64_t c : s.latency_le) w.u64(c);
     w.u64(s.cache_hits);
     w.u64(s.cache_misses);
     w.u64(s.cache_evictions);
@@ -272,6 +276,11 @@ service::service_stats get_stats_body(wire_reader& r) {
     s.latency_p50 = r.f64();
     s.latency_p90 = r.f64();
     s.latency_p99 = r.f64();
+    s.latency_count = r.u64();
+    s.latency_sum = r.f64();
+    const std::uint32_t n_le = r.u32();
+    s.latency_le.reserve(n_le);
+    for (std::uint32_t i = 0; i < n_le; ++i) s.latency_le.push_back(r.u64());
     s.cache_hits = static_cast<std::size_t>(r.u64());
     s.cache_misses = static_cast<std::size_t>(r.u64());
     s.cache_evictions = static_cast<std::size_t>(r.u64());
@@ -290,6 +299,7 @@ struct request_payload_encoder {
         w.u64(m.correlation_id);
         w.boolean(m.has_index);
         w.u64(m.corpus_index);
+        w.boolean(m.no_cache);
         put_building(w, m.b);
     }
     void operator()(const identify_shard_request& m) const {
@@ -313,6 +323,16 @@ struct request_payload_encoder {
     void operator()(const watch_request& m) const {
         w.u64(m.correlation_id);
         w.str(m.name);
+        w.boolean(m.subscribe);
+    }
+    void operator()(const identify_resident_request& m) const {
+        w.u64(m.correlation_id);
+        w.str(m.name);
+        w.boolean(m.fresh);
+    }
+    void operator()(const subscribe_stats_request& m) const {
+        w.u64(m.correlation_id);
+        w.u32(m.interval_ms);
         w.boolean(m.subscribe);
     }
 };
@@ -349,6 +369,22 @@ struct response_payload_encoder {
         w.u64(m.version);
         put_report(w, m.report);
     }
+    void operator()(const stats_update_response& m) const {
+        w.u64(m.correlation_id);
+        w.u64(m.window_seq);
+        w.f64(m.window_seconds);
+        w.u64(m.connections);
+        w.u64(m.inflight);
+        w.u64(m.admitted);
+        w.u64(m.responses);
+        w.u64(m.shed_overload);
+        w.u64(m.shed_draining);
+        w.u64(m.latency_count);
+        w.f64(m.latency_sum);
+        w.f64(m.latency_p50);
+        w.f64(m.latency_p90);
+        w.f64(m.latency_p99);
+    }
     void operator()(const error_response& m) const {
         w.u64(m.correlation_id);
         w.u16(static_cast<std::uint16_t>(m.code));
@@ -366,6 +402,7 @@ std::optional<request> parse_request(std::uint16_t tag, wire_reader& r) {
             m.correlation_id = r.u64();
             m.has_index = r.boolean();
             m.corpus_index = r.u64();
+            m.no_cache = r.boolean();
             m.b = get_building(r);
             return request(std::move(m));
         }
@@ -411,6 +448,20 @@ std::optional<request> parse_request(std::uint16_t tag, wire_reader& r) {
             m.name = r.str();
             m.subscribe = r.boolean();
             return request(std::move(m));
+        }
+        case message_tag::identify_resident: {
+            identify_resident_request m;
+            m.correlation_id = r.u64();
+            m.name = r.str();
+            m.fresh = r.boolean();
+            return request(std::move(m));
+        }
+        case message_tag::subscribe_stats: {
+            subscribe_stats_request m;
+            m.correlation_id = r.u64();
+            m.interval_ms = r.u32();
+            m.subscribe = r.boolean();
+            return request(m);
         }
         default: return std::nullopt;
     }
@@ -463,6 +514,24 @@ std::optional<response> parse_response(std::uint16_t tag, wire_reader& r) {
             m.version = r.u64();
             m.report = get_report(r);
             return response(std::move(m));
+        }
+        case message_tag::stats_update: {
+            stats_update_response m;
+            m.correlation_id = r.u64();
+            m.window_seq = r.u64();
+            m.window_seconds = r.f64();
+            m.connections = r.u64();
+            m.inflight = r.u64();
+            m.admitted = r.u64();
+            m.responses = r.u64();
+            m.shed_overload = r.u64();
+            m.shed_draining = r.u64();
+            m.latency_count = r.u64();
+            m.latency_sum = r.f64();
+            m.latency_p50 = r.f64();
+            m.latency_p90 = r.f64();
+            m.latency_p99 = r.f64();
+            return response(m);
         }
         case message_tag::error: {
             error_response m;

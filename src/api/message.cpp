@@ -43,6 +43,12 @@ message_tag tag_of(const request& r) noexcept {
             return message_tag::append_scans;
         }
         message_tag operator()(const watch_request&) const { return message_tag::watch; }
+        message_tag operator()(const identify_resident_request&) const {
+            return message_tag::identify_resident;
+        }
+        message_tag operator()(const subscribe_stats_request&) const {
+            return message_tag::subscribe_stats;
+        }
     };
     return std::visit(visitor{}, r);
 }
@@ -66,6 +72,9 @@ message_tag tag_of(const response& r) noexcept {
         message_tag operator()(const append_response&) const { return message_tag::append_result; }
         message_tag operator()(const watch_ack_response&) const { return message_tag::watch_ack; }
         message_tag operator()(const push_response&) const { return message_tag::push_update; }
+        message_tag operator()(const stats_update_response&) const {
+            return message_tag::stats_update;
+        }
         message_tag operator()(const error_response&) const { return message_tag::error; }
     };
     return std::visit(visitor{}, r);

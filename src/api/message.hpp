@@ -34,7 +34,10 @@ namespace fisone::api {
 /// v3: live ingestion — `append_scans` / `watch` verbs, `append_result` /
 ///     `watch_ack` / `push_update` frames, `service_stats` gained the
 ///     ingest counters.
-inline constexpr std::uint32_t k_schema_version = 3;
+/// v4: live telemetry — `identify_resident` / `subscribe_stats` verbs and
+///     the `stats_update` push frame; `identify_building_request` gained
+///     `no_cache`.
+inline constexpr std::uint32_t k_schema_version = 4;
 
 /// Frame tag: which message a frame's payload holds. Requests live in
 /// [1, 64), responses in [64, 128); the split leaves both ranges room to
@@ -48,6 +51,8 @@ enum class message_tag : std::uint16_t {
     flush = 5,
     append_scans = 6,
     watch = 7,
+    identify_resident = 8,
+    subscribe_stats = 9,
     // responses
     building_result = 64,
     stats_result = 65,
@@ -59,6 +64,9 @@ enum class message_tag : std::uint16_t {
     /// standing `watch` subscription — the one frame a client receives
     /// without a request of its own in flight.
     push_update = 70,
+    /// Server-initiated: one completed telemetry window streamed to a
+    /// standing `subscribe_stats` subscription.
+    stats_update = 71,
     error = 127,
 };
 
@@ -96,6 +104,11 @@ struct identify_building_request {
     std::uint64_t correlation_id = 0;
     bool has_index = false;
     std::uint64_t corpus_index = 0;
+    /// Skip the result cache for this request (no probe, no insert): the
+    /// pipeline always reruns. This is what keeps a capacity bench honest —
+    /// without it, a repeated corpus measures cache lookups, not the
+    /// pipeline.
+    bool no_cache = false;
     data::building b;
 };
 
@@ -149,9 +162,36 @@ struct watch_request {
     bool subscribe = true; ///< false = cancel this connection's subscription
 };
 
+/// Run the pipeline on one *resident* building: the building named `name`
+/// in a mounted corpus store, at its store-assigned corpus index (and thus
+/// seed). The request carries a few bytes where `identify_building` carries
+/// the whole building — the mode that keeps the wire from being the
+/// bottleneck when exploring server capacity. Served by the federated
+/// front-end (it owns the mounted stores); a bare `api::server` answers
+/// `bad_request`, as does a fleet with no stores or an unknown name.
+struct identify_resident_request {
+    std::uint64_t correlation_id = 0;
+    std::string name;    ///< building name in a mounted store
+    bool fresh = false;  ///< bypass the result cache (forwarded as `no_cache`)
+};
+
+/// Stand up (or tear down) a telemetry stream on this connection: after
+/// the `watch_ack`, the server pushes one `stats_update` frame per elapsed
+/// interval (rounded up to the server's telemetry window) carrying this
+/// request's correlation id, until unsubscribed or the connection closes.
+/// Served by `net::tcp_server` — the shed/admission counters the stream
+/// exists to expose live at the front door, so loopback servers answer
+/// `bad_request`.
+struct subscribe_stats_request {
+    std::uint64_t correlation_id = 0;
+    std::uint32_t interval_ms = 1000;  ///< minimum spacing between pushes
+    bool subscribe = true;  ///< false = cancel this connection's stream
+};
+
 using request = std::variant<identify_building_request, identify_shard_request,
                              get_stats_request, cancel_job_request, flush_request,
-                             append_scans_request, watch_request>;
+                             append_scans_request, watch_request, identify_resident_request,
+                             subscribe_stats_request>;
 
 // --- responses --------------------------------------------------------------
 
@@ -220,9 +260,31 @@ struct error_response {
     std::string message;
 };
 
+/// Server-initiated push to a standing `subscribe_stats` stream: one
+/// completed telemetry window of the front door. Counters are deltas over
+/// the window; connections/inflight are gauges sampled at its close;
+/// percentiles come from the window's latency histogram and carry
+/// `obs::latency_histogram::k_max_relative_error`.
+struct stats_update_response {
+    std::uint64_t correlation_id = 0;  ///< the subscribe request's id
+    std::uint64_t window_seq = 0;      ///< 1-based telemetry tick number
+    double window_seconds = 0.0;       ///< actual window duration
+    std::uint64_t connections = 0;     ///< open connections at window close
+    std::uint64_t inflight = 0;        ///< admitted jobs not yet answered
+    std::uint64_t admitted = 0;        ///< requests admitted this window
+    std::uint64_t responses = 0;       ///< response frames sent this window
+    std::uint64_t shed_overload = 0;   ///< overload sheds this window
+    std::uint64_t shed_draining = 0;   ///< draining sheds this window
+    std::uint64_t latency_count = 0;   ///< latencies observed this window
+    double latency_sum = 0.0;          ///< their exact sum (seconds)
+    double latency_p50 = 0.0;
+    double latency_p90 = 0.0;
+    double latency_p99 = 0.0;
+};
+
 using response = std::variant<building_response, stats_response, cancel_response,
                               flush_response, append_response, watch_ack_response,
-                              push_response, error_response>;
+                              push_response, stats_update_response, error_response>;
 
 // --- uniform accessors ------------------------------------------------------
 

@@ -104,7 +104,7 @@ void server::session::handle(const request& req) {
                                               ? static_cast<std::size_t>(m.corpus_index)
                                               : st->svc->allocate_corpus_index();
                 std::optional<cache_key> key;
-                if (st->cache) {
+                if (st->cache && !m.no_cache) {
                     const clock::time_point start = clock::now();
                     obs::scoped_span probe_span("api.cache_probe");
                     const service::service_config& scfg = st->svc->config();
@@ -164,12 +164,22 @@ void server::session::handle(const request& req) {
                 st->emit(error_response{m.correlation_id, error_code::bad_request,
                                         "append_scans: this server mounts no corpus store "
                                         "(appends are served by the federated front-end)"});
-            } else {
-                static_assert(std::is_same_v<T, watch_request>);
+            } else if constexpr (std::is_same_v<T, watch_request>) {
                 st->emit(error_response{m.correlation_id, error_code::bad_request,
                                         "watch: this server has no watch registry "
                                         "(subscriptions are served by the federated "
                                         "front-end)"});
+            } else if constexpr (std::is_same_v<T, identify_resident_request>) {
+                st->emit(error_response{m.correlation_id, error_code::bad_request,
+                                        "identify_resident: this server mounts no corpus "
+                                        "store (resident lookups are served by the "
+                                        "federated front-end)"});
+            } else {
+                static_assert(std::is_same_v<T, subscribe_stats_request>);
+                st->emit(error_response{m.correlation_id, error_code::bad_request,
+                                        "subscribe_stats: this server has no telemetry "
+                                        "windows (stats streams are served by the TCP "
+                                        "front door)"});
             }
         },
         req);

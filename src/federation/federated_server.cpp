@@ -57,7 +57,7 @@ std::uint64_t shard_affinity(const service::shard_ref& ref) noexcept {
 /// `get_stats` requests and `federated_server::stats()`.
 service::service_stats gather_merged_stats(const std::vector<api::server*>& backends) {
     std::vector<service::service_stats> stats;
-    std::vector<util::percentile_accumulator> latencies;
+    std::vector<obs::latency_histogram> latencies;
     stats.reserve(backends.size());
     latencies.reserve(backends.size());
     for (api::server* b : backends) {
@@ -71,13 +71,13 @@ service::service_stats gather_merged_stats(const std::vector<api::server*>& back
 
 service::service_stats merge_backend_stats(
     const std::vector<service::service_stats>& stats,
-    const std::vector<util::percentile_accumulator>& latencies) {
+    const std::vector<obs::latency_histogram>& latencies) {
     if (stats.size() != latencies.size())
         throw std::invalid_argument("merge_backend_stats: " + std::to_string(stats.size()) +
                                     " stats snapshots, " + std::to_string(latencies.size()) +
-                                    " latency accumulators");
+                                    " latency histograms");
     service::service_stats merged;
-    util::percentile_accumulator pooled;
+    obs::latency_histogram pooled;
     for (std::size_t k = 0; k < stats.size(); ++k) {
         const service::service_stats& s = stats[k];
         merged.jobs_submitted += s.jobs_submitted;
@@ -102,6 +102,9 @@ service::service_stats merge_backend_stats(
     merged.latency_p50 = pooled.percentile_or_zero(50.0);
     merged.latency_p90 = pooled.percentile_or_zero(90.0);
     merged.latency_p99 = pooled.percentile_or_zero(99.0);
+    merged.latency_count = pooled.count();
+    merged.latency_sum = pooled.sum();
+    merged.latency_le = pooled.le_counts();
     return merged;
 }
 
@@ -131,6 +134,74 @@ struct federated_server::routing {
     std::size_t route(std::uint64_t affinity, const std::vector<backend_probe>& probes) {
         const std::lock_guard<std::mutex> lock(m);
         return rt.route(affinity, probes);
+    }
+};
+
+/// Name → global-corpus-index directory over the mounted stores, plus an
+/// in-memory cache of the buildings `identify_resident` has actually been
+/// asked for (resident mode pins served buildings in memory — that is its
+/// point: neither the wire nor the disk should gate the pipeline). The
+/// directory is fingerprinted on the stores' manifest versions and rebuilt
+/// lazily whenever an append moves one forward, so post-append names (new
+/// buildings included) resolve without a restart.
+struct federated_server::resident_directory {
+    struct entry {
+        std::size_t store = 0;         ///< which mounted store holds the name
+        std::size_t global_index = 0;  ///< its global corpus index
+    };
+
+    std::mutex m;
+    std::string fingerprint;  ///< store count + manifest versions at last build
+    bool built = false;
+    std::unordered_map<std::string, entry> index;
+    std::unordered_map<std::string, std::shared_ptr<const data::building>> cache;
+
+    static std::string current_fingerprint(const store_registry& reg) {
+        std::string fp = std::to_string(reg.num_stores());
+        for (std::size_t s = 0; s < reg.num_stores(); ++s)
+            fp += ":" + std::to_string(reg.store(s).manifest().version);
+        return fp;
+    }
+
+    /// Resolve \p name to (global index, building), loading the building
+    /// from its store on the first request. Serialised under the directory
+    /// lock — a store scan stalls concurrent resolutions, but only the
+    /// first request of each name (per store version) ever scans.
+    struct hit {
+        std::size_t global_index = 0;
+        std::shared_ptr<const data::building> b;
+    };
+    std::optional<hit> resolve(const store_registry& reg, const std::string& name) {
+        const std::lock_guard<std::mutex> lock(m);
+        const std::string fp = current_fingerprint(reg);
+        if (!built || fp != fingerprint) {
+            index.clear();
+            cache.clear();  // an append may have changed any building's scans
+            for (std::size_t s = 0; s < reg.num_stores(); ++s) {
+                const std::size_t offset = reg.store_offset(s);
+                reg.store(s).for_each_building_effective(
+                    [&](std::size_t local, data::building&& b) {
+                        index[b.name] = entry{s, offset + local};
+                    });
+            }
+            fingerprint = fp;
+            built = true;
+        }
+        const auto it = index.find(name);
+        if (it == index.end()) return std::nullopt;
+        auto cached = cache.find(name);
+        if (cached == cache.end()) {
+            obs::scoped_span span("federation.resident_load");
+            const std::size_t local = it->second.global_index - reg.store_offset(it->second.store);
+            std::shared_ptr<const data::building> loaded;
+            reg.store(it->second.store)
+                .for_each_building_effective([&](std::size_t i, data::building&& b) {
+                    if (i == local) loaded = std::make_shared<const data::building>(std::move(b));
+                });
+            if (!loaded) return std::nullopt;  // store mutated underneath us
+            cached = cache.emplace(name, std::move(loaded)).first;
+        }
+        return hit{it->second.global_index, cached->second};
     }
 };
 
@@ -254,6 +325,7 @@ struct federated_server::session::state {
     /// registry.
     std::shared_ptr<ingest::ingest_manager> ingest;
     std::shared_ptr<watch_registry> watches;
+    std::shared_ptr<federated_server::resident_directory> residents;
 
     std::mutex owners_m;
     /// Which backend owns each submitted correlation id (the `cancel_job`
@@ -627,6 +699,37 @@ void federated_server::session::handle(const api::request& req) {
                     st->watches->unsubscribe(m.name, token);
                 }
                 st->out->respond(api::watch_ack_response{m.correlation_id, active});
+            } else if constexpr (std::is_same_v<T, api::identify_resident_request>) {
+                // Resolve the name against the mounted stores, then re-enter
+                // dispatch as a pinned identify_building: resident requests
+                // ride the exact routing/protection path client-supplied
+                // buildings do.
+                if (st->registry->num_stores() == 0) {
+                    st->out->respond(api::error_response{
+                        m.correlation_id, api::error_code::bad_request,
+                        "identify_resident: no corpus stores mounted"});
+                    return;
+                }
+                const auto hit = st->residents->resolve(*st->registry, m.name);
+                if (!hit) {
+                    st->out->respond(api::error_response{
+                        m.correlation_id, api::error_code::bad_request,
+                        "identify_resident: no mounted store holds a building named '" +
+                            m.name + "'"});
+                    return;
+                }
+                api::identify_building_request fwd;
+                fwd.correlation_id = m.correlation_id;
+                fwd.has_index = true;
+                fwd.corpus_index = hit->global_index;
+                fwd.no_cache = m.fresh;
+                fwd.b = *hit->b;
+                handle(api::request{std::move(fwd)});
+            } else if constexpr (std::is_same_v<T, api::subscribe_stats_request>) {
+                st->out->respond(api::error_response{
+                    m.correlation_id, api::error_code::bad_request,
+                    "subscribe_stats: telemetry windows live at the TCP front door "
+                    "(connect through serve_tcp to stream stats)"});
             } else if constexpr (std::is_same_v<T, api::cancel_job_request>) {
                 if (st->tracker) {
                     // Protected buildings live under attempt ids: translate
@@ -740,6 +843,7 @@ federated_server::federated_server(federation_config cfg) : cfg_(std::move(cfg))
         backends_.push_back(std::make_unique<api::server>(std::move(bc)));
     }
     watches_ = std::make_shared<watch_registry>();
+    residents_ = std::make_shared<resident_directory>();
     if (registry_.num_stores() > 0) {
         std::vector<ingest::store_binding> bindings;
         bindings.reserve(registry_.num_stores());
@@ -800,6 +904,7 @@ federated_server::session federated_server::open(frame_sink sink) {
     st->registry = &registry_;
     st->ingest = ingest_;  // still null while the internal session opens
     st->watches = watches_;
+    st->residents = residents_;
     st->backends.reserve(backends_.size());
     st->backend_sessions.reserve(backends_.size());
     for (const std::unique_ptr<api::server>& b : backends_) {

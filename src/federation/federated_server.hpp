@@ -18,7 +18,7 @@
 ///    across backends exactly as jobs finish.
 ///  - `get_stats` — answered by the front-end: per-backend `service_stats`
 ///    are merged (counters summed; latency percentiles recomputed from the
-///    merged `util::percentile_accumulator`s — percentiles cannot be merged
+///    merged `obs::latency_histogram`s — percentiles cannot be merged
 ///    from percentiles).
 ///  - `cancel_job` — routed to the backend that owns the target correlation
 ///    id; unknown targets answer `accepted = false` without touching any
@@ -36,6 +36,18 @@
 ///  - `watch` — registered in the server-wide `watch_registry`; every
 ///    append-triggered re-identification of the watched building is pushed
 ///    to the subscribed connection as a `push_update`.
+///  - `identify_resident` — the request names a building already resident
+///    in a mounted store; the front-end resolves the name to its global
+///    corpus index through the server-wide resident directory (rebuilt
+///    when a store's manifest versions forward), loads the building once
+///    into an in-memory cache (span `federation.resident_load`), and
+///    dispatches it as a pinned `identify_building` — so resident requests
+///    ride the exact routing/protection path client-supplied buildings do,
+///    with a few name bytes on the wire instead of the whole building.
+///    Unknown names and store-less fleets answer `bad_request`.
+///  - `subscribe_stats` — answered `bad_request`: telemetry windows live at
+///    the TCP front door (`net::tcp_server`), the only layer that sees
+///    sheds and admission.
 /// `pause()` / `resume()` fan out to every backend's service.
 ///
 /// Determinism: a building's results depend only on its *global* corpus
@@ -85,6 +97,7 @@
 
 #include "api/server.hpp"
 #include "fault_tolerance.hpp"
+#include "obs/telemetry.hpp"
 #include "router.hpp"
 #include "store_registry.hpp"
 
@@ -125,12 +138,13 @@ struct federation_config {
 };
 
 /// Merge per-backend stats snapshots into fleet-wide stats: every counter
-/// sums; latency percentiles are recomputed from the merged accumulators.
+/// sums; latency percentiles are recomputed from the merged histograms
+/// (bucket-wise, so any merge order yields identical fleet percentiles).
 /// \p stats and \p latencies run parallel (entry k = backend k).
 /// \throws std::invalid_argument on a size mismatch.
 [[nodiscard]] service::service_stats merge_backend_stats(
     const std::vector<service::service_stats>& stats,
-    const std::vector<util::percentile_accumulator>& latencies);
+    const std::vector<obs::latency_histogram>& latencies);
 
 class federated_server {
 public:
@@ -206,6 +220,7 @@ public:
 
 private:
     struct routing;
+    struct resident_directory;
 
     static void dispatch_attempt(const std::shared_ptr<session::state>& st,
                                  std::uint64_t attempt_id);
@@ -223,6 +238,11 @@ private:
     /// pointer during teardown); null when protection is off. Destroyed
     /// after `backends_`, so the watchdog outlives draining jobs.
     std::shared_ptr<fleet_health> health_;
+    /// Name → global-corpus-index directory over the mounted stores, plus
+    /// the in-memory cache of buildings `identify_resident` has served.
+    /// Shared with every session; rebuilt lazily when a store's manifest
+    /// version moves.
+    std::shared_ptr<resident_directory> residents_;
     /// Standing `watch` subscriptions, shared with every session. Entries
     /// expire with their connection's emitter, so no teardown ordering
     /// matters beyond outliving the sessions (shared ownership handles it).

@@ -83,6 +83,27 @@ public:
         sample(name, p99, "quantile=\"0.99\"");
     }
 
+    /// One histogram family's children for a single label scope: the
+    /// `_bucket` ladder over `obs::k_metrics_le_bounds` (plus the implied
+    /// `le="+Inf"` = count), `_sum`, `_count`. Emit `family(name,
+    /// "histogram", ...)` once before the first call; \p extra is a
+    /// prefix label set (e.g. `stage="..."`) or empty.
+    void histogram_children(const char* name, const std::vector<std::uint64_t>& le,
+                            std::uint64_t count, double sum, const std::string& extra) {
+        const std::string bucket = std::string(name) + "_bucket";
+        const std::string prefix = extra.empty() ? std::string() : extra + ",";
+        for (std::size_t i = 0; i < le.size() && i < obs::k_metrics_le_bounds.size(); ++i) {
+            const std::string l = prefix + "le=\"" + num(obs::k_metrics_le_bounds[i]) + "\"";
+            sample(bucket.c_str(), static_cast<double>(le[i]), l.c_str());
+        }
+        const std::string inf = prefix + "le=\"+Inf\"";
+        sample(bucket.c_str(), static_cast<double>(count), inf.c_str());
+        sample((std::string(name) + "_sum").c_str(), sum,
+               extra.empty() ? nullptr : extra.c_str());
+        sample((std::string(name) + "_count").c_str(), static_cast<double>(count),
+               extra.empty() ? nullptr : extra.c_str());
+    }
+
     [[nodiscard]] std::string take() && { return std::move(out_); }
 
 private:
@@ -132,6 +153,14 @@ std::string render_metrics(const tcp_server_stats& net, const service::service_s
     p.counter("fisone_net_pushes_total",
               "server-initiated push_update frames sent to watch subscribers",
               d(net.pushes_sent));
+    p.counter("fisone_net_stats_pushes_total",
+              "server-initiated stats_update frames sent to subscribe_stats streams",
+              d(net.stats_pushes_sent));
+    p.gauge("fisone_net_stats_subscribers",
+            "live subscribe_stats streams across all connections",
+            d(net.stats_subscribers));
+    p.counter("fisone_net_telemetry_ticks_total", "telemetry windows closed so far",
+              static_cast<double>(net.telemetry_ticks));
     p.counter("fisone_net_protocol_errors_total",
               "typed error responses for framing or decode failures",
               d(net.protocol_errors));
@@ -159,6 +188,12 @@ std::string render_metrics(const tcp_server_stats& net, const service::service_s
     p.quantiles("fisone_net_request_latency_seconds",
                 "request wall latency, admission to last response frame",
                 net.request_latency_p50, net.request_latency_p90, net.request_latency_p99);
+    // The same distribution as a real histogram (aggregable across
+    // instances with histogram_quantile(), unlike summary quantiles).
+    p.family("fisone_net_request_seconds", "histogram",
+             "request wall latency, admission to last response frame");
+    p.histogram_children("fisone_net_request_seconds", net.request_latency_le,
+                         net.request_latency_count, net.request_latency_sum, "");
 
     // Backing service (the get_stats view).
     p.counter("fisone_service_jobs_submitted_total", "jobs submitted to the floor service",
@@ -181,6 +216,12 @@ std::string render_metrics(const tcp_server_stats& net, const service::service_s
     p.quantiles("fisone_service_building_latency_seconds",
                 "per-building pipeline wall time", svc.latency_p50, svc.latency_p90,
                 svc.latency_p99);
+    if (!svc.latency_le.empty()) {
+        p.family("fisone_service_building_seconds", "histogram",
+                 "per-building pipeline wall time");
+        p.histogram_children("fisone_service_building_seconds", svc.latency_le,
+                             svc.latency_count, svc.latency_sum, "");
+    }
     p.counter("fisone_cache_hits_total", "result-cache hits", d(svc.cache_hits));
     p.counter("fisone_cache_misses_total", "result-cache misses", d(svc.cache_misses));
     p.counter("fisone_cache_evictions_total", "result-cache LRU evictions",
@@ -269,6 +310,13 @@ std::string render_metrics(const tcp_server_stats& net, const service::service_s
             p.sample("fisone_stage_seconds", st.p99, (stage + ",quantile=\"0.99\"").c_str());
             p.sample("fisone_stage_seconds_sum", st.total_seconds, stage.c_str());
             p.sample("fisone_stage_seconds_count", d(st.count), stage.c_str());
+        }
+        p.family("fisone_stage_duration_seconds", "histogram",
+                 "span wall time by pipeline/request stage (requires tracing enabled)");
+        for (const obs::stage_snapshot& st : extras.stages) {
+            const std::string stage = "stage=\"" + escape_label(st.stage.c_str()) + "\"";
+            p.histogram_children("fisone_stage_duration_seconds", st.le_counts, st.count,
+                                 st.total_seconds, stage);
         }
     }
 

@@ -6,12 +6,15 @@
 /// renderer behind the scrapeable metrics endpoint. The exposition format
 /// is Prometheus text format v0.0.4 — `# HELP`/`# TYPE` comments, one
 /// `name{labels} value` sample per line — so `curl host:port/metrics`
-/// drops straight into any scraper; percentiles are published as summary
-/// quantiles, fed from `util::percentile_accumulator` snapshots (the
-/// server's own per-request accumulator plus the backing service's
-/// per-building one via `get_stats`).
+/// drops straight into any scraper. Latency distributions are published
+/// twice: as summary quantiles (p50/p90/p99 read directly off the
+/// bounded `obs::latency_histogram` each path keeps) and as real
+/// histogram families (`_bucket` over the shared `obs::k_metrics_le_bounds`
+/// ladder plus `_sum`/`_count`), so both quantile dashboards and
+/// `histogram_quantile()` aggregation work against the same page.
 
 #include <cstddef>
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <vector>
@@ -39,6 +42,11 @@ struct tcp_server_stats {
     /// subscriptions (a subset of responses_sent — pushes answer no
     /// in-flight request).
     std::size_t pushes_sent = 0;
+    /// Server-initiated `stats_update` frames buffered to standing
+    /// `subscribe_stats` streams (also a subset of responses_sent).
+    std::size_t stats_pushes_sent = 0;
+    /// Live `subscribe_stats` streams across all connections (gauge).
+    std::size_t stats_subscribers = 0;
     std::size_t protocol_errors = 0;   ///< typed error_responses for framing/decoding
     std::size_t requests_admitted = 0; ///< jobs forwarded to the backend
     std::size_t requests_completed = 0;
@@ -49,10 +57,21 @@ struct tcp_server_stats {
     std::size_t bytes_sent = 0;
     bool draining = false;  ///< between `drain()` and loop exit
     /// Net-level request wall latency (admission → last response frame
-    /// buffered), nearest-rank percentiles; 0 until a request completes.
+    /// buffered), nearest-rank percentiles within
+    /// `obs::latency_histogram::k_max_relative_error`; 0 until a request
+    /// completes.
     double request_latency_p50 = 0.0;
     double request_latency_p90 = 0.0;
     double request_latency_p99 = 0.0;
+    /// Histogram exposition of the same latencies: exact count and sum,
+    /// plus cumulative counts over `obs::k_metrics_le_bounds` (the
+    /// Prometheus `_bucket` ladder).
+    std::uint64_t request_latency_count = 0;
+    double request_latency_sum = 0.0;
+    std::vector<std::uint64_t> request_latency_le;
+    /// Telemetry windows closed so far (`telemetry_registry::ticks()`);
+    /// stays 0 when `telemetry_window_ms` is 0.
+    std::uint64_t telemetry_ticks = 0;
     /// Seconds since the server was constructed (scrape hygiene: lets a
     /// dashboard detect restarts and rate-normalise counters).
     double uptime_seconds = 0.0;

@@ -22,8 +22,8 @@
 #include <vector>
 
 #include "api/codec.hpp"
+#include "obs/telemetry.hpp"
 #include "obs/trace.hpp"
-#include "util/percentile.hpp"
 
 namespace fisone::net {
 
@@ -69,6 +69,16 @@ struct request_finish {
     std::uint64_t start_ns = 0;   ///< admission time on the span clock
 };
 
+// Telemetry-window column order, fixed by the registration sequence in
+// core's constructor (registry windows carry parallel value vectors, not
+// name→value maps).
+constexpr std::size_t k_win_admitted = 0;
+constexpr std::size_t k_win_responses = 1;
+constexpr std::size_t k_win_shed_overload = 2;
+constexpr std::size_t k_win_shed_draining = 3;
+constexpr std::size_t k_win_connections = 0;  // gauge column
+constexpr std::size_t k_win_inflight = 1;     // gauge column
+
 }  // namespace
 
 /// Global state shared between the loop thread, the public thread-safe
@@ -77,8 +87,12 @@ struct request_finish {
 /// still has somewhere safe to account to.
 struct tcp_server::core {
     mutable std::mutex m;
-    tcp_server_stats counters;            ///< guarded by m (latency fields unused)
-    util::percentile_accumulator latency;  ///< guarded by m
+    tcp_server_stats counters;           ///< guarded by m (latency fields unused)
+    obs::latency_histogram latency;      ///< guarded by m (bounded: serve loop feeds it forever)
+    /// The windowed time series behind `subscribe_stats` and the capacity
+    /// bench. Thread-safe on its own lock; its samplers take `m`, so never
+    /// call into the registry while holding `m` (lock order: registry → m).
+    obs::telemetry_registry registry;
     std::atomic<bool> draining{false};
     std::atomic<bool> stopping{false};
     std::atomic<std::uint64_t> next_internal{1};
@@ -89,9 +103,28 @@ struct tcp_server::core {
     double slow_threshold = 0.0;
     std::function<void(const std::string&)> slow_log;
 
-    core() {
+    explicit core(std::size_t ring_windows) : registry(ring_windows) {
         wake_fd.reset(::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK));
         if (!wake_fd.valid()) throw_errno("net: eventfd");
+        // Registration order defines the k_win_* column constants above.
+        const auto ctr = [this](std::size_t tcp_server_stats::* field) {
+            return [this, field] {
+                const std::lock_guard<std::mutex> lock(m);
+                return static_cast<double>(counters.*field);
+            };
+        };
+        registry.add_counter("requests_admitted", ctr(&tcp_server_stats::requests_admitted));
+        registry.add_counter("responses_sent", ctr(&tcp_server_stats::responses_sent));
+        registry.add_counter("requests_shed_overload",
+                             ctr(&tcp_server_stats::requests_shed_overload));
+        registry.add_counter("requests_shed_draining",
+                             ctr(&tcp_server_stats::requests_shed_draining));
+        registry.add_gauge("connections_open", ctr(&tcp_server_stats::connections_open));
+        registry.add_gauge("requests_in_flight", ctr(&tcp_server_stats::requests_in_flight));
+        registry.add_histogram("request_latency_seconds", [this] {
+            const std::lock_guard<std::mutex> lock(m);
+            return latency;
+        });
     }
 
     /// Nudge the epoll loop (signal/thread-safe; errors ignored — a full
@@ -127,6 +160,16 @@ struct tcp_server::conn {
     /// The connection's own trace (accept/read/flush spans). Distinct from
     /// per-request traces: one read may carry frames of many requests.
     obs::trace_context conn_ctx{};
+    /// The connection's standing `subscribe_stats` stream, when one is
+    /// active (at most one per connection; a re-subscribe replaces it).
+    /// Loop-thread-only: dispatch installs it, the telemetry tick reads
+    /// it, close tears it down — all on the event loop.
+    struct stats_subscription {
+        std::uint64_t corr = 0;
+        std::uint32_t interval_ms = 1000;
+        clock_type::time_point next_due;  ///< push at the first tick ≥ this
+    };
+    std::optional<stats_subscription> stats_sub;
 
     // --- shared with sinks (guarded by m) ---
     std::mutex m;
@@ -397,12 +440,16 @@ struct tcp_server::loop {
     };
     std::unordered_map<int, open_conn> conns;
     bool listener_open = true;
+    /// Next telemetry window boundary (meaningful only when
+    /// `telemetry_window_ms > 0`; the epoll wait is bounded to it).
+    clock_type::time_point next_tick;
 
     explicit loop(tcp_server& s) : srv(s) {
         ep.reset(::epoll_create1(EPOLL_CLOEXEC));
         if (!ep.valid()) throw_errno("net: epoll_create1");
         add(srv.core_->wake_fd.get(), EPOLLIN);
         add(srv.listener_.get(), EPOLLIN);
+        next_tick = clock_type::now() + std::chrono::milliseconds(srv.cfg_.telemetry_window_ms);
     }
 
     void add(int fd, std::uint32_t events) {
@@ -484,11 +531,13 @@ struct tcp_server::loop {
         }
         ::epoll_ctl(ep.get(), EPOLL_CTL_DEL, fd, nullptr);
         c.fd.reset();
+        const bool had_stats_sub = c.stats_sub.has_value();
         conns.erase(it);
         {
             const std::lock_guard<std::mutex> lock(co().m);
             --co().counters.connections_open;
             if (slow) ++co().counters.connections_closed_slow;
+            if (had_stats_sub) --co().counters.stats_subscribers;
         }
     }
 
@@ -656,6 +705,35 @@ struct tcp_server::loop {
             const std::uint64_t corr = ms->correlation_id;
             const std::size_t expected = ms->ref.num_buildings;
             if (admit(c, corr)) forward_job(oc, std::move(req), corr, expected);
+        } else if (const auto* mr = std::get_if<api::identify_resident_request>(&req)) {
+            // Resident identification is a job like any other: one answer
+            // (a building_result or a typed error) retires it, and it is
+            // shed at the same admission bound — the capacity bench leans
+            // on exactly this parity.
+            const std::uint64_t corr = mr->correlation_id;
+            if (admit(c, corr)) forward_job(oc, std::move(req), corr, 1);
+        } else if (const auto* msub = std::get_if<api::subscribe_stats_request>(&req)) {
+            // Served here, not by the backend: the admission and shed
+            // counters the stream exposes live in this layer. Ack, then
+            // let the telemetry tick push stats_update frames.
+            const bool had = c.stats_sub.has_value();
+            if (msub->subscribe) {
+                conn::stats_subscription sub;
+                sub.corr = msub->correlation_id;
+                sub.interval_ms = msub->interval_ms;
+                sub.next_due = clock_type::now();  // first completed window qualifies
+                c.stats_sub = sub;
+            } else {
+                c.stats_sub.reset();
+            }
+            if (had != c.stats_sub.has_value()) {
+                const std::lock_guard<std::mutex> lock(co().m);
+                if (c.stats_sub.has_value())
+                    ++co().counters.stats_subscribers;
+                else
+                    --co().counters.stats_subscribers;
+            }
+            emit_local(c, api::watch_ack_response{msub->correlation_id, msub->subscribe});
         } else if (const auto* ma = std::get_if<api::append_scans_request>(&req)) {
             // Appends go through admission like jobs: exactly one answer
             // (append_result or a typed error) retires the entry, so drain
@@ -922,6 +1000,72 @@ struct tcp_server::loop {
         return co().counters.requests_in_flight;
     }
 
+    // --- telemetry tick ------------------------------------------------------
+
+    /// Milliseconds until the next window boundary (epoll timeout), or -1
+    /// (block indefinitely) when ticking is disabled.
+    int tick_timeout_ms() const {
+        if (srv.cfg_.telemetry_window_ms == 0) return -1;
+        const auto until = next_tick - clock_type::now();
+        if (until <= clock_type::duration::zero()) return 0;
+        const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(until).count();
+        // Round up: waking one ms late beats a zero-timeout spin just shy
+        // of the boundary.
+        return static_cast<int>(std::min<long long>(ms + 1, 60'000));
+    }
+
+    /// Close the current telemetry window and service `subscribe_stats`
+    /// streams: every subscription whose interval has elapsed gets one
+    /// `stats_update` frame carrying the window just closed. Runs on the
+    /// loop thread; frames ride the same bounded write buffers as every
+    /// other response (flushed by the next evaluation pass).
+    void telemetry_tick() {
+        const auto now = clock_type::now();
+        if (srv.cfg_.telemetry_window_ms == 0 || now < next_tick) return;
+        co().registry.tick(std::chrono::duration<double>(now - co().started).count());
+        next_tick = now + std::chrono::milliseconds(srv.cfg_.telemetry_window_ms);
+        const std::optional<obs::telemetry_registry::window> w = co().registry.latest();
+        if (!w) return;
+        std::size_t pushed = 0, dropped = 0;
+        for (auto& [fd, oc] : conns) {
+            conn& c = *oc.c;
+            if (!c.stats_sub || now < c.stats_sub->next_due) continue;
+            api::stats_update_response u;
+            u.correlation_id = c.stats_sub->corr;
+            u.window_seq = w->seq;
+            u.window_seconds = w->duration_seconds;
+            u.connections = static_cast<std::uint64_t>(w->gauges[k_win_connections]);
+            u.inflight = static_cast<std::uint64_t>(w->gauges[k_win_inflight]);
+            u.admitted = static_cast<std::uint64_t>(w->counters[k_win_admitted]);
+            u.responses = static_cast<std::uint64_t>(w->counters[k_win_responses]);
+            u.shed_overload = static_cast<std::uint64_t>(w->counters[k_win_shed_overload]);
+            u.shed_draining = static_cast<std::uint64_t>(w->counters[k_win_shed_draining]);
+            const obs::latency_histogram& h = w->histograms[0];
+            u.latency_count = h.count();
+            u.latency_sum = h.sum();
+            u.latency_p50 = h.percentile_or_zero(50.0);
+            u.latency_p90 = h.percentile_or_zero(90.0);
+            u.latency_p99 = h.percentile_or_zero(99.0);
+            const std::string frame = api::encode(api::response(u));
+            bool appended = false;
+            {
+                const std::lock_guard<std::mutex> lock(c.m);
+                appended = c.append_locked(frame, srv.cfg_.max_write_buffer);
+            }
+            (appended ? pushed : dropped) += 1;
+            c.stats_sub->next_due =
+                now + std::chrono::milliseconds(
+                          std::max<std::uint32_t>(c.stats_sub->interval_ms,
+                                                  srv.cfg_.telemetry_window_ms));
+        }
+        if (pushed + dropped > 0) {
+            const std::lock_guard<std::mutex> lock(co().m);
+            co().counters.responses_sent += pushed;
+            co().counters.responses_dropped += dropped;
+            co().counters.stats_pushes_sent += pushed;
+        }
+    }
+
     void run() {
         std::vector<epoll_event> events(64);
         for (;;) {
@@ -948,11 +1092,12 @@ struct tcp_server::loop {
             }
 
             const int n = ::epoll_wait(ep.get(), events.data(),
-                                       static_cast<int>(events.size()), -1);
+                                       static_cast<int>(events.size()), tick_timeout_ms());
             if (n < 0) {
                 if (errno == EINTR) continue;
                 throw_errno("net: epoll_wait");
             }
+            telemetry_tick();
             for (int i = 0; i < n; ++i) {
                 const int fd = events[i].data.fd;
                 const std::uint32_t ev = events[i].events;
@@ -991,7 +1136,9 @@ tcp_server::tcp_server(backend be, tcp_server_config cfg)
         throw std::invalid_argument("net: max_connections must be >= 1");
     if (cfg_.max_write_buffer < api::k_frame_header_size)
         throw std::invalid_argument("net: max_write_buffer cannot hold a frame header");
-    core_ = std::make_shared<core>();
+    if (cfg_.telemetry_ring_windows == 0)
+        throw std::invalid_argument("net: telemetry_ring_windows must be >= 1");
+    core_ = std::make_shared<core>(cfg_.telemetry_ring_windows);
     core_->slow_threshold = cfg_.slow_request_seconds;
     core_->slow_log = cfg_.slow_log;
     listener_ = listen_tcp(cfg_.host, cfg_.port, cfg_.backlog);
@@ -1019,14 +1166,23 @@ void tcp_server::stop() {
 }
 
 tcp_server_stats tcp_server::stats() const {
-    const std::lock_guard<std::mutex> lock(core_->m);
-    tcp_server_stats s = core_->counters;
-    s.draining = core_->draining.load();
-    s.request_latency_p50 = core_->latency.percentile_or_zero(50.0);
-    s.request_latency_p90 = core_->latency.percentile_or_zero(90.0);
-    s.request_latency_p99 = core_->latency.percentile_or_zero(99.0);
-    s.uptime_seconds =
-        std::chrono::duration<double>(clock_type::now() - core_->started).count();
+    tcp_server_stats s;
+    {
+        const std::lock_guard<std::mutex> lock(core_->m);
+        s = core_->counters;
+        s.draining = core_->draining.load();
+        s.request_latency_p50 = core_->latency.percentile_or_zero(50.0);
+        s.request_latency_p90 = core_->latency.percentile_or_zero(90.0);
+        s.request_latency_p99 = core_->latency.percentile_or_zero(99.0);
+        s.request_latency_count = core_->latency.count();
+        s.request_latency_sum = core_->latency.sum();
+        s.request_latency_le = core_->latency.le_counts();
+        s.uptime_seconds =
+            std::chrono::duration<double>(clock_type::now() - core_->started).count();
+    }
+    // Outside the counter lock: the registry's samplers take `m`, so the
+    // lock order is registry → m, never the reverse.
+    s.telemetry_ticks = core_->registry.ticks();
     return s;
 }
 

@@ -51,6 +51,20 @@
 /// `metrics.hpp`). `GET /dump_trace` (or the bare line `DUMP_TRACE`)
 /// answers the current span tape as Chrome trace-event JSON
 /// (`obs::chrome_trace_json()`), loadable in Perfetto.
+///
+/// **Live telemetry.** The loop drives a windowed
+/// `obs::telemetry_registry` (admission/shed/response counters, open
+/// connection and in-flight gauges, the request-latency histogram) by
+/// bounding its epoll wait to the next window boundary
+/// (`telemetry_window_ms`). A framed client sends `subscribe_stats` to
+/// open a standing stream on its connection: the server acks with
+/// `watch_ack`, then pushes one `stats_update` frame per elapsed client
+/// interval (rounded up to the window), each carrying one completed
+/// window — per-window shed counts, goodput, and latency percentiles.
+/// This is the closed-loop signal `bench/bench_capacity` steps offered
+/// load against. `subscribe_stats` is answered here, not by the backend:
+/// the admission and shed counters it exists to expose live at the front
+/// door.
 
 #include <cstddef>
 #include <cstdint>
@@ -116,6 +130,14 @@ struct tcp_server_config {
     std::size_t max_write_buffer = std::size_t{8} << 20;
     /// Bound on a plaintext (metrics-probe) request line.
     std::size_t max_text_line = 4096;
+    /// Telemetry window length in milliseconds: how often the event loop
+    /// closes a `obs::telemetry_registry` window (bounding the epoll wait
+    /// instead of blocking forever) and services `subscribe_stats`
+    /// streams. 0 disables ticking entirely — the loop blocks until I/O,
+    /// `subscribe_stats` still acks but never pushes.
+    std::uint32_t telemetry_window_ms = 1000;
+    /// Closed telemetry windows retained for inspection (ring size).
+    std::size_t telemetry_ring_windows = 8;
     /// Slow-request log threshold in seconds (net-level wall time,
     /// admission → last response frame). A completed request at or over
     /// the threshold emits one structured JSON line — with its span

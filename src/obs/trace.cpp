@@ -10,8 +10,6 @@
 #include <sstream>
 #include <thread>
 
-#include "util/percentile.hpp"
-
 namespace fisone::obs {
 
 namespace detail {
@@ -49,8 +47,7 @@ struct registry {
     std::mutex dump_m;
 
     std::mutex stage_m;
-    std::map<std::string, std::pair<util::percentile_accumulator, double>>
-        stages;  ///< name → (samples, total seconds)
+    std::map<std::string, latency_histogram> stages;  ///< name → bounded histogram
 };
 
 registry& reg() {
@@ -101,10 +98,7 @@ void push(span_ring& ring, const span_record& rec) {
 void accumulate_stage(const char* name, std::uint64_t dur_ns) {
     registry& r = reg();
     std::lock_guard<std::mutex> lock(r.stage_m);
-    auto& entry = r.stages[name];
-    const double seconds = static_cast<double>(dur_ns) * 1e-9;
-    entry.first.add(seconds);
-    entry.second += seconds;
+    r.stages[name].add(static_cast<double>(dur_ns) * 1e-9);
 }
 
 void record(const char* name, std::uint64_t trace_id, std::uint64_t span_id,
@@ -355,14 +349,15 @@ std::vector<stage_snapshot> stage_stats() {
     std::lock_guard<std::mutex> lock(r.stage_m);
     std::vector<stage_snapshot> out;
     out.reserve(r.stages.size());
-    for (const auto& [name, entry] : r.stages) {
+    for (const auto& [name, hist] : r.stages) {
         stage_snapshot s;
         s.stage = name;
-        s.count = entry.first.count();
-        s.total_seconds = entry.second;
-        s.p50 = entry.first.percentile_or_zero(50.0);
-        s.p90 = entry.first.percentile_or_zero(90.0);
-        s.p99 = entry.first.percentile_or_zero(99.0);
+        s.count = static_cast<std::size_t>(hist.count());
+        s.total_seconds = hist.sum();
+        s.p50 = hist.percentile_or_zero(50.0);
+        s.p90 = hist.percentile_or_zero(90.0);
+        s.p99 = hist.percentile_or_zero(99.0);
+        s.le_counts = hist.le_counts();
         out.push_back(std::move(s));
     }
     return out;

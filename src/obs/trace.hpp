@@ -20,9 +20,10 @@
 ///
 /// Exports: Chrome trace-event JSON (load in Perfetto / chrome://tracing) via
 /// `chrome_trace_json()`, raw records via `snapshot()` / `spans_for_trace()`,
-/// and per-stage exact latency percentiles via `stage_stats()` (fed from
-/// `util::percentile_accumulator`, rendered by `net::render_metrics` as the
-/// `fisone_stage_seconds` families).
+/// and per-stage latency percentiles via `stage_stats()` (fed from a
+/// bounded `obs::latency_histogram` per stage — the serve loop emits spans
+/// forever, so exact sample hoarding is not an option here — rendered by
+/// `net::render_metrics` as the `fisone_stage_seconds` families).
 
 #include <atomic>
 #include <cstddef>
@@ -30,6 +31,8 @@
 #include <iosfwd>
 #include <string>
 #include <vector>
+
+#include "telemetry.hpp"
 
 namespace fisone::obs {
 
@@ -67,8 +70,11 @@ struct trace_stats {
     std::size_t threads = 0;   ///< rings registered (threads that emitted)
 };
 
-/// Exact per-stage latency summary, one per distinct span name observed
-/// while tracing was enabled.
+/// Per-stage latency summary, one per distinct span name observed while
+/// tracing was enabled. Count and total are exact; percentiles carry
+/// `latency_histogram::k_max_relative_error`; `le_counts` is the stage's
+/// histogram evaluated over `k_metrics_le_bounds` (Prometheus `_bucket`
+/// exposition).
 struct stage_snapshot {
     std::string stage;
     std::size_t count = 0;
@@ -76,6 +82,7 @@ struct stage_snapshot {
     double p50 = 0.0;
     double p90 = 0.0;
     double p99 = 0.0;
+    std::vector<std::uint64_t> le_counts;
 };
 
 namespace detail {
@@ -188,9 +195,10 @@ private:
 [[nodiscard]] std::string chrome_trace_json();
 void dump_chrome_trace(std::ostream& os);
 
-/// Exact p50/p90/p99 per span name since the last `reset()`/`reset_stages()`,
+/// p50/p90/p99 per span name since the last `reset()`/`reset_stages()`,
 /// sorted by stage name. Unlike the rings these never overwrite: every span
-/// observed while enabled is accumulated (they are doubles, not records).
+/// observed while enabled lands in that stage's bounded histogram, so the
+/// summary covers the full history at fixed memory.
 [[nodiscard]] std::vector<stage_snapshot> stage_stats();
 
 /// Clear stage statistics only (rings untouched).

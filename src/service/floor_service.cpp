@@ -38,8 +38,10 @@ struct floor_service::state {
     std::size_t buildings_failed = 0;
     std::size_t buildings_cancelled = 0;
     /// Seconds per building that actually ran, kept mergeable so a
-    /// federated front-end can pool latencies across backends.
-    util::percentile_accumulator latencies;
+    /// federated front-end can pool latencies across backends. A bounded
+    /// histogram, not an exact accumulator: the serve loop feeds this once
+    /// per building for the life of the process.
+    obs::latency_histogram latencies;
 
     /// Serialises `on_report` calls without blocking `stats()`. Lock order
     /// where both are held: `report_m` before `m`.
@@ -384,7 +386,7 @@ std::size_t floor_service::pending_jobs() const {
 
 service_stats floor_service::stats() const {
     service_stats out;
-    util::percentile_accumulator latencies;
+    obs::latency_histogram latencies;
     {
         const std::lock_guard<std::mutex> lock(state_->m);
         out.jobs_submitted = state_->jobs_submitted;
@@ -403,10 +405,13 @@ service_stats floor_service::stats() const {
     out.latency_p50 = latencies.percentile_or_zero(50.0);
     out.latency_p90 = latencies.percentile_or_zero(90.0);
     out.latency_p99 = latencies.percentile_or_zero(99.0);
+    out.latency_count = latencies.count();
+    out.latency_sum = latencies.sum();
+    out.latency_le = latencies.le_counts();
     return out;
 }
 
-util::percentile_accumulator floor_service::latencies() const {
+obs::latency_histogram floor_service::latencies() const {
     const std::lock_guard<std::mutex> lock(state_->m);
     return state_->latencies;
 }

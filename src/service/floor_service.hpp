@@ -39,8 +39,8 @@
 #include "data/corpus_store.hpp"
 #include "data/rf_sample.hpp"
 #include "fault_plan.hpp"
+#include "obs/telemetry.hpp"
 #include "runtime/batch_runner.hpp"
-#include "util/percentile.hpp"
 
 namespace fisone::service {
 
@@ -101,6 +101,13 @@ struct service_stats {
     double latency_p50 = 0.0;  ///< seconds per building, nearest-rank
     double latency_p90 = 0.0;
     double latency_p99 = 0.0;
+    /// Histogram exposition of the same per-building latencies: exact
+    /// observation count and sum, plus cumulative counts over
+    /// `obs::k_metrics_le_bounds` (what a Prometheus `_bucket` ladder
+    /// renders). Empty `latency_le` means no building has finished.
+    std::uint64_t latency_count = 0;
+    double latency_sum = 0.0;
+    std::vector<std::uint64_t> latency_le;
     /// Result-cache counters. The bare service runs every submission and
     /// leaves these 0; `api::server` serves repeat submissions from its
     /// `api::result_cache` and fills them in its `get_stats` response.
@@ -225,10 +232,14 @@ public:
     [[nodiscard]] service_stats stats() const;
 
     /// Snapshot of the per-building pipeline latencies behind the
-    /// percentiles in `stats()`, as a mergeable accumulator. A federated
-    /// front-end merges these across backends before taking fleet
-    /// percentiles — percentiles themselves cannot be combined.
-    [[nodiscard]] util::percentile_accumulator latencies() const;
+    /// percentiles in `stats()`, as a mergeable bounded histogram. A
+    /// federated front-end merges these across backends before taking
+    /// fleet percentiles — percentiles themselves cannot be combined.
+    /// Bounded on purpose: a long-running serve loop feeds this once per
+    /// building forever, so hoarding exact samples
+    /// (`util::percentile_accumulator`) would grow without limit;
+    /// percentiles carry `obs::latency_histogram::k_max_relative_error`.
+    [[nodiscard]] obs::latency_histogram latencies() const;
     [[nodiscard]] const service_config& config() const noexcept { return cfg_; }
 
     /// Concurrent jobs the pool can run (resolved `num_threads`).

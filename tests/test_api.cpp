@@ -368,6 +368,91 @@ TEST(codec, ingestion_messages_round_trip) {
     EXPECT_EQ(sr.stats.watch_subscribers, 2u);
 }
 
+TEST(codec, telemetry_messages_round_trip) {
+    // Schema v4's live-telemetry verbs and the cache-bypass flags.
+    for (const bool fresh : {true, false}) {
+        api::identify_resident_request rr;
+        rr.correlation_id = 50;
+        rr.name = "bldg \"resident\"";
+        rr.fresh = fresh;
+        const auto rr2 = std::get<api::identify_resident_request>(
+            *api::decode_request(api::encode(api::request(rr))).value);
+        EXPECT_EQ(rr2.correlation_id, 50u);
+        EXPECT_EQ(rr2.name, rr.name);
+        EXPECT_EQ(rr2.fresh, fresh);
+    }
+
+    for (const bool no_cache : {true, false}) {
+        api::identify_building_request ib;
+        ib.correlation_id = 51;
+        ib.has_index = true;
+        ib.corpus_index = 4;
+        ib.no_cache = no_cache;
+        ib.b = tiny_building(1);
+        const auto ib2 = std::get<api::identify_building_request>(
+            *api::decode_request(api::encode(api::request(ib))).value);
+        EXPECT_EQ(ib2.correlation_id, 51u);
+        EXPECT_EQ(ib2.corpus_index, 4u);
+        EXPECT_EQ(ib2.no_cache, no_cache);
+        expect_building_eq(ib2.b, ib.b);
+    }
+
+    for (const bool subscribe : {true, false}) {
+        api::subscribe_stats_request ss;
+        ss.correlation_id = 52;
+        ss.interval_ms = 250;
+        ss.subscribe = subscribe;
+        const auto ss2 = std::get<api::subscribe_stats_request>(
+            *api::decode_request(api::encode(api::request(ss))).value);
+        EXPECT_EQ(ss2.correlation_id, 52u);
+        EXPECT_EQ(ss2.interval_ms, 250u);
+        EXPECT_EQ(ss2.subscribe, subscribe);
+    }
+
+    api::stats_update_response u;
+    u.correlation_id = 53;
+    u.window_seq = 17;
+    u.window_seconds = 0.25;
+    u.connections = 3;
+    u.inflight = 2;
+    u.admitted = 40;
+    u.responses = 38;
+    u.shed_overload = 5;
+    u.shed_draining = 1;
+    u.latency_count = 36;
+    u.latency_sum = 4.5;
+    u.latency_p50 = 0.1;
+    u.latency_p90 = 0.2;
+    u.latency_p99 = 0.3;
+    const auto u2 = std::get<api::stats_update_response>(
+        *api::decode_response(api::encode(api::response(u))).value);
+    EXPECT_EQ(u2.correlation_id, 53u);
+    EXPECT_EQ(u2.window_seq, 17u);
+    EXPECT_DOUBLE_EQ(u2.window_seconds, 0.25);
+    EXPECT_EQ(u2.connections, 3u);
+    EXPECT_EQ(u2.inflight, 2u);
+    EXPECT_EQ(u2.admitted, 40u);
+    EXPECT_EQ(u2.responses, 38u);
+    EXPECT_EQ(u2.shed_overload, 5u);
+    EXPECT_EQ(u2.shed_draining, 1u);
+    EXPECT_EQ(u2.latency_count, 36u);
+    EXPECT_DOUBLE_EQ(u2.latency_sum, 4.5);
+    EXPECT_DOUBLE_EQ(u2.latency_p50, 0.1);
+    EXPECT_DOUBLE_EQ(u2.latency_p90, 0.2);
+    EXPECT_DOUBLE_EQ(u2.latency_p99, 0.3);
+
+    // The stats payload grew the histogram exposition triplet.
+    service::service_stats stats;
+    stats.latency_count = 200;
+    stats.latency_sum = 12.75;
+    stats.latency_le = {1, 2, 3, 50, 200};
+    const auto sr = std::get<api::stats_response>(
+        *api::decode_response(api::encode(api::response(api::stats_response{54, stats}))).value);
+    EXPECT_EQ(sr.stats.latency_count, 200u);
+    EXPECT_DOUBLE_EQ(sr.stats.latency_sum, 12.75);
+    EXPECT_EQ(sr.stats.latency_le, (std::vector<std::uint64_t>{1, 2, 3, 50, 200}));
+}
+
 TEST(codec, hostile_append_batch_count_fails_cleanly) {
     // An append_scans frame declaring 2^32-ish records with no bytes behind
     // them must answer a typed error without allocating the claimed batch.

@@ -305,7 +305,7 @@ TEST(merge_backend_stats, sums_counters_and_pools_latencies) {
     b.cache_misses = 2;
     b.cache_evictions = 4;
 
-    util::percentile_accumulator la, lb, pooled;
+    obs::latency_histogram la, lb, pooled;
     for (const double x : {0.1, 0.2, 0.3, 0.4, 0.5}) {
         la.add(x);
         pooled.add(x);
@@ -461,6 +461,71 @@ TEST(federated_server, affinity_keeps_resubmissions_on_warm_caches) {
     // Content-hash affinity on a fleet keeps the warm-cache hit rate at the
     // single-backend baseline: repeats land where their result lives.
     EXPECT_GE(warm_hits(3), single);
+}
+
+TEST(federated_server, identify_resident_resolves_names_and_fresh_bypasses_cache) {
+    const std::size_t n = 4;
+    const std::string root = scratch_dir("resident");
+    const data::corpus city = tiny_corpus(n);
+    const std::vector<std::string> dirs = split_into_stores(city, 2, root, 1);
+
+    federation::federation_config cfg;
+    cfg.service = fast_service_config(1);
+    cfg.num_backends = 2;
+    cfg.store_dirs = dirs;
+    federation::federated_server srv(cfg);
+    response_collector collected;
+    federation::federated_server::session s = srv.open(collected.sink());
+
+    // Resolve every building by name; each answer carries its request's
+    // correlation id and the right building's report.
+    for (std::size_t i = 0; i < n; ++i) {
+        api::identify_resident_request req;
+        req.correlation_id = 100 + i;
+        req.name = city.buildings[i].name;
+        s.handle(api::request{req});
+    }
+    s.handle(api::flush_request{1});
+    const std::vector<api::building_response> first = collected.of<api::building_response>();
+    ASSERT_EQ(first.size(), n);
+    for (std::size_t i = 0; i < n; ++i) {
+        const auto it = std::find_if(first.begin(), first.end(), [&](const auto& b) {
+            return b.correlation_id == 100 + i;
+        });
+        ASSERT_NE(it, first.end()) << "no response for resident " << i;
+        EXPECT_EQ(it->report.name, city.buildings[i].name);
+        EXPECT_TRUE(it->report.ok);
+    }
+
+    // A warm repeat by name is served from the result cache...
+    const std::size_t hits_before = srv.stats().cache_hits;
+    api::identify_resident_request warm;
+    warm.correlation_id = 200;
+    warm.name = city.buildings[0].name;
+    s.handle(api::request{warm});
+    s.handle(api::flush_request{2});
+    EXPECT_EQ(srv.stats().cache_hits, hits_before + 1);
+
+    // ...and `fresh` forwards as no_cache: the pipeline reruns.
+    api::identify_resident_request fresh;
+    fresh.correlation_id = 201;
+    fresh.name = city.buildings[0].name;
+    fresh.fresh = true;
+    s.handle(api::request{fresh});
+    s.handle(api::flush_request{3});
+    EXPECT_EQ(srv.stats().cache_hits, hits_before + 1);  // no new hit
+    ASSERT_EQ(collected.of<api::building_response>().size(), n + 2);
+
+    // An unknown name answers a typed bad_request, not a hang or a crash.
+    api::identify_resident_request unknown;
+    unknown.correlation_id = 999;
+    unknown.name = "no-such-building";
+    s.handle(api::request{unknown});
+    const std::vector<api::error_response> errors = collected.of<api::error_response>();
+    const auto err = std::find_if(errors.begin(), errors.end(),
+                                  [](const auto& e) { return e.correlation_id == 999; });
+    ASSERT_NE(err, errors.end());
+    EXPECT_EQ(err->code, api::error_code::bad_request);
 }
 
 TEST(federated_server, least_queue_depth_never_routes_to_paused_backend) {

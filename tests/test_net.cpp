@@ -725,4 +725,106 @@ TEST(TcpServer, DrainRacesCircuitBrokenBackendWithoutHanging) {
     EXPECT_NE(page.find("fisone_backend_up{backend=\"1\"} 1"), std::string::npos);
 }
 
+// --- live telemetry streaming ------------------------------------------------
+
+TEST(TcpServer, SubscribeStatsStreamsWindowedTelemetry) {
+    net::tcp_server_config cfg;
+    cfg.telemetry_window_ms = 50;
+    test_front tf(std::move(cfg));
+
+    net::frame_conn conn("127.0.0.1", tf.port());
+    api::subscribe_stats_request sub;
+    sub.correlation_id = 42;
+    sub.interval_ms = 0;  // every window
+    conn.send(api::encode(api::request(sub)));
+
+    // The subscription is acked before any push.
+    std::optional<std::string> frame = conn.read_frame();
+    ASSERT_TRUE(frame.has_value());
+    const api::response ack = decode_one(*frame);
+    ASSERT_TRUE(std::holds_alternative<api::watch_ack_response>(ack));
+    EXPECT_EQ(std::get<api::watch_ack_response>(ack).correlation_id, 42u);
+    EXPECT_TRUE(std::get<api::watch_ack_response>(ack).active);
+
+    // One identify on a second connection must land in some window.
+    {
+        net::frame_conn work("127.0.0.1", tf.port());
+        work.send(identify_frame(1, 0, 0));
+        work.shutdown_write();
+        while (work.read_frame()) {
+        }
+    }
+
+    // Updates stream in with strictly advancing window sequence numbers;
+    // keep reading until the identify's admission and latency show up.
+    std::uint64_t prev_seq = 0;
+    std::uint64_t admitted = 0;
+    std::uint64_t latency_count = 0;
+    double latency_sum = 0.0;
+    bool seen = false;
+    for (int i = 0; i < 200 && !seen; ++i) {
+        frame = conn.read_frame();
+        ASSERT_TRUE(frame.has_value());
+        const api::response r = decode_one(*frame);
+        ASSERT_TRUE(std::holds_alternative<api::stats_update_response>(r));
+        const auto& u = std::get<api::stats_update_response>(r);
+        EXPECT_EQ(u.correlation_id, 42u);
+        EXPECT_GT(u.window_seq, prev_seq);
+        prev_seq = u.window_seq;
+        EXPECT_GT(u.window_seconds, 0.0);
+        admitted += u.admitted;
+        latency_count += u.latency_count;
+        latency_sum += u.latency_sum;
+        seen = admitted >= 1 && latency_count >= 1;
+    }
+    EXPECT_TRUE(seen) << "identify never appeared in any streamed window";
+    EXPECT_GT(latency_sum, 0.0);
+
+    // Unsubscribe is acked inactive; the ack may trail in-flight updates.
+    api::subscribe_stats_request unsub;
+    unsub.correlation_id = 43;
+    unsub.subscribe = false;
+    conn.send(api::encode(api::request(unsub)));
+    bool acked = false;
+    for (int i = 0; i < 200 && !acked; ++i) {
+        frame = conn.read_frame();
+        ASSERT_TRUE(frame.has_value());
+        const api::response r = decode_one(*frame);
+        if (const auto* a = std::get_if<api::watch_ack_response>(&r)) {
+            EXPECT_EQ(a->correlation_id, 43u);
+            EXPECT_FALSE(a->active);
+            acked = true;
+        }
+    }
+    EXPECT_TRUE(acked);
+
+    const net::tcp_server_stats s = tf.front().stats();
+    EXPECT_GT(s.stats_pushes_sent, 0u);
+    EXPECT_GT(s.telemetry_ticks, 0u);
+    EXPECT_EQ(s.stats_subscribers, 0u);  // lifecycle balanced after unsubscribe
+    conn.shutdown_write();
+}
+
+TEST(TcpServer, TelemetryDisabledNeverTicksOrPushes) {
+    net::tcp_server_config cfg;
+    cfg.telemetry_window_ms = 0;  // epoll blocks indefinitely, as before
+    test_front tf(std::move(cfg));
+
+    net::frame_conn conn("127.0.0.1", tf.port());
+    api::subscribe_stats_request sub;
+    sub.correlation_id = 7;
+    sub.interval_ms = 0;
+    conn.send(api::encode(api::request(sub)));
+    const std::optional<std::string> frame = conn.read_frame();
+    ASSERT_TRUE(frame.has_value());
+    ASSERT_TRUE(std::holds_alternative<api::watch_ack_response>(decode_one(*frame)));
+
+    std::this_thread::sleep_for(std::chrono::milliseconds(120));
+    const net::tcp_server_stats s = tf.front().stats();
+    EXPECT_EQ(s.telemetry_ticks, 0u);
+    EXPECT_EQ(s.stats_pushes_sent, 0u);
+    EXPECT_EQ(s.stats_subscribers, 1u);  // installed, just never fed
+    conn.shutdown_write();
+}
+
 }  // namespace

@@ -17,6 +17,13 @@ Fields whose name suggests wall time or latency are marked so a reader can
 tell "higher is worse" rows from throughput rows; nothing is auto-judged,
 because CI runners are too noisy for hard perf gates (the |delta| >=
 --threshold rows just get a marker).
+
+The "capacity" section bench_capacity splices into BENCH_net.json (schema
+fisone-bench-capacity/v1) is special-cased: its rung ladder has a
+run-dependent length, so flattening it into dot.path fields would trip the
+disappearance gate whenever the frontier shifts by a rung. It is rendered
+as its own goodput/p99 frontier table instead, rungs paired by offered
+rate; only the section vanishing outright gates.
 """
 
 import argparse
@@ -56,8 +63,49 @@ def fmt(value):
     return f"{value:.4g}"
 
 
+def capacity_table(name, prev_cap, curr_cap):
+    """Render the closed-loop capacity frontier as its own table.
+
+    One row per offered rate (the union of both runs' ladders, since the
+    explorer stops at the shed-threshold crossing and the crossing moves),
+    goodput / shed rate / p99 side by side. Returns True when the section
+    existed previously but is gone now — the only capacity condition that
+    gates, mirroring the whole-file disappearance contract.
+    """
+    if curr_cap is None:
+        if prev_cap is None:
+            return False
+        print(f"**MISSING: capacity section of {name} present in the previous run only.**\n")
+        return True
+    def by_rate(cap):
+        return {r["offered_per_sec"]: r for r in (cap or {}).get("rungs", [])
+                if isinstance(r, dict) and "offered_per_sec" in r}
+    prev_rungs, curr_rungs = by_rate(prev_cap), by_rate(curr_cap)
+    terminated = curr_cap.get("terminated", "?")
+    print(f"#### capacity frontier ({name}) — terminated: {terminated}\n")
+    print("| offered/s | goodput/s prev | goodput/s curr | shed prev | shed curr "
+          "| p99 ms prev | p99 ms curr |")
+    print("|---:|---:|---:|---:|---:|---:|---:|")
+    def cell(rung, field, scale=1.0):
+        if rung is None or field not in rung:
+            return "—"
+        return fmt(float(rung[field]) * scale)
+    for rate in sorted(set(prev_rungs) | set(curr_rungs)):
+        p, c = prev_rungs.get(rate), curr_rungs.get(rate)
+        print(f"| {fmt(float(rate))} "
+              f"| {cell(p, 'goodput_per_sec')} | {cell(c, 'goodput_per_sec')} "
+              f"| {cell(p, 'shed_rate')} | {cell(c, 'shed_rate')} "
+              f"| {cell(p, 'p99_ms')} | {cell(c, 'p99_ms')} |")
+    print()
+    return False
+
+
 def diff_file(name, prev, curr, threshold):
     """Print one bench's table; return the fields present only previously."""
+    # The capacity section's rung count varies run to run; pull it out for
+    # the dedicated frontier renderer before flattening the rest.
+    prev_cap = prev.pop("capacity", None) if isinstance(prev, dict) else None
+    curr_cap = curr.pop("capacity", None) if isinstance(curr, dict) else None
     prev_fields = dict(flatten(prev))
     curr_fields = dict(flatten(curr))
     rows = []
@@ -95,7 +143,10 @@ def diff_file(name, prev, curr, threshold):
                 mark = "changed"
         print(f"| {field} | {fmt(p)} | {fmt(c)} | {delta:+.1f}% | {mark} |")
     print()
-    return [field for field, p, c, _ in rows if c is None]
+    gone = [field for field, p, c, _ in rows if c is None]
+    if capacity_table(name, prev_cap, curr_cap):
+        gone.append("capacity")
+    return gone
 
 
 def main():
@@ -139,6 +190,8 @@ def main():
         prev_path = prev_files.get(name)
         if prev_path is None:
             print(f"### {name}\n\n_new bench — no previous report to compare._\n")
+            if isinstance(curr, dict):
+                capacity_table(name, None, curr.get("capacity"))
             continue
         try:
             prev = json.loads(prev_path.read_text())

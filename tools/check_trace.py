@@ -45,7 +45,7 @@ KNOWN_SPANS = frozenset({
     "net.flush", "net.request",
     # federation fan-out and fault tolerance
     "federation.dispatch", "federation.route", "federation.retry",
-    "federation.failover",
+    "federation.failover", "federation.resident_load",
     # API server
     "api.identify", "api.cache_probe",
     # live ingestion
